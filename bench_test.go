@@ -1,0 +1,151 @@
+// Benchmarks regenerating the paper's evaluation (§9), one per figure.
+// Each sub-benchmark is one x-axis point of the corresponding figure; custom
+// metrics expose the phase split the paper plots. cmd/benchfig prints the
+// full, formatted series.
+package etlvirt_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"etlvirt/internal/bench"
+	"etlvirt/internal/cdw"
+	"etlvirt/internal/convert"
+	"etlvirt/internal/core"
+)
+
+// benchScale keeps one benchmark iteration fast; benchfig runs the bigger
+// sweeps.
+const benchScale = 150
+
+func runImport(b *testing.B, cfg bench.RunConfig) bench.PhaseTimes {
+	b.Helper()
+	p, err := bench.RunImport(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkFig7DatasetSize is Figure 7: job time vs dataset size, phase
+// split into acquisition/application.
+func BenchmarkFig7DatasetSize(b *testing.B) {
+	for _, m := range []int{25, 50, 75, 100} {
+		b.Run(fmt.Sprintf("Mrows=%d", m), func(b *testing.B) {
+			var last bench.PhaseTimes
+			for i := 0; i < b.N; i++ {
+				last = runImport(b, bench.RunConfig{
+					Workload: bench.Workload{Rows: m * benchScale / 25, RowBytes: 500, Seed: int64(m)},
+					Sessions: 2, ChunkRecords: 250,
+				})
+			}
+			b.ReportMetric(float64(last.Acquisition.Microseconds()), "acq-µs")
+			b.ReportMetric(float64(last.Application.Microseconds()), "app-µs")
+		})
+	}
+}
+
+// BenchmarkFig8RowWidth is Figure 8: constant volume, varying row width.
+func BenchmarkFig8RowWidth(b *testing.B) {
+	for _, width := range []int{250, 500, 750, 1000} {
+		rows := 4 * benchScale * 250 / width
+		b.Run(fmt.Sprintf("rowBytes=%d", width), func(b *testing.B) {
+			var last bench.PhaseTimes
+			for i := 0; i < b.N; i++ {
+				last = runImport(b, bench.RunConfig{
+					Workload: bench.Workload{Rows: rows, RowBytes: width, Seed: int64(width)},
+					Sessions: 2, ChunkRecords: 250,
+				})
+			}
+			b.SetBytes(last.Bytes)
+			b.ReportMetric(float64(last.Acquisition.Microseconds()), "acq-µs")
+		})
+	}
+}
+
+// BenchmarkFig9Cores is Figure 9: acquisition scalability with converter
+// parallelism (CPU-core stand-in; see bench.Fig9 for the modelling note).
+func BenchmarkFig9Cores(b *testing.B) {
+	w := bench.Workload{Rows: 6 * benchScale, RowBytes: 500, Seed: 9}
+	for _, cores := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("cores=%d", cores), func(b *testing.B) {
+			var last bench.PhaseTimes
+			for i := 0; i < b.N; i++ {
+				last = runImport(b, bench.RunConfig{
+					Workload: w,
+					Node: core.Config{
+						Converters:  cores,
+						FileWriters: 2,
+						Credits:     64,
+						ConvertOpts: convert.Options{SimulatedByteCost: 150 * time.Nanosecond},
+					},
+					Sessions:     8,
+					ChunkRecords: 50,
+				})
+			}
+			b.ReportMetric(float64(last.Acquisition.Microseconds()), "acq-µs")
+		})
+	}
+}
+
+// BenchmarkFig10Credits is Figure 10: acquisition rate vs CreditManager
+// pool size on a 50-column table.
+func BenchmarkFig10Credits(b *testing.B) {
+	w := bench.Workload{Rows: 4 * benchScale, RowBytes: 1000, Cols: 48, Seed: 10}
+	for _, credits := range []int{2, 32, 1024, 100000} {
+		b.Run(fmt.Sprintf("credits=%d", credits), func(b *testing.B) {
+			var last bench.PhaseTimes
+			for i := 0; i < b.N; i++ {
+				last = runImport(b, bench.RunConfig{
+					Workload:     w,
+					Node:         core.Config{Credits: credits, Converters: 4, FileWriters: 2},
+					Sessions:     4,
+					ChunkRecords: 100,
+				})
+			}
+			b.ReportMetric(last.AcquireRateMBs(), "MB/s")
+		})
+	}
+}
+
+// BenchmarkFig11ErrorHandling is Figure 11: adaptive error handling vs the
+// singleton-insert baseline across error rates.
+func BenchmarkFig11ErrorHandling(b *testing.B) {
+	stmtCost := cdw.Options{StmtOverhead: 200 * time.Microsecond}
+	for _, rate := range []float64{0, 0.01, 0.10} {
+		w := bench.Workload{Rows: 2 * benchScale, RowBytes: 250, ErrRate: rate, NoPK: true,
+			Seed: int64(rate * 1000)}
+		b.Run(fmt.Sprintf("adaptive/errs=%.0f%%", rate*100), func(b *testing.B) {
+			var last bench.PhaseTimes
+			for i := 0; i < b.N; i++ {
+				last = runImport(b, bench.RunConfig{
+					Workload:     w,
+					CDW:          stmtCost,
+					ChunkRecords: 250,
+					ScriptExtra:  fmt.Sprintf(" maxerrors %d", 2*benchScale/20),
+				})
+			}
+			b.ReportMetric(float64(last.ApplyStmts), "dml-stmts")
+		})
+		b.Run(fmt.Sprintf("baseline/errs=%.0f%%", rate*100), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.RunBaselineSingleton(bench.RunConfig{Workload: w, CDW: stmtCost}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEndToEndImport is the headline micro: one complete virtualized
+// import (logon through LoadDone) per iteration.
+func BenchmarkEndToEndImport(b *testing.B) {
+	w := bench.Workload{Rows: 500, RowBytes: 500, Seed: 42}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunImport(bench.RunConfig{Workload: w, Sessions: 2, ChunkRecords: 100}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

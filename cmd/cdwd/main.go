@@ -1,0 +1,111 @@
+// Command cdwd runs the cloud data warehouse as a standalone server.
+//
+// The warehouse bulk-loads from an object store shared with the virtualizer
+// node; in this deployment a directory tree stands in for the cloud bucket,
+// so point -store at the same path etlvirtd uses.
+//
+// Usage:
+//
+//	cdwd -listen 127.0.0.1:7001 -store /tmp/etlvirt-store [-init ddl.sql]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"etlvirt/internal/cdw"
+	"etlvirt/internal/cdwnet"
+	"etlvirt/internal/cloudstore"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7001", "address to serve the CDW protocol on")
+	storeDir := flag.String("store", "", "object-store directory shared with etlvirtd (required)")
+	initSQL := flag.String("init", "", "optional file of semicolon-separated DDL to run at startup")
+	flag.Parse()
+
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "cdwd: -store is required")
+		os.Exit(2)
+	}
+	store, err := cloudstore.NewDirStore(*storeDir)
+	if err != nil {
+		log.Fatalf("cdwd: %v", err)
+	}
+	eng := cdw.NewEngine(store, cdw.Options{})
+
+	if *initSQL != "" {
+		script, err := os.ReadFile(*initSQL)
+		if err != nil {
+			log.Fatalf("cdwd: reading init script: %v", err)
+		}
+		if err := runInit(eng, string(script)); err != nil {
+			log.Fatalf("cdwd: init script: %v", err)
+		}
+	}
+
+	srv := cdwnet.NewServer(eng)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatalf("cdwd: %v", err)
+	}
+	log.Printf("cdwd: serving on %s, store at %s", addr, *storeDir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("cdwd: shutting down")
+	srv.Close()
+}
+
+func runInit(eng *cdw.Engine, script string) error {
+	stmts := splitSQL(script)
+	for _, s := range stmts {
+		if _, err := eng.ExecSQL(s); err != nil {
+			return fmt.Errorf("%q: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// splitSQL splits on semicolons outside single-quoted strings.
+func splitSQL(src string) []string {
+	var out []string
+	start := 0
+	inStr := false
+	for i := 0; i < len(src); i++ {
+		switch src[i] {
+		case '\'':
+			inStr = !inStr
+		case ';':
+			if !inStr {
+				if s := trimSpace(src[start:i]); s != "" {
+					out = append(out, s)
+				}
+				start = i + 1
+			}
+		}
+	}
+	if s := trimSpace(src[start:]); s != "" {
+		out = append(out, s)
+	}
+	return out
+}
+
+func trimSpace(s string) string {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\n' || s[0] == '\t' || s[0] == '\r') {
+		s = s[1:]
+	}
+	for len(s) > 0 {
+		c := s[len(s)-1]
+		if c != ' ' && c != '\n' && c != '\t' && c != '\r' {
+			break
+		}
+		s = s[:len(s)-1]
+	}
+	return s
+}

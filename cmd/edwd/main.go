@@ -1,0 +1,80 @@
+// Command edwd runs the reference legacy Enterprise Data Warehouse: the
+// server the virtualizer impersonates. It speaks the same wire protocol,
+// enforces uniqueness natively and applies ETL DML tuple-at-a-time — run the
+// same script against edwd and etlvirtd to compare semantics.
+//
+// Usage:
+//
+//	edwd -listen 127.0.0.1:7002 [-init ddl.sql]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"etlvirt/internal/edw"
+	"etlvirt/internal/sqlxlate"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7002", "address to serve the legacy protocol on")
+	initSQL := flag.String("init", "", "optional file of semicolon-separated legacy DDL to run at startup")
+	flag.Parse()
+
+	srv := edw.NewServer()
+	if *initSQL != "" {
+		script, err := os.ReadFile(*initSQL)
+		if err != nil {
+			log.Fatalf("edwd: reading init script: %v", err)
+		}
+		tr := &sqlxlate.Translator{}
+		for _, stmt := range splitSQL(string(script)) {
+			translated, err := tr.Translate(stmt)
+			if err != nil {
+				log.Fatalf("edwd: init statement %q: %v", stmt, err)
+			}
+			if _, err := srv.Engine().ExecSQL(translated); err != nil {
+				log.Fatalf("edwd: init statement %q: %v", stmt, err)
+			}
+		}
+	}
+
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatalf("edwd: %v", err)
+	}
+	log.Printf("edwd: legacy warehouse serving on %s", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("edwd: shutting down")
+	srv.Close()
+}
+
+func splitSQL(src string) []string {
+	var out []string
+	start := 0
+	inStr := false
+	for i := 0; i < len(src); i++ {
+		switch src[i] {
+		case '\'':
+			inStr = !inStr
+		case ';':
+			if !inStr {
+				if s := strings.TrimSpace(src[start:i]); s != "" {
+					out = append(out, s)
+				}
+				start = i + 1
+			}
+		}
+	}
+	if s := strings.TrimSpace(src[start:]); s != "" {
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+// Package etlvirt is the public facade of the ETL-pipeline virtualizer, a
+// from-scratch reproduction of "Adaptive Real-time Virtualization of Legacy
+// ETL Pipelines in Cloud Data Warehouses" (EDBT 2023).
+//
+// The system lets unmodified legacy ETL clients — script-driven bulk
+// load/export utilities speaking a proprietary wire protocol — run against a
+// modern cloud data warehouse. A virtualizer node impersonates the legacy
+// server: it cross-compiles protocol messages and SQL, converts binary data
+// formats on the fly, stages data through a cloud object store, and emulates
+// legacy per-tuple error handling on top of the CDW's set-oriented engine.
+//
+// Three deployment shapes are supported:
+//
+//   - StartStack assembles everything in-process (object store, CDW engine,
+//     CDW server, virtualizer node) — the quickest way to experiment and the
+//     harness used by the examples and benchmarks.
+//   - The cmd/ binaries (cdwd, edwd, etlvirtd, etlrun) run each component as
+//     its own process connected over TCP.
+//   - Individual components can be embedded via this package's constructors.
+//
+// A minimal end-to-end session:
+//
+//	stack, _ := etlvirt.StartStack(etlvirt.StackConfig{})
+//	defer stack.Close()
+//	stack.ExecCDW(`CREATE TABLE prod.customer (...)`)
+//	res, _ := etlvirt.RunScriptSource(scriptText, etlvirt.RunOptions{Addr: stack.NodeAddr})
+package etlvirt
+
+import (
+	"fmt"
+
+	"etlvirt/internal/cdw"
+	"etlvirt/internal/cdwnet"
+	"etlvirt/internal/cloudstore"
+	"etlvirt/internal/core"
+	"etlvirt/internal/edw"
+	"etlvirt/internal/etlclient"
+	"etlvirt/internal/etlscript"
+	"etlvirt/internal/sqlxlate"
+)
+
+// NodeConfig tunes a virtualizer node. See internal/core.Config for the
+// field documentation.
+type NodeConfig = core.Config
+
+// JobReport is the per-job phase/counter report of a virtualizer node.
+type JobReport = core.JobReport
+
+// RunOptions tunes legacy-client script execution.
+type RunOptions = etlclient.Options
+
+// RunResult is the outcome of a script run.
+type RunResult = etlclient.Result
+
+// Script is a parsed legacy ETL job script.
+type Script = etlscript.Script
+
+// AnalysisReport is the result of the workload pre-flight analysis.
+type AnalysisReport = sqlxlate.Report
+
+// StackConfig assembles an in-process environment.
+type StackConfig struct {
+	// Node tunes the virtualizer. CDWAddr is filled in automatically.
+	Node NodeConfig
+	// CDW tunes the warehouse engine.
+	CDW cdw.Options
+	// UplinkBytesPerSec simulates a bandwidth-limited link between the node
+	// and the object store. Zero means unlimited.
+	UplinkBytesPerSec int64
+}
+
+// Stack is a complete in-process environment: shared object store, CDW
+// engine behind a TCP server, and a virtualizer node.
+type Stack struct {
+	Store    *cloudstore.MemStore
+	Engine   *cdw.Engine
+	Node     *core.Node
+	NodeAddr string
+	CDWAddr  string
+
+	cdwServer *cdwnet.Server
+}
+
+// StartStack builds and starts a Stack on loopback TCP ports.
+func StartStack(cfg StackConfig) (*Stack, error) {
+	store := cloudstore.NewMemStore()
+	eng := cdw.NewEngine(store, cfg.CDW)
+	srv := cdwnet.NewServer(eng)
+	cdwAddr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("etlvirt: starting CDW server: %w", err)
+	}
+	nodeCfg := cfg.Node
+	nodeCfg.CDWAddr = cdwAddr
+
+	var nodeStore cloudstore.Store = store
+	if cfg.UplinkBytesPerSec > 0 {
+		nodeStore = &cloudstore.ThrottledStore{
+			Store: store,
+			Link:  &cloudstore.Link{BytesPerSec: cfg.UplinkBytesPerSec},
+		}
+	}
+	node := core.NewNode(nodeCfg, nodeStore)
+	nodeAddr, err := node.Listen("127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, fmt.Errorf("etlvirt: starting node: %w", err)
+	}
+	return &Stack{
+		Store:     store,
+		Engine:    eng,
+		Node:      node,
+		NodeAddr:  nodeAddr,
+		CDWAddr:   cdwAddr,
+		cdwServer: srv,
+	}, nil
+}
+
+// Close shuts the stack down.
+func (s *Stack) Close() {
+	if s.Node != nil {
+		s.Node.Close()
+	}
+	if s.cdwServer != nil {
+		s.cdwServer.Close()
+	}
+}
+
+// ExecCDW runs a statement directly on the warehouse engine (DDL seeding,
+// result inspection). It bypasses the virtualizer on purpose — use a legacy
+// client connection for the virtualized path.
+func (s *Stack) ExecCDW(sql string) (*cdw.Result, error) {
+	return s.Engine.ExecSQL(sql)
+}
+
+// Reports returns the node's completed job reports.
+func (s *Stack) Reports() []JobReport { return s.Node.Reports() }
+
+// ParseScript parses legacy ETL script source.
+func ParseScript(src string) (*Script, error) { return etlscript.Parse(src) }
+
+// RunScript parses and executes a script against the server in
+// opts.Addr (or the script's .logon host).
+func RunScript(script *Script, opts RunOptions) (*RunResult, error) {
+	return etlclient.Run(script, opts)
+}
+
+// RunScriptSource parses and executes script source text.
+func RunScriptSource(src string, opts RunOptions) (*RunResult, error) {
+	s, err := etlscript.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return etlclient.Run(s, opts)
+}
+
+// Analyze performs the qInsight-style pre-flight scan of a legacy SQL
+// workload, reporting which constructs translate automatically and which
+// need manual rewrites (§8 of the paper).
+func Analyze(legacySQL string) *AnalysisReport { return sqlxlate.Analyze(legacySQL) }
+
+// NewLegacyEDW starts a reference legacy warehouse on addr ("127.0.0.1:0"
+// for an ephemeral port) and returns it with its bound address. It is the
+// correctness oracle: the same script run against it and against a Stack
+// must produce identical tables.
+func NewLegacyEDW(addr string) (*edw.Server, string, error) {
+	srv := edw.NewServer()
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return nil, "", err
+	}
+	return srv, bound, nil
+}

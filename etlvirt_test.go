@@ -1,0 +1,123 @@
+package etlvirt_test
+
+import (
+	"strings"
+	"testing"
+
+	"etlvirt"
+	"etlvirt/internal/etlclient"
+	"etlvirt/internal/etlscript"
+)
+
+const qsScript = `
+.logon host/user,pass;
+.layout L;
+.field K varchar(5);
+.field V varchar(50);
+.begin import tables t errortables t_ET t_UV;
+.dml label I;
+insert into t values (trim(:K), trim(:V));
+.import infile in.txt format vartext '|' layout L apply I;
+.end load;
+`
+
+func TestStackQuickstartFlow(t *testing.T) {
+	stack, err := etlvirt.StartStack(etlvirt.StackConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.Close()
+	if _, err := stack.ExecCDW("CREATE TABLE t (K VARCHAR(5), V VARCHAR(50))"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := etlvirt.RunScriptSource(qsScript, etlvirt.RunOptions{
+		Addr:     stack.NodeAddr,
+		ReadFile: func(string) ([]byte, error) { return []byte("1|one\n2|two\n3|three\n"), nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Imports[0].Inserted != 3 {
+		t.Errorf("inserted = %d", res.Imports[0].Inserted)
+	}
+	rows, err := stack.ExecCDW("SELECT count(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Rows[0][0].I != 3 {
+		t.Errorf("count = %v", rows.Rows[0][0])
+	}
+	if len(stack.Reports()) != 1 {
+		t.Errorf("reports: %d", len(stack.Reports()))
+	}
+}
+
+func TestStackThrottledUplink(t *testing.T) {
+	stack, err := etlvirt.StartStack(etlvirt.StackConfig{UplinkBytesPerSec: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.Close()
+	if _, err := stack.ExecCDW("CREATE TABLE t (K VARCHAR(5), V VARCHAR(50))"); err != nil {
+		t.Fatal(err)
+	}
+	var data strings.Builder
+	for i := 0; i < 300; i++ {
+		data.WriteString("1|0123456789012345678901234567890123456789\n")
+	}
+	res, err := etlvirt.RunScriptSource(qsScript, etlvirt.RunOptions{
+		Addr:     stack.NodeAddr,
+		ReadFile: func(string) ([]byte, error) { return []byte(data.String()), nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stack.Reports()[0]
+	// ~13KB over a 64KB/s link: the upload throttle must be visible in the
+	// acquisition phase.
+	if r.Acquisition.Milliseconds() < 100 {
+		t.Errorf("uplink throttle not applied: acquisition %v", r.Acquisition)
+	}
+	_ = res
+}
+
+func TestParseScriptAndAnalyze(t *testing.T) {
+	s, err := etlvirt.ParseScript(qsScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Steps) != 1 {
+		t.Errorf("steps: %d", len(s.Steps))
+	}
+	rep := etlvirt.Analyze("SELECT ZEROIFNULL(x) FROM t; SELECT cast(x as BYTE(2) format 'z') FROM t;")
+	if rep.Statements != 2 || rep.Translatable != 1 {
+		t.Errorf("analysis: %+v", rep)
+	}
+	// the untranslatable FORMAT cast is flagged both as a construct finding
+	// and as a statement-level verdict
+	if len(rep.ManualRewrites()) == 0 {
+		t.Errorf("manual rewrites: %+v", rep.ManualRewrites())
+	}
+}
+
+func TestLegacyEDWOracleThroughFacade(t *testing.T) {
+	srv, addr, err := etlvirt.NewLegacyEDW("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	lg := etlscript.Logon{User: "u", Password: "p"}
+	if _, err := etlclient.Exec(addr, lg, "CREATE TABLE t (K VARCHAR(5), V VARCHAR(50))"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := etlvirt.RunScriptSource(qsScript, etlvirt.RunOptions{
+		Addr:     addr,
+		ReadFile: func(string) ([]byte, error) { return []byte("1|one\n"), nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Imports[0].Inserted != 1 {
+		t.Errorf("inserted = %d", res.Imports[0].Inserted)
+	}
+}

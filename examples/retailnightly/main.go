@@ -1,0 +1,195 @@
+// Retail nightly batch: a scaled-down version of the paper's §8 case study.
+//
+// A large retailer runs 127 batch groups nightly under a strict SLA; groups
+// are sequences of steps (file preparation, bulk loads, in-warehouse
+// transformations) and dependencies between groups bound the parallelism.
+// This example executes a dependency-ordered DAG of batch groups against a
+// single virtualizer node — all jobs share one CreditManager, the scenario
+// of §5 — and prints an SLA-style report.
+//
+//	go run ./examples/retailnightly
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+	"time"
+
+	"etlvirt"
+)
+
+// group is one batch group: loads for a set of store regions into one table,
+// then an in-warehouse aggregation step, gated on other groups.
+type group struct {
+	name      string
+	table     string
+	rows      int
+	dependsOn []string
+}
+
+func main() {
+	stack, err := etlvirt.StartStack(etlvirt.StackConfig{
+		Node: etlvirt.NodeConfig{Credits: 16},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stack.Close()
+
+	// A 12-group slice of the nightly plan: ingest groups feed rollup groups.
+	groups := []group{
+		{name: "sales_food", table: "dw.sales_food", rows: 1200},
+		{name: "sales_wholesale", table: "dw.sales_wholesale", rows: 900},
+		{name: "sales_fuel", table: "dw.sales_fuel", rows: 600},
+		{name: "sales_pharma", table: "dw.sales_pharma", rows: 500},
+		{name: "returns", table: "dw.returns", rows: 400},
+		{name: "inventory", table: "dw.inventory", rows: 1000},
+		{name: "labor", table: "dw.labor", rows: 700},
+		{name: "insurance", table: "dw.insurance", rows: 300},
+		{name: "rollup_sales", table: "dw.rollup_sales", rows: 0,
+			dependsOn: []string{"sales_food", "sales_wholesale", "sales_fuel", "sales_pharma"}},
+		{name: "rollup_ops", table: "dw.rollup_ops", rows: 0,
+			dependsOn: []string{"inventory", "labor"}},
+		{name: "margin", table: "dw.margin", rows: 0,
+			dependsOn: []string{"rollup_sales", "returns"}},
+		{name: "exec_dashboard", table: "dw.dashboard", rows: 0,
+			dependsOn: []string{"margin", "rollup_ops", "insurance"}},
+	}
+
+	// create targets
+	for _, g := range groups {
+		if g.rows > 0 {
+			if _, err := stack.ExecCDW(fmt.Sprintf(
+				`CREATE TABLE %s (store VARCHAR(8) NOT NULL, day DATE, amount DECIMAL(12,2))`,
+				g.table)); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			if _, err := stack.ExecCDW(fmt.Sprintf(
+				`CREATE TABLE %s (day DATE, total DOUBLE)`, g.table)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	type outcome struct {
+		dur  time.Duration
+		rows int64
+	}
+	results := make(map[string]outcome)
+	var mu sync.Mutex
+	done := make(map[string]chan struct{}, len(groups))
+	for _, g := range groups {
+		done[g.name] = make(chan struct{})
+	}
+
+	nightStart := time.Now()
+	var wg sync.WaitGroup
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g group) {
+			defer wg.Done()
+			defer close(done[g.name])
+			for _, dep := range g.dependsOn {
+				<-done[dep]
+			}
+			start := time.Now()
+			var rows int64
+			var err error
+			if g.rows > 0 {
+				rows, err = runIngest(stack, g)
+			} else {
+				rows, err = runRollup(stack, g)
+			}
+			if err != nil {
+				log.Fatalf("group %s: %v", g.name, err)
+			}
+			mu.Lock()
+			results[g.name] = outcome{dur: time.Since(start), rows: rows}
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	night := time.Since(nightStart)
+
+	fmt.Println("nightly batch report (dependency-ordered, one shared virtualizer node)")
+	fmt.Println("group              rows      duration")
+	for _, g := range groups {
+		r := results[g.name]
+		deps := ""
+		if len(g.dependsOn) > 0 {
+			deps = "  <- " + strings.Join(g.dependsOn, ", ")
+		}
+		fmt.Printf("%-16s %6d %12v%s\n", g.name, r.rows, r.dur.Round(time.Millisecond), deps)
+	}
+	fmt.Printf("\nnight complete in %v; credit pool stats: %+v\n",
+		night.Round(time.Millisecond), stack.Node.Credits())
+}
+
+// runIngest runs one legacy bulk-load script through the virtualizer.
+func runIngest(stack *etlvirt.Stack, g group) (int64, error) {
+	var data strings.Builder
+	for i := 0; i < g.rows; i++ {
+		fmt.Fprintf(&data, "S%06d|2023-11-%02d|%d.%02d\n", i, 1+i%28, 100+i, i%100)
+	}
+	script := fmt.Sprintf(`
+.logon host/nightly,secret;
+.layout L;
+.field STORE varchar(8);
+.field DAY varchar(10);
+.field AMOUNT varchar(14);
+.begin import tables %s errortables %s_ET %s_UV sessions 2;
+.dml label Ins;
+insert into %s values (trim(:STORE),
+	cast(:DAY as DATE format 'YYYY-MM-DD'),
+	cast(:AMOUNT as DECIMAL(12,2)));
+.import infile data.txt format vartext '|' layout L apply Ins;
+.end load;
+`, g.table, g.table, g.table, g.table)
+	res, err := etlvirt.RunScriptSource(script, etlvirt.RunOptions{
+		Addr:         stack.NodeAddr,
+		ChunkRecords: 200,
+		ReadFile:     func(string) ([]byte, error) { return []byte(data.String()), nil },
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.Imports[0].Inserted, nil
+}
+
+// runRollup runs an in-warehouse transformation through the virtualizer's
+// ad-hoc SQL path (the legacy script's .run step).
+func runRollup(stack *etlvirt.Stack, g group) (int64, error) {
+	src := strings.TrimPrefix(g.dependsOn[0], "")
+	srcTable := "dw." + strings.TrimPrefix(src, "rollup_")
+	switch g.name {
+	case "rollup_sales":
+		srcTable = "dw.sales_food"
+	case "rollup_ops":
+		srcTable = "dw.inventory"
+	case "margin":
+		srcTable = "dw.rollup_sales"
+	case "exec_dashboard":
+		srcTable = "dw.margin"
+	}
+	script := fmt.Sprintf(`
+.logon host/nightly,secret;
+.run INSERT INTO %s SELECT day, sum(amount) FROM %s GROUP BY day;
+`, g.table, srcTable)
+	if strings.HasPrefix(g.name, "margin") || g.name == "exec_dashboard" {
+		script = fmt.Sprintf(`
+.logon host/nightly,secret;
+.run INSERT INTO %s SELECT day, sum(total) FROM %s GROUP BY day;
+`, g.table, srcTable)
+	}
+	if _, err := etlvirt.RunScriptSource(script, etlvirt.RunOptions{Addr: stack.NodeAddr}); err != nil {
+		return 0, err
+	}
+	res, err := stack.ExecCDW("SELECT count(*) FROM " + g.table)
+	if err != nil {
+		return 0, err
+	}
+	return res.Rows[0][0].I, nil
+}

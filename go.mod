@@ -1,0 +1,3 @@
+module etlvirt
+
+go 1.22

@@ -1,0 +1,337 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"etlvirt/internal/cdw"
+	"etlvirt/internal/convert"
+	"etlvirt/internal/core"
+	"etlvirt/internal/credit"
+	"etlvirt/internal/errhandle"
+)
+
+// Fig7Row is one point of Figure 7 (performance with dataset size).
+type Fig7Row struct {
+	PaperMRows int // the paper's x-axis: 25/50/75/100 million rows
+	Times      PhaseTimes
+}
+
+// Fig7 reproduces Figure 7: total job execution time split into acquisition,
+// application and other phases across dataset sizes. scale is the number of
+// simulation rows standing in for one paper-million; <=0 uses the default.
+func Fig7(scale int) ([]Fig7Row, error) {
+	if scale <= 0 {
+		scale = RowsPerPaperMillion
+	}
+	var out []Fig7Row
+	for _, m := range []int{25, 50, 75, 100} {
+		cfg := RunConfig{
+			Workload: Workload{Rows: m * scale / 25, RowBytes: 500, Seed: int64(m)},
+			Sessions: 2, ChunkRecords: 500,
+		}
+		p, err := RunImport(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %dM: %w", m, err)
+		}
+		out = append(out, Fig7Row{PaperMRows: m, Times: p})
+	}
+	return out, nil
+}
+
+// FormatFig7 renders the Figure 7 series.
+func FormatFig7(rows []Fig7Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 7: Performance with Different Dataset Sizes\n")
+	sb.WriteString("rows(M)      acquisition      application            other            total\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%7d %16v %16v %16v %16v\n",
+			r.PaperMRows, r.Times.Acquisition.Round(time.Millisecond),
+			r.Times.Application.Round(time.Millisecond),
+			r.Times.Other.Round(time.Millisecond),
+			r.Times.Total.Round(time.Millisecond))
+	}
+	if len(rows) >= 4 {
+		base := rows[0].Times
+		last := rows[len(rows)-1].Times
+		fmt.Fprintf(&sb, "4x growth: acquisition %+.0f%%, application %+.0f%%\n",
+			pctIncrease(base.Acquisition, last.Acquisition),
+			pctIncrease(base.Application, last.Application))
+	}
+	return sb.String()
+}
+
+func pctIncrease(base, v time.Duration) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return (float64(v)/float64(base) - 1) * 100
+}
+
+// Fig8Row is one point of Figure 8 (effect of row width).
+type Fig8Row struct {
+	RowBytes int
+	Rows     int
+	Times    PhaseTimes
+}
+
+// Fig8 reproduces Figure 8: four datasets of identical total volume but
+// different row widths (250 B x 4N ... 1000 B x N rows). Wider rows need
+// fewer per-record conversion iterations and finish faster.
+func Fig8(scale int) ([]Fig8Row, error) {
+	if scale <= 0 {
+		scale = RowsPerPaperMillion
+	}
+	baseRows := 4 * scale // rows at the narrowest width
+	var out []Fig8Row
+	for _, width := range []int{250, 500, 750, 1000} {
+		rows := baseRows * 250 / width
+		cfg := RunConfig{
+			Workload: Workload{Rows: rows, RowBytes: width, Seed: int64(width)},
+			Sessions: 2, ChunkRecords: 500,
+		}
+		p, err := RunImport(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 width %d: %w", width, err)
+		}
+		out = append(out, Fig8Row{RowBytes: width, Rows: rows, Times: p})
+	}
+	return out, nil
+}
+
+// FormatFig8 renders the Figure 8 series.
+func FormatFig8(rows []Fig8Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 8: Effect of Row Width on Bulk Load Performance (constant volume)\n")
+	sb.WriteString("row bytes     rows      acquisition            total\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%9d %8d %16v %16v\n",
+			r.RowBytes, r.Rows,
+			r.Times.Acquisition.Round(time.Millisecond),
+			r.Times.Total.Round(time.Millisecond))
+	}
+	return sb.String()
+}
+
+// Fig9Row is one point of Figure 9 (acquisition scalability with cores).
+type Fig9Row struct {
+	Cores      int
+	TimePct    float64 // acquisition wall clock as % of the 2-core baseline
+	Efficiency float64 // S = Ts / (Tp * P), P = cores/baseline
+}
+
+// Fig9 reproduces Figure 9: acquisition wall-clock versus the compute
+// resources given to the node (DataConverter/FileWriter parallelism stands
+// in for CPU cores; the client uses enough sessions to keep the node busy).
+// The application phase is excluded, as in the paper.
+//
+// Per-chunk conversion cost is modelled as blocking work (see
+// convert.Options.SimulatedByteCost) so the sweep measures the pipeline's
+// parallel structure even on hosts without many physical cores; the fixed
+// setup/COPY/teardown portion is real and produces the same efficiency
+// degradation at high core counts the paper reports.
+func Fig9(scale int) ([]Fig9Row, error) {
+	if scale <= 0 {
+		scale = RowsPerPaperMillion
+	}
+	w := Workload{Rows: 12 * scale, RowBytes: 500, Seed: 9}
+	cores := []int{2, 4, 8, 12, 16}
+	var acq []time.Duration
+	for _, c := range cores {
+		cfg := RunConfig{
+			Workload: w,
+			Node: core.Config{
+				Converters:  c,
+				FileWriters: maxInt(1, c/4),
+				Credits:     64, // constant, ample: only converter parallelism varies
+				ConvertOpts: convert.Options{SimulatedByteCost: 150 * time.Nanosecond},
+			},
+			Sessions:     16,
+			ChunkRecords: 50,
+		}
+		p, err := RunImport(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig9 cores %d: %w", c, err)
+		}
+		acq = append(acq, p.Acquisition)
+	}
+	base := acq[0]
+	var out []Fig9Row
+	for i, c := range cores {
+		pMult := float64(c) / float64(cores[0])
+		out = append(out, Fig9Row{
+			Cores:      c,
+			TimePct:    float64(acq[i]) / float64(base) * 100,
+			Efficiency: float64(base) / (float64(acq[i]) * pMult),
+		})
+	}
+	return out, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FormatFig9 renders the Figure 9 series.
+func FormatFig9(rows []Fig9Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 9: Data Acquisition Scalability with No. CPU Cores\n")
+	sb.WriteString("cores   time %% of 2-core   speedup efficiency S\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%5d %18.1f %22.2f\n", r.Cores, r.TimePct, r.Efficiency)
+	}
+	return sb.String()
+}
+
+// Fig10Row is one point of Figure 10 (scalability with the credit pool).
+type Fig10Row struct {
+	Credits  int
+	RateMBs  float64
+	OOM      bool
+	MaxWaits int64
+}
+
+// Fig10 reproduces Figure 10: acquisition rate across CreditManager pool
+// sizes on a 50-column table, including the out-of-memory failure when the
+// pool is effectively unbounded relative to the node's memory budget.
+func Fig10(scale int) ([]Fig10Row, error) {
+	if scale <= 0 {
+		scale = RowsPerPaperMillion
+	}
+	w := Workload{Rows: 6 * scale, RowBytes: 1000, Cols: 48, Seed: 10}
+	var out []Fig10Row
+	for _, credits := range []int{2, 8, 32, 128, 1024, 8192, 100000} {
+		cfg := RunConfig{
+			Workload: w,
+			Node: core.Config{
+				Credits:     credits,
+				Converters:  4,
+				FileWriters: 2,
+			},
+			Sessions:     6,
+			ChunkRecords: 100,
+		}
+		// best of three runs: single-host scheduling noise would otherwise
+		// dominate the plateau the experiment is about
+		best := 0.0
+		for rep := 0; rep < 3; rep++ {
+			p, err := RunImport(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig10 credits %d: %w", credits, err)
+			}
+			if rate := p.AcquireRateMBs(); rate > best {
+				best = rate
+			}
+		}
+		out = append(out, Fig10Row{Credits: credits, RateMBs: best})
+	}
+	// The one-million-credit run of the paper: with no back-pressure the node
+	// exhausts its memory budget and the job dies.
+	oomCfg := RunConfig{
+		Workload: w,
+		Node: core.Config{
+			Credits:     1_000_000,
+			MemBudget:   256 << 10, // deliberately small budget
+			Converters:  1,         // slow consumer so chunks pile up
+			FileWriters: 1,
+		},
+		Sessions:     6,
+		ChunkRecords: 100,
+	}
+	_, err := RunImport(oomCfg)
+	oom := err != nil && strings.Contains(err.Error(), credit.ErrOutOfMemory.Error())
+	out = append(out, Fig10Row{Credits: 1_000_000, OOM: oom})
+	return out, nil
+}
+
+// FormatFig10 renders the Figure 10 series.
+func FormatFig10(rows []Fig10Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 10: Data Acquisition Scalability with No. Credits\n")
+	sb.WriteString("credits     acquisition MB/s\n")
+	for _, r := range rows {
+		if r.OOM {
+			fmt.Fprintf(&sb, "%8d   OUT OF MEMORY (job failed before completion)\n", r.Credits)
+			continue
+		}
+		fmt.Fprintf(&sb, "%8d %18.1f\n", r.Credits, r.RateMBs)
+	}
+	return sb.String()
+}
+
+// Fig11Row is one point of Figure 11 (error-handling performance).
+type Fig11Row struct {
+	ErrPct     float64
+	Adaptive   time.Duration // virtualizer with adaptive error handling
+	Baseline   time.Duration // singleton-insert baseline
+	AdaptStmts int64
+}
+
+// Fig11 reproduces Figure 11: elapsed time versus the percentage of
+// erroneous records, virtualizer (bulk load + adaptive splitting) against
+// the singleton-insert baseline.
+//
+// Two modelling choices mirror the paper's setup. First, every CDW
+// statement pays a fixed overhead (StmtOverhead) standing in for the cloud
+// round trip — this is what makes singleton loading expensive in the first
+// place. Second, the virtualizer caps max_errors, the mitigation the paper
+// itself describes: "Hyper-Q overcomes such overhead by limiting the
+// maximum number of errors to detect"; beyond the budget, failing ranges
+// are recorded as blocks instead of being isolated tuple by tuple.
+func Fig11(scale int) ([]Fig11Row, error) {
+	if scale <= 0 {
+		scale = RowsPerPaperMillion
+	}
+	rows := 2 * scale
+	maxErrors := rows * 3 / 100 // the paper's max_errors cap
+	if maxErrors < 10 {
+		maxErrors = 10
+	}
+	stmtCost := cdw.Options{StmtOverhead: 500 * time.Microsecond}
+	var out []Fig11Row
+	for _, rate := range []float64{0, 0.01, 0.02, 0.05, 0.10} {
+		w := Workload{Rows: rows, RowBytes: 250, ErrRate: rate, NoPK: true, Seed: int64(rate * 1000)}
+		adaptive, err := RunImport(RunConfig{
+			Workload:     w,
+			CDW:          stmtCost,
+			Sessions:     2,
+			ChunkRecords: 500,
+			ScriptExtra:  fmt.Sprintf(" maxerrors %d", maxErrors),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig11 adaptive %.0f%%: %w", rate*100, err)
+		}
+		baseline, err := RunBaselineSingleton(RunConfig{Workload: w, CDW: stmtCost})
+		if err != nil {
+			return nil, fmt.Errorf("fig11 baseline %.0f%%: %w", rate*100, err)
+		}
+		out = append(out, Fig11Row{
+			ErrPct:     rate * 100,
+			Adaptive:   adaptive.Total,
+			Baseline:   baseline.Total,
+			AdaptStmts: adaptive.ApplyStmts,
+		})
+	}
+	return out, nil
+}
+
+// FormatFig11 renders the Figure 11 series.
+func FormatFig11(rows []Fig11Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 11: Error Handling Performance\n")
+	sb.WriteString("errors %%      adaptive (virt)    baseline (singleton)   adaptive DML stmts\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%8.0f %18v %22v %20d\n",
+			r.ErrPct, r.Adaptive.Round(time.Millisecond),
+			r.Baseline.Round(time.Millisecond), r.AdaptStmts)
+	}
+	return sb.String()
+}
+
+// MaxErrorBudget returns the errhandle default, exposed so callers can
+// reason about budgets in reports.
+const MaxErrorBudget = errhandle.DefaultMaxErrors

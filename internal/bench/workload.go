@@ -1,0 +1,144 @@
+// Package bench implements the evaluation harness of §9: synthetic
+// workload generation, scaled-down experiment runners for every figure of
+// the paper, and text formatters that print the same series the paper
+// plots.
+//
+// Absolute numbers differ from the paper — the substrate here is an
+// in-process warehouse, not Azure Synapse — so the harness reports and the
+// tests assert the *shapes*: which phase dominates, which system wins, how
+// ratios move across the sweep.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"etlvirt/internal/ltype"
+)
+
+// RowsPerPaperMillion converts the paper's dataset sizes (25-100 million
+// rows) into simulation rows. The default keeps every figure reproducible in
+// seconds on a laptop; raise it (cmd/benchfig -scale) for longer, smoother
+// runs.
+const RowsPerPaperMillion = 2000
+
+// Workload describes a synthetic import dataset.
+type Workload struct {
+	Rows     int
+	RowBytes int     // approximate bytes per generated row
+	Cols     int     // filler columns beyond key+date; 0 derives from RowBytes
+	ErrRate  float64 // fraction of rows with an invalid date (ET errors)
+	DupRate  float64 // fraction of rows duplicating an earlier key (UV errors)
+	NoPK     bool    // omit the primary key from the target DDL
+	Seed     int64
+}
+
+// fillerCols returns the number and width of filler columns.
+func (w Workload) fillerCols() (n, width int) {
+	const keyDateBytes = 12 + 1 + 10 + 1 // key|date| with delimiters
+	payload := w.RowBytes - keyDateBytes
+	if payload < 8 {
+		payload = 8
+	}
+	n = w.Cols
+	if n <= 0 {
+		// target ~60-byte columns
+		n = payload / 60
+		if n < 1 {
+			n = 1
+		}
+	}
+	width = payload / n
+	if width < 1 {
+		width = 1
+	}
+	return n, width
+}
+
+// Layout returns the legacy layout for the generated data.
+func (w Workload) Layout() *ltype.Layout {
+	nf, width := w.fillerCols()
+	l := &ltype.Layout{Name: "BenchLayout", Fields: []ltype.Field{
+		{Name: "K", Type: ltype.VarChar(12)},
+		{Name: "D", Type: ltype.VarChar(10)},
+	}}
+	for i := 0; i < nf; i++ {
+		l.Fields = append(l.Fields, ltype.Field{
+			Name: fmt.Sprintf("F%d", i+1),
+			Type: ltype.VarChar(width + 16),
+		})
+	}
+	return l
+}
+
+// TargetDDL returns the CDW DDL for the target table.
+func (w Workload) TargetDDL(table string) string {
+	nf, width := w.fillerCols()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "CREATE TABLE %s (K VARCHAR(12) NOT NULL, D DATE", table)
+	for i := 0; i < nf; i++ {
+		fmt.Fprintf(&sb, ", F%d VARCHAR(%d)", i+1, width+16)
+	}
+	if !w.NoPK {
+		sb.WriteString(", PRIMARY KEY (K)")
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// Script returns the Example 2.1-style job script loading the generated
+// file into table. extra is appended to the .begin import line (e.g.
+// " sessions 4 maxerrors 100").
+func (w Workload) Script(table, extra string) string {
+	layout := w.Layout()
+	var sb strings.Builder
+	sb.WriteString(".logon host/bench,bench;\n.layout BenchLayout;\n")
+	for _, f := range layout.Fields {
+		fmt.Fprintf(&sb, ".field %s %s;\n", f.Name, f.Type)
+	}
+	fmt.Fprintf(&sb, ".begin import tables %s errortables %s_ET %s_UV%s;\n", table, table, table, extra)
+	sb.WriteString(".dml label Ins;\ninsert into " + table + " values (trim(:K), cast(:D as DATE format 'YYYY-MM-DD')")
+	for i := 1; i < len(layout.Fields)-1; i++ {
+		fmt.Fprintf(&sb, ", :F%d", i)
+	}
+	sb.WriteString(");\n")
+	sb.WriteString(".import infile bench.dat format vartext '|' layout BenchLayout apply Ins;\n.end load;\n")
+	return sb.String()
+}
+
+// Generate produces the vartext input file.
+func (w Workload) Generate() []byte {
+	r := rand.New(rand.NewSource(w.Seed + 1))
+	nf, width := w.fillerCols()
+	var out []byte
+	filler := make([]byte, width)
+	for i := 0; i < w.Rows; i++ {
+		key := i
+		if w.DupRate > 0 && i > 0 && r.Float64() < w.DupRate {
+			key = r.Intn(i) // duplicate an earlier key
+		}
+		date := fmt.Sprintf("20%02d-%02d-%02d", r.Intn(24), 1+r.Intn(12), 1+r.Intn(28))
+		if w.ErrRate > 0 && r.Float64() < w.ErrRate {
+			date = "9999-99-99"
+		}
+		out = append(out, fmt.Sprintf("%012d|%s", key, date)...)
+		for c := 0; c < nf; c++ {
+			out = append(out, '|')
+			for j := range filler {
+				filler[j] = 'a' + byte(r.Intn(26))
+			}
+			out = append(out, filler...)
+		}
+		out = append(out, '\n')
+	}
+	return out
+}
+
+// AvgRowBytes reports the mean encoded row size of generated data.
+func AvgRowBytes(data []byte, rows int) int {
+	if rows == 0 {
+		return 0
+	}
+	return len(data) / rows
+}

@@ -1,0 +1,142 @@
+package cdw
+
+import (
+	"compress/gzip"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"etlvirt/internal/sqlparse"
+)
+
+// NullMarker is the CSV token the CDW's COPY recognizes as NULL. The
+// virtualizer's DataConverter emits it for legacy NULL indicators.
+const NullMarker = `\N`
+
+// execCopy implements COPY INTO t FROM 'store://prefix/' — the CDW bulk
+// ingest path (§6). Every object under the prefix is parsed as CSV (gzip
+// deflated when the option says so or the key ends in .gz), values are cast
+// to the column types, and the whole operation commits atomically.
+func (e *Engine) execCopy(s *sqlparse.CopyStmt) (*Result, error) {
+	if e.Store == nil {
+		return nil, errf(CodeCopyFailed, "no cloud store attached to this engine")
+	}
+	t, err := e.Catalog.Lookup(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	prefix := strings.TrimPrefix(s.From, "store://")
+	keys, err := e.Store.List(prefix)
+	if err != nil {
+		return nil, errf(CodeCopyFailed, "listing %q: %v", prefix, err)
+	}
+	if format := s.Options["format"]; format != "" && format != "csv" {
+		return nil, errf(CodeCopyFailed, "unsupported COPY format %q", format)
+	}
+	gzipAll := s.Options["gzip"] == "true"
+	delim := ','
+	if d := s.Options["delimiter"]; d != "" {
+		delim = rune(d[0])
+	}
+
+	var newRows [][]Datum
+	rowSeq := int64(0)
+	for _, key := range keys {
+		rc, err := e.Store.Get(key)
+		if err != nil {
+			return nil, errf(CodeCopyFailed, "reading %q: %v", key, err)
+		}
+		var r io.Reader = rc
+		if gzipAll || strings.HasSuffix(key, ".gz") {
+			zr, err := gzip.NewReader(rc)
+			if err != nil {
+				rc.Close()
+				return nil, errf(CodeCopyFailed, "gunzip %q: %v", key, err)
+			}
+			r = zr
+		}
+		rows, err := e.parseCSVRows(t, r, delim, &rowSeq)
+		rc.Close()
+		if err != nil {
+			ee := AsError(err)
+			ee.Msg = fmt.Sprintf("object %s: %s", key, ee.Msg)
+			return nil, ee
+		}
+		newRows = append(newRows, rows...)
+	}
+
+	// Optional clustering: sort the incoming batch by a column before it
+	// lands, e.g. OPTIONS (order '__seq'). The virtualizer uses this so the
+	// staging table's physical order matches the input row order even though
+	// parallel FileWriters interleave the uploaded files — which keeps
+	// order-sensitive legacy DML semantics (last update wins) intact.
+	if orderCol := s.Options["order"]; orderCol != "" {
+		idx := t.ColIndex(orderCol)
+		if idx < 0 {
+			return nil, errf(CodeNoSuchColumn, "COPY order column %q does not exist", orderCol)
+		}
+		var sortErr error
+		sort.SliceStable(newRows, func(i, k int) bool {
+			c, err := compareForSort(newRows[i][idx], newRows[k][idx])
+			if err != nil && sortErr == nil {
+				sortErr = err
+			}
+			return c < 0
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e.opts.EnforceUniqueness {
+		if err := e.checkUniqueness(t, newRows, nil); err != nil {
+			return nil, err
+		}
+	}
+	t.rows = append(t.rows, newRows...)
+	return &Result{Activity: int64(len(newRows))}, nil
+}
+
+func (e *Engine) parseCSVRows(t *Table, r io.Reader, delim rune, rowSeq *int64) ([][]Datum, error) {
+	cr := csv.NewReader(r)
+	cr.Comma = delim
+	cr.FieldsPerRecord = len(t.Columns)
+	cr.ReuseRecord = true
+	var out [][]Datum
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, errf(CodeFieldCount, "malformed CSV: %v", err)
+		}
+		*rowSeq++
+		row := make([]Datum, len(t.Columns))
+		for i, field := range rec {
+			var d Datum
+			if field == NullMarker {
+				d = Null()
+			} else {
+				var err error
+				d, err = castDatum(StringD(field), t.Columns[i].Type)
+				if err != nil {
+					ee := AsError(err)
+					ee.Row = *rowSeq
+					ee.Field = t.Columns[i].Name
+					return nil, ee
+				}
+			}
+			if t.Columns[i].NotNull && d.IsNull() {
+				return nil, &Error{Code: CodeNotNull, Row: *rowSeq, Field: t.Columns[i].Name,
+					Msg: "NULL value in NOT NULL column"}
+			}
+			row[i] = d
+		}
+		out = append(out, row)
+	}
+}

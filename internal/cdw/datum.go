@@ -1,0 +1,313 @@
+// Package cdw implements the cloud data warehouse engine the virtualizer
+// targets: a from-scratch SQL engine with a catalog, row storage, an
+// expression evaluator, set-oriented DML, COPY-based bulk ingest from a cloud
+// object store, and — deliberately — *unenforced* uniqueness constraints,
+// matching the CDW properties the paper's error-handling design reacts to
+// (§6, §7).
+package cdw
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// DKind is the runtime type of a Datum.
+type DKind uint8
+
+// Datum kinds. The CDW type system is intentionally different from the
+// legacy one (internal/ltype): dates are epoch days rather than the legacy
+// integer encoding, timestamps are epoch microseconds, and strings carry a
+// "national" (unicode) flag on the column, not the value.
+const (
+	KNull DKind = iota
+	KBool
+	KInt
+	KFloat
+	KDecimal
+	KString
+	KDate      // days since 1970-01-01
+	KTime      // seconds since midnight
+	KTimestamp // microseconds since the Unix epoch, UTC
+	KBytes
+)
+
+// String names the kind.
+func (k DKind) String() string {
+	switch k {
+	case KNull:
+		return "NULL"
+	case KBool:
+		return "BOOLEAN"
+	case KInt:
+		return "BIGINT"
+	case KFloat:
+		return "DOUBLE"
+	case KDecimal:
+		return "DECIMAL"
+	case KString:
+		return "VARCHAR"
+	case KDate:
+		return "DATE"
+	case KTime:
+		return "TIME"
+	case KTimestamp:
+		return "TIMESTAMP"
+	case KBytes:
+		return "VARBINARY"
+	default:
+		return fmt.Sprintf("DKind(%d)", uint8(k))
+	}
+}
+
+// Datum is one runtime value. Exactly one payload field is meaningful for a
+// given kind: I for ints, dates, times, timestamps and unscaled decimals
+// (with Scale), F for floats, S for strings, B for bytes and Bool for
+// booleans. The zero Datum is NULL.
+type Datum struct {
+	Kind  DKind
+	I     int64
+	F     float64
+	S     string
+	B     []byte
+	Bool  bool
+	Scale int8 // decimal scale for KDecimal
+}
+
+// Null is the NULL datum.
+func Null() Datum { return Datum{Kind: KNull} }
+
+// IsNull reports whether the datum is NULL.
+func (d Datum) IsNull() bool { return d.Kind == KNull }
+
+// BoolD returns a boolean datum.
+func BoolD(v bool) Datum { return Datum{Kind: KBool, Bool: v} }
+
+// IntD returns an integer datum.
+func IntD(v int64) Datum { return Datum{Kind: KInt, I: v} }
+
+// FloatD returns a float datum.
+func FloatD(v float64) Datum { return Datum{Kind: KFloat, F: v} }
+
+// DecimalD returns a decimal datum with the given unscaled value and scale.
+func DecimalD(unscaled int64, scale int) Datum {
+	return Datum{Kind: KDecimal, I: unscaled, Scale: int8(scale)}
+}
+
+// StringD returns a string datum.
+func StringD(s string) Datum { return Datum{Kind: KString, S: s} }
+
+// BytesD returns a bytes datum.
+func BytesD(b []byte) Datum { return Datum{Kind: KBytes, B: b} }
+
+// DateD returns a date datum for the given civil date.
+func DateD(year, month, day int) Datum {
+	return Datum{Kind: KDate, I: civilToEpochDays(year, month, day)}
+}
+
+// TimeD returns a time datum from seconds past midnight.
+func TimeD(seconds int64) Datum { return Datum{Kind: KTime, I: seconds} }
+
+// TimestampD returns a timestamp datum from epoch microseconds.
+func TimestampD(micros int64) Datum { return Datum{Kind: KTimestamp, I: micros} }
+
+func civilToEpochDays(y, m, d int) int64 {
+	t := time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC)
+	return t.Unix() / 86400
+}
+
+func epochDaysToCivil(days int64) (y, m, d int) {
+	t := time.Unix(days*86400, 0).UTC()
+	return t.Year(), int(t.Month()), t.Day()
+}
+
+// Render formats the datum as CDW client text (result sets, CSV export).
+func (d Datum) Render() string {
+	switch d.Kind {
+	case KNull:
+		return ""
+	case KBool:
+		if d.Bool {
+			return "true"
+		}
+		return "false"
+	case KInt:
+		return strconv.FormatInt(d.I, 10)
+	case KFloat:
+		return strconv.FormatFloat(d.F, 'g', -1, 64)
+	case KDecimal:
+		return formatDecimal(d.I, int(d.Scale))
+	case KString:
+		return d.S
+	case KDate:
+		y, m, dd := epochDaysToCivil(d.I)
+		return fmt.Sprintf("%04d-%02d-%02d", y, m, dd)
+	case KTime:
+		return fmt.Sprintf("%02d:%02d:%02d", d.I/3600, (d.I/60)%60, d.I%60)
+	case KTimestamp:
+		return time.UnixMicro(d.I).UTC().Format("2006-01-02 15:04:05")
+	case KBytes:
+		const hexdigits = "0123456789ABCDEF"
+		var sb strings.Builder
+		for _, b := range d.B {
+			sb.WriteByte(hexdigits[b>>4])
+			sb.WriteByte(hexdigits[b&0xF])
+		}
+		return sb.String()
+	default:
+		return ""
+	}
+}
+
+func formatDecimal(unscaled int64, scale int) string {
+	if scale <= 0 {
+		return strconv.FormatInt(unscaled, 10)
+	}
+	neg := unscaled < 0
+	u := unscaled
+	if neg {
+		u = -u
+	}
+	s := strconv.FormatInt(u, 10)
+	for len(s) <= scale {
+		s = "0" + s
+	}
+	out := s[:len(s)-scale] + "." + s[len(s)-scale:]
+	if neg {
+		out = "-" + out
+	}
+	return out
+}
+
+// isTemporal reports whether the kind is a date/time kind.
+func isTemporal(k DKind) bool { return k == KDate || k == KTime || k == KTimestamp }
+
+// isNumeric reports whether the kind participates in numeric coercion.
+func (k DKind) isNumeric() bool {
+	return k == KInt || k == KFloat || k == KDecimal
+}
+
+// asFloat converts any numeric datum to float64.
+func (d Datum) asFloat() float64 {
+	switch d.Kind {
+	case KInt:
+		return float64(d.I)
+	case KFloat:
+		return d.F
+	case KDecimal:
+		return float64(d.I) / math.Pow10(int(d.Scale))
+	default:
+		return math.NaN()
+	}
+}
+
+// Compare orders two non-NULL datums of comparable kinds. It returns
+// -1, 0, or 1, or an error when the kinds are not comparable.
+func Compare(a, b Datum) (int, error) {
+	if a.IsNull() || b.IsNull() {
+		return 0, fmt.Errorf("cdw: Compare called on NULL")
+	}
+	if a.Kind.isNumeric() && b.Kind.isNumeric() {
+		if a.Kind == KInt && b.Kind == KInt {
+			return cmpI(a.I, b.I), nil
+		}
+		if a.Kind == KDecimal && b.Kind == KDecimal && a.Scale == b.Scale {
+			return cmpI(a.I, b.I), nil
+		}
+		af, bf := a.asFloat(), b.asFloat()
+		switch {
+		case af < bf:
+			return -1, nil
+		case af > bf:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	if a.Kind != b.Kind {
+		// date/timestamp cross comparisons promote date to timestamp
+		if a.Kind == KDate && b.Kind == KTimestamp {
+			return cmpI(a.I*86400*1e6, b.I), nil
+		}
+		if a.Kind == KTimestamp && b.Kind == KDate {
+			return cmpI(a.I, b.I*86400*1e6), nil
+		}
+		// implicit string coercion against temporal types, as real warehouses
+		// allow: WHERE d < '2015-01-01'
+		if a.Kind == KString && isTemporal(b.Kind) {
+			ac, err := castDatum(a, ColType{Kind: b.Kind})
+			if err != nil {
+				return 0, err
+			}
+			return cmpI(ac.I, b.I), nil
+		}
+		if b.Kind == KString && isTemporal(a.Kind) {
+			bc, err := castDatum(b, ColType{Kind: a.Kind})
+			if err != nil {
+				return 0, err
+			}
+			return cmpI(a.I, bc.I), nil
+		}
+		return 0, fmt.Errorf("cdw: cannot compare %s with %s", a.Kind, b.Kind)
+	}
+	switch a.Kind {
+	case KBool:
+		return cmpI(boolToInt(a.Bool), boolToInt(b.Bool)), nil
+	case KString:
+		return strings.Compare(a.S, b.S), nil
+	case KBytes:
+		return strings.Compare(string(a.B), string(b.B)), nil
+	case KDate, KTime, KTimestamp:
+		return cmpI(a.I, b.I), nil
+	default:
+		return 0, fmt.Errorf("cdw: cannot compare kind %s", a.Kind)
+	}
+}
+
+func cmpI(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// GroupKey renders the datum into a canonical string used for grouping and
+// duplicate detection; NULLs group together.
+func (d Datum) GroupKey() string {
+	if d.IsNull() {
+		return "\x00N"
+	}
+	switch d.Kind {
+	case KFloat:
+		return "f" + strconv.FormatFloat(d.F, 'b', -1, 64)
+	case KDecimal:
+		// normalize scale so 1.50 and 1.5 group together
+		return "d" + strconv.FormatFloat(d.asFloat(), 'b', -1, 64)
+	case KInt:
+		return "i" + strconv.FormatInt(d.I, 10)
+	case KString:
+		return "s" + d.S
+	case KBytes:
+		return "b" + string(d.B)
+	case KBool:
+		if d.Bool {
+			return "t"
+		}
+		return "F"
+	default:
+		return d.Kind.String() + strconv.FormatInt(d.I, 10)
+	}
+}

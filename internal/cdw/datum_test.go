@@ -1,0 +1,213 @@
+package cdw
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Datum
+		want int
+	}{
+		{IntD(1), IntD(2), -1},
+		{IntD(2), IntD(2), 0},
+		{FloatD(1.5), IntD(1), 1},
+		{DecimalD(150, 2), FloatD(1.5), 0},
+		{DecimalD(150, 2), DecimalD(150, 2), 0},
+		{DecimalD(150, 2), DecimalD(1500, 3), 0},
+		{StringD("a"), StringD("b"), -1},
+		{DateD(2020, 1, 1), DateD(2020, 1, 2), -1},
+		{DateD(2020, 1, 1), StringD("2020-01-01"), 0},
+		{StringD("09:00:00"), TimeD(9 * 3600), 0},
+		{DateD(2020, 1, 1), TimestampD(DateD(2020, 1, 1).I * 86400 * 1e6), 0},
+		{BoolD(false), BoolD(true), -1},
+		{BytesD([]byte{1}), BytesD([]byte{2}), -1},
+	}
+	for _, c := range cases {
+		got, err := Compare(c.a, c.b)
+		if err != nil {
+			t.Errorf("Compare(%+v, %+v): %v", c.a, c.b, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Compare(%+v, %+v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	if _, err := Compare(IntD(1), StringD("x")); err == nil {
+		t.Error("int vs string compared")
+	}
+	if _, err := Compare(Null(), IntD(1)); err == nil {
+		t.Error("NULL compared")
+	}
+	if _, err := Compare(DateD(2020, 1, 1), StringD("not a date")); err == nil {
+		t.Error("bad implicit date coercion accepted")
+	}
+}
+
+func TestPropertyCompareAntisymmetric(t *testing.T) {
+	gen := func(r *rand.Rand) Datum {
+		switch r.Intn(5) {
+		case 0:
+			return IntD(int64(r.Intn(100) - 50))
+		case 1:
+			return FloatD(float64(r.Intn(100)-50) / 4)
+		case 2:
+			return DecimalD(int64(r.Intn(10000)-5000), 2)
+		case 3:
+			return DecimalD(int64(r.Intn(1000)-500), 1)
+		default:
+			return IntD(int64(r.Intn(10)))
+		}
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := gen(r), gen(r), gen(r)
+		ab, err1 := Compare(a, b)
+		ba, err2 := Compare(b, a)
+		if err1 != nil || err2 != nil || ab != -ba {
+			return false
+		}
+		// transitivity on a chain
+		ac, _ := Compare(a, c)
+		bc, _ := Compare(b, c)
+		if ab <= 0 && bc <= 0 && ac > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyGroupKeyConsistentWithCompare(t *testing.T) {
+	// equal datums must share a group key (used by GROUP BY, DISTINCT and
+	// uniqueness emulation)
+	f := func(u int64, scaleRaw uint8) bool {
+		scale := int(scaleRaw % 4)
+		u %= 1_000_000
+		a := DecimalD(u, scale)
+		b := DecimalD(u*pow10i(1), scale+1) // same numeric value, shifted scale
+		if scale+1 > 18 {
+			return true
+		}
+		c, err := Compare(a, b)
+		if err != nil || c != 0 {
+			return false
+		}
+		return a.GroupKey() == b.GroupKey()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRenderFormats(t *testing.T) {
+	cases := []struct {
+		d    Datum
+		want string
+	}{
+		{Null(), ""},
+		{BoolD(true), "true"},
+		{IntD(-5), "-5"},
+		{FloatD(2.5), "2.5"},
+		{DecimalD(-12345, 2), "-123.45"},
+		{StringD("x"), "x"},
+		{DateD(1999, 12, 31), "1999-12-31"},
+		{TimeD(3661), "01:01:01"},
+		{TimestampD(0), "1970-01-01 00:00:00"},
+		{BytesD([]byte{0xAB}), "AB"},
+	}
+	for _, c := range cases {
+		if got := c.d.Render(); got != c.want {
+			t.Errorf("Render(%+v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestPropertyCastStringRoundTrip(t *testing.T) {
+	// rendering a datum and casting the text back to its column type must
+	// reproduce the datum — this is the staging path (convert -> CSV ->
+	// COPY cast) in miniature.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var d Datum
+		var ct ColType
+		switch r.Intn(6) {
+		case 0:
+			d, ct = IntD(int64(r.Uint32())-1<<31), ColType{Kind: KInt}
+		case 1:
+			d, ct = DecimalD(int64(r.Intn(2_000_000)-1_000_000), 2), ColType{Kind: KDecimal, Precision: 12, Scale: 2}
+		case 2:
+			d, ct = StringD(randToken(r)), ColType{Kind: KString, Length: 64}
+		case 3:
+			d, ct = DateD(1970+r.Intn(80), 1+r.Intn(12), 1+r.Intn(28)), ColType{Kind: KDate}
+		case 4:
+			d, ct = TimeD(int64(r.Intn(86400))), ColType{Kind: KTime}
+		default:
+			d, ct = TimestampD(int64(r.Intn(1_000_000))*1_000_000), ColType{Kind: KTimestamp}
+		}
+		back, err := castDatum(StringD(d.Render()), ct)
+		if err != nil {
+			return false
+		}
+		c, err := Compare(d, back)
+		return err == nil && c == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randToken(r *rand.Rand) string {
+	const alpha = "abcdefghijklmnopqrstuvwxyz0123456789 _-"
+	n := r.Intn(20)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alpha[r.Intn(len(alpha))]
+	}
+	return string(b)
+}
+
+func TestCastDatumEdgeCases(t *testing.T) {
+	// string length enforcement
+	if _, err := castDatum(StringD("toolong"), ColType{Kind: KString, Length: 3}); err == nil {
+		t.Error("overlong string accepted")
+	}
+	// decimal precision enforcement
+	if _, err := castDatum(StringD("99999999999"), ColType{Kind: KDecimal, Precision: 5, Scale: 0}); err == nil {
+		t.Error("precision overflow accepted")
+	}
+	// decimal rescale with rounding
+	d, err := castDatum(DecimalD(1005, 3), ColType{Kind: KDecimal, Precision: 10, Scale: 2})
+	if err != nil || d.I != 101 { // 1.005 -> 1.01
+		t.Errorf("rescale: %+v %v", d, err)
+	}
+	d, err = castDatum(DecimalD(-1005, 3), ColType{Kind: KDecimal, Precision: 10, Scale: 2})
+	if err != nil || d.I != -101 {
+		t.Errorf("negative rescale: %+v %v", d, err)
+	}
+	// int -> decimal
+	d, err = castDatum(IntD(42), ColType{Kind: KDecimal, Precision: 10, Scale: 2})
+	if err != nil || d.I != 4200 {
+		t.Errorf("int->decimal: %+v %v", d, err)
+	}
+	// timestamp -> date truncation
+	ts := TimestampD(DateD(2020, 6, 15).I*86400*1e6 + 3600*1e6)
+	d, err = castDatum(ts, ColType{Kind: KDate})
+	if err != nil || d.Render() != "2020-06-15" {
+		t.Errorf("ts->date: %v %v", d.Render(), err)
+	}
+	// NULL passes through every cast
+	for _, k := range []DKind{KBool, KInt, KFloat, KDecimal, KString, KDate, KTime, KTimestamp, KBytes} {
+		d, err := castDatum(Null(), ColType{Kind: k, Precision: 5, Length: 5})
+		if err != nil || !d.IsNull() {
+			t.Errorf("NULL cast to %v: %+v %v", k, d, err)
+		}
+	}
+}

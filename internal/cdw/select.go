@@ -1,0 +1,849 @@
+package cdw
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"etlvirt/internal/sqlparse"
+)
+
+// rowSource is an intermediate relation during SELECT execution: a column
+// frame plus materialized rows. colTypes carries the declared type for
+// columns that originate in base tables (nil entry when unknown).
+type rowSource struct {
+	cols     []frameCol
+	colTypes []*ColType
+	rows     [][]Datum
+}
+
+// execSelectTop runs a SELECT as a top-level statement.
+func (e *Engine) execSelectTop(s *sqlparse.SelectStmt) (*Result, error) {
+	rows, cols, err := e.execSelectCols(s, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: cols, Rows: rows, Activity: int64(len(rows))}, nil
+}
+
+// execSelect runs a (sub)query and returns its rows. maxRows > 0 stops early
+// once that many rows are produced (used by EXISTS and scalar subqueries);
+// it is only a shortcut when the query has no ORDER BY/aggregation.
+func (e *Engine) execSelect(s *sqlparse.SelectStmt, outer *frame, maxRows int) ([][]Datum, []ResultCol, error) {
+	rows, cols, err := e.execSelectCols(s, outer, maxRows)
+	return rows, cols, err
+}
+
+func (e *Engine) execSelectCols(s *sqlparse.SelectStmt, outer *frame, maxRows int) ([][]Datum, []ResultCol, error) {
+	if s.Union != nil {
+		return e.execUnion(s, outer)
+	}
+	src, err := e.buildFrom(s.From, outer)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx := &evalCtx{eng: e}
+
+	// WHERE
+	if s.Where != nil {
+		filtered := src.rows[:0:0]
+		for _, row := range src.rows {
+			f := &frame{cols: src.cols, row: row, parent: outer}
+			d, err := e.eval(ctx, s.Where, f)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !d.IsNull() && d.Kind == KBool && d.Bool {
+				filtered = append(filtered, row)
+			} else if !d.IsNull() && d.Kind != KBool {
+				return nil, nil, errf(CodeTypeMismatch, "WHERE must be a boolean")
+			}
+		}
+		src.rows = filtered
+	}
+
+	// aggregate detection
+	aggCalls := collectAggregates(s)
+	grouped := len(s.GroupBy) > 0 || len(aggCalls) > 0
+
+	type outRow struct {
+		frame *frame
+		ctx   *evalCtx
+	}
+	var work []outRow
+	if grouped {
+		groups, err := e.groupRows(ctx, s, src, outer, aggCalls)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, g := range groups {
+			work = append(work, outRow{frame: g.frame, ctx: g.ctx})
+		}
+	} else {
+		for _, row := range src.rows {
+			f := &frame{cols: src.cols, row: row, parent: outer}
+			work = append(work, outRow{frame: f, ctx: ctx})
+		}
+	}
+
+	// HAVING (non-grouped HAVING is rejected at group construction)
+	if s.Having != nil {
+		if !grouped {
+			return nil, nil, errf(CodeSyntax, "HAVING requires GROUP BY or aggregates")
+		}
+		kept := work[:0:0]
+		for _, w := range work {
+			d, err := e.eval(w.ctx, s.Having, w.frame)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !d.IsNull() && d.Kind == KBool && d.Bool {
+				kept = append(kept, w)
+			}
+		}
+		work = kept
+	}
+
+	// expand projection items
+	items, err := expandStars(s.Items, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	outCols := make([]ResultCol, len(items))
+	for i, it := range items {
+		outCols[i] = ResultCol{Name: outputName(it, i)}
+		if ct := declaredType(it.Expr, src); ct != nil {
+			outCols[i].Type = *ct
+		}
+	}
+
+	aliasCols := make([]frameCol, len(items))
+	for i, it := range items {
+		aliasCols[i] = frameCol{name: strings.ToLower(outCols[i].Name)}
+		_ = it
+	}
+
+	type sortableRow struct {
+		out  []Datum
+		keys []Datum
+	}
+	var produced []sortableRow
+	earlyStop := maxRows > 0 && len(s.OrderBy) == 0 && !grouped && !s.Distinct
+
+	for _, w := range work {
+		out := make([]Datum, len(items))
+		for i, it := range items {
+			d, err := e.eval(w.ctx, it.Expr, w.frame)
+			if err != nil {
+				return nil, nil, err
+			}
+			out[i] = d
+			if outCols[i].Type.Kind == KNull && d.Kind != KNull {
+				outCols[i].Type = inferType(d)
+			}
+		}
+		sr := sortableRow{out: out}
+		if len(s.OrderBy) > 0 {
+			// order keys see the source frame plus output aliases
+			af := &frame{cols: aliasCols, row: out, parent: w.frame}
+			for _, ob := range s.OrderBy {
+				if ord, ok := orderOrdinal(ob.Expr, len(out)); ok {
+					sr.keys = append(sr.keys, out[ord])
+					continue
+				}
+				k, err := e.eval(w.ctx, ob.Expr, af)
+				if err != nil {
+					return nil, nil, err
+				}
+				sr.keys = append(sr.keys, k)
+			}
+		}
+		produced = append(produced, sr)
+		if earlyStop && len(produced) >= maxRows {
+			break
+		}
+	}
+
+	if s.Distinct {
+		seen := make(map[string]bool, len(produced))
+		dedup := produced[:0:0]
+		for _, sr := range produced {
+			var kb strings.Builder
+			for _, d := range sr.out {
+				kb.WriteString(d.GroupKey())
+				kb.WriteByte(0)
+			}
+			if !seen[kb.String()] {
+				seen[kb.String()] = true
+				dedup = append(dedup, sr)
+			}
+		}
+		produced = dedup
+	}
+
+	if len(s.OrderBy) > 0 {
+		var sortErr error
+		sort.SliceStable(produced, func(i, j int) bool {
+			for k, ob := range s.OrderBy {
+				a, b := produced[i].keys[k], produced[j].keys[k]
+				c, err := compareForSort(a, b)
+				if err != nil && sortErr == nil {
+					sortErr = err
+				}
+				if c != 0 {
+					if ob.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+		if sortErr != nil {
+			return nil, nil, sortErr
+		}
+	}
+
+	if s.Limit != nil && int64(len(produced)) > *s.Limit {
+		produced = produced[:*s.Limit]
+	}
+
+	rows := make([][]Datum, len(produced))
+	for i, sr := range produced {
+		rows[i] = sr.out
+	}
+	for i := range outCols {
+		if outCols[i].Type.Kind == KNull {
+			outCols[i].Type = ColType{Kind: KString}
+		}
+	}
+	return rows, outCols, nil
+}
+
+// execUnion evaluates a UNION ALL chain: each branch runs independently,
+// rows concatenate, and the head's ORDER BY / LIMIT (hoisted there by the
+// parser) apply to the combined result. ORDER BY keys resolve against the
+// output column names of the first branch.
+func (e *Engine) execUnion(s *sqlparse.SelectStmt, outer *frame) ([][]Datum, []ResultCol, error) {
+	var rows [][]Datum
+	var cols []ResultCol
+	for b := s; b != nil; b = b.Union {
+		branch := *b // shallow copy: strip chain and combined clauses
+		branch.Union = nil
+		if b == s {
+			branch.OrderBy = nil
+			branch.Limit = nil
+		}
+		bRows, bCols, err := e.execSelectCols(&branch, outer, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		if cols == nil {
+			cols = bCols
+		} else if len(bCols) != len(cols) {
+			return nil, nil, errf(CodeSyntax, "UNION ALL branches have %d and %d columns", len(cols), len(bCols))
+		}
+		rows = append(rows, bRows...)
+	}
+
+	if len(s.OrderBy) > 0 {
+		aliasCols := make([]frameCol, len(cols))
+		for i, c := range cols {
+			aliasCols[i] = frameCol{name: strings.ToLower(c.Name)}
+		}
+		ctx := &evalCtx{eng: e}
+		keys := make([][]Datum, len(rows))
+		for i, row := range rows {
+			f := &frame{cols: aliasCols, row: row, parent: outer}
+			for _, ob := range s.OrderBy {
+				if ord, ok := orderOrdinal(ob.Expr, len(row)); ok {
+					keys[i] = append(keys[i], row[ord])
+					continue
+				}
+				k, err := e.eval(ctx, ob.Expr, f)
+				if err != nil {
+					return nil, nil, err
+				}
+				keys[i] = append(keys[i], k)
+			}
+		}
+		idx := make([]int, len(rows))
+		for i := range idx {
+			idx[i] = i
+		}
+		var sortErr error
+		sort.SliceStable(idx, func(a, b int) bool {
+			for k, ob := range s.OrderBy {
+				c, err := compareForSort(keys[idx[a]][k], keys[idx[b]][k])
+				if err != nil && sortErr == nil {
+					sortErr = err
+				}
+				if c != 0 {
+					if ob.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+		if sortErr != nil {
+			return nil, nil, sortErr
+		}
+		sorted := make([][]Datum, len(rows))
+		for i, j := range idx {
+			sorted[i] = rows[j]
+		}
+		rows = sorted
+	}
+	if s.Limit != nil && int64(len(rows)) > *s.Limit {
+		rows = rows[:*s.Limit]
+	}
+	return rows, cols, nil
+}
+
+// orderOrdinal recognizes the SQL ordinal form ORDER BY n (1-based output
+// column position) and returns the 0-based index.
+func orderOrdinal(x sqlparse.Expr, ncols int) (int, bool) {
+	lit, ok := x.(*sqlparse.Literal)
+	if !ok || lit.Kind != sqlparse.LitInt {
+		return 0, false
+	}
+	if lit.Int < 1 || lit.Int > int64(ncols) {
+		return 0, false
+	}
+	return int(lit.Int) - 1, true
+}
+
+// compareForSort orders datums treating NULL as smallest.
+func compareForSort(a, b Datum) (int, error) {
+	switch {
+	case a.IsNull() && b.IsNull():
+		return 0, nil
+	case a.IsNull():
+		return -1, nil
+	case b.IsNull():
+		return 1, nil
+	}
+	c, err := Compare(a, b)
+	if err != nil {
+		return 0, AsError(err)
+	}
+	return c, nil
+}
+
+func inferType(d Datum) ColType {
+	switch d.Kind {
+	case KDecimal:
+		return ColType{Kind: KDecimal, Precision: 18, Scale: int(d.Scale)}
+	default:
+		return ColType{Kind: d.Kind}
+	}
+}
+
+func outputName(it sqlparse.SelectItem, i int) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if c, ok := it.Expr.(*sqlparse.ColRef); ok {
+		return c.Name
+	}
+	if fc, ok := it.Expr.(*sqlparse.FuncCall); ok {
+		return strings.ToLower(fc.Name)
+	}
+	return fmt.Sprintf("col%d", i+1)
+}
+
+func declaredType(x sqlparse.Expr, src *rowSource) *ColType {
+	c, ok := x.(*sqlparse.ColRef)
+	if !ok {
+		return nil
+	}
+	qual := strings.ToLower(c.Qualifier)
+	name := strings.ToLower(c.Name)
+	for i, fc := range src.cols {
+		if fc.name == name && (qual == "" || fc.qual == qual) {
+			return src.colTypes[i]
+		}
+	}
+	return nil
+}
+
+func expandStars(items []sqlparse.SelectItem, src *rowSource) ([]sqlparse.SelectItem, error) {
+	var out []sqlparse.SelectItem
+	for _, it := range items {
+		if !it.Star {
+			out = append(out, it)
+			continue
+		}
+		qual := strings.ToLower(it.StarTable)
+		matched := false
+		for _, fc := range src.cols {
+			if qual != "" && fc.qual != qual {
+				continue
+			}
+			matched = true
+			out = append(out, sqlparse.SelectItem{
+				Expr:  &sqlparse.ColRef{Qualifier: fc.qual, Name: fc.name},
+				Alias: fc.name,
+			})
+		}
+		if !matched {
+			if qual != "" {
+				return nil, errf(CodeNoSuchObject, "unknown table %s in %s.*", it.StarTable, it.StarTable)
+			}
+			return nil, errf(CodeSyntax, "SELECT * with no FROM clause")
+		}
+	}
+	return out, nil
+}
+
+// buildFrom materializes the FROM clause into a rowSource. Multiple items
+// combine as a cross product.
+func (e *Engine) buildFrom(from []sqlparse.TableExpr, outer *frame) (*rowSource, error) {
+	if len(from) == 0 {
+		return &rowSource{rows: [][]Datum{{}}}, nil
+	}
+	acc, err := e.buildTableExpr(from[0], outer)
+	if err != nil {
+		return nil, err
+	}
+	for _, te := range from[1:] {
+		right, err := e.buildTableExpr(te, outer)
+		if err != nil {
+			return nil, err
+		}
+		acc = crossProduct(acc, right)
+	}
+	return acc, nil
+}
+
+func (e *Engine) buildTableExpr(te sqlparse.TableExpr, outer *frame) (*rowSource, error) {
+	switch t := te.(type) {
+	case *sqlparse.TableRef:
+		tbl, err := e.Catalog.Lookup(t.Table)
+		if err != nil {
+			return nil, err
+		}
+		qual := strings.ToLower(t.Alias)
+		if qual == "" {
+			qual = strings.ToLower(t.Table.Name)
+		}
+		src := &rowSource{}
+		for i := range tbl.Columns {
+			src.cols = append(src.cols, frameCol{qual: qual, name: strings.ToLower(tbl.Columns[i].Name)})
+			ct := tbl.Columns[i].Type
+			src.colTypes = append(src.colTypes, &ct)
+		}
+		src.rows = tbl.snapshotRows()
+		return src, nil
+
+	case *sqlparse.SubqueryTable:
+		rows, cols, err := e.execSelect(t.Select, outer, 0)
+		if err != nil {
+			return nil, err
+		}
+		src := &rowSource{rows: rows}
+		qual := strings.ToLower(t.Alias)
+		for _, c := range cols {
+			src.cols = append(src.cols, frameCol{qual: qual, name: strings.ToLower(c.Name)})
+			ct := c.Type
+			src.colTypes = append(src.colTypes, &ct)
+		}
+		return src, nil
+
+	case *sqlparse.Join:
+		left, err := e.buildTableExpr(t.Left, outer)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.buildTableExpr(t.Right, outer)
+		if err != nil {
+			return nil, err
+		}
+		return e.joinSources(t, left, right, outer)
+
+	default:
+		return nil, errf(CodeUnsupported, "unsupported table expression %T", te)
+	}
+}
+
+func crossProduct(l, r *rowSource) *rowSource {
+	out := &rowSource{
+		cols:     append(append([]frameCol{}, l.cols...), r.cols...),
+		colTypes: append(append([]*ColType{}, l.colTypes...), r.colTypes...),
+	}
+	for _, lr := range l.rows {
+		for _, rr := range r.rows {
+			row := make([]Datum, 0, len(lr)+len(rr))
+			row = append(row, lr...)
+			row = append(row, rr...)
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out
+}
+
+func (e *Engine) joinSources(j *sqlparse.Join, l, r *rowSource, outer *frame) (*rowSource, error) {
+	out := &rowSource{
+		cols:     append(append([]frameCol{}, l.cols...), r.cols...),
+		colTypes: append(append([]*ColType{}, l.colTypes...), r.colTypes...),
+	}
+	if j.Type == sqlparse.JoinCross {
+		return crossProduct(l, r), nil
+	}
+	if done, err := e.hashJoin(j, l, r, out, outer); done || err != nil {
+		return out, err
+	}
+	ctx := &evalCtx{eng: e}
+	nullsRight := make([]Datum, len(r.cols))
+	for _, lr := range l.rows {
+		matched := false
+		for _, rr := range r.rows {
+			row := make([]Datum, 0, len(lr)+len(rr))
+			row = append(row, lr...)
+			row = append(row, rr...)
+			f := &frame{cols: out.cols, row: row, parent: outer}
+			d, err := e.eval(ctx, j.On, f)
+			if err != nil {
+				return nil, err
+			}
+			if !d.IsNull() && d.Kind == KBool && d.Bool {
+				matched = true
+				out.rows = append(out.rows, row)
+			}
+		}
+		if !matched && j.Type == sqlparse.JoinLeft {
+			row := make([]Datum, 0, len(lr)+len(nullsRight))
+			row = append(row, lr...)
+			row = append(row, nullsRight...)
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out, nil
+}
+
+// hashJoin executes an equi-join by hashing the right side when the ON
+// clause is a conjunction containing at least one classifiable equality
+// (one side referencing only left columns, the other only right columns).
+// Remaining conjuncts run as a residual filter. It reports done=false when
+// the ON shape does not qualify, leaving the nested-loop path to handle it.
+func (e *Engine) hashJoin(j *sqlparse.Join, l, r *rowSource, out *rowSource, outer *frame) (bool, error) {
+	conjuncts := splitConjuncts(j.On)
+	var keys []keyPair
+	var residual []sqlparse.Expr
+	for _, c := range conjuncts {
+		eq, ok := c.(*sqlparse.BinaryExpr)
+		if !ok || eq.Op != "=" {
+			residual = append(residual, c)
+			continue
+		}
+		lSide, rSide := classifySide(eq.L, l, r), classifySide(eq.R, l, r)
+		switch {
+		case lSide == sideLeft && rSide == sideRight:
+			keys = append(keys, keyPair{left: eq.L, right: eq.R})
+		case lSide == sideRight && rSide == sideLeft:
+			keys = append(keys, keyPair{left: eq.R, right: eq.L})
+		default:
+			residual = append(residual, c)
+		}
+	}
+	if len(keys) == 0 {
+		return false, nil
+	}
+
+	ctx := &evalCtx{eng: e}
+	// build: hash the right rows on their key expressions
+	table := make(map[string][][]Datum, len(r.rows))
+	for _, rr := range r.rows {
+		f := &frame{cols: r.cols, row: rr, parent: outer}
+		k, null, err := e.joinKey(ctx, f, keys, func(p keyPair) sqlparse.Expr { return p.right })
+		if err != nil {
+			return true, err
+		}
+		if null {
+			continue // NULL keys never join
+		}
+		table[k] = append(table[k], rr)
+	}
+	// probe
+	nullsRight := make([]Datum, len(r.cols))
+	for _, lr := range l.rows {
+		lf := &frame{cols: l.cols, row: lr, parent: outer}
+		matched := false
+		k, null, err := e.joinKey(ctx, lf, keys, func(p keyPair) sqlparse.Expr { return p.left })
+		if err != nil {
+			return true, err
+		}
+		if !null {
+			for _, rr := range table[k] {
+				row := make([]Datum, 0, len(lr)+len(rr))
+				row = append(row, lr...)
+				row = append(row, rr...)
+				ok := true
+				if len(residual) > 0 {
+					f := &frame{cols: out.cols, row: row, parent: outer}
+					for _, c := range residual {
+						d, err := e.eval(ctx, c, f)
+						if err != nil {
+							return true, err
+						}
+						if d.IsNull() || d.Kind != KBool || !d.Bool {
+							ok = false
+							break
+						}
+					}
+				}
+				if ok {
+					matched = true
+					out.rows = append(out.rows, row)
+				}
+			}
+		}
+		if !matched && j.Type == sqlparse.JoinLeft {
+			row := make([]Datum, 0, len(lr)+len(nullsRight))
+			row = append(row, lr...)
+			row = append(row, nullsRight...)
+			out.rows = append(out.rows, row)
+		}
+	}
+	return true, nil
+}
+
+// keyPair is one classified equality of a hash join: left evaluates against
+// the left input, right against the right input.
+type keyPair struct{ left, right sqlparse.Expr }
+
+// joinKey renders the concatenated group key of the key expressions for one
+// row, normalizing numeric kinds so BIGINT and DECIMAL keys hash alike.
+func (e *Engine) joinKey(ctx *evalCtx, f *frame, keys []keyPair, pick func(keyPair) sqlparse.Expr) (string, bool, error) {
+	var sb strings.Builder
+	for _, p := range keys {
+		d, err := e.eval(ctx, pick(p), f)
+		if err != nil {
+			return "", false, err
+		}
+		if d.IsNull() {
+			return "", true, nil
+		}
+		if d.Kind.isNumeric() {
+			sb.WriteString("n" + strconv.FormatFloat(d.asFloat(), 'b', -1, 64))
+		} else {
+			sb.WriteString(d.GroupKey())
+		}
+		sb.WriteByte(0)
+	}
+	return sb.String(), false, nil
+}
+
+func splitConjuncts(x sqlparse.Expr) []sqlparse.Expr {
+	if b, ok := x.(*sqlparse.BinaryExpr); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []sqlparse.Expr{x}
+}
+
+type exprSide int
+
+const (
+	sideNone exprSide = iota
+	sideLeft
+	sideRight
+	sideMixed
+)
+
+// classifySide determines which join input an expression's column
+// references resolve against. References resolving in neither side (outer
+// correlation) are neutral; a reference resolving in both is ambiguous and
+// forces the nested-loop path.
+func classifySide(x sqlparse.Expr, l, r *rowSource) exprSide {
+	side := sideNone
+	wrap := &sqlparse.SelectStmt{Items: []sqlparse.SelectItem{{Expr: x}}}
+	sqlparse.WalkExprs(wrap, func(e sqlparse.Expr) {
+		c, ok := e.(*sqlparse.ColRef)
+		if !ok || side == sideMixed {
+			return
+		}
+		inL := frameHasCol(l.cols, c)
+		inR := frameHasCol(r.cols, c)
+		var this exprSide
+		switch {
+		case inL && inR:
+			side = sideMixed
+			return
+		case inL:
+			this = sideLeft
+		case inR:
+			this = sideRight
+		default:
+			return // outer reference: neutral
+		}
+		if side == sideNone {
+			side = this
+		} else if side != this {
+			side = sideMixed
+		}
+	})
+	return side
+}
+
+func frameHasCol(cols []frameCol, c *sqlparse.ColRef) bool {
+	qual := strings.ToLower(c.Qualifier)
+	name := strings.ToLower(c.Name)
+	for _, fc := range cols {
+		if fc.name == name && (qual == "" || fc.qual == qual) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAggregates finds aggregate calls in projections, HAVING and ORDER BY.
+func collectAggregates(s *sqlparse.SelectStmt) []*sqlparse.FuncCall {
+	var out []*sqlparse.FuncCall
+	visit := func(x sqlparse.Expr) {
+		if fc, ok := x.(*sqlparse.FuncCall); ok && isAggregate(fc.Name) {
+			out = append(out, fc)
+		}
+	}
+	tmp := &sqlparse.SelectStmt{Items: s.Items, Having: s.Having, OrderBy: s.OrderBy}
+	sqlparse.WalkExprs(tmp, visit)
+	return out
+}
+
+type groupOut struct {
+	frame *frame
+	ctx   *evalCtx
+}
+
+func (e *Engine) groupRows(ctx *evalCtx, s *sqlparse.SelectStmt, src *rowSource, outer *frame, aggCalls []*sqlparse.FuncCall) ([]groupOut, error) {
+	type group struct {
+		rep  []Datum
+		rows [][]Datum
+	}
+	var order []string
+	groups := make(map[string]*group)
+	for _, row := range src.rows {
+		f := &frame{cols: src.cols, row: row, parent: outer}
+		var kb strings.Builder
+		for _, g := range s.GroupBy {
+			d, err := e.eval(ctx, g, f)
+			if err != nil {
+				return nil, err
+			}
+			kb.WriteString(d.GroupKey())
+			kb.WriteByte(0)
+		}
+		k := kb.String()
+		grp, ok := groups[k]
+		if !ok {
+			grp = &group{rep: row}
+			groups[k] = grp
+			order = append(order, k)
+		}
+		grp.rows = append(grp.rows, row)
+	}
+	// Global aggregation without GROUP BY always yields one group, possibly
+	// over zero rows.
+	if len(s.GroupBy) == 0 && len(groups) == 0 {
+		groups[""] = &group{rep: make([]Datum, len(src.cols))}
+		order = append(order, "")
+	}
+
+	var outs []groupOut
+	for _, k := range order {
+		grp := groups[k]
+		aggVals := make(map[sqlparse.Expr]Datum, len(aggCalls))
+		for _, call := range aggCalls {
+			v, err := e.computeAggregate(ctx, call, src, grp.rows, outer)
+			if err != nil {
+				return nil, err
+			}
+			aggVals[call] = v
+		}
+		f := &frame{cols: src.cols, row: grp.rep, parent: outer}
+		outs = append(outs, groupOut{frame: f, ctx: &evalCtx{eng: e, agg: aggVals}})
+	}
+	return outs, nil
+}
+
+func (e *Engine) computeAggregate(ctx *evalCtx, call *sqlparse.FuncCall, src *rowSource, rows [][]Datum, outer *frame) (Datum, error) {
+	if len(call.Args) != 1 {
+		return Datum{}, errf(CodeSyntax, "%s expects one argument", call.Name)
+	}
+	_, isStar := call.Args[0].(*sqlparse.Star)
+	if isStar {
+		if call.Name != "COUNT" {
+			return Datum{}, errf(CodeSyntax, "* only valid in COUNT")
+		}
+		return IntD(int64(len(rows))), nil
+	}
+	var vals []Datum
+	seen := map[string]bool{}
+	for _, row := range rows {
+		f := &frame{cols: src.cols, row: row, parent: outer}
+		d, err := e.eval(ctx, call.Args[0], f)
+		if err != nil {
+			return Datum{}, err
+		}
+		if d.IsNull() {
+			continue
+		}
+		if call.Distinct {
+			k := d.GroupKey()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, d)
+	}
+	switch call.Name {
+	case "COUNT":
+		return IntD(int64(len(vals))), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return Null(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c, err := Compare(v, best)
+			if err != nil {
+				return Datum{}, AsError(err)
+			}
+			if (call.Name == "MIN" && c < 0) || (call.Name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	case "SUM", "AVG":
+		if len(vals) == 0 {
+			return Null(), nil
+		}
+		allInt := true
+		var sumI int64
+		var sumF float64
+		for _, v := range vals {
+			if v.Kind == KInt {
+				sumI += v.I
+				sumF += float64(v.I)
+				continue
+			}
+			if !v.Kind.isNumeric() {
+				return Datum{}, errf(CodeTypeMismatch, "%s requires numbers, got %s", call.Name, v.Kind)
+			}
+			allInt = false
+			sumF += v.asFloat()
+		}
+		if call.Name == "SUM" {
+			if allInt {
+				return IntD(sumI), nil
+			}
+			return FloatD(sumF), nil
+		}
+		return FloatD(sumF / float64(len(vals))), nil
+	default:
+		return Datum{}, errf(CodeUnsupported, "unknown aggregate %s", call.Name)
+	}
+}

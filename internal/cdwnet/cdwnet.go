@@ -1,0 +1,521 @@
+// Package cdwnet provides the network interface of the CDW: a TCP server in
+// front of a cdw.Engine and a client with batched result fetching. The
+// virtualizer's Beta process and TDFCursor sit on top of this client (§3).
+//
+// The protocol is a simple length-delimited gob stream: the client sends a
+// request, the server answers with a response header followed by zero or
+// more row batches. Batched fetch is what lets the TDFCursor retrieve
+// results "on demand" in chunks rather than materializing everything.
+package cdwnet
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"etlvirt/internal/cdw"
+	"etlvirt/internal/sqlparse"
+)
+
+// DefaultFetchSize is the row-batch size used when a query does not specify
+// one.
+const DefaultFetchSize = 4096
+
+type request struct {
+	SQL       string
+	FetchSize int
+	// Describe, when non-empty, requests table metadata ("schema.name" or
+	// "name") instead of executing SQL.
+	Describe string
+}
+
+type colInfo struct {
+	Name string
+	Type cdw.ColType
+}
+
+// TableMeta mirrors cdw.TableMeta on the wire.
+type TableMeta struct {
+	Columns    []ResultCol
+	NotNull    []bool
+	PrimaryKey []string
+	Unique     [][]string
+	Rows       int
+}
+
+type responseHeader struct {
+	ErrCode  int
+	ErrMsg   string
+	ErrField string
+	ErrRow   int64
+	Columns  []colInfo
+	Activity int64
+	HasRows  bool
+	Meta     *TableMeta
+}
+
+type rowBatch struct {
+	Rows [][]cdw.Datum
+	Last bool
+}
+
+// Server serves a cdw.Engine over TCP.
+type Server struct {
+	eng *cdw.Engine
+	ln  net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  chan struct{}
+}
+
+// NewServer returns an unstarted server for eng.
+func NewServer(eng *cdw.Engine) *Server {
+	return &Server{eng: eng, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts accepting connections.
+// It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and closes active connections.
+func (s *Server) Close() error {
+	close(s.done)
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue
+			}
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // disconnect
+		}
+		if req.Describe != "" {
+			if err := s.serveDescribe(enc, req.Describe); err != nil {
+				return
+			}
+			continue
+		}
+		res, err := s.eng.ExecSQL(req.SQL)
+		var hdr responseHeader
+		if err != nil {
+			ee := cdw.AsError(err)
+			hdr = responseHeader{ErrCode: ee.Code, ErrMsg: ee.Msg, ErrField: ee.Field, ErrRow: ee.Row}
+		} else {
+			hdr.Activity = res.Activity
+			for _, c := range res.Columns {
+				hdr.Columns = append(hdr.Columns, colInfo{Name: c.Name, Type: c.Type})
+			}
+			hdr.HasRows = len(res.Columns) > 0
+		}
+		if err := enc.Encode(&hdr); err != nil {
+			return
+		}
+		if hdr.ErrCode != 0 || !hdr.HasRows {
+			continue
+		}
+		fetch := req.FetchSize
+		if fetch <= 0 {
+			fetch = DefaultFetchSize
+		}
+		rows := res.Rows
+		for {
+			n := len(rows)
+			if n > fetch {
+				n = fetch
+			}
+			batch := rowBatch{Rows: rows[:n], Last: n == len(rows)}
+			rows = rows[n:]
+			if err := enc.Encode(&batch); err != nil {
+				return
+			}
+			if batch.Last {
+				break
+			}
+		}
+	}
+}
+
+func (s *Server) serveDescribe(enc *gob.Encoder, name string) error {
+	tn := parseTableName(name)
+	meta, err := s.eng.Describe(tn)
+	var hdr responseHeader
+	if err != nil {
+		ee := cdw.AsError(err)
+		hdr = responseHeader{ErrCode: ee.Code, ErrMsg: ee.Msg}
+	} else {
+		m := &TableMeta{
+			NotNull:    meta.NotNull,
+			PrimaryKey: meta.PrimaryKey,
+			Unique:     meta.Unique,
+			Rows:       meta.Rows,
+		}
+		for _, c := range meta.Columns {
+			m.Columns = append(m.Columns, ResultCol{Name: c.Name, Type: c.Type})
+		}
+		hdr.Meta = m
+	}
+	return enc.Encode(&hdr)
+}
+
+func parseTableName(s string) sqlparse.TableName {
+	if i := indexByte(s, '.'); i >= 0 {
+		return sqlparse.TableName{Schema: s[:i], Name: s[i+1:]}
+	}
+	return sqlparse.TableName{Name: s}
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// Client is one CDW connection. A Client is not safe for concurrent use; the
+// virtualizer maintains a Pool.
+type Client struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+
+	// open cursor state
+	cursorOpen bool
+}
+
+// Dial connects to a CDW server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// remoteError reconstructs the engine error from a response header.
+func remoteError(hdr *responseHeader) error {
+	if hdr.ErrCode == 0 {
+		return nil
+	}
+	return &cdw.Error{Code: hdr.ErrCode, Msg: hdr.ErrMsg, Field: hdr.ErrField, Row: hdr.ErrRow}
+}
+
+// Exec runs a statement and drains any rows, returning the activity count.
+func (c *Client) Exec(sql string) (int64, error) {
+	cur, err := c.Query(sql, 0)
+	if err != nil {
+		return 0, err
+	}
+	defer cur.Close()
+	for {
+		_, ok, err := cur.NextBatch()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return cur.Activity(), nil
+		}
+	}
+}
+
+// QueryAll runs a query and materializes all rows.
+func (c *Client) QueryAll(sql string) ([]ResultCol, [][]cdw.Datum, error) {
+	cur, err := c.Query(sql, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer cur.Close()
+	var rows [][]cdw.Datum
+	for {
+		batch, ok, err := cur.NextBatch()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			return cur.Columns(), rows, nil
+		}
+		rows = append(rows, batch...)
+	}
+}
+
+// ResultCol mirrors cdw.ResultCol for client consumers.
+type ResultCol struct {
+	Name string
+	Type cdw.ColType
+}
+
+// Describe fetches table metadata ("schema.name" or "name").
+func (c *Client) Describe(table string) (*TableMeta, error) {
+	if c.cursorOpen {
+		return nil, errors.New("cdwnet: previous cursor still open")
+	}
+	if err := c.enc.Encode(&request{Describe: table}); err != nil {
+		return nil, fmt.Errorf("cdwnet: send: %w", err)
+	}
+	var hdr responseHeader
+	if err := c.dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("cdwnet: recv: %w", err)
+	}
+	if err := remoteError(&hdr); err != nil {
+		return nil, err
+	}
+	return hdr.Meta, nil
+}
+
+// Cursor streams the result of one query in batches.
+type Cursor struct {
+	client   *Client
+	cols     []ResultCol
+	activity int64
+	hasRows  bool
+	finished bool
+}
+
+// Query sends sql and returns a cursor over its result. fetchSize <= 0 uses
+// the default.
+func (c *Client) Query(sql string, fetchSize int) (*Cursor, error) {
+	if c.cursorOpen {
+		return nil, errors.New("cdwnet: previous cursor still open")
+	}
+	if err := c.enc.Encode(&request{SQL: sql, FetchSize: fetchSize}); err != nil {
+		return nil, fmt.Errorf("cdwnet: send: %w", err)
+	}
+	var hdr responseHeader
+	if err := c.dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("cdwnet: recv: %w", err)
+	}
+	if err := remoteError(&hdr); err != nil {
+		return nil, err
+	}
+	cur := &Cursor{client: c, activity: hdr.Activity, hasRows: hdr.HasRows}
+	for _, ci := range hdr.Columns {
+		cur.cols = append(cur.cols, ResultCol{Name: ci.Name, Type: ci.Type})
+	}
+	if hdr.HasRows {
+		c.cursorOpen = true
+	} else {
+		cur.finished = true
+	}
+	return cur, nil
+}
+
+// Columns returns the result schema.
+func (cur *Cursor) Columns() []ResultCol { return cur.cols }
+
+// Activity returns the statement's activity count.
+func (cur *Cursor) Activity() int64 { return cur.activity }
+
+// NextBatch returns the next batch of rows. ok is false once the result is
+// exhausted.
+func (cur *Cursor) NextBatch() ([][]cdw.Datum, bool, error) {
+	if cur.finished {
+		return nil, false, nil
+	}
+	var batch rowBatch
+	if err := cur.client.dec.Decode(&batch); err != nil {
+		cur.finished = true
+		cur.client.cursorOpen = false
+		if err == io.EOF {
+			return nil, false, fmt.Errorf("cdwnet: connection closed mid-result")
+		}
+		return nil, false, err
+	}
+	if batch.Last {
+		cur.finished = true
+		cur.client.cursorOpen = false
+	}
+	return batch.Rows, true, nil
+}
+
+// Close drains any remaining batches so the connection can be reused.
+func (cur *Cursor) Close() error {
+	for !cur.finished {
+		if _, _, err := cur.NextBatch(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pool is a fixed-size pool of CDW client connections, shared by the
+// virtualizer's concurrent jobs.
+type Pool struct {
+	addr  string
+	conns chan *Client
+	mu    sync.Mutex
+	made  int
+	size  int
+}
+
+// NewPool creates a pool of up to size connections to addr. Connections are
+// dialed lazily.
+func NewPool(addr string, size int) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	return &Pool{addr: addr, conns: make(chan *Client, size), size: size}
+}
+
+// Get borrows a connection, dialing a new one if the pool has capacity.
+func (p *Pool) Get() (*Client, error) {
+	select {
+	case c := <-p.conns:
+		return c, nil
+	default:
+	}
+	p.mu.Lock()
+	if p.made < p.size {
+		p.made++
+		p.mu.Unlock()
+		c, err := Dial(p.addr)
+		if err != nil {
+			p.mu.Lock()
+			p.made--
+			p.mu.Unlock()
+			return nil, err
+		}
+		return c, nil
+	}
+	p.mu.Unlock()
+	return <-p.conns, nil
+}
+
+// Put returns a connection to the pool.
+func (p *Pool) Put(c *Client) {
+	select {
+	case p.conns <- c:
+	default:
+		c.Close()
+	}
+}
+
+// Close closes all pooled connections.
+func (p *Pool) Close() {
+	for {
+		select {
+		case c := <-p.conns:
+			c.Close()
+		default:
+			return
+		}
+	}
+}
+
+// Exec borrows a connection and runs a statement.
+func (p *Pool) Exec(sql string) (int64, error) {
+	c, err := p.Get()
+	if err != nil {
+		return 0, err
+	}
+	n, err := c.Exec(sql)
+	if err != nil {
+		// Errors are either remote engine errors (connection still usable) or
+		// transport errors. Only reuse the connection for engine errors.
+		if _, ok := err.(*cdw.Error); ok {
+			p.Put(c)
+		} else {
+			c.Close()
+			p.mu.Lock()
+			p.made--
+			p.mu.Unlock()
+		}
+		return 0, err
+	}
+	p.Put(c)
+	return n, nil
+}
+
+// Describe borrows a connection and fetches table metadata.
+func (p *Pool) Describe(table string) (*TableMeta, error) {
+	c, err := p.Get()
+	if err != nil {
+		return nil, err
+	}
+	meta, err := c.Describe(table)
+	if err != nil {
+		if _, ok := err.(*cdw.Error); ok {
+			p.Put(c)
+		} else {
+			c.Close()
+			p.mu.Lock()
+			p.made--
+			p.mu.Unlock()
+		}
+		return nil, err
+	}
+	p.Put(c)
+	return meta, nil
+}
+
+// QueryAll borrows a connection and materializes a query result.
+func (p *Pool) QueryAll(sql string) ([]ResultCol, [][]cdw.Datum, error) {
+	c, err := p.Get()
+	if err != nil {
+		return nil, nil, err
+	}
+	cols, rows, err := c.QueryAll(sql)
+	if err != nil {
+		if _, ok := err.(*cdw.Error); ok {
+			p.Put(c)
+		} else {
+			c.Close()
+			p.mu.Lock()
+			p.made--
+			p.mu.Unlock()
+		}
+		return nil, nil, err
+	}
+	p.Put(c)
+	return cols, rows, nil
+}

@@ -1,0 +1,236 @@
+package cdwnet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"etlvirt/internal/cdw"
+	"etlvirt/internal/cloudstore"
+)
+
+func startServer(t *testing.T) (*cdw.Engine, string) {
+	t.Helper()
+	eng := cdw.NewEngine(cloudstore.NewMemStore(), cdw.Options{})
+	srv := NewServer(eng)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return eng, addr
+}
+
+func TestClientExecAndQuery(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Exec("CREATE TABLE t (a BIGINT, b VARCHAR(10))"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Exec("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, NULL)")
+	if err != nil || n != 3 {
+		t.Fatalf("insert: %d, %v", n, err)
+	}
+	cols, rows, err := c.QueryAll("SELECT a, b FROM t ORDER BY a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 || cols[0].Name != "a" || cols[0].Type.Kind != cdw.KInt {
+		t.Errorf("cols: %+v", cols)
+	}
+	if len(rows) != 3 || rows[0][0].I != 1 || !rows[2][1].IsNull() {
+		t.Errorf("rows: %v", rows)
+	}
+}
+
+func TestRemoteErrorRoundTrip(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Exec("SELECT * FROM missing")
+	ee, ok := err.(*cdw.Error)
+	if !ok || ee.Code != cdw.CodeNoSuchObject {
+		t.Fatalf("want remote engine error, got %v", err)
+	}
+	// connection still usable after engine error
+	if _, err := c.Exec("CREATE TABLE t (a BIGINT)"); err != nil {
+		t.Fatalf("connection unusable after error: %v", err)
+	}
+}
+
+func TestCursorBatching(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Exec("CREATE TABLE t (a BIGINT)")
+	var sb []byte
+	sb = append(sb, "INSERT INTO t VALUES "...)
+	for i := 0; i < 100; i++ {
+		if i > 0 {
+			sb = append(sb, ',')
+		}
+		sb = append(sb, fmt.Sprintf("(%d)", i)...)
+	}
+	if _, err := c.Exec(string(sb)); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := c.Query("SELECT a FROM t ORDER BY a", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, batches := 0, 0
+	for {
+		rows, ok, err := cur.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		batches++
+		if len(rows) > 7 {
+			t.Errorf("batch of %d exceeds fetch size", len(rows))
+		}
+		total += len(rows)
+	}
+	if total != 100 || batches < 15 {
+		t.Errorf("total=%d batches=%d", total, batches)
+	}
+	// cursor closed; connection reusable
+	if _, err := c.Exec("SELECT count(*) FROM t"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCursorMustCloseBeforeNextQuery(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Exec("CREATE TABLE t (a BIGINT)")
+	c.Exec("INSERT INTO t VALUES (1), (2), (3)")
+	cur, err := c.Query("SELECT a FROM t", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query("SELECT a FROM t", 1); err == nil {
+		t.Error("second query with open cursor accepted")
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cur2, err := c.Query("SELECT a FROM t", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur2.Close()
+}
+
+func TestPoolConcurrentUse(t *testing.T) {
+	_, addr := startServer(t)
+	pool := NewPool(addr, 4)
+	defer pool.Close()
+	if _, err := pool.Exec("CREATE TABLE t (a BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := pool.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d)", i)); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	_, rows, err := pool.QueryAll("SELECT count(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].I != 32 {
+		t.Errorf("count = %v", rows[0][0])
+	}
+}
+
+func TestPoolSurvivesEngineErrors(t *testing.T) {
+	_, addr := startServer(t)
+	pool := NewPool(addr, 1)
+	defer pool.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := pool.Exec("SELECT * FROM missing"); err == nil {
+			t.Fatal("missing table accepted")
+		}
+	}
+	if _, err := pool.Exec("CREATE TABLE t (a BIGINT)"); err != nil {
+		t.Fatalf("pool broken after engine errors: %v", err)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec(`CREATE TABLE s.t (
+		k VARCHAR(5) NOT NULL, v DECIMAL(10,2), d DATE,
+		PRIMARY KEY (k), UNIQUE (d))`); err != nil {
+		t.Fatal(err)
+	}
+	c.Exec("INSERT INTO s.t VALUES ('a', '1.50', '2020-01-01')")
+	meta, err := c.Describe("s.t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.Columns) != 3 || meta.Columns[0].Name != "k" {
+		t.Errorf("columns: %+v", meta.Columns)
+	}
+	if !meta.NotNull[0] || meta.NotNull[1] {
+		t.Errorf("notnull: %v", meta.NotNull)
+	}
+	if len(meta.PrimaryKey) != 1 || meta.PrimaryKey[0] != "k" {
+		t.Errorf("pk: %v", meta.PrimaryKey)
+	}
+	if len(meta.Unique) != 1 || meta.Unique[0][0] != "d" {
+		t.Errorf("unique: %v", meta.Unique)
+	}
+	if meta.Rows != 1 {
+		t.Errorf("rows: %d", meta.Rows)
+	}
+	if meta.Columns[1].Type.Kind != cdw.KDecimal || meta.Columns[1].Type.Scale != 2 {
+		t.Errorf("decimal type: %+v", meta.Columns[1].Type)
+	}
+	// missing table is a remote engine error; connection survives
+	if _, err := c.Describe("nope"); err == nil {
+		t.Error("missing table described")
+	}
+	if _, err := c.Exec("SELECT 1"); err != nil {
+		t.Fatalf("connection broken after describe error: %v", err)
+	}
+	// pool path
+	pool := NewPool(addr, 2)
+	defer pool.Close()
+	if _, err := pool.Describe("s.t"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package cloudstore
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// DirStore is a Store backed by a directory tree — the deployment shape for
+// multi-process setups, where a shared filesystem (or a mounted bucket)
+// stands in for the cloud store. Keys map to relative paths under Root.
+type DirStore struct {
+	Root string
+}
+
+// NewDirStore creates the root directory if needed.
+func NewDirStore(root string) (*DirStore, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("cloudstore: creating %s: %w", root, err)
+	}
+	return &DirStore{Root: root}, nil
+}
+
+func (d *DirStore) path(key string) (string, error) {
+	if key == "" {
+		return "", fmt.Errorf("cloudstore: empty key")
+	}
+	clean := filepath.Clean(filepath.FromSlash(key))
+	if strings.HasPrefix(clean, "..") || filepath.IsAbs(clean) {
+		return "", fmt.Errorf("cloudstore: key %q escapes the store root", key)
+	}
+	return filepath.Join(d.Root, clean), nil
+}
+
+// Put implements Store.
+func (d *DirStore) Put(key string, r io.Reader) error {
+	p, err := d.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	tmp := p + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(f, r); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, p)
+}
+
+// Get implements Store.
+func (d *DirStore) Get(key string) (io.ReadCloser, error) {
+	p, err := d.path(key)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, fmt.Errorf("cloudstore: no such object %q", key)
+	}
+	return f, nil
+}
+
+// List implements Store.
+func (d *DirStore) List(prefix string) ([]string, error) {
+	var keys []string
+	err := filepath.WalkDir(d.Root, func(path string, de os.DirEntry, err error) error {
+		if err != nil || de.IsDir() {
+			return err
+		}
+		if strings.HasSuffix(path, ".tmp") {
+			return nil
+		}
+		rel, err := filepath.Rel(d.Root, path)
+		if err != nil {
+			return err
+		}
+		key := filepath.ToSlash(rel)
+		if strings.HasPrefix(key, prefix) {
+			keys = append(keys, key)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Delete implements Store.
+func (d *DirStore) Delete(key string) error {
+	p, err := d.path(key)
+	if err != nil {
+		return err
+	}
+	err = os.Remove(p)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// Size implements Store.
+func (d *DirStore) Size(key string) (int64, error) {
+	p, err := d.path(key)
+	if err != nil {
+		return 0, err
+	}
+	st, err := os.Stat(p)
+	if err != nil {
+		return 0, fmt.Errorf("cloudstore: no such object %q", key)
+	}
+	return st.Size(), nil
+}

@@ -1,0 +1,90 @@
+package cloudstore
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func TestDirStoreRoundTrip(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put("jobs/1/part-000.csv", bytes.NewReader([]byte("a,b\n"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put("jobs/1/part-001.csv", bytes.NewReader([]byte("c,d\n"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put("other/x", bytes.NewReader([]byte("zzz"))); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := store.Get("jobs/1/part-000.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(r)
+	r.Close()
+	if string(data) != "a,b\n" {
+		t.Errorf("content: %q", data)
+	}
+
+	keys, err := store.List("jobs/1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"jobs/1/part-000.csv", "jobs/1/part-001.csv"}
+	if !reflect.DeepEqual(keys, want) {
+		t.Errorf("List = %v, want %v", keys, want)
+	}
+
+	n, err := store.Size("other/x")
+	if err != nil || n != 3 {
+		t.Errorf("Size = %d, %v", n, err)
+	}
+	if err := store.Delete("other/x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Delete("other/x"); err != nil {
+		t.Error("double delete should be a no-op")
+	}
+	if _, err := store.Get("other/x"); err == nil {
+		t.Error("deleted object still readable")
+	}
+}
+
+func TestDirStoreOverwrite(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Put("k", bytes.NewReader([]byte("v1")))
+	store.Put("k", bytes.NewReader([]byte("v2")))
+	r, _ := store.Get("k")
+	data, _ := io.ReadAll(r)
+	r.Close()
+	if string(data) != "v2" {
+		t.Errorf("overwrite: %q", data)
+	}
+}
+
+func TestDirStoreRejectsEscapingKeys(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "../evil", "/abs/path", "a/../../b"} {
+		if err := store.Put(key, bytes.NewReader(nil)); err == nil {
+			t.Errorf("key %q accepted", key)
+		}
+	}
+}
+
+func TestDirStoreImplementsStore(t *testing.T) {
+	var _ Store = (*DirStore)(nil)
+	var _ Store = (*MemStore)(nil)
+	var _ Store = (*ThrottledStore)(nil)
+}

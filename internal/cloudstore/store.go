@@ -1,0 +1,171 @@
+// Package cloudstore simulates the cloud object store (S3 / Azure Blob) that
+// a CDW bulk-loads from, plus the vendor bulk-copy utility ("aws s3 cp",
+// AzCopy) the virtualizer invokes to upload intermediate files (§6).
+//
+// The store is in-process but models the properties that matter for the
+// paper's tuning discussion: a bandwidth- and latency-limited uplink, object
+// immutability, and listing by prefix.
+package cloudstore
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Object is an immutable stored blob.
+type Object struct {
+	Key      string
+	Data     []byte
+	Modified time.Time
+}
+
+// Store is the object-store API surface the bulk loader needs.
+type Store interface {
+	// Put stores the object under key, replacing any existing object.
+	Put(key string, r io.Reader) error
+	// Get returns a reader over the object's contents.
+	Get(key string) (io.ReadCloser, error)
+	// List returns the keys under the given prefix in lexical order.
+	List(prefix string) ([]string, error)
+	// Delete removes an object. Deleting a missing key is not an error.
+	Delete(key string) error
+	// Size returns the stored size of an object in bytes.
+	Size(key string) (int64, error)
+}
+
+// MemStore is an in-memory Store.
+type MemStore struct {
+	mu      sync.RWMutex
+	objects map[string][]byte
+	puts    int64
+	bytes   int64
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{objects: make(map[string][]byte)}
+}
+
+// Put implements Store.
+func (s *MemStore) Put(key string, r io.Reader) error {
+	if key == "" {
+		return fmt.Errorf("cloudstore: empty key")
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("cloudstore: reading object body: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objects[key] = data
+	s.puts++
+	s.bytes += int64(len(data))
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(key string) (io.ReadCloser, error) {
+	s.mu.RLock()
+	data, ok := s.objects[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("cloudstore: no such object %q", key)
+	}
+	return io.NopCloser(bytes.NewReader(data)), nil
+}
+
+// List implements Store.
+func (s *MemStore) List(prefix string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var keys []string
+	for k := range s.objects {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.objects, key)
+	return nil
+}
+
+// Size implements Store.
+func (s *MemStore) Size(key string) (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok := s.objects[key]
+	if !ok {
+		return 0, fmt.Errorf("cloudstore: no such object %q", key)
+	}
+	return int64(len(data)), nil
+}
+
+// Stats returns the number of Put calls and total bytes uploaded.
+func (s *MemStore) Stats() (puts, bytes int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.puts, s.bytes
+}
+
+// Link models the network path between the virtualizer host and the cloud
+// store: a per-request latency plus a shared bandwidth limit. The zero Link
+// is infinitely fast.
+type Link struct {
+	// Latency is added once per Put.
+	Latency time.Duration
+	// BytesPerSec caps sustained upload throughput across all concurrent
+	// uploads. Zero means unlimited.
+	BytesPerSec int64
+
+	mu       sync.Mutex
+	earliest time.Time // time at which the shared pipe is next free
+}
+
+// delay blocks the calling upload to model transferring n bytes.
+func (l *Link) delay(n int) {
+	if l.Latency > 0 {
+		time.Sleep(l.Latency)
+	}
+	if l.BytesPerSec <= 0 {
+		return
+	}
+	dur := time.Duration(float64(n) / float64(l.BytesPerSec) * float64(time.Second))
+	l.mu.Lock()
+	now := time.Now()
+	start := l.earliest
+	if start.Before(now) {
+		start = now
+	}
+	end := start.Add(dur)
+	l.earliest = end
+	l.mu.Unlock()
+	time.Sleep(time.Until(end))
+}
+
+// ThrottledStore wraps a Store with a simulated uplink.
+type ThrottledStore struct {
+	Store
+	Link *Link
+}
+
+// Put implements Store, charging the upload to the link.
+func (t *ThrottledStore) Put(key string, r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	t.Link.delay(len(data))
+	return t.Store.Put(key, bytes.NewReader(data))
+}

@@ -1,0 +1,196 @@
+package cloudstore
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMemStorePutGet(t *testing.T) {
+	s := NewMemStore()
+	if err := s.Put("jobs/1/part-000.csv", bytes.NewReader([]byte("hello"))); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Get("jobs/1/part-000.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if string(data) != "hello" {
+		t.Errorf("got %q", data)
+	}
+	if _, err := s.Get("missing"); err == nil {
+		t.Error("missing object returned")
+	}
+	if err := s.Put("", bytes.NewReader(nil)); err == nil {
+		t.Error("empty key accepted")
+	}
+	n, err := s.Size("jobs/1/part-000.csv")
+	if err != nil || n != 5 {
+		t.Errorf("Size = %d, %v", n, err)
+	}
+	if _, err := s.Size("missing"); err == nil {
+		t.Error("Size of missing object succeeded")
+	}
+}
+
+func TestMemStoreListDelete(t *testing.T) {
+	s := NewMemStore()
+	for _, k := range []string{"a/2", "a/1", "b/1", "a/3"} {
+		if err := s.Put(k, bytes.NewReader([]byte(k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := s.List("a/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(keys, []string{"a/1", "a/2", "a/3"}) {
+		t.Errorf("List = %v", keys)
+	}
+	if err := s.Delete("a/2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("a/2"); err != nil {
+		t.Error("double delete should be a no-op")
+	}
+	keys, _ = s.List("a/")
+	if !reflect.DeepEqual(keys, []string{"a/1", "a/3"}) {
+		t.Errorf("after delete List = %v", keys)
+	}
+}
+
+func TestMemStoreOverwrite(t *testing.T) {
+	s := NewMemStore()
+	s.Put("k", bytes.NewReader([]byte("v1")))
+	s.Put("k", bytes.NewReader([]byte("v2")))
+	r, _ := s.Get("k")
+	data, _ := io.ReadAll(r)
+	if string(data) != "v2" {
+		t.Errorf("overwrite failed: %q", data)
+	}
+	puts, n := s.Stats()
+	if puts != 2 || n != 4 {
+		t.Errorf("Stats = %d, %d", puts, n)
+	}
+}
+
+func TestMemStoreConcurrent(t *testing.T) {
+	s := NewMemStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := string(rune('a' + i%5))
+			for j := 0; j < 50; j++ {
+				s.Put(key, bytes.NewReader([]byte{byte(j)}))
+				s.Get(key)
+				s.List("")
+			}
+		}(i)
+	}
+	wg.Wait()
+	keys, _ := s.List("")
+	if len(keys) != 5 {
+		t.Errorf("got %d keys", len(keys))
+	}
+}
+
+func TestThrottledStoreBandwidth(t *testing.T) {
+	mem := NewMemStore()
+	link := &Link{BytesPerSec: 1 << 20} // 1 MiB/s
+	ts := &ThrottledStore{Store: mem, Link: link}
+	payload := make([]byte, 256<<10) // 256 KiB -> ~250ms
+	start := time.Now()
+	if err := ts.Put("k", bytes.NewReader(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 200*time.Millisecond {
+		t.Errorf("throttled upload finished too fast: %v", el)
+	}
+	if n, _ := mem.Size("k"); n != int64(len(payload)) {
+		t.Errorf("stored %d bytes", n)
+	}
+}
+
+func TestThrottledStoreSharedPipe(t *testing.T) {
+	mem := NewMemStore()
+	link := &Link{BytesPerSec: 1 << 20}
+	ts := &ThrottledStore{Store: mem, Link: link}
+	payload := make([]byte, 128<<10) // each ~125ms; two concurrent must serialize
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ts.Put(string(rune('a'+i)), bytes.NewReader(payload))
+		}(i)
+	}
+	wg.Wait()
+	if el := time.Since(start); el < 200*time.Millisecond {
+		t.Errorf("shared pipe not enforced: %v", el)
+	}
+}
+
+func TestBulkLoaderFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "part-000.csv")
+	if err := os.WriteFile(path, []byte("1,a\n2,b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := NewMemStore()
+	b := NewBulkLoader(s, LoaderConfig{})
+	n, err := b.UploadFile(path, "stage/part-000.csv")
+	if err != nil || n != 8 {
+		t.Fatalf("UploadFile = %d, %v", n, err)
+	}
+	if _, err := b.UploadFile(filepath.Join(dir, "missing"), "x"); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := b.UploadBytes([]byte("inline"), "stage/inline"); err != nil {
+		t.Fatal(err)
+	}
+	keys, _ := s.List("stage/")
+	if len(keys) != 2 {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestBulkLoaderDir(t *testing.T) {
+	dir := t.TempDir()
+	var want []string
+	for i := 0; i < 5; i++ {
+		name := filepath.Join(dir, string(rune('a'+i))+".csv")
+		if err := os.WriteFile(name, []byte{byte(i)}, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, "pfx/"+string(rune('a'+i))+".csv")
+	}
+	// subdirectories are skipped
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s := NewMemStore()
+	b := NewBulkLoader(s, LoaderConfig{Parallelism: 3})
+	keys, err := b.UploadDir(dir, "pfx/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(keys, want) {
+		t.Errorf("keys = %v, want %v", keys, want)
+	}
+	if _, err := b.UploadDir(filepath.Join(dir, "nope"), "p/"); err == nil {
+		t.Error("missing dir accepted")
+	}
+}

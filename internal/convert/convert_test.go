@@ -1,0 +1,203 @@
+package convert
+
+import (
+	"strings"
+	"testing"
+
+	"etlvirt/internal/ltype"
+	"etlvirt/internal/wire"
+)
+
+func custLayout() *ltype.Layout {
+	return &ltype.Layout{Name: "CustLayout", Fields: []ltype.Field{
+		{Name: "CUST_ID", Type: ltype.VarChar(5)},
+		{Name: "CUST_NAME", Type: ltype.VarChar(50)},
+		{Name: "JOIN_DATE", Type: ltype.VarChar(10)},
+	}}
+}
+
+func TestConvertVartext(t *testing.T) {
+	c, err := NewConverter(custLayout(), wire.FormatVartext, '|', Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("123|Smith|2012-01-01\n456|Brown|xxxx\n789||2013-05-05\n")
+	res, err := c.Convert(payload, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 3 || len(res.Errors) != 0 {
+		t.Fatalf("rows=%d errors=%v", res.Rows, res.Errors)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(res.CSV), "\n"), "\n")
+	if lines[0] != "1,123,Smith,2012-01-01" {
+		t.Errorf("line0 = %q", lines[0])
+	}
+	if lines[1] != "2,456,Brown,xxxx" { // bad date passes acquisition; it fails in DML
+		t.Errorf("line1 = %q", lines[1])
+	}
+	if lines[2] != `3,789,\N,2013-05-05` {
+		t.Errorf("line2 = %q", lines[2])
+	}
+}
+
+func TestConvertVartextDataErrors(t *testing.T) {
+	c, _ := NewConverter(custLayout(), wire.FormatVartext, '|', Options{})
+	payload := []byte("only|two\n123|Smith|2012-01-01\ntoolooong|x|y\n")
+	res, err := c.Convert(payload, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 1 {
+		t.Errorf("rows = %d", res.Rows)
+	}
+	if len(res.Errors) != 2 {
+		t.Fatalf("errors = %v", res.Errors)
+	}
+	if res.Errors[0].Row != 10 || res.Errors[0].Code != CodeFieldCount {
+		t.Errorf("error0 = %+v", res.Errors[0])
+	}
+	if res.Errors[1].Row != 12 || res.Errors[1].Code != CodeBadValue {
+		t.Errorf("error1 = %+v", res.Errors[1])
+	}
+	if !strings.HasPrefix(string(res.CSV), "11,") {
+		t.Errorf("good row kept wrong seq: %q", res.CSV)
+	}
+}
+
+func TestConvertIndicator(t *testing.T) {
+	layout := &ltype.Layout{Name: "L", Fields: []ltype.Field{
+		{Name: "ID", Type: ltype.Simple(ltype.KindInteger)},
+		{Name: "NAME", Type: ltype.VarChar(20)},
+		{Name: "D", Type: ltype.Simple(ltype.KindDate)},
+		{Name: "AMT", Type: ltype.Decimal(10, 2)},
+	}}
+	dec := ltype.IntValue(ltype.KindDecimal, 12345)
+	dec.S = ltype.FormatDecimal(12345, 2)
+	var payload []byte
+	var err error
+	payload, err = ltype.EncodeRecord(payload, layout, ltype.Record{
+		ltype.IntValue(ltype.KindInteger, 7),
+		ltype.StringValue(ltype.KindVarChar, "has,comma"),
+		ltype.DateValue(2012, 1, 1),
+		dec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err = ltype.EncodeRecord(payload, layout, ltype.Record{
+		ltype.NullValue(ltype.KindInteger),
+		ltype.StringValue(ltype.KindVarChar, `say "hi"`),
+		ltype.NullValue(ltype.KindDate),
+		ltype.NullValue(ltype.KindDecimal),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewConverter(layout, wire.FormatIndicator, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Convert(payload, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 2 {
+		t.Fatalf("rows = %d", res.Rows)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(res.CSV), "\n"), "\n")
+	if lines[0] != `5,7,"has,comma",2012-01-01,123.45` {
+		t.Errorf("line0 = %q", lines[0])
+	}
+	if lines[1] != `6,\N,"say ""hi""",\N,\N` {
+		t.Errorf("line1 = %q", lines[1])
+	}
+}
+
+func TestConvertIndicatorBrokenFraming(t *testing.T) {
+	layout := custLayout()
+	var payload []byte
+	payload, _ = ltype.EncodeRecord(payload, layout, ltype.Record{
+		ltype.StringValue(ltype.KindVarChar, "1"),
+		ltype.StringValue(ltype.KindVarChar, "a"),
+		ltype.StringValue(ltype.KindVarChar, "b"),
+	})
+	c, _ := NewConverter(layout, wire.FormatIndicator, 0, Options{})
+	if _, err := c.Convert(payload[:len(payload)-2], 1); err == nil {
+		t.Error("broken framing accepted")
+	}
+}
+
+func TestConvertUnicodeValidation(t *testing.T) {
+	layout := &ltype.Layout{Name: "U", Fields: []ltype.Field{
+		{Name: "S", Type: ltype.Type{Kind: ltype.KindVarChar, Length: 20, CharSet: ltype.CharSetUnicode}},
+	}}
+	c, err := NewConverter(layout, wire.FormatVartext, '|', Options{ValidateUTF8: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Convert([]byte("ok\xc3\xa9\n\xff\xfe\n"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 1 || len(res.Errors) != 1 || res.Errors[0].Code != CodeBadUnicode {
+		t.Errorf("rows=%d errors=%v", res.Rows, res.Errors)
+	}
+	// without validation both pass
+	c2, _ := NewConverter(layout, wire.FormatVartext, '|', Options{})
+	res2, _ := c2.Convert([]byte("ok\xc3\xa9\n\xff\xfe\n"), 1)
+	if res2.Rows != 2 {
+		t.Errorf("lenient rows = %d", res2.Rows)
+	}
+}
+
+func TestNewConverterValidation(t *testing.T) {
+	numeric := &ltype.Layout{Name: "N", Fields: []ltype.Field{
+		{Name: "X", Type: ltype.Simple(ltype.KindInteger)},
+	}}
+	if _, err := NewConverter(numeric, wire.FormatVartext, '|', Options{}); err == nil {
+		t.Error("numeric vartext layout accepted")
+	}
+	if _, err := NewConverter(custLayout(), wire.FormatVartext, 0, Options{}); err == nil {
+		t.Error("missing delimiter accepted")
+	}
+	empty := &ltype.Layout{Name: "E"}
+	if _, err := NewConverter(empty, wire.FormatIndicator, 0, Options{}); err == nil {
+		t.Error("empty layout accepted")
+	}
+}
+
+func TestCSVFieldEscaping(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{"has,comma", `"has,comma"`},
+		{`has"quote`, `"has""quote"`},
+		{"has\nnewline", "\"has\nnewline\""},
+		{`\N`, `"\N"`}, // literal backslash-N must not read as NULL
+		{"", ""},
+	}
+	for _, c := range cases {
+		got := string(appendCSVField(nil, c.in))
+		if got != c.want {
+			t.Errorf("appendCSVField(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func BenchmarkConvertVartextChunk(b *testing.B) {
+	c, err := NewConverter(custLayout(), wire.FormatVartext, '|', Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var payload []byte
+	for i := 0; i < 1000; i++ {
+		payload = append(payload, "12345|Some Customer Name|2020-01-01\n"...)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Convert(payload, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

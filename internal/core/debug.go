@@ -1,0 +1,76 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// ServeDebug starts an HTTP listener exposing operational endpoints:
+//
+//	/healthz  liveness probe
+//	/metrics  Prometheus-style text counters
+//	/jobs     JSON array of completed job reports
+//
+// It returns the bound address. The listener shuts down with the node.
+func (n *Node) ServeDebug(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		n.writeMetrics(w)
+	})
+	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(n.Reports())
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	n.mu.Lock()
+	n.debugSrv = srv
+	n.mu.Unlock()
+	return ln.Addr().String(), nil
+}
+
+func (n *Node) writeMetrics(w http.ResponseWriter) {
+	reports := n.Reports()
+	var jobs, exports, rowsIn, bytesIn, errsET, errsUV, files int64
+	for _, r := range reports {
+		if r.Export {
+			exports++
+			continue
+		}
+		jobs++
+		rowsIn += r.RowsIn
+		bytesIn += r.BytesIn
+		errsET += r.ErrorsET
+		errsUV += r.ErrorsUV
+		files += r.FilesWritten
+	}
+	n.mu.Lock()
+	active := len(n.imports) + len(n.exports)
+	n.mu.Unlock()
+	cs := n.Credits()
+
+	fmt.Fprintf(w, "# HELP etlvirt_jobs_completed_total Completed import jobs.\n")
+	fmt.Fprintf(w, "etlvirt_jobs_completed_total %d\n", jobs)
+	fmt.Fprintf(w, "etlvirt_exports_completed_total %d\n", exports)
+	fmt.Fprintf(w, "etlvirt_jobs_active %d\n", active)
+	fmt.Fprintf(w, "etlvirt_rows_received_total %d\n", rowsIn)
+	fmt.Fprintf(w, "etlvirt_bytes_received_total %d\n", bytesIn)
+	fmt.Fprintf(w, "etlvirt_files_uploaded_total %d\n", files)
+	fmt.Fprintf(w, "etlvirt_errors_et_total %d\n", errsET)
+	fmt.Fprintf(w, "etlvirt_errors_uv_total %d\n", errsUV)
+	fmt.Fprintf(w, "etlvirt_credits_total %d\n", cs.Total)
+	fmt.Fprintf(w, "etlvirt_credits_available %d\n", cs.Available)
+	fmt.Fprintf(w, "etlvirt_credit_acquires_total %d\n", cs.Acquires)
+	fmt.Fprintf(w, "etlvirt_credit_waits_total %d\n", cs.Waits)
+	fmt.Fprintf(w, "etlvirt_credit_inflight_bytes %d\n", cs.InFlight)
+	fmt.Fprintf(w, "etlvirt_credit_peak_inflight_bytes %d\n", cs.PeakInFlight)
+}

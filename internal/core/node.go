@@ -1,0 +1,302 @@
+// Package core implements the virtualizer node — the system of §3. It
+// listens for legacy-protocol connections (Alpha), reassembles messages
+// (wire.Coalescer inside wire.Conn), cross-compiles protocol and SQL (PXC,
+// via internal/sqlxlate), converts and stages data through the acquisition
+// pipeline (DataConverter -> FileWriter -> bulk loader -> COPY), executes
+// rewritten statements on the CDW (Beta, via internal/cdwnet), streams
+// export results through a TDFCursor, and emulates legacy error-handling
+// semantics with adaptive splitting (internal/errhandle).
+package core
+
+import (
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"etlvirt/internal/cdw"
+	"etlvirt/internal/cdwnet"
+	"etlvirt/internal/cloudstore"
+	"etlvirt/internal/convert"
+	"etlvirt/internal/credit"
+	"etlvirt/internal/sqlparse"
+	"etlvirt/internal/sqlxlate"
+	"etlvirt/internal/wire"
+)
+
+// Config tunes a virtualizer node. Zero values select sensible defaults.
+type Config struct {
+	// CDWAddr is the address of the cdwnet server.
+	CDWAddr string
+	// CDWPoolSize caps concurrent CDW connections.
+	CDWPoolSize int
+
+	// Credits sizes the node-wide CreditManager pool (§5). Zero defaults to
+	// 4 x Converters.
+	Credits int
+	// MemBudget caps in-flight chunk bytes; exceeding it fails the job, the
+	// paper's OOM failure mode. Zero disables the cap.
+	MemBudget int64
+
+	// Converters is the number of parallel DataConverter workers per job.
+	// Zero defaults to GOMAXPROCS.
+	Converters int
+	// FileWriters is the number of parallel FileWriter goroutines per job.
+	// Zero defaults to 2.
+	FileWriters int
+	// FileSizeThreshold rotates intermediate files (bytes). Zero defaults to
+	// 4 MiB.
+	FileSizeThreshold int
+	// Gzip compresses intermediate files before upload.
+	Gzip bool
+	// SpoolDir, when set, writes intermediate files to disk instead of
+	// memory.
+	SpoolDir string
+
+	// StagingSchema is the CDW schema for per-job staging tables.
+	StagingSchema string
+	// UploadPrefix namespaces object-store keys.
+	UploadPrefix string
+	// UploadParallelism bounds concurrent uploads per job.
+	UploadParallelism int
+
+	// ExportChunkRows sizes export chunks (and the TDFCursor fetch size).
+	ExportChunkRows int
+	// ExportPrefetch bounds TDF packets buffered ahead of client requests.
+	ExportPrefetch int
+
+	// SchemaMap renames legacy databases to CDW schemas.
+	SchemaMap map[string]string
+	// ConvertOpts tunes the DataConverter.
+	ConvertOpts convert.Options
+
+	// MaxErrors/MaxRetries are the defaults for jobs that do not set their
+	// own (§7).
+	MaxErrors  int
+	MaxRetries int
+
+	// SyncAcquisition is the ablation of §5's design discussion: when set,
+	// a chunk is only acknowledged after it has been converted and written,
+	// synchronizing the pipeline instead of relying on the CreditManager.
+	// The paper rejects this design because it stalls the client; the
+	// ablation benchmark quantifies by how much.
+	SyncAcquisition bool
+
+	// Logger receives node diagnostics; nil discards them.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.CDWPoolSize <= 0 {
+		c.CDWPoolSize = 8
+	}
+	if c.Converters <= 0 {
+		c.Converters = runtime.GOMAXPROCS(0)
+	}
+	if c.FileWriters <= 0 {
+		c.FileWriters = 2
+	}
+	if c.Credits <= 0 {
+		c.Credits = 4 * c.Converters
+	}
+	if c.FileSizeThreshold <= 0 {
+		c.FileSizeThreshold = 4 << 20
+	}
+	if c.StagingSchema == "" {
+		c.StagingSchema = "etl_stage"
+	}
+	if c.UploadPrefix == "" {
+		c.UploadPrefix = "jobs/"
+	}
+	if c.UploadParallelism <= 0 {
+		c.UploadParallelism = 4
+	}
+	if c.ExportChunkRows <= 0 {
+		c.ExportChunkRows = 4096
+	}
+	if c.ExportPrefetch <= 0 {
+		c.ExportPrefetch = 8
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(discard{}, nil))
+	}
+	return c
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Node is one virtualizer instance.
+type Node struct {
+	cfg     Config
+	credits *credit.Manager
+	pool    *cdwnet.Pool
+	store   cloudstore.Store
+	loader  *cloudstore.BulkLoader
+	log     *slog.Logger
+
+	ln     net.Listener
+	connWG sync.WaitGroup
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	imports  map[uint64]*importJob
+	exports  map[uint64]*exportJob
+	debugSrv *http.Server
+	closed   bool
+
+	nextJob     atomic.Uint64
+	nextSession atomic.Uint32
+
+	reports reportLog
+}
+
+// NewNode builds a node. store is the cloud object store shared with the
+// CDW (uploads land there; COPY reads from there).
+func NewNode(cfg Config, store cloudstore.Store) *Node {
+	cfg = cfg.withDefaults()
+	return &Node{
+		cfg:     cfg,
+		credits: credit.NewManager(cfg.Credits, cfg.MemBudget),
+		pool:    cdwnet.NewPool(cfg.CDWAddr, cfg.CDWPoolSize),
+		store:   store,
+		loader:  cloudstore.NewBulkLoader(store, cloudstore.LoaderConfig{Parallelism: cfg.UploadParallelism}),
+		log:     cfg.Logger,
+		conns:   make(map[net.Conn]struct{}),
+		imports: make(map[uint64]*importJob),
+		exports: make(map[uint64]*exportJob),
+	}
+}
+
+// Credits exposes the node's CreditManager statistics.
+func (n *Node) Credits() credit.Stats { return n.credits.Stats() }
+
+// Reports returns the reports of all completed jobs.
+func (n *Node) Reports() []JobReport { return n.reports.all() }
+
+// Listen binds addr and starts the Alpha accept loop, returning the bound
+// address.
+func (n *Node) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	n.ln = ln
+	go n.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close shuts the node down: listener, live connections, CDW pool.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	n.closed = true
+	for c := range n.conns {
+		c.Close()
+	}
+	dbg := n.debugSrv
+	n.mu.Unlock()
+	if dbg != nil {
+		dbg.Close()
+	}
+	var err error
+	if n.ln != nil {
+		err = n.ln.Close()
+	}
+	n.connWG.Wait()
+	n.pool.Close()
+	return err
+}
+
+func (n *Node) acceptLoop() {
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.conns[conn] = struct{}{}
+		n.mu.Unlock()
+		n.connWG.Add(1)
+		go func() {
+			defer n.connWG.Done()
+			n.serveConn(conn)
+			n.mu.Lock()
+			delete(n.conns, conn)
+			n.mu.Unlock()
+		}()
+	}
+}
+
+// translator builds the node's non-job SQL translator.
+func (n *Node) translator() *sqlxlate.Translator {
+	return &sqlxlate.Translator{SchemaMap: n.cfg.SchemaMap}
+}
+
+// parseQualifiedName splits "SCHEMA.NAME" into a TableName.
+func parseQualifiedName(s string) sqlparse.TableName {
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		return sqlparse.TableName{Schema: s[:i], Name: s[i+1:]}
+	}
+	return sqlparse.TableName{Name: s}
+}
+
+// handleRunSQL is the Beta path for ad-hoc statements: translate, execute,
+// re-encode results in the legacy format.
+func (n *Node) handleRunSQL(c *wire.Conn, session uint32, m *wire.RunSQL) error {
+	cdwSQL, err := n.translator().Translate(m.SQL)
+	if err != nil {
+		return c.Send(session, &wire.Failure{Code: 3706, Message: fmt.Sprintf("cross-compilation failed: %v", err)})
+	}
+	stmt, err := sqlparse.Parse(cdwSQL, sqlparse.DialectCDW)
+	if err != nil {
+		return c.Send(session, &wire.Failure{Code: 3706, Message: err.Error()})
+	}
+	if _, isSelect := stmt.(*sqlparse.SelectStmt); !isSelect {
+		activity, err := n.pool.Exec(cdwSQL)
+		if err != nil {
+			return sendEngineFailure(c, session, err)
+		}
+		return c.Send(session, &wire.StmtSuccess{ActivityCount: uint64(activity)})
+	}
+	cols, rows, err := n.pool.QueryAll(cdwSQL)
+	if err != nil {
+		return sendEngineFailure(c, session, err)
+	}
+	layout := layoutFromCols("result", cols)
+	if err := c.Send(session, &wire.RecordHeader{Layout: layout}); err != nil {
+		return err
+	}
+	const batch = 1024
+	for start := 0; start < len(rows); start += batch {
+		end := start + batch
+		if end > len(rows) {
+			end = len(rows)
+		}
+		payload, err := encodeRowsLegacy(rows[start:end], layout, uint8(wire.FormatIndicator), 0)
+		if err != nil {
+			return c.Send(session, &wire.Failure{Code: 1000, Message: err.Error()})
+		}
+		if err := c.Send(session, &wire.Records{Count: uint32(end - start), Payload: payload}); err != nil {
+			return err
+		}
+	}
+	return c.Send(session, &wire.EndStatement{})
+}
+
+func sendEngineFailure(c *wire.Conn, session uint32, err error) error {
+	code := uint32(1000)
+	if ce, ok := err.(*cdw.Error); ok {
+		code = uint32(ce.Code)
+	}
+	return c.Send(session, &wire.Failure{Code: code, Message: err.Error()})
+}

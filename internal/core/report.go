@@ -1,0 +1,91 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// JobReport captures the timings and counters of one virtualized job, broken
+// into the phases the paper's evaluation reports (Figure 7): acquisition
+// (receiving, converting, serializing and staging the data), application
+// (running the transformed DML on the CDW), and other (startup/teardown).
+type JobReport struct {
+	JobID  uint64
+	Target string
+	Export bool
+
+	// phase durations
+	Acquisition time.Duration
+	Application time.Duration
+	Other       time.Duration
+
+	// acquisition counters
+	Chunks       int64
+	BytesIn      int64
+	RowsIn       int64 // records received from the client
+	RowsStaged   int64 // records surviving conversion and COPY
+	DataErrors   int64 // records rejected during acquisition
+	FilesWritten int64
+	BytesUpload  int64 // bytes handed to the bulk loader
+
+	// application counters
+	Inserted     int64
+	Updated      int64
+	Deleted      int64
+	ErrorsET     int64
+	ErrorsUV     int64
+	BlockErrors  int64
+	ApplyStmts   int64 // DML statements issued, incl. adaptive retries
+	ExportedRows int64
+}
+
+// Total returns the end-to-end job duration.
+func (r *JobReport) Total() time.Duration {
+	return r.Acquisition + r.Application + r.Other
+}
+
+// reportLog keeps finished job reports for inspection by tests and the
+// benchmark harness.
+type reportLog struct {
+	mu      sync.Mutex
+	reports []JobReport
+}
+
+func (l *reportLog) add(r JobReport) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.reports = append(l.reports, r)
+}
+
+// all returns a copy of the accumulated reports.
+func (l *reportLog) all() []JobReport {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]JobReport, len(l.reports))
+	copy(out, l.reports)
+	return out
+}
+
+// stopwatch measures named spans of a job's lifetime.
+type stopwatch struct {
+	start   time.Time // job creation
+	acqFrom time.Time // first data chunk
+	acqTo   time.Time // acquisition done
+	appFrom time.Time
+	appTo   time.Time
+}
+
+func (s *stopwatch) fill(r *JobReport, end time.Time) {
+	if !s.acqFrom.IsZero() && !s.acqTo.IsZero() {
+		r.Acquisition = s.acqTo.Sub(s.acqFrom)
+	}
+	if !s.appFrom.IsZero() && !s.appTo.IsZero() {
+		r.Application = s.appTo.Sub(s.appFrom)
+	}
+	total := end.Sub(s.start)
+	other := total - r.Acquisition - r.Application
+	if other < 0 {
+		other = 0
+	}
+	r.Other = other
+}

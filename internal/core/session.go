@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"net"
+
+	"etlvirt/internal/wire"
+)
+
+// serveConn runs the PXC state machine for one client connection. The
+// legacy protocol is strictly request/response per session, so a single
+// goroutine per connection suffices; concurrency comes from clients opening
+// parallel data sessions (each its own connection).
+func (n *Node) serveConn(nc net.Conn) {
+	c := wire.NewConn(nc)
+	defer c.Close()
+
+	m, _, err := c.Recv()
+	if err != nil {
+		return
+	}
+	logon, ok := m.(*wire.Logon)
+	if !ok {
+		_ = c.Send(0, &wire.Failure{Code: 3001, Message: "expected logon"})
+		return
+	}
+	if logon.User == "" {
+		_ = c.Send(0, &wire.Failure{Code: 3002, Message: "missing user"})
+		return
+	}
+	session := n.nextSession.Add(1)
+	if err := c.Send(session, &wire.LogonOK{SessionID: session, ServerVersion: "etlvirt/1.0"}); err != nil {
+		return
+	}
+
+	// Jobs begun on this control session; any still registered when the
+	// connection drops are aborted so they cannot leak goroutines, staging
+	// tables or uploaded objects.
+	ownedImports := make(map[uint64]bool)
+	ownedExports := make(map[uint64]bool)
+	defer func() {
+		for id := range ownedImports {
+			if job, ok := n.importJob(id); ok {
+				job.abort()
+			}
+		}
+		for id := range ownedExports {
+			if job, ok := n.exportJob(id); ok {
+				job.finish()
+			}
+		}
+	}()
+
+	for {
+		m, _, err := c.Recv()
+		if err != nil {
+			return
+		}
+		switch msg := m.(type) {
+		case *wire.Logoff:
+			return
+
+		case *wire.RunSQL:
+			if err := n.handleRunSQL(c, session, msg); err != nil {
+				return
+			}
+
+		case *wire.BeginLoad:
+			job, err := n.newImportJob(msg)
+			if err != nil {
+				if e := c.Send(session, &wire.Failure{Code: 3004, Message: err.Error()}); e != nil {
+					return
+				}
+				continue
+			}
+			ownedImports[job.id] = true
+			if err := c.Send(session, &wire.LoadOK{JobID: job.id}); err != nil {
+				return
+			}
+
+		case *wire.AttachLoad:
+			if _, ok := n.importJob(msg.JobID); !ok {
+				if e := c.Send(session, &wire.Failure{Code: 3005, Message: jobErr(msg.JobID)}); e != nil {
+					return
+				}
+				continue
+			}
+			if err := c.Send(session, &wire.AttachOK{}); err != nil {
+				return
+			}
+
+		case *wire.DataChunk:
+			job, ok := n.importJob(msg.JobID)
+			if !ok {
+				if e := c.Send(session, &wire.Failure{Code: 3005, Message: jobErr(msg.JobID)}); e != nil {
+					return
+				}
+				continue
+			}
+			job.pending.Add(1)
+			if n.cfg.SyncAcquisition {
+				// Ablation (§5): synchronize the pipeline — convert and
+				// persist the chunk before acknowledging it.
+				done := make(chan struct{})
+				if err := job.handleChunk(msg, done); err != nil {
+					n.log.Error("chunk handling failed", "job", job.id, "err", err)
+				} else {
+					<-done
+				}
+				if err := c.Send(session, &wire.ChunkAck{Seq: msg.Seq}); err != nil {
+					return
+				}
+				continue
+			}
+			// Minimal validation, then acknowledge immediately (§5); the
+			// credit acquisition below is the only back-pressure.
+			if err := c.Send(session, &wire.ChunkAck{Seq: msg.Seq}); err != nil {
+				job.pending.Done()
+				return
+			}
+			if err := job.handleChunk(msg, nil); err != nil {
+				// the job is poisoned; subsequent EndAcquire reports it
+				n.log.Error("chunk handling failed", "job", job.id, "err", err)
+			}
+
+		case *wire.EndAcquire:
+			job, ok := n.importJob(msg.JobID)
+			if !ok {
+				if e := c.Send(session, &wire.Failure{Code: 3005, Message: jobErr(msg.JobID)}); e != nil {
+					return
+				}
+				continue
+			}
+			done, err := job.finishAcquisition()
+			if err != nil {
+				if e := c.Send(session, &wire.Failure{Code: 3006, Message: err.Error()}); e != nil {
+					return
+				}
+				continue
+			}
+			if err := c.Send(session, done); err != nil {
+				return
+			}
+
+		case *wire.ApplyDML:
+			job, ok := n.importJob(msg.JobID)
+			if !ok {
+				if e := c.Send(session, &wire.Failure{Code: 3005, Message: jobErr(msg.JobID)}); e != nil {
+					return
+				}
+				continue
+			}
+			res, err := job.applyDML(msg)
+			if err != nil {
+				if e := c.Send(session, &wire.Failure{Code: 3007, Message: err.Error()}); e != nil {
+					return
+				}
+				continue
+			}
+			if err := c.Send(session, res); err != nil {
+				return
+			}
+
+		case *wire.EndLoad:
+			job, ok := n.importJob(msg.JobID)
+			if !ok {
+				if e := c.Send(session, &wire.Failure{Code: 3005, Message: jobErr(msg.JobID)}); e != nil {
+					return
+				}
+				continue
+			}
+			job.finish()
+			delete(ownedImports, job.id)
+			if err := c.Send(session, &wire.LoadDone{JobID: job.id}); err != nil {
+				return
+			}
+
+		case *wire.BeginExport:
+			job, err := n.newExportJob(msg)
+			if err != nil {
+				if e := c.Send(session, &wire.Failure{Code: 3008, Message: err.Error()}); e != nil {
+					return
+				}
+				continue
+			}
+			ownedExports[job.id] = true
+			if err := c.Send(session, &wire.ExportOK{JobID: job.id, Layout: job.layout}); err != nil {
+				return
+			}
+
+		case *wire.ExportChunkRq:
+			job, ok := n.exportJob(msg.JobID)
+			if !ok {
+				if e := c.Send(session, &wire.Failure{Code: 3005, Message: jobErr(msg.JobID)}); e != nil {
+					return
+				}
+				continue
+			}
+			chunk, err := job.chunk(msg.Seq)
+			if err != nil {
+				if e := c.Send(session, &wire.Failure{Code: 3009, Message: err.Error()}); e != nil {
+					return
+				}
+				continue
+			}
+			if err := c.Send(session, chunk); err != nil {
+				return
+			}
+
+		case *wire.EndExport:
+			job, ok := n.exportJob(msg.JobID)
+			if ok {
+				job.finish()
+				delete(ownedExports, msg.JobID)
+			}
+			if err := c.Send(session, &wire.LoadDone{JobID: msg.JobID}); err != nil {
+				return
+			}
+
+		default:
+			if e := c.Send(session, &wire.Failure{Code: 3003,
+				Message: fmt.Sprintf("unexpected message %s", m.Kind())}); e != nil {
+				return
+			}
+		}
+	}
+}
+
+func (n *Node) importJob(id uint64) (*importJob, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	j, ok := n.imports[id]
+	return j, ok
+}
+
+func (n *Node) exportJob(id uint64) (*exportJob, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	j, ok := n.exports[id]
+	return j, ok
+}
+
+func jobErr(id uint64) string {
+	return fmt.Sprintf("no such job %d", id)
+}

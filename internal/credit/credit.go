@@ -1,0 +1,156 @@
+// Package credit implements the CreditManager of §5: a per-node credit pool
+// providing lightweight back-pressure across the acquisition pipeline.
+//
+// A session must acquire a credit before handing a data chunk to conversion;
+// the credit travels with the chunk through the DataConverter and FileWriter
+// stages and is released just before the converted data is written to disk.
+// When the pool is empty the session blocks, slowing acquisition until the
+// downstream stages catch up. One CreditManager is shared by all concurrent
+// ETL jobs on a virtualizer node.
+//
+// The manager also keeps a byte ledger of in-flight chunk memory. When a
+// configured memory limit is exceeded the node fails the acquisition — this
+// models the out-of-memory crash the paper reports when the pool was sized
+// at one million credits (§9, Figure 10).
+package credit
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrOutOfMemory reports that in-flight chunk bytes exceeded the node's
+// memory budget. It corresponds to the Hyper-Q OOM crash in the paper's
+// credit-scaling experiment.
+var ErrOutOfMemory = errors.New("credit: in-flight data exceeds node memory budget")
+
+// Manager is a credit pool. The zero value is not usable; use NewManager.
+type Manager struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	total   int
+	avail   int
+	inFlite int64 // bytes currently charged to credits
+	memCap  int64 // 0 = unlimited
+
+	waits    atomic.Int64 // number of Acquire calls that blocked
+	acquires atomic.Int64
+	peak     int64 // max observed in-flight bytes (under mu)
+}
+
+// NewManager returns a pool with the given number of credits and an optional
+// in-flight memory cap in bytes (0 disables the cap).
+func NewManager(credits int, memCap int64) *Manager {
+	if credits < 1 {
+		credits = 1
+	}
+	m := &Manager{total: credits, avail: credits, memCap: memCap}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Credit is an acquired credit charged with the bytes of one chunk. Release
+// it exactly once.
+type Credit struct {
+	m     *Manager
+	bytes int64
+	done  bool
+}
+
+// Acquire blocks until a credit is available or ctx is cancelled. bytes is
+// the chunk size charged to the node's memory ledger. If accepting the chunk
+// would exceed the memory cap, Acquire fails with ErrOutOfMemory — the
+// paper's unbounded-credit failure mode.
+func (m *Manager) Acquire(ctx context.Context, bytes int64) (*Credit, error) {
+	m.acquires.Add(1)
+	m.mu.Lock()
+	blocked := false
+	for m.avail == 0 {
+		if !blocked {
+			blocked = true
+			m.waits.Add(1)
+		}
+		if err := ctx.Err(); err != nil {
+			m.mu.Unlock()
+			return nil, err
+		}
+		// cond.Wait cannot watch ctx directly; poke waiters on cancellation.
+		stop := watchCtx(ctx, m.cond)
+		m.cond.Wait()
+		stop()
+	}
+	if err := ctx.Err(); err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	if m.memCap > 0 && m.inFlite+bytes > m.memCap {
+		m.mu.Unlock()
+		return nil, ErrOutOfMemory
+	}
+	m.avail--
+	m.inFlite += bytes
+	if m.inFlite > m.peak {
+		m.peak = m.inFlite
+	}
+	m.mu.Unlock()
+	return &Credit{m: m, bytes: bytes}, nil
+}
+
+// watchCtx wakes all cond waiters when ctx is cancelled, so a blocked
+// Acquire can observe the cancellation. The returned stop function must be
+// called after the wait.
+func watchCtx(ctx context.Context, cond *sync.Cond) func() {
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	stopc := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			cond.Broadcast()
+		case <-stopc:
+		}
+	}()
+	return func() { close(stopc) }
+}
+
+// Release returns the credit to the pool. Releasing twice panics: it would
+// silently inflate the pool.
+func (c *Credit) Release() {
+	if c.done {
+		panic("credit: double release")
+	}
+	c.done = true
+	m := c.m
+	m.mu.Lock()
+	m.avail++
+	m.inFlite -= c.bytes
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// Stats is a snapshot of pool counters.
+type Stats struct {
+	Total        int
+	Available    int
+	InFlight     int64 // bytes charged to outstanding credits
+	PeakInFlight int64
+	Acquires     int64
+	Waits        int64 // acquires that had to block
+}
+
+// Stats returns a snapshot of the pool.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Total:        m.total,
+		Available:    m.avail,
+		InFlight:     m.inFlite,
+		PeakInFlight: m.peak,
+		Acquires:     m.acquires.Load(),
+		Waits:        m.waits.Load(),
+	}
+}

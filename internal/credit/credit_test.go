@@ -1,0 +1,206 @@
+package credit
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAcquireRelease(t *testing.T) {
+	m := NewManager(2, 0)
+	ctx := context.Background()
+	c1, err := m.Acquire(ctx, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := m.Acquire(ctx, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Available != 0 || st.InFlight != 300 {
+		t.Errorf("stats = %+v", st)
+	}
+	c1.Release()
+	c2.Release()
+	st = m.Stats()
+	if st.Available != 2 || st.InFlight != 0 || st.PeakInFlight != 300 {
+		t.Errorf("stats after release = %+v", st)
+	}
+}
+
+func TestAcquireBlocksUntilRelease(t *testing.T) {
+	m := NewManager(1, 0)
+	ctx := context.Background()
+	c1, err := m.Acquire(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan struct{})
+	go func() {
+		c2, err := m.Acquire(ctx, 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c2.Release()
+		close(got)
+	}()
+	select {
+	case <-got:
+		t.Fatal("second acquire did not block")
+	case <-time.After(50 * time.Millisecond):
+	}
+	c1.Release()
+	select {
+	case <-got:
+	case <-time.After(time.Second):
+		t.Fatal("blocked acquire never woke")
+	}
+	if m.Stats().Waits == 0 {
+		t.Error("wait counter not incremented")
+	}
+}
+
+func TestAcquireContextCancel(t *testing.T) {
+	m := NewManager(1, 0)
+	c1, _ := m.Acquire(context.Background(), 1)
+	defer c1.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Acquire(ctx, 1)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled acquire succeeded")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancelled acquire never returned")
+	}
+}
+
+func TestMemoryCapTriggersOOM(t *testing.T) {
+	m := NewManager(1000, 1000)
+	ctx := context.Background()
+	var held []*Credit
+	for i := 0; i < 10; i++ {
+		c, err := m.Acquire(ctx, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, c)
+	}
+	if _, err := m.Acquire(ctx, 100); err != ErrOutOfMemory {
+		t.Fatalf("want ErrOutOfMemory, got %v", err)
+	}
+	held[0].Release()
+	c, err := m.Acquire(ctx, 100)
+	if err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	c.Release()
+	for _, h := range held[1:] {
+		h.Release()
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	m := NewManager(1, 0)
+	c, _ := m.Acquire(context.Background(), 1)
+	c.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("double release did not panic")
+		}
+	}()
+	c.Release()
+}
+
+func TestConservationUnderConcurrency(t *testing.T) {
+	const credits = 8
+	m := NewManager(credits, 0)
+	ctx := context.Background()
+	var inUse atomic.Int64
+	var maxSeen atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c, err := m.Acquire(ctx, 10)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				n := inUse.Add(1)
+				for {
+					old := maxSeen.Load()
+					if n <= old || maxSeen.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				inUse.Add(-1)
+				c.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := maxSeen.Load(); got > credits {
+		t.Errorf("observed %d concurrent credits, pool has %d", got, credits)
+	}
+	st := m.Stats()
+	if st.Available != credits || st.InFlight != 0 {
+		t.Errorf("pool not restored: %+v", st)
+	}
+}
+
+func TestPropertyPoolNeverExceedsTotal(t *testing.T) {
+	f := func(creditsRaw uint8, ops uint8) bool {
+		credits := int(creditsRaw%5) + 1
+		m := NewManager(credits, 0)
+		ctx := context.Background()
+		var held []*Credit
+		for i := 0; i < int(ops); i++ {
+			if len(held) < credits && i%3 != 2 {
+				c, err := m.Acquire(ctx, 1)
+				if err != nil {
+					return false
+				}
+				held = append(held, c)
+			} else if len(held) > 0 {
+				held[len(held)-1].Release()
+				held = held[:len(held)-1]
+			}
+			st := m.Stats()
+			if st.Available < 0 || st.Available > st.Total {
+				return false
+			}
+			if st.Available+len(held) != st.Total {
+				return false
+			}
+		}
+		for _, c := range held {
+			c.Release()
+		}
+		return m.Stats().Available == credits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinimumOneCredit(t *testing.T) {
+	m := NewManager(0, 0)
+	if m.Stats().Total != 1 {
+		t.Errorf("total = %d, want clamped to 1", m.Stats().Total)
+	}
+}

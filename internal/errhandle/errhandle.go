@@ -1,0 +1,158 @@
+// Package errhandle implements the adaptive error handling of §7.
+//
+// The CDW applies DML set-oriented: a failing statement aborts as a whole
+// and does not say which row was at fault. Legacy ETL semantics demand the
+// opposite — load everything loadable, record each bad tuple in an error
+// table. The adaptive mechanism bridges the two by recursively re-applying
+// the DML on smaller __seq ranges: a failing range is split in half until
+// either a single tuple is isolated (recorded individually) or a budget is
+// exhausted (the remaining range is recorded as a block, Figure 6).
+//
+// Two user knobs bound the work, exactly as in the paper: MaxErrors caps the
+// number of individually-recorded errors before the retry logic stops
+// isolating, and MaxRetries caps how many times any one input chunk is
+// split.
+package errhandle
+
+import (
+	"context"
+	"fmt"
+)
+
+// Classified is the verdict of the error classifier on a failed range
+// application.
+type Classified struct {
+	Code   int
+	Field  string
+	Msg    string
+	Unique bool // record in the uniqueness-violation table instead of ET
+	Fatal  bool // infrastructure failure: abort the job instead of retrying
+}
+
+// Config bounds the adaptive retry logic.
+type Config struct {
+	// MaxErrors is the maximum number of individual errors to record before
+	// the retry logic stops splitting. Zero means DefaultMaxErrors.
+	MaxErrors int
+	// MaxRetries is the maximum number of times one input chunk is split
+	// before the remaining range is recorded as a block. Zero means
+	// DefaultMaxRetries.
+	MaxRetries int
+}
+
+// Default budgets applied when Config fields are zero.
+const (
+	DefaultMaxErrors  = 1000
+	DefaultMaxRetries = 64
+)
+
+// ApplyFunc applies the job's DML to staged rows lo..hi (inclusive) and
+// returns the statement's activity count.
+type ApplyFunc func(ctx context.Context, lo, hi int64) (int64, error)
+
+// ClassifyFunc decides what a failure means.
+type ClassifyFunc func(err error) Classified
+
+// RecordFunc persists one error-table entry covering rows lo..hi. For an
+// individual error lo == hi; for a block error lo < hi and c.Code is
+// CodeMaxErrors-style.
+type RecordFunc func(lo, hi int64, c Classified) error
+
+// Stats reports what one adaptive application did.
+type Stats struct {
+	Activity         int64 // rows affected by successful applications
+	Attempts         int64 // DML statements executed (cost driver of Figure 11)
+	IndividualErrors int64 // tuples recorded one-by-one
+	BlockErrors      int64 // range entries recorded after budget exhaustion
+	BlockedRows      int64 // rows covered by block entries
+}
+
+// Handler drives adaptive application for one job. Not safe for concurrent
+// use; the application phase is sequential per job.
+type Handler struct {
+	cfg      Config
+	apply    ApplyFunc
+	classify ClassifyFunc
+	record   RecordFunc
+
+	stats       Stats
+	errBudget   int
+	budgetSpent bool
+}
+
+// New builds a handler.
+func New(cfg Config, apply ApplyFunc, classify ClassifyFunc, record RecordFunc) *Handler {
+	if cfg.MaxErrors <= 0 {
+		cfg.MaxErrors = DefaultMaxErrors
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	return &Handler{cfg: cfg, apply: apply, classify: classify, record: record}
+}
+
+// Stats returns the accumulated statistics.
+func (h *Handler) Stats() Stats { return h.stats }
+
+// Run applies the DML to rows lo..hi inclusive with adaptive error handling.
+// It returns a non-nil error only for fatal failures (classifier verdict or
+// error-table write failure); data errors are recorded and absorbed.
+func (h *Handler) Run(ctx context.Context, lo, hi int64) error {
+	if lo > hi {
+		return nil
+	}
+	return h.run(ctx, lo, hi, 0)
+}
+
+func (h *Handler) run(ctx context.Context, lo, hi int64, depth int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	h.stats.Attempts++
+	n, err := h.apply(ctx, lo, hi)
+	if err == nil {
+		h.stats.Activity += n
+		return nil
+	}
+	c := h.classify(err)
+	if c.Fatal {
+		return fmt.Errorf("errhandle: fatal failure applying rows %d-%d: %w", lo, hi, err)
+	}
+
+	// Single tuple isolated: record it individually.
+	if lo == hi {
+		if h.stats.IndividualErrors >= int64(h.cfg.MaxErrors) {
+			return h.recordBlock(lo, hi, c)
+		}
+		h.stats.IndividualErrors++
+		return h.record(lo, hi, c)
+	}
+
+	// Budgets exhausted: record the remaining range as a block.
+	if h.stats.IndividualErrors >= int64(h.cfg.MaxErrors) || depth >= h.cfg.MaxRetries {
+		return h.recordBlock(lo, hi, c)
+	}
+
+	mid := lo + (hi-lo)/2
+	if err := h.run(ctx, lo, mid, depth+1); err != nil {
+		return err
+	}
+	return h.run(ctx, mid+1, hi, depth+1)
+}
+
+func (h *Handler) recordBlock(lo, hi int64, c Classified) error {
+	h.stats.BlockErrors++
+	h.stats.BlockedRows += hi - lo + 1
+	block := c
+	block.Code = CodeMaxErrors
+	block.Unique = false
+	if lo == hi {
+		block.Msg = fmt.Sprintf("max number of errors reached, row %d not loaded: %s", lo, c.Msg)
+	} else {
+		block.Msg = fmt.Sprintf("max number of errors reached, rows (%d, %d) include one or more errors and will not be further split", lo, hi)
+	}
+	return h.record(lo, hi, block)
+}
+
+// CodeMaxErrors marks block entries, mirroring the 9057 code of Figure 6.
+const CodeMaxErrors = 9057

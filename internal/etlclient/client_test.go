@@ -1,0 +1,118 @@
+package etlclient
+
+import (
+	"strings"
+	"testing"
+
+	"etlvirt/internal/ltype"
+	"etlvirt/internal/wire"
+)
+
+func TestSplitInputVartext(t *testing.T) {
+	data := []byte("a|1\nb|2\nc|3\nd|4\ne|5\n")
+	chunks, total, err := splitInput(data, wire.FormatVartext, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 5 || len(chunks) != 3 {
+		t.Fatalf("total=%d chunks=%d", total, len(chunks))
+	}
+	if chunks[0].firstRow != 1 || chunks[0].count != 2 || string(chunks[0].payload) != "a|1\nb|2\n" {
+		t.Errorf("chunk0: %+v", chunks[0])
+	}
+	if chunks[1].firstRow != 3 || chunks[2].firstRow != 5 || chunks[2].count != 1 {
+		t.Errorf("chunk row numbering: %+v %+v", chunks[1], chunks[2])
+	}
+	for i, c := range chunks {
+		if c.seq != uint64(i) {
+			t.Errorf("chunk %d seq %d", i, c.seq)
+		}
+	}
+}
+
+func TestSplitInputVartextNoTrailingNewline(t *testing.T) {
+	chunks, total, err := splitInput([]byte("a|1\nb|2"), wire.FormatVartext, 10)
+	if err != nil || total != 2 || len(chunks) != 1 {
+		t.Fatalf("chunks=%v total=%d err=%v", chunks, total, err)
+	}
+}
+
+func TestSplitInputIndicator(t *testing.T) {
+	layout := &ltype.Layout{Name: "L", Fields: []ltype.Field{
+		{Name: "A", Type: ltype.VarChar(10)},
+		{Name: "B", Type: ltype.Simple(ltype.KindInteger)},
+	}}
+	var data []byte
+	var err error
+	for i := 0; i < 7; i++ {
+		data, err = ltype.EncodeRecord(data, layout, ltype.Record{
+			ltype.StringValue(ltype.KindVarChar, strings.Repeat("x", i)),
+			ltype.IntValue(ltype.KindInteger, int64(i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	chunks, total, err := splitInput(data, wire.FormatIndicator, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 7 || len(chunks) != 3 {
+		t.Fatalf("total=%d chunks=%d", total, len(chunks))
+	}
+	// every chunk must decode cleanly on record boundaries
+	row := 0
+	for _, c := range chunks {
+		payload := c.payload
+		n := 0
+		for len(payload) > 0 {
+			rec, used, err := ltype.DecodeRecord(payload, layout)
+			if err != nil {
+				t.Fatalf("chunk decode: %v", err)
+			}
+			if rec[1].I != int64(row) {
+				t.Errorf("row order broken: got %d want %d", rec[1].I, row)
+			}
+			payload = payload[used:]
+			row++
+			n++
+		}
+		if uint32(n) != c.count {
+			t.Errorf("chunk count %d, decoded %d", c.count, n)
+		}
+	}
+}
+
+func TestSplitInputIndicatorTruncated(t *testing.T) {
+	layout := &ltype.Layout{Name: "L", Fields: []ltype.Field{
+		{Name: "A", Type: ltype.VarChar(10)},
+	}}
+	data, err := ltype.EncodeRecord(nil, layout, ltype.Record{ltype.StringValue(ltype.KindVarChar, "hello")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := splitInput(data[:len(data)-2], wire.FormatIndicator, 10); err == nil {
+		t.Error("truncated input accepted")
+	}
+	if _, _, err := splitInput([]byte{0x01}, wire.FormatIndicator, 10); err == nil {
+		t.Error("short input accepted")
+	}
+}
+
+func TestSplitInputEmpty(t *testing.T) {
+	chunks, total, err := splitInput(nil, wire.FormatVartext, 10)
+	if err != nil || total != 0 || len(chunks) != 0 {
+		t.Errorf("empty vartext: %v %d %v", chunks, total, err)
+	}
+	chunks, total, err = splitInput(nil, wire.FormatIndicator, 10)
+	if err != nil || total != 0 || len(chunks) != 0 {
+		t.Errorf("empty indicator: %v %d %v", chunks, total, err)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.ChunkRecords != 500 || o.ReadFile == nil || o.WriteFile == nil {
+		t.Errorf("defaults: %+v", o)
+	}
+}

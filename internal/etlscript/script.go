@@ -1,0 +1,602 @@
+// Package etlscript parses the proprietary ETL job scripting language of §2
+// (Example 2.1). A script declares a logon, one or more record layouts, and
+// a sequence of import/export job blocks whose transformations are embedded
+// SQL statements.
+//
+// Grammar sketch (statements end with ';'):
+//
+//	.logon host/user,password;
+//	.layout NAME;
+//	.field NAME type;                      -- repeats, attaches to the layout
+//	.begin import tables TARGET
+//	    errortables ET UV
+//	    [sessions N] [maxerrors N] [maxretries N];
+//	.dml label LABEL;
+//	<SQL statement>;                       -- the DML for LABEL
+//	.import infile FILE format vartext 'D' layout NAME apply LABEL;
+//	.import infile FILE format indicator layout NAME apply LABEL;
+//	.end load;
+//	.begin export outfile FILE [format vartext 'D'] [sessions N];
+//	<SELECT statement>;
+//	.end export;
+//	.run SQL;                              -- ad-hoc request outside blocks
+//	.logoff;
+package etlscript
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"etlvirt/internal/ltype"
+	"etlvirt/internal/wire"
+)
+
+// Logon carries the credentials of the .logon command.
+type Logon struct {
+	Host     string
+	User     string
+	Password string
+}
+
+// ImportCmd is one .import command inside an import block.
+type ImportCmd struct {
+	Infile     string
+	Format     wire.DataFormat
+	Delim      byte
+	LayoutName string
+	ApplyLabel string
+}
+
+// ImportBlock is a .begin import ... .end load block.
+type ImportBlock struct {
+	Table      string
+	ErrTableET string
+	ErrTableUV string
+	Sessions   int
+	MaxErrors  int
+	MaxRetries int
+	DMLs       map[string]string // label -> SQL
+	Imports    []ImportCmd
+}
+
+// ExportBlock is a .begin export ... .end export block.
+type ExportBlock struct {
+	Outfile  string
+	Format   wire.DataFormat
+	Delim    byte
+	Sessions int
+	Query    string
+}
+
+// Step is one executable unit of a script, in order.
+type Step struct {
+	Import *ImportBlock
+	Export *ExportBlock
+	SQL    string // ad-hoc .run statement
+}
+
+// Script is a parsed ETL job script.
+type Script struct {
+	Logon   Logon
+	Layouts map[string]*ltype.Layout
+	Steps   []Step
+}
+
+// Layout resolves a layout by name.
+func (s *Script) Layout(name string) (*ltype.Layout, error) {
+	l, ok := s.Layouts[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("etlscript: undefined layout %q", name)
+	}
+	return l, nil
+}
+
+// Parse parses a script.
+func Parse(src string) (*Script, error) {
+	stmts, err := splitStatements(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{script: &Script{Layouts: make(map[string]*ltype.Layout)}}
+	for _, st := range stmts {
+		if err := p.statement(st); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.finish(); err != nil {
+		return nil, err
+	}
+	return p.script, nil
+}
+
+// splitStatements splits on top-level semicolons, honoring single-quoted
+// strings (” escapes) and -- / block comments.
+func splitStatements(src string) ([]string, error) {
+	var out []string
+	var cur strings.Builder
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\'':
+			cur.WriteByte(c)
+			i++
+			for i < len(src) {
+				cur.WriteByte(src[i])
+				if src[i] == '\'' {
+					if i+1 < len(src) && src[i+1] == '\'' {
+						i++
+						cur.WriteByte(src[i])
+					} else {
+						break
+					}
+				}
+				i++
+			}
+			if i >= len(src) {
+				return nil, fmt.Errorf("etlscript: unterminated string")
+			}
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			i += 2
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
+				i++
+			}
+			if i+1 >= len(src) {
+				return nil, fmt.Errorf("etlscript: unterminated comment")
+			}
+			i += 2
+		case c == ';':
+			s := strings.TrimSpace(cur.String())
+			if s != "" {
+				out = append(out, s)
+			}
+			cur.Reset()
+			i++
+		default:
+			cur.WriteByte(c)
+			i++
+		}
+	}
+	if s := strings.TrimSpace(cur.String()); s != "" {
+		return nil, fmt.Errorf("etlscript: statement missing terminating ';': %.40q", s)
+	}
+	return out, nil
+}
+
+type parser struct {
+	script *Script
+
+	curLayout *ltype.Layout
+	curImport *ImportBlock
+	curExport *ExportBlock
+	dmlLabel  string // set between ".dml label X" and its SQL statement
+	sawLogon  bool
+}
+
+func (p *parser) statement(st string) error {
+	if !strings.HasPrefix(st, ".") {
+		return p.bareSQL(st)
+	}
+	fields := tokenize(st)
+	cmd := strings.ToLower(fields[0])
+	if cmd != ".field" && cmd != ".layout" {
+		p.curLayout = nil // any other command ends a layout definition
+	}
+	switch cmd {
+	case ".logon":
+		return p.logon(st)
+	case ".layout":
+		return p.layout(fields)
+	case ".field":
+		return p.field(st, fields)
+	case ".begin":
+		return p.begin(fields)
+	case ".dml":
+		return p.dml(fields)
+	case ".import":
+		return p.importCmd(fields)
+	case ".end":
+		return p.end(fields)
+	case ".run":
+		sql := strings.TrimSpace(st[len(".run"):])
+		if sql == "" {
+			return fmt.Errorf("etlscript: .run requires a SQL statement")
+		}
+		if p.curImport != nil || p.curExport != nil {
+			return fmt.Errorf("etlscript: .run not allowed inside a job block")
+		}
+		p.script.Steps = append(p.script.Steps, Step{SQL: sql})
+		return nil
+	case ".logoff":
+		return nil
+	default:
+		return fmt.Errorf("etlscript: unknown command %q", fields[0])
+	}
+}
+
+// tokenize splits a command into whitespace-separated tokens, keeping
+// single-quoted tokens intact (without the quotes).
+func tokenize(s string) []string {
+	var out []string
+	i := 0
+	for i < len(s) {
+		for i < len(s) && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r') {
+			i++
+		}
+		if i >= len(s) {
+			break
+		}
+		if s[i] == '\'' {
+			j := i + 1
+			var sb strings.Builder
+			for j < len(s) {
+				if s[j] == '\'' {
+					if j+1 < len(s) && s[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(s[j])
+				j++
+			}
+			out = append(out, sb.String())
+			i = j + 1
+			continue
+		}
+		j := i
+		for j < len(s) && s[j] != ' ' && s[j] != '\t' && s[j] != '\n' && s[j] != '\r' {
+			j++
+		}
+		out = append(out, s[i:j])
+		i = j
+	}
+	return out
+}
+
+func (p *parser) logon(st string) error {
+	if p.sawLogon {
+		return fmt.Errorf("etlscript: duplicate .logon")
+	}
+	rest := strings.TrimSpace(st[len(".logon"):])
+	slash := strings.IndexByte(rest, '/')
+	comma := strings.IndexByte(rest, ',')
+	if slash < 0 || comma < slash {
+		return fmt.Errorf("etlscript: .logon expects host/user,password")
+	}
+	p.script.Logon = Logon{
+		Host:     strings.TrimSpace(rest[:slash]),
+		User:     strings.TrimSpace(rest[slash+1 : comma]),
+		Password: strings.TrimSpace(rest[comma+1:]),
+	}
+	p.sawLogon = true
+	return nil
+}
+
+func (p *parser) layout(fields []string) error {
+	if len(fields) != 2 {
+		return fmt.Errorf("etlscript: .layout expects a name")
+	}
+	name := fields[1]
+	key := strings.ToLower(name)
+	if _, dup := p.script.Layouts[key]; dup {
+		return fmt.Errorf("etlscript: duplicate layout %q", name)
+	}
+	l := &ltype.Layout{Name: name}
+	p.script.Layouts[key] = l
+	p.curLayout = l
+	return nil
+}
+
+func (p *parser) field(st string, fields []string) error {
+	// .field is only valid directly after .layout/.field; restore curLayout
+	// cleared by statement() for other commands.
+	if len(fields) < 3 {
+		return fmt.Errorf("etlscript: .field expects a name and a type")
+	}
+	if p.curLayout == nil {
+		return fmt.Errorf("etlscript: .field outside a .layout")
+	}
+	name := fields[1]
+	typeStr := strings.TrimSpace(st[strings.Index(st, name)+len(name):])
+	ty, err := ltype.ParseTypeName(typeStr)
+	if err != nil {
+		return err
+	}
+	p.curLayout.Fields = append(p.curLayout.Fields, ltype.Field{Name: name, Type: ty})
+	return nil
+}
+
+func (p *parser) begin(fields []string) error {
+	if len(fields) < 2 {
+		return fmt.Errorf("etlscript: .begin expects import or export")
+	}
+	if p.curImport != nil || p.curExport != nil {
+		return fmt.Errorf("etlscript: nested .begin")
+	}
+	switch strings.ToLower(fields[1]) {
+	case "import":
+		return p.beginImport(fields[2:])
+	case "export":
+		return p.beginExport(fields[2:])
+	default:
+		return fmt.Errorf("etlscript: .begin %q not recognized", fields[1])
+	}
+}
+
+func (p *parser) beginImport(args []string) error {
+	blk := &ImportBlock{DMLs: make(map[string]string)}
+	i := 0
+	for i < len(args) {
+		switch strings.ToLower(args[i]) {
+		case "tables":
+			if i+1 >= len(args) {
+				return fmt.Errorf("etlscript: tables requires a name")
+			}
+			blk.Table = args[i+1]
+			i += 2
+		case "errortables":
+			if i+2 >= len(args) {
+				return fmt.Errorf("etlscript: errortables requires two names")
+			}
+			blk.ErrTableET, blk.ErrTableUV = args[i+1], args[i+2]
+			i += 3
+		case "sessions":
+			n, err := argInt(args, i, "sessions")
+			if err != nil {
+				return err
+			}
+			blk.Sessions = n
+			i += 2
+		case "maxerrors":
+			n, err := argInt(args, i, "maxerrors")
+			if err != nil {
+				return err
+			}
+			blk.MaxErrors = n
+			i += 2
+		case "maxretries":
+			n, err := argInt(args, i, "maxretries")
+			if err != nil {
+				return err
+			}
+			blk.MaxRetries = n
+			i += 2
+		default:
+			return fmt.Errorf("etlscript: unknown .begin import option %q", args[i])
+		}
+	}
+	if blk.Table == "" {
+		return fmt.Errorf("etlscript: .begin import requires tables")
+	}
+	p.curImport = blk
+	return nil
+}
+
+func (p *parser) beginExport(args []string) error {
+	blk := &ExportBlock{Format: wire.FormatVartext, Delim: '|'}
+	i := 0
+	for i < len(args) {
+		switch strings.ToLower(args[i]) {
+		case "outfile":
+			if i+1 >= len(args) {
+				return fmt.Errorf("etlscript: outfile requires a name")
+			}
+			blk.Outfile = args[i+1]
+			i += 2
+		case "format":
+			if i+1 >= len(args) {
+				return fmt.Errorf("etlscript: format requires a value")
+			}
+			switch strings.ToLower(args[i+1]) {
+			case "vartext":
+				blk.Format = wire.FormatVartext
+				i += 2
+				if i < len(args) && len(args[i]) == 1 && !isKeywordArg(args[i]) {
+					blk.Delim = args[i][0]
+					i++
+				}
+			case "indicator":
+				blk.Format = wire.FormatIndicator
+				i += 2
+			default:
+				return fmt.Errorf("etlscript: unknown format %q", args[i+1])
+			}
+		case "sessions":
+			n, err := argInt(args, i, "sessions")
+			if err != nil {
+				return err
+			}
+			blk.Sessions = n
+			i += 2
+		default:
+			return fmt.Errorf("etlscript: unknown .begin export option %q", args[i])
+		}
+	}
+	if blk.Outfile == "" {
+		return fmt.Errorf("etlscript: .begin export requires outfile")
+	}
+	p.curExport = blk
+	return nil
+}
+
+func isKeywordArg(s string) bool {
+	switch strings.ToLower(s) {
+	case "sessions", "outfile", "format":
+		return true
+	}
+	return false
+}
+
+func argInt(args []string, i int, name string) (int, error) {
+	if i+1 >= len(args) {
+		return 0, fmt.Errorf("etlscript: %s requires a number", name)
+	}
+	n, err := strconv.Atoi(args[i+1])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("etlscript: bad %s value %q", name, args[i+1])
+	}
+	return n, nil
+}
+
+func (p *parser) dml(fields []string) error {
+	if p.curImport == nil {
+		return fmt.Errorf("etlscript: .dml outside an import block")
+	}
+	if len(fields) != 3 || strings.ToLower(fields[1]) != "label" {
+		return fmt.Errorf("etlscript: .dml expects 'label NAME'")
+	}
+	if p.dmlLabel != "" {
+		return fmt.Errorf("etlscript: .dml label %s has no SQL", p.dmlLabel)
+	}
+	label := fields[2]
+	if _, dup := p.curImport.DMLs[strings.ToLower(label)]; dup {
+		return fmt.Errorf("etlscript: duplicate DML label %q", label)
+	}
+	p.dmlLabel = label
+	return nil
+}
+
+func (p *parser) bareSQL(st string) error {
+	switch {
+	case p.dmlLabel != "":
+		p.curImport.DMLs[strings.ToLower(p.dmlLabel)] = st
+		p.dmlLabel = ""
+		return nil
+	case p.curExport != nil:
+		if p.curExport.Query != "" {
+			return fmt.Errorf("etlscript: export block has multiple queries")
+		}
+		p.curExport.Query = st
+		return nil
+	default:
+		return fmt.Errorf("etlscript: unexpected SQL outside .dml/.begin export: %.40q", st)
+	}
+}
+
+func (p *parser) importCmd(fields []string) error {
+	if p.curImport == nil {
+		return fmt.Errorf("etlscript: .import outside an import block")
+	}
+	cmd := ImportCmd{Format: wire.FormatVartext, Delim: '|'}
+	i := 1
+	for i < len(fields) {
+		switch strings.ToLower(fields[i]) {
+		case "infile":
+			if i+1 >= len(fields) {
+				return fmt.Errorf("etlscript: infile requires a name")
+			}
+			cmd.Infile = fields[i+1]
+			i += 2
+		case "format":
+			if i+1 >= len(fields) {
+				return fmt.Errorf("etlscript: format requires a value")
+			}
+			switch strings.ToLower(fields[i+1]) {
+			case "vartext":
+				cmd.Format = wire.FormatVartext
+				i += 2
+				if i < len(fields) && len(fields[i]) == 1 && !isImportKeyword(fields[i]) {
+					cmd.Delim = fields[i][0]
+					i++
+				}
+			case "indicator":
+				cmd.Format = wire.FormatIndicator
+				i += 2
+			default:
+				return fmt.Errorf("etlscript: unknown format %q", fields[i+1])
+			}
+		case "layout":
+			if i+1 >= len(fields) {
+				return fmt.Errorf("etlscript: layout requires a name")
+			}
+			cmd.LayoutName = fields[i+1]
+			i += 2
+		case "apply":
+			if i+1 >= len(fields) {
+				return fmt.Errorf("etlscript: apply requires a label")
+			}
+			cmd.ApplyLabel = fields[i+1]
+			i += 2
+		default:
+			return fmt.Errorf("etlscript: unknown .import option %q", fields[i])
+		}
+	}
+	if cmd.Infile == "" || cmd.LayoutName == "" || cmd.ApplyLabel == "" {
+		return fmt.Errorf("etlscript: .import requires infile, layout and apply")
+	}
+	if _, ok := p.script.Layouts[strings.ToLower(cmd.LayoutName)]; !ok {
+		return fmt.Errorf("etlscript: .import references undefined layout %q", cmd.LayoutName)
+	}
+	if _, ok := p.curImport.DMLs[strings.ToLower(cmd.ApplyLabel)]; !ok {
+		return fmt.Errorf("etlscript: .import references undefined DML label %q", cmd.ApplyLabel)
+	}
+	p.curImport.Imports = append(p.curImport.Imports, cmd)
+	return nil
+}
+
+func isImportKeyword(s string) bool {
+	switch strings.ToLower(s) {
+	case "layout", "apply", "infile", "format":
+		return true
+	}
+	return false
+}
+
+func (p *parser) end(fields []string) error {
+	if len(fields) != 2 {
+		return fmt.Errorf("etlscript: .end expects load or export")
+	}
+	switch strings.ToLower(fields[1]) {
+	case "load":
+		if p.curImport == nil {
+			return fmt.Errorf("etlscript: .end load without .begin import")
+		}
+		if p.dmlLabel != "" {
+			return fmt.Errorf("etlscript: .dml label %s has no SQL", p.dmlLabel)
+		}
+		if len(p.curImport.Imports) == 0 {
+			return fmt.Errorf("etlscript: import block has no .import command")
+		}
+		p.script.Steps = append(p.script.Steps, Step{Import: p.curImport})
+		p.curImport = nil
+		return nil
+	case "export":
+		if p.curExport == nil {
+			return fmt.Errorf("etlscript: .end export without .begin export")
+		}
+		if p.curExport.Query == "" {
+			return fmt.Errorf("etlscript: export block has no query")
+		}
+		p.script.Steps = append(p.script.Steps, Step{Export: p.curExport})
+		p.curExport = nil
+		return nil
+	default:
+		return fmt.Errorf("etlscript: .end %q not recognized", fields[1])
+	}
+}
+
+func (p *parser) finish() error {
+	if p.curImport != nil {
+		return fmt.Errorf("etlscript: import block not closed with .end load")
+	}
+	if p.curExport != nil {
+		return fmt.Errorf("etlscript: export block not closed with .end export")
+	}
+	if !p.sawLogon {
+		return fmt.Errorf("etlscript: script has no .logon")
+	}
+	for _, l := range p.script.Layouts {
+		if err := l.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

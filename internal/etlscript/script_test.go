@@ -1,0 +1,217 @@
+package etlscript
+
+import (
+	"strings"
+	"testing"
+
+	"etlvirt/internal/ltype"
+	"etlvirt/internal/wire"
+)
+
+// example21 is the paper's Example 2.1 script, verbatim modulo quoting.
+const example21 = `
+.logon host/user,pass;
+.layout CustLayout;
+.field CUST_ID varchar(5);
+.field CUST_NAME varchar(50);
+.field JOIN_DATE varchar(10);
+.begin import tables PROD.CUSTOMER
+	errortables PROD.CUSTOMER_ET PROD.CUSTOMER_UV;
+.dml label InsApply;
+insert into PROD.CUSTOMER values (
+	trim(:CUST_ID), trim(:CUST_NAME),
+	cast(:JOIN_DATE as DATE format 'YYYY-MM-DD') );
+.import infile input.txt
+	format vartext '|' layout CustLayout
+	apply InsApply;
+.end load;
+`
+
+func TestParseExample21(t *testing.T) {
+	s, err := Parse(example21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Logon.Host != "host" || s.Logon.User != "user" || s.Logon.Password != "pass" {
+		t.Errorf("logon: %+v", s.Logon)
+	}
+	l, err := s.Layout("custlayout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Fields) != 3 || l.Fields[0].Name != "CUST_ID" || l.Fields[0].Type != ltype.VarChar(5) {
+		t.Errorf("layout: %+v", l)
+	}
+	if l.Fields[2].Type != ltype.VarChar(10) {
+		t.Errorf("JOIN_DATE type: %+v", l.Fields[2].Type)
+	}
+	if len(s.Steps) != 1 || s.Steps[0].Import == nil {
+		t.Fatalf("steps: %+v", s.Steps)
+	}
+	blk := s.Steps[0].Import
+	if blk.Table != "PROD.CUSTOMER" || blk.ErrTableET != "PROD.CUSTOMER_ET" || blk.ErrTableUV != "PROD.CUSTOMER_UV" {
+		t.Errorf("block: %+v", blk)
+	}
+	sql, ok := blk.DMLs["insapply"]
+	if !ok || !strings.Contains(sql, "cast(:JOIN_DATE as DATE format 'YYYY-MM-DD')") {
+		t.Errorf("dml: %q", sql)
+	}
+	imp := blk.Imports[0]
+	if imp.Infile != "input.txt" || imp.Format != wire.FormatVartext || imp.Delim != '|' ||
+		imp.LayoutName != "CustLayout" || imp.ApplyLabel != "InsApply" {
+		t.Errorf("import cmd: %+v", imp)
+	}
+}
+
+func TestParseImportOptions(t *testing.T) {
+	s, err := Parse(`
+.logon h/u,p;
+.layout L;
+.field A varchar(5);
+.begin import tables T errortables ET UV sessions 8 maxerrors 10 maxretries 5;
+.dml label X;
+insert into T values (:A);
+.import infile f format indicator layout L apply X;
+.end load;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := s.Steps[0].Import
+	if blk.Sessions != 8 || blk.MaxErrors != 10 || blk.MaxRetries != 5 {
+		t.Errorf("options: %+v", blk)
+	}
+	if blk.Imports[0].Format != wire.FormatIndicator {
+		t.Errorf("format: %v", blk.Imports[0].Format)
+	}
+}
+
+func TestParseExportBlock(t *testing.T) {
+	s, err := Parse(`
+.logon h/u,p;
+.begin export outfile out.txt format vartext ',' sessions 4;
+SELECT cust_id, cust_name FROM prod.customer WHERE cust_id > '100';
+.end export;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := s.Steps[0].Export
+	if blk == nil {
+		t.Fatal("no export step")
+	}
+	if blk.Outfile != "out.txt" || blk.Delim != ',' || blk.Sessions != 4 {
+		t.Errorf("export: %+v", blk)
+	}
+	if !strings.HasPrefix(blk.Query, "SELECT") {
+		t.Errorf("query: %q", blk.Query)
+	}
+}
+
+func TestParseRunAndMultipleSteps(t *testing.T) {
+	s, err := Parse(`
+.logon h/u,p;
+.run CREATE TABLE t (a INTEGER);
+.layout L;
+.field A varchar(5);
+.begin import tables t;
+.dml label X;
+insert into t values (:A);
+.import infile f layout L apply X;
+.end load;
+.begin export outfile o;
+SELECT * FROM t;
+.end export;
+.logoff;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Steps) != 3 {
+		t.Fatalf("steps: %d", len(s.Steps))
+	}
+	if s.Steps[0].SQL == "" || s.Steps[1].Import == nil || s.Steps[2].Export == nil {
+		t.Errorf("step kinds wrong: %+v", s.Steps)
+	}
+}
+
+func TestParseCommentsAndStrings(t *testing.T) {
+	s, err := Parse(`
+.logon h/u,p; -- trailing comment
+/* block
+   comment ; with semicolon */
+.layout L;
+.field A varchar(50);
+.begin import tables T;
+.dml label X;
+insert into T values (:A || 'semi;colon ''quoted''');
+.import infile f layout L apply X;
+.end load;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := s.Steps[0].Import.DMLs["x"]
+	if !strings.Contains(sql, "semi;colon 'quoted'") {
+		// Note: statement splitting preserves quotes; the '' stays escaped in
+		// the raw SQL text.
+		if !strings.Contains(sql, "semi;colon ''quoted''") {
+			t.Errorf("sql: %q", sql)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []struct {
+		name, src string
+	}{
+		{"no logon", ".layout L;"},
+		{"missing semicolon", ".logon h/u,p"},
+		{"bad logon", ".logon nope;"},
+		{"field outside layout", ".logon h/u,p;\n.field A varchar(5);"},
+		{"duplicate layout", ".logon h/u,p;\n.layout L;\n.field A varchar(5);\n.layout L;"},
+		{"bad type", ".logon h/u,p;\n.layout L;\n.field A wat(5);"},
+		{"dml outside block", ".logon h/u,p;\n.dml label X;"},
+		{"unknown command", ".logon h/u,p;\n.wat;"},
+		{"unclosed import", ".logon h/u,p;\n.layout L;\n.field A varchar(5);\n.begin import tables T;"},
+		{"dml without sql", ".logon h/u,p;\n.layout L;\n.field A varchar(5);\n.begin import tables T;\n.dml label X;\n.end load;"},
+		{"import no dml", ".logon h/u,p;\n.layout L;\n.field A varchar(5);\n.begin import tables T;\n.import infile f layout L apply X;\n.end load;"},
+		{"import undefined layout", ".logon h/u,p;\n.begin import tables T;\n.dml label X;\ninsert into T values (1);\n.import infile f layout NOPE apply X;\n.end load;"},
+		{"export no query", ".logon h/u,p;\n.begin export outfile o;\n.end export;"},
+		{"export two queries", ".logon h/u,p;\n.begin export outfile o;\nSELECT 1;\nSELECT 2;\n.end export;"},
+		{"bare sql", ".logon h/u,p;\nSELECT 1;"},
+		{"nested begin", ".logon h/u,p;\n.begin export outfile o;\n.begin export outfile p;"},
+		{"empty import block", ".logon h/u,p;\n.begin import tables T;\n.dml label X;\nINSERT INTO T VALUES (1);\n.end load;"},
+		{"bad sessions", ".logon h/u,p;\n.begin import tables T sessions abc;"},
+		{"unterminated string", ".logon h/u,p;\n.run SELECT 'oops;"},
+	}
+	for _, c := range bad {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestVartextDelimiterNotConfusedWithKeyword(t *testing.T) {
+	// single-char layout name must not be eaten as delimiter
+	s, err := Parse(`
+.logon h/u,p;
+.layout L;
+.field A varchar(5);
+.begin import tables T;
+.dml label X;
+insert into T values (:A);
+.import infile f format vartext layout L apply X;
+.end load;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := s.Steps[0].Import.Imports[0]
+	if imp.Delim != '|' {
+		t.Errorf("default delim: %q", imp.Delim)
+	}
+	if imp.LayoutName != "L" {
+		t.Errorf("layout name eaten: %q", imp.LayoutName)
+	}
+}

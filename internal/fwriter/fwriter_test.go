@@ -1,0 +1,146 @@
+package fwriter
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriterRotation(t *testing.T) {
+	fs := NewMemFS()
+	w := NewWriter(fs, Config{SizeThreshold: 100, NamePrefix: "s0-"})
+	chunk := bytes.Repeat([]byte("x"), 40)
+	for i := 0; i < 6; i++ { // 240 bytes -> rotations at >=100
+		if err := w.Write(chunk, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := w.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("got %d files: %+v", len(files), files)
+	}
+	if files[0].Name != "s0-part-00000.csv" || files[1].Name != "s0-part-00001.csv" {
+		t.Errorf("names: %+v", files)
+	}
+	if files[0].Raw != 120 || files[1].Raw != 120 {
+		t.Errorf("sizes: %+v", files)
+	}
+	if files[0].Rows != 3 || files[1].Rows != 3 {
+		t.Errorf("rows: %+v", files)
+	}
+	data, ok := fs.Bytes(files[0].Name)
+	if !ok || len(data) != 120 {
+		t.Errorf("stored bytes = %d", len(data))
+	}
+}
+
+func TestWriterGzip(t *testing.T) {
+	fs := NewMemFS()
+	w := NewWriter(fs, Config{SizeThreshold: 1 << 20, Gzip: true})
+	payload := bytes.Repeat([]byte("abcdef,123\n"), 1000)
+	if err := w.Write(payload, 1000); err != nil {
+		t.Fatal(err)
+	}
+	files, err := w.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("files = %+v", files)
+	}
+	f := files[0]
+	if !strings.HasSuffix(f.Name, ".csv.gz") {
+		t.Errorf("name = %q", f.Name)
+	}
+	if f.Bytes >= f.Raw {
+		t.Errorf("compression ineffective: %d >= %d", f.Bytes, f.Raw)
+	}
+	data, _ := fs.Bytes(f.Name)
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, payload) {
+		t.Error("gunzipped content mismatch")
+	}
+}
+
+func TestWriterTakeFinishedOverlapsUploads(t *testing.T) {
+	fs := NewMemFS()
+	w := NewWriter(fs, Config{SizeThreshold: 10})
+	w.Write([]byte("0123456789AB"), 1) // rotates immediately
+	got := w.TakeFinished()
+	if len(got) != 1 {
+		t.Fatalf("TakeFinished = %+v", got)
+	}
+	if more := w.TakeFinished(); len(more) != 0 {
+		t.Errorf("second take = %+v", more)
+	}
+	w.Write([]byte("more"), 1)
+	files, _ := w.Flush()
+	if len(files) != 1 {
+		t.Errorf("flush = %+v", files)
+	}
+}
+
+func TestWriterEmptyFlush(t *testing.T) {
+	w := NewWriter(NewMemFS(), Config{})
+	files, err := w.Flush()
+	if err != nil || len(files) != 0 {
+		t.Errorf("empty flush: %v %v", files, err)
+	}
+	// open-but-empty file discarded
+	w2 := NewWriter(NewMemFS(), Config{SizeThreshold: 100})
+	w2.Write(nil, 0)
+	files, err = w2.Flush()
+	if err != nil || len(files) != 0 {
+		t.Errorf("empty open flush: %v %v", files, err)
+	}
+}
+
+func TestOSFS(t *testing.T) {
+	dir := t.TempDir()
+	w := NewWriter(OSFS{Dir: dir}, Config{SizeThreshold: 8, NamePrefix: "x-"})
+	w.Write([]byte("0123456789"), 2)
+	files, err := w.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("files = %+v", files)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, files[0].Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "0123456789" {
+		t.Errorf("content = %q", data)
+	}
+}
+
+func TestMemFSDuplicateCreate(t *testing.T) {
+	fs := NewMemFS()
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := fs.Create("a"); err == nil {
+		t.Error("duplicate create accepted")
+	}
+	fs.Remove("a")
+	if _, err := fs.Create("a"); err != nil {
+		t.Errorf("create after remove: %v", err)
+	}
+}

@@ -1,0 +1,309 @@
+package ltype
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// RecordTerminator ends every indicator-mode record on the wire. The legacy
+// client uses it as a framing sanity check.
+const RecordTerminator = 0x0A
+
+// Record is one row of values matching a Layout.
+type Record []Value
+
+// EncodeRecord appends the indicator-mode binary encoding of rec to dst and
+// returns the extended slice. The format is:
+//
+//	uint16 LE  payload length (indicators + field bytes)
+//	indicator bitmap, ceil(nfields/8) bytes, MSB-first, bit set = NULL
+//	field values in layout order (NULL fields still occupy their fixed
+//	width with zero bytes; variable-length NULL fields encode length 0)
+//	terminator byte 0x0A
+func EncodeRecord(dst []byte, layout *Layout, rec Record) ([]byte, error) {
+	if len(rec) != len(layout.Fields) {
+		return dst, fmt.Errorf("ltype: record has %d values, layout %q has %d fields",
+			len(rec), layout.Name, len(layout.Fields))
+	}
+	lenPos := len(dst)
+	dst = append(dst, 0, 0) // payload length placeholder
+	start := len(dst)
+
+	nInd := (len(layout.Fields) + 7) / 8
+	indPos := len(dst)
+	for i := 0; i < nInd; i++ {
+		dst = append(dst, 0)
+	}
+	for i, f := range layout.Fields {
+		v := rec[i]
+		if v.Null {
+			dst[indPos+i/8] |= 0x80 >> (i % 8)
+		}
+		var err error
+		dst, err = encodeValue(dst, f.Type, v)
+		if err != nil {
+			return dst, fmt.Errorf("ltype: field %q: %w", f.Name, err)
+		}
+	}
+	payload := len(dst) - start
+	if payload > math.MaxUint16 {
+		return dst, fmt.Errorf("ltype: record payload %d exceeds 64KB", payload)
+	}
+	binary.LittleEndian.PutUint16(dst[lenPos:], uint16(payload))
+	dst = append(dst, RecordTerminator)
+	return dst, nil
+}
+
+func encodeValue(dst []byte, t Type, v Value) ([]byte, error) {
+	if !v.Null && v.Kind != t.Kind {
+		return dst, fmt.Errorf("value kind %s does not match field type %s", v.Kind, t.Kind)
+	}
+	switch t.Kind {
+	case KindByteInt:
+		return append(dst, byte(int8(v.I))), nil
+	case KindSmallInt:
+		return binary.LittleEndian.AppendUint16(dst, uint16(int16(v.I))), nil
+	case KindInteger, KindDate:
+		return binary.LittleEndian.AppendUint32(dst, uint32(int32(v.I))), nil
+	case KindTime:
+		return binary.LittleEndian.AppendUint32(dst, uint32(int32(v.I))), nil
+	case KindBigInt:
+		return binary.LittleEndian.AppendUint64(dst, uint64(v.I)), nil
+	case KindFloat:
+		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.F)), nil
+	case KindDecimal:
+		sz := DecimalWireSize(t.Precision)
+		u := uint64(v.I)
+		for i := 0; i < sz; i++ {
+			dst = append(dst, byte(u>>(8*i)))
+		}
+		return dst, nil
+	case KindChar:
+		s := v.S
+		if v.Null {
+			s = ""
+		}
+		if len(s) > t.Length {
+			return dst, fmt.Errorf("CHAR value of %d bytes exceeds length %d", len(s), t.Length)
+		}
+		dst = append(dst, s...)
+		for i := len(s); i < t.Length; i++ {
+			dst = append(dst, ' ')
+		}
+		return dst, nil
+	case KindTimestamp:
+		s := v.S
+		if v.Null {
+			s = ""
+		}
+		if len(s) > TimestampWidth {
+			return dst, fmt.Errorf("TIMESTAMP value of %d bytes exceeds width %d", len(s), TimestampWidth)
+		}
+		dst = append(dst, s...)
+		for i := len(s); i < TimestampWidth; i++ {
+			dst = append(dst, ' ')
+		}
+		return dst, nil
+	case KindVarChar:
+		s := v.S
+		if v.Null {
+			s = ""
+		}
+		if len(s) > t.Length {
+			return dst, fmt.Errorf("VARCHAR value of %d bytes exceeds length %d", len(s), t.Length)
+		}
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+		return append(dst, s...), nil
+	case KindByte:
+		b := v.B
+		if v.Null {
+			b = nil
+		}
+		if len(b) > t.Length {
+			return dst, fmt.Errorf("BYTE value of %d bytes exceeds length %d", len(b), t.Length)
+		}
+		dst = append(dst, b...)
+		for i := len(b); i < t.Length; i++ {
+			dst = append(dst, 0)
+		}
+		return dst, nil
+	case KindVarByte:
+		b := v.B
+		if v.Null {
+			b = nil
+		}
+		if len(b) > t.Length {
+			return dst, fmt.Errorf("VARBYTE value of %d bytes exceeds length %d", len(b), t.Length)
+		}
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(b)))
+		return append(dst, b...), nil
+	default:
+		return dst, fmt.Errorf("cannot encode kind %s", t.Kind)
+	}
+}
+
+// DecodeRecord decodes one indicator-mode record from buf, returning the
+// record and the number of bytes consumed. It returns an error if buf does
+// not start with a complete, well-formed record.
+func DecodeRecord(buf []byte, layout *Layout) (Record, int, error) {
+	if len(buf) < 2 {
+		return nil, 0, fmt.Errorf("ltype: truncated record: missing length prefix")
+	}
+	payload := int(binary.LittleEndian.Uint16(buf))
+	total := 2 + payload + 1
+	if len(buf) < total {
+		return nil, 0, fmt.Errorf("ltype: truncated record: need %d bytes, have %d", total, len(buf))
+	}
+	if buf[total-1] != RecordTerminator {
+		return nil, 0, fmt.Errorf("ltype: record missing terminator")
+	}
+	p := buf[2 : 2+payload]
+	nInd := (len(layout.Fields) + 7) / 8
+	if len(p) < nInd {
+		return nil, 0, fmt.Errorf("ltype: record too short for indicator bytes")
+	}
+	ind := p[:nInd]
+	p = p[nInd:]
+	rec := make(Record, len(layout.Fields))
+	for i, f := range layout.Fields {
+		null := ind[i/8]&(0x80>>(i%8)) != 0
+		v, rest, err := decodeValue(p, f.Type, null)
+		if err != nil {
+			return nil, 0, fmt.Errorf("ltype: field %q: %w", f.Name, err)
+		}
+		rec[i] = v
+		p = rest
+	}
+	if len(p) != 0 {
+		return nil, 0, fmt.Errorf("ltype: %d trailing bytes in record payload", len(p))
+	}
+	return rec, total, nil
+}
+
+func decodeValue(p []byte, t Type, null bool) (Value, []byte, error) {
+	need := func(n int) error {
+		if len(p) < n {
+			return fmt.Errorf("truncated %s value", t.Kind)
+		}
+		return nil
+	}
+	mk := func(v Value, n int) (Value, []byte, error) {
+		if null {
+			return NullValue(t.Kind), p[n:], nil
+		}
+		return v, p[n:], nil
+	}
+	switch t.Kind {
+	case KindByteInt:
+		if err := need(1); err != nil {
+			return Value{}, p, err
+		}
+		return mk(IntValue(t.Kind, int64(int8(p[0]))), 1)
+	case KindSmallInt:
+		if err := need(2); err != nil {
+			return Value{}, p, err
+		}
+		return mk(IntValue(t.Kind, int64(int16(binary.LittleEndian.Uint16(p)))), 2)
+	case KindInteger, KindDate, KindTime:
+		if err := need(4); err != nil {
+			return Value{}, p, err
+		}
+		return mk(IntValue(t.Kind, int64(int32(binary.LittleEndian.Uint32(p)))), 4)
+	case KindBigInt:
+		if err := need(8); err != nil {
+			return Value{}, p, err
+		}
+		return mk(IntValue(t.Kind, int64(binary.LittleEndian.Uint64(p))), 8)
+	case KindFloat:
+		if err := need(8); err != nil {
+			return Value{}, p, err
+		}
+		return mk(FloatValue(math.Float64frombits(binary.LittleEndian.Uint64(p))), 8)
+	case KindDecimal:
+		sz := DecimalWireSize(t.Precision)
+		if err := need(sz); err != nil {
+			return Value{}, p, err
+		}
+		var u uint64
+		for i := sz - 1; i >= 0; i-- {
+			u = u<<8 | uint64(p[i])
+		}
+		// sign-extend
+		shift := uint(64 - 8*sz)
+		iv := int64(u<<shift) >> shift
+		v := IntValue(KindDecimal, iv)
+		v.S = FormatDecimal(iv, t.Scale)
+		return mk(v, sz)
+	case KindChar:
+		if err := need(t.Length); err != nil {
+			return Value{}, p, err
+		}
+		return mk(StringValue(KindChar, strings.TrimRight(string(p[:t.Length]), " ")), t.Length)
+	case KindTimestamp:
+		if err := need(TimestampWidth); err != nil {
+			return Value{}, p, err
+		}
+		return mk(StringValue(KindTimestamp, strings.TrimRight(string(p[:TimestampWidth]), " ")), TimestampWidth)
+	case KindVarChar:
+		if err := need(2); err != nil {
+			return Value{}, p, err
+		}
+		n := int(binary.LittleEndian.Uint16(p))
+		if err := need(2 + n); err != nil {
+			return Value{}, p, err
+		}
+		if n > t.Length {
+			return Value{}, p, fmt.Errorf("VARCHAR length %d exceeds declared %d", n, t.Length)
+		}
+		return mk(StringValue(KindVarChar, string(p[2:2+n])), 2+n)
+	case KindByte:
+		if err := need(t.Length); err != nil {
+			return Value{}, p, err
+		}
+		b := make([]byte, t.Length)
+		copy(b, p[:t.Length])
+		return mk(BytesValue(KindByte, b), t.Length)
+	case KindVarByte:
+		if err := need(2); err != nil {
+			return Value{}, p, err
+		}
+		n := int(binary.LittleEndian.Uint16(p))
+		if err := need(2 + n); err != nil {
+			return Value{}, p, err
+		}
+		if n > t.Length {
+			return Value{}, p, fmt.Errorf("VARBYTE length %d exceeds declared %d", n, t.Length)
+		}
+		b := make([]byte, n)
+		copy(b, p[2:2+n])
+		return mk(BytesValue(KindVarByte, b), 2+n)
+	default:
+		return Value{}, p, fmt.Errorf("cannot decode kind %s", t.Kind)
+	}
+}
+
+// CountRecords scans a chunk payload and returns the number of complete
+// indicator-mode records it contains, without materializing values. This is
+// the "minimal processing" the virtualizer performs before acknowledging a
+// chunk (§5): framing validation only.
+func CountRecords(buf []byte) (int, error) {
+	n := 0
+	for len(buf) > 0 {
+		if len(buf) < 2 {
+			return n, fmt.Errorf("ltype: truncated record length prefix")
+		}
+		payload := int(binary.LittleEndian.Uint16(buf))
+		total := 2 + payload + 1
+		if len(buf) < total {
+			return n, fmt.Errorf("ltype: truncated record")
+		}
+		if buf[total-1] != RecordTerminator {
+			return n, fmt.Errorf("ltype: record %d missing terminator", n)
+		}
+		buf = buf[total:]
+		n++
+	}
+	return n, nil
+}

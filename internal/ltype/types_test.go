@@ -1,0 +1,361 @@
+package ltype
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTypeName(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Type
+	}{
+		{"varchar(5)", VarChar(5)},
+		{"VARCHAR(50)", VarChar(50)},
+		{"char(8)", Char(8)},
+		{"CHARACTER(3)", Char(3)},
+		{"byteint", Simple(KindByteInt)},
+		{"SMALLINT", Simple(KindSmallInt)},
+		{"integer", Simple(KindInteger)},
+		{"INT", Simple(KindInteger)},
+		{"BIGINT", Simple(KindBigInt)},
+		{"float", Simple(KindFloat)},
+		{"DATE", Simple(KindDate)},
+		{"time", Simple(KindTime)},
+		{"TIMESTAMP", Simple(KindTimestamp)},
+		{"DECIMAL(10,2)", Decimal(10, 2)},
+		{"decimal(7)", Decimal(7, 0)},
+		{"NUMERIC(18,4)", Decimal(18, 4)},
+		{"DEC", Decimal(5, 0)},
+		{"BYTE(4)", Type{Kind: KindByte, Length: 4}},
+		{"VARBYTE(100)", Type{Kind: KindVarByte, Length: 100}},
+		{"VARCHAR(10) CHARACTER SET UNICODE", Type{Kind: KindVarChar, Length: 10, CharSet: CharSetUnicode}},
+		{"CHAR(2) CHARACTER SET LATIN", Char(2)},
+	}
+	for _, c := range cases {
+		got, err := ParseTypeName(c.in)
+		if err != nil {
+			t.Errorf("ParseTypeName(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseTypeName(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseTypeNameErrors(t *testing.T) {
+	bad := []string{
+		"", "FOO", "VARCHAR", "VARBYTE", "VARCHAR(0)", "VARCHAR(999999)",
+		"DECIMAL(0)", "DECIMAL(19)", "DECIMAL(5,6)", "VARCHAR(abc)",
+		"INTEGER CHARACTER SET UNICODE", "VARCHAR)5(",
+	}
+	for _, s := range bad {
+		if _, err := ParseTypeName(s); err == nil {
+			t.Errorf("ParseTypeName(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := []struct {
+		t    Type
+		want string
+	}{
+		{VarChar(5), "VARCHAR(5)"},
+		{Char(3), "CHAR(3)"},
+		{Decimal(10, 2), "DECIMAL(10,2)"},
+		{Simple(KindDate), "DATE"},
+		{Type{Kind: KindVarChar, Length: 9, CharSet: CharSetUnicode}, "VARCHAR(9) CHARACTER SET UNICODE"},
+		{Type{Kind: KindVarByte, Length: 7}, "VARBYTE(7)"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.t, got, c.want)
+		}
+	}
+}
+
+func TestTypeRoundTripThroughString(t *testing.T) {
+	types := []Type{
+		VarChar(5), Char(12), Decimal(18, 6), Simple(KindByteInt),
+		Simple(KindBigInt), Simple(KindFloat), Simple(KindDate),
+		Simple(KindTime), Simple(KindTimestamp),
+		{Kind: KindChar, Length: 4, CharSet: CharSetUnicode},
+		{Kind: KindByte, Length: 2}, {Kind: KindVarByte, Length: 3},
+	}
+	for _, ty := range types {
+		back, err := ParseTypeName(ty.String())
+		if err != nil {
+			t.Fatalf("ParseTypeName(%q): %v", ty.String(), err)
+		}
+		if back != ty {
+			t.Errorf("round trip %q: got %+v want %+v", ty.String(), back, ty)
+		}
+	}
+}
+
+func TestFixedWireSize(t *testing.T) {
+	cases := []struct {
+		t     Type
+		size  int
+		fixed bool
+	}{
+		{Simple(KindByteInt), 1, true},
+		{Simple(KindSmallInt), 2, true},
+		{Simple(KindInteger), 4, true},
+		{Simple(KindBigInt), 8, true},
+		{Simple(KindFloat), 8, true},
+		{Simple(KindDate), 4, true},
+		{Simple(KindTime), 4, true},
+		{Simple(KindTimestamp), 19, true},
+		{Decimal(2, 0), 1, true},
+		{Decimal(4, 2), 2, true},
+		{Decimal(9, 0), 4, true},
+		{Decimal(18, 6), 8, true},
+		{Char(7), 7, true},
+		{Type{Kind: KindByte, Length: 5}, 5, true},
+		{VarChar(10), 0, false},
+		{Type{Kind: KindVarByte, Length: 10}, 0, false},
+	}
+	for _, c := range cases {
+		sz, fixed := c.t.FixedWireSize()
+		if sz != c.size || fixed != c.fixed {
+			t.Errorf("%s.FixedWireSize() = (%d,%v), want (%d,%v)", c.t, sz, fixed, c.size, c.fixed)
+		}
+	}
+}
+
+func TestLayoutValidate(t *testing.T) {
+	good := Layout{Name: "L", Fields: []Field{
+		{Name: "A", Type: VarChar(5)},
+		{Name: "B", Type: Simple(KindInteger)},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid layout rejected: %v", err)
+	}
+	dup := Layout{Name: "L", Fields: []Field{
+		{Name: "A", Type: VarChar(5)},
+		{Name: "a", Type: VarChar(5)},
+	}}
+	if err := dup.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate field not detected: %v", err)
+	}
+	empty := Layout{Name: "E"}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty layout accepted")
+	}
+	unnamed := Layout{Name: "U", Fields: []Field{{Type: VarChar(5)}}}
+	if err := unnamed.Validate(); err == nil {
+		t.Error("unnamed field accepted")
+	}
+	badType := Layout{Name: "B", Fields: []Field{{Name: "X", Type: VarChar(0)}}}
+	if err := badType.Validate(); err == nil {
+		t.Error("invalid field type accepted")
+	}
+}
+
+func TestLayoutFieldIndex(t *testing.T) {
+	l := Layout{Name: "L", Fields: []Field{
+		{Name: "CUST_ID", Type: VarChar(5)},
+		{Name: "CUST_NAME", Type: VarChar(50)},
+	}}
+	if i := l.FieldIndex("cust_name"); i != 1 {
+		t.Errorf("FieldIndex(cust_name) = %d, want 1", i)
+	}
+	if i := l.FieldIndex("CUST_ID"); i != 0 {
+		t.Errorf("FieldIndex(CUST_ID) = %d, want 0", i)
+	}
+	if i := l.FieldIndex("NOPE"); i != -1 {
+		t.Errorf("FieldIndex(NOPE) = %d, want -1", i)
+	}
+}
+
+func TestLegacyDateCodec(t *testing.T) {
+	cases := []struct {
+		y, m, d int
+		enc     int64
+	}{
+		{2012, 1, 1, 1120101},
+		{2012, 12, 1, 1121201},
+		{1900, 1, 1, 101},
+		{1899, 12, 31, -8769}, // pre-epoch
+		{2100, 6, 15, 2000615},
+	}
+	for _, c := range cases {
+		enc := EncodeLegacyDate(c.y, c.m, c.d)
+		if enc != c.enc {
+			t.Errorf("EncodeLegacyDate(%d,%d,%d) = %d, want %d", c.y, c.m, c.d, enc, c.enc)
+		}
+		y, m, d := DecodeLegacyDate(enc)
+		if y != c.y || m != c.m || d != c.d {
+			t.Errorf("DecodeLegacyDate(%d) = (%d,%d,%d), want (%d,%d,%d)", enc, y, m, d, c.y, c.m, c.d)
+		}
+	}
+}
+
+func TestValidLegacyDate(t *testing.T) {
+	if !ValidLegacyDate(EncodeLegacyDate(2024, 2, 29)) {
+		t.Error("2024-02-29 should be valid (leap year)")
+	}
+	if ValidLegacyDate(EncodeLegacyDate(2023, 2, 29)) {
+		t.Error("2023-02-29 should be invalid")
+	}
+	if ValidLegacyDate(EncodeLegacyDate(2023, 13, 1)) {
+		t.Error("month 13 should be invalid")
+	}
+	if ValidLegacyDate(EncodeLegacyDate(2023, 4, 31)) {
+		t.Error("2023-04-31 should be invalid")
+	}
+	if !ValidLegacyDate(EncodeLegacyDate(2023, 4, 30)) {
+		t.Error("2023-04-30 should be valid")
+	}
+}
+
+func TestDecimalFormatParse(t *testing.T) {
+	cases := []struct {
+		unscaled int64
+		scale    int
+		want     string
+	}{
+		{12345, 2, "123.45"},
+		{-12345, 2, "-123.45"},
+		{5, 2, "0.05"},
+		{-5, 2, "-0.05"},
+		{0, 2, "0.00"},
+		{42, 0, "42"},
+		{1, 4, "0.0001"},
+	}
+	for _, c := range cases {
+		got := FormatDecimal(c.unscaled, c.scale)
+		if got != c.want {
+			t.Errorf("FormatDecimal(%d,%d) = %q, want %q", c.unscaled, c.scale, got, c.want)
+		}
+		back, err := ParseDecimal(got, 18, c.scale)
+		if err != nil {
+			t.Errorf("ParseDecimal(%q): %v", got, err)
+			continue
+		}
+		if back != c.unscaled {
+			t.Errorf("ParseDecimal(%q) = %d, want %d", got, back, c.unscaled)
+		}
+	}
+}
+
+func TestParseDecimalRounding(t *testing.T) {
+	got, err := ParseDecimal("1.005", 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 101 { // rounds half away from zero
+		t.Errorf("ParseDecimal(1.005, scale 2) = %d, want 101", got)
+	}
+	got, err = ParseDecimal("1.004", 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 100 {
+		t.Errorf("ParseDecimal(1.004, scale 2) = %d, want 100", got)
+	}
+}
+
+func TestParseDecimalErrors(t *testing.T) {
+	bad := []string{"", "abc", "1.2.3", "--5", ".", "12345678901234567890", "1e5"}
+	for _, s := range bad {
+		if _, err := ParseDecimal(s, 18, 2); err == nil {
+			t.Errorf("ParseDecimal(%q) succeeded, want error", s)
+		}
+	}
+	if _, err := ParseDecimal("1000", 3, 0); err == nil {
+		t.Error("precision overflow not detected")
+	}
+}
+
+func TestParseText(t *testing.T) {
+	v, err := ParseText("42", Simple(KindInteger))
+	if err != nil || v.I != 42 || v.Null {
+		t.Errorf("ParseText int: %+v, %v", v, err)
+	}
+	v, err = ParseText("", Simple(KindInteger))
+	if err != nil || !v.Null {
+		t.Errorf("empty should parse to NULL: %+v, %v", v, err)
+	}
+	v, err = ParseText("2012-01-01", Simple(KindDate))
+	if err != nil || v.I != 1120101 {
+		t.Errorf("ParseText date: %+v, %v", v, err)
+	}
+	if _, err = ParseText("xxxx", Simple(KindDate)); err == nil {
+		t.Error("bad date accepted")
+	}
+	if _, err = ParseText("2023-02-30", Simple(KindDate)); err == nil {
+		t.Error("invalid calendar date accepted")
+	}
+	v, err = ParseText("12:34:56", Simple(KindTime))
+	if err != nil || v.I != 12*3600+34*60+56 {
+		t.Errorf("ParseText time: %+v, %v", v, err)
+	}
+	if _, err = ParseText("25:00:00", Simple(KindTime)); err == nil {
+		t.Error("out-of-range time accepted")
+	}
+	if _, err = ParseText("128", Simple(KindByteInt)); err == nil {
+		t.Error("BYTEINT overflow accepted")
+	}
+	if _, err = ParseText("40000", Simple(KindSmallInt)); err == nil {
+		t.Error("SMALLINT overflow accepted")
+	}
+	if _, err = ParseText("toolongvalue", VarChar(3)); err == nil {
+		t.Error("VARCHAR overflow accepted")
+	}
+	v, err = ParseText("3.14", Simple(KindFloat))
+	if err != nil || v.F != 3.14 {
+		t.Errorf("ParseText float: %+v, %v", v, err)
+	}
+	v, err = ParseText("deadBEEF", Type{Kind: KindVarByte, Length: 8})
+	if err != nil || len(v.B) != 4 {
+		t.Errorf("ParseText varbyte: %+v, %v", v, err)
+	}
+	if _, err = ParseText("xyz", Type{Kind: KindVarByte, Length: 8}); err == nil {
+		t.Error("bad hex accepted")
+	}
+}
+
+func TestValueText(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{IntValue(KindInteger, -7), "-7"},
+		{FloatValue(2.5), "2.5"},
+		{StringValue(KindVarChar, "hi"), "hi"},
+		{IntValue(KindDate, 1120101), "2012-01-01"},
+		{IntValue(KindTime, 3661), "01:01:01"},
+		{NullValue(KindInteger), ""},
+		{BytesValue(KindVarByte, []byte{0xDE, 0xAD}), "DEAD"},
+	}
+	for _, c := range cases {
+		if got := c.v.Text(); got != c.want {
+			t.Errorf("%+v.Text() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !NullValue(KindInteger).Equal(NullValue(KindInteger)) {
+		t.Error("NULLs of same kind should be layout-equal")
+	}
+	if NullValue(KindInteger).Equal(NullValue(KindDate)) {
+		t.Error("NULLs of different kinds should differ")
+	}
+	if !IntValue(KindInteger, 5).Equal(IntValue(KindInteger, 5)) {
+		t.Error("equal ints should be equal")
+	}
+	if IntValue(KindInteger, 5).Equal(NullValue(KindInteger)) {
+		t.Error("value vs NULL should differ")
+	}
+	if !FloatValue(1.5).Equal(FloatValue(1.5)) {
+		t.Error("equal floats should be equal")
+	}
+	if !BytesValue(KindByte, []byte{1}).Equal(BytesValue(KindByte, []byte{1})) {
+		t.Error("equal bytes should be equal")
+	}
+}

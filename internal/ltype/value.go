@@ -1,0 +1,342 @@
+package ltype
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Value is a single legacy field value. The zero Value is NULL of an invalid
+// kind. Exactly one of the payload fields is meaningful, selected by Kind:
+// integers, DATE and TIME use I, DECIMAL uses I as the unscaled value, FLOAT
+// uses F, character and TIMESTAMP types use S, binary types use B.
+type Value struct {
+	Kind Kind
+	Null bool
+	I    int64
+	F    float64
+	S    string
+	B    []byte
+}
+
+// NullValue returns a NULL value of kind k.
+func NullValue(k Kind) Value { return Value{Kind: k, Null: true} }
+
+// IntValue returns an integer-kinded value.
+func IntValue(k Kind, v int64) Value { return Value{Kind: k, I: v} }
+
+// FloatValue returns a FLOAT value.
+func FloatValue(v float64) Value { return Value{Kind: KindFloat, F: v} }
+
+// StringValue returns a character-kinded value.
+func StringValue(k Kind, s string) Value { return Value{Kind: k, S: s} }
+
+// BytesValue returns a binary-kinded value.
+func BytesValue(k Kind, b []byte) Value { return Value{Kind: k, B: b} }
+
+// DateValue returns a DATE value for the given calendar date using the legacy
+// integer encoding.
+func DateValue(year, month, day int) Value {
+	return Value{Kind: KindDate, I: EncodeLegacyDate(year, month, day)}
+}
+
+// EncodeLegacyDate converts a calendar date to the legacy integer encoding
+// (year-1900)*10000 + month*100 + day.
+func EncodeLegacyDate(year, month, day int) int64 {
+	return int64(year-1900)*10000 + int64(month)*100 + int64(day)
+}
+
+// DecodeLegacyDate is the inverse of EncodeLegacyDate.
+func DecodeLegacyDate(v int64) (year, month, day int) {
+	year = int(v/10000) + 1900
+	rem := v % 10000
+	if rem < 0 {
+		rem += 10000
+		year--
+	}
+	return year, int(rem / 100), int(rem % 100)
+}
+
+// ValidLegacyDate reports whether v decodes to a real calendar date.
+func ValidLegacyDate(v int64) bool {
+	y, m, d := DecodeLegacyDate(v)
+	if m < 1 || m > 12 || d < 1 {
+		return false
+	}
+	t := time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC)
+	return t.Year() == y && int(t.Month()) == m && t.Day() == d
+}
+
+// Equal reports deep equality of two values, treating NULLs of the same kind
+// as equal (this is layout equality, not SQL three-valued equality).
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind || v.Null != o.Null {
+		return false
+	}
+	if v.Null {
+		return true
+	}
+	switch v.Kind {
+	case KindFloat:
+		return v.F == o.F || (math.IsNaN(v.F) && math.IsNaN(o.F))
+	case KindChar, KindVarChar, KindTimestamp:
+		return v.S == o.S
+	case KindByte, KindVarByte:
+		return string(v.B) == string(o.B)
+	default:
+		return v.I == o.I
+	}
+}
+
+// Text formats the value as legacy client text, as it would appear in a
+// vartext export file or an error-table dump. NULL renders as the empty
+// string; callers that need an explicit marker handle NULL themselves.
+func (v Value) Text() string {
+	if v.Null {
+		return ""
+	}
+	switch v.Kind {
+	case KindByteInt, KindSmallInt, KindInteger, KindBigInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindDecimal:
+		return v.S // formatted at parse time when scale known; see FormatDecimal
+	case KindChar, KindVarChar, KindTimestamp:
+		return v.S
+	case KindDate:
+		y, m, d := DecodeLegacyDate(v.I)
+		return fmt.Sprintf("%04d-%02d-%02d", y, m, d)
+	case KindTime:
+		sec := v.I
+		return fmt.Sprintf("%02d:%02d:%02d", sec/3600, (sec/60)%60, sec%60)
+	case KindByte, KindVarByte:
+		const hexdigits = "0123456789ABCDEF"
+		var sb strings.Builder
+		for _, b := range v.B {
+			sb.WriteByte(hexdigits[b>>4])
+			sb.WriteByte(hexdigits[b&0xF])
+		}
+		return sb.String()
+	default:
+		return ""
+	}
+}
+
+// FormatDecimal renders an unscaled decimal integer with the given scale,
+// e.g. (12345, 2) -> "123.45".
+func FormatDecimal(unscaled int64, scale int) string {
+	if scale <= 0 {
+		return strconv.FormatInt(unscaled, 10)
+	}
+	neg := unscaled < 0
+	u := unscaled
+	if neg {
+		u = -u
+	}
+	s := strconv.FormatInt(u, 10)
+	for len(s) <= scale {
+		s = "0" + s
+	}
+	out := s[:len(s)-scale] + "." + s[len(s)-scale:]
+	if neg {
+		out = "-" + out
+	}
+	return out
+}
+
+// ParseDecimal parses a decimal string into an unscaled integer at the given
+// precision and scale, rounding half away from zero when the input has more
+// fraction digits than the scale.
+func ParseDecimal(s string, precision, scale int) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("ltype: empty decimal")
+	}
+	neg := false
+	switch s[0] {
+	case '-':
+		neg, s = true, s[1:]
+	case '+':
+		s = s[1:]
+	}
+	intPart, fracPart := s, ""
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		intPart, fracPart = s[:i], s[i+1:]
+	}
+	if intPart == "" && fracPart == "" {
+		return 0, fmt.Errorf("ltype: malformed decimal %q", s)
+	}
+	for _, r := range intPart + fracPart {
+		if r < '0' || r > '9' {
+			return 0, fmt.Errorf("ltype: malformed decimal %q", s)
+		}
+	}
+	// Normalize fraction to exactly `scale` digits, with one extra digit kept
+	// for rounding.
+	round := int64(0)
+	if len(fracPart) > scale {
+		if fracPart[scale] >= '5' {
+			round = 1
+		}
+		fracPart = fracPart[:scale]
+	}
+	for len(fracPart) < scale {
+		fracPart += "0"
+	}
+	digits := strings.TrimLeft(intPart+fracPart, "0")
+	if digits == "" {
+		digits = "0"
+	}
+	if len(digits) > 18 {
+		return 0, fmt.Errorf("ltype: decimal %q overflows 18 digits", s)
+	}
+	u, err := strconv.ParseInt(digits, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("ltype: malformed decimal %q", s)
+	}
+	u += round
+	if maxAbs := pow10(precision) - 1; u > maxAbs {
+		return 0, fmt.Errorf("ltype: decimal %q exceeds precision %d", s, precision)
+	}
+	if neg {
+		u = -u
+	}
+	return u, nil
+}
+
+func pow10(n int) int64 {
+	v := int64(1)
+	for i := 0; i < n && i < 19; i++ {
+		v *= 10
+	}
+	return v
+}
+
+// ParseText parses legacy client text into a value of type t. It implements
+// the conversions the legacy client applies when reading vartext input with a
+// typed layout. An empty string yields NULL for non-character types and for
+// character types too (vartext convention: empty field means NULL).
+func ParseText(s string, t Type) (Value, error) {
+	if s == "" {
+		return NullValue(t.Kind), nil
+	}
+	switch t.Kind {
+	case KindByteInt, KindSmallInt, KindInteger, KindBigInt:
+		n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("ltype: bad integer %q: %w", s, err)
+		}
+		if err := checkIntRange(t.Kind, n); err != nil {
+			return Value{}, err
+		}
+		return IntValue(t.Kind, n), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("ltype: bad float %q: %w", s, err)
+		}
+		return FloatValue(f), nil
+	case KindDecimal:
+		u, err := ParseDecimal(s, t.Precision, t.Scale)
+		if err != nil {
+			return Value{}, err
+		}
+		v := IntValue(KindDecimal, u)
+		v.S = FormatDecimal(u, t.Scale)
+		return v, nil
+	case KindChar:
+		if len(s) > t.Length {
+			return Value{}, fmt.Errorf("ltype: value %q exceeds CHAR(%d)", s, t.Length)
+		}
+		return StringValue(KindChar, s), nil
+	case KindVarChar:
+		if len(s) > t.Length {
+			return Value{}, fmt.Errorf("ltype: value %q exceeds VARCHAR(%d)", s, t.Length)
+		}
+		return StringValue(KindVarChar, s), nil
+	case KindDate:
+		var y, m, d int
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d-%d-%d", &y, &m, &d); err != nil {
+			return Value{}, fmt.Errorf("ltype: bad date %q", s)
+		}
+		v := EncodeLegacyDate(y, m, d)
+		if !ValidLegacyDate(v) {
+			return Value{}, fmt.Errorf("ltype: invalid calendar date %q", s)
+		}
+		return IntValue(KindDate, v), nil
+	case KindTime:
+		var h, mi, sec int
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d:%d:%d", &h, &mi, &sec); err != nil {
+			return Value{}, fmt.Errorf("ltype: bad time %q", s)
+		}
+		if h < 0 || h > 23 || mi < 0 || mi > 59 || sec < 0 || sec > 59 {
+			return Value{}, fmt.Errorf("ltype: time %q out of range", s)
+		}
+		return IntValue(KindTime, int64(h*3600+mi*60+sec)), nil
+	case KindTimestamp:
+		if len(s) != TimestampWidth {
+			return Value{}, fmt.Errorf("ltype: bad timestamp %q", s)
+		}
+		return StringValue(KindTimestamp, s), nil
+	case KindByte, KindVarByte:
+		b, err := parseHex(s)
+		if err != nil {
+			return Value{}, err
+		}
+		if len(b) > t.Length {
+			return Value{}, fmt.Errorf("ltype: value exceeds %s(%d)", t.Kind, t.Length)
+		}
+		return BytesValue(t.Kind, b), nil
+	default:
+		return Value{}, fmt.Errorf("ltype: cannot parse text into %s", t.Kind)
+	}
+}
+
+func checkIntRange(k Kind, n int64) error {
+	var lo, hi int64
+	switch k {
+	case KindByteInt:
+		lo, hi = math.MinInt8, math.MaxInt8
+	case KindSmallInt:
+		lo, hi = math.MinInt16, math.MaxInt16
+	case KindInteger:
+		lo, hi = math.MinInt32, math.MaxInt32
+	default:
+		return nil
+	}
+	if n < lo || n > hi {
+		return fmt.Errorf("ltype: %d out of range for %s", n, k)
+	}
+	return nil
+}
+
+func parseHex(s string) ([]byte, error) {
+	if len(s)%2 != 0 {
+		return nil, fmt.Errorf("ltype: odd-length hex %q", s)
+	}
+	out := make([]byte, len(s)/2)
+	for i := 0; i < len(out); i++ {
+		hi, ok1 := hexVal(s[2*i])
+		lo, ok2 := hexVal(s[2*i+1])
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("ltype: bad hex %q", s)
+		}
+		out[i] = hi<<4 | lo
+	}
+	return out, nil
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}

@@ -1,0 +1,125 @@
+package ltype
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// Vartext is the delimiter-separated text record format of legacy load
+// utilities ("FORMAT VARTEXT '|'"). Every field is transported as text; an
+// empty field denotes NULL. A backslash escapes the delimiter, backslash
+// itself, and newline inside field data.
+//
+// Vartext input requires every layout field to be a character type; the
+// legacy client rejects scripts that declare numeric fields for vartext
+// files, mirroring the real utilities.
+
+// VartextRecord splits one vartext line into raw field strings, honoring
+// backslash escapes. It does not validate against a layout.
+func VartextRecord(line string, delim byte) []string {
+	var fields []string
+	var cur strings.Builder
+	esc := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case esc:
+			cur.WriteByte(c)
+			esc = false
+		case c == '\\':
+			esc = true
+		case c == delim:
+			fields = append(fields, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if esc {
+		cur.WriteByte('\\') // trailing lone backslash is literal
+	}
+	fields = append(fields, cur.String())
+	return fields
+}
+
+// AppendVartext appends the vartext encoding of the raw field strings to dst
+// with the given delimiter and a trailing newline.
+func AppendVartext(dst []byte, fields []string, delim byte) []byte {
+	for i, f := range fields {
+		if i > 0 {
+			dst = append(dst, delim)
+		}
+		for j := 0; j < len(f); j++ {
+			c := f[j]
+			if c == delim || c == '\\' || c == '\n' {
+				dst = append(dst, '\\')
+			}
+			dst = append(dst, c)
+		}
+	}
+	return append(dst, '\n')
+}
+
+// ParseVartextRecord converts one vartext line into a Record for the layout.
+// The field count must match the layout exactly; this is the classic "wrong
+// number of fields" data error of §7.
+func ParseVartextRecord(line string, delim byte, layout *Layout) (Record, error) {
+	fields := VartextRecord(line, delim)
+	if len(fields) != len(layout.Fields) {
+		return nil, fmt.Errorf("ltype: vartext record has %d fields, layout %q expects %d",
+			len(fields), layout.Name, len(layout.Fields))
+	}
+	rec := make(Record, len(fields))
+	for i, f := range layout.Fields {
+		v, err := ParseText(fields[i], f.Type)
+		if err != nil {
+			return nil, fmt.Errorf("ltype: field %q: %w", f.Name, err)
+		}
+		rec[i] = v
+	}
+	return rec, nil
+}
+
+// ValidateVartextLayout checks that a layout is usable with vartext input:
+// every field must be CHAR or VARCHAR.
+func ValidateVartextLayout(layout *Layout) error {
+	for _, f := range layout.Fields {
+		if f.Type.Kind != KindChar && f.Type.Kind != KindVarChar {
+			return fmt.Errorf("ltype: vartext layout %q: field %q has non-character type %s",
+				layout.Name, f.Name, f.Type)
+		}
+	}
+	return nil
+}
+
+// SplitVartextLines splits file contents into lines, tolerating a missing
+// final newline and both \n and \r\n line endings. Escaped newlines inside a
+// field (backslash immediately before the newline) do not split.
+func SplitVartextLines(data []byte) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(data); i++ {
+		if data[i] != '\n' {
+			continue
+		}
+		// Count the run of backslashes immediately preceding the newline; an
+		// odd count means the newline is escaped.
+		bs := 0
+		for j := i - 1; j >= start && data[j] == '\\'; j-- {
+			bs++
+		}
+		if bs%2 == 1 {
+			continue
+		}
+		line := data[start:i]
+		line = bytes.TrimSuffix(line, []byte{'\r'})
+		lines = append(lines, string(line))
+		start = i + 1
+	}
+	if start < len(data) {
+		line := bytes.TrimSuffix(data[start:], []byte{'\r'})
+		lines = append(lines, string(line))
+	}
+	return lines
+}

@@ -1,0 +1,149 @@
+package sqlparse
+
+import (
+	"reflect"
+	"testing"
+)
+
+// roundTrip asserts print(parse(src)) reaches a fixpoint: parsing the printed
+// text and printing again yields identical text and an equal AST.
+func roundTrip(t *testing.T, src string, d Dialect) string {
+	t.Helper()
+	s1, err := Parse(src, d)
+	if err != nil {
+		t.Fatalf("parse 1 (%q): %v", src, err)
+	}
+	p1, err := Print(s1, d)
+	if err != nil {
+		t.Fatalf("print 1 (%q): %v", src, err)
+	}
+	s2, err := Parse(p1, d)
+	if err != nil {
+		t.Fatalf("parse 2 (%q -> %q): %v", src, p1, err)
+	}
+	p2, err := Print(s2, d)
+	if err != nil {
+		t.Fatalf("print 2: %v", err)
+	}
+	if p1 != p2 {
+		t.Errorf("print not a fixpoint:\n 1: %s\n 2: %s", p1, p2)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Errorf("AST changed across round trip for %q:\n%s", src, p1)
+	}
+	return p1
+}
+
+func TestPrintRoundTrips(t *testing.T) {
+	legacy := []string{
+		"SELECT * FROM t",
+		"SEL TOP 3 a, b AS c FROM prod.t WHERE a > 1",
+		"insert into PROD.CUSTOMER values (trim(:CUST_ID), trim(:CUST_NAME), cast(:JOIN_DATE as DATE format 'YYYY-MM-DD'))",
+		"UPDATE tgt FROM stage s SET v = s.v, w = s.w + 1 WHERE tgt.k = s.k",
+		"DELETE FROM t WHERE x IS NULL",
+		"CREATE TABLE t (a VARCHAR(5) CHARACTER SET UNICODE NOT NULL, b DECIMAL(10,2) DEFAULT 0, PRIMARY KEY (a))",
+		"SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END FROM t",
+		"SELECT a MOD 2, b ** 2 ** 3, 'it''s' FROM t",
+		"SELECT cast(x as CHAR(3)) FROM t WHERE d = DATE '2020-02-29'",
+	}
+	for _, src := range legacy {
+		roundTrip(t, src, DialectLegacy)
+	}
+	cdw := []string{
+		"SELECT DISTINCT a, count(*) AS n FROM t GROUP BY a HAVING count(*) > 1 ORDER BY n DESC LIMIT 5",
+		"SELECT t.*, u.x FROM t LEFT JOIN u ON t.k = u.k CROSS JOIN v",
+		"INSERT INTO tgt (a, b) SELECT x, y FROM src",
+		"INSERT INTO t VALUES (1, 'a'), (2, NULL)",
+		"UPDATE tgt SET v = s.v FROM stage s WHERE tgt.k = s.k AND s.n BETWEEN 1 AND 5",
+		"DELETE FROM tgt t USING stage s WHERE t.k = s.k",
+		"COPY INTO stage FROM 'store://x/' OPTIONS (format 'csv', gzip 'true')",
+		"SELECT * FROM (SELECT a FROM t WHERE a IN (1, 2)) d WHERE EXISTS (SELECT 1 FROM u)",
+		"SELECT x - (y - z), x - y - z, -x + 4, a / (b / c) FROM t",
+		"SELECT \"weird name\", \"select\" FROM \"my table\"",
+		"TRUNCATE TABLE t",
+		"DROP TABLE IF EXISTS s.t",
+		"SELECT x FROM t WHERE NOT (a AND b) OR c",
+		"SELECT to_date(s, 'YYYY-MM-DD') FROM t",
+		"SELECT 1.5, 2.0, 1e9, 0.25 FROM t",
+	}
+	for _, src := range cdw {
+		roundTrip(t, src, DialectCDW)
+	}
+}
+
+func TestPrintPreservesEvaluationOrder(t *testing.T) {
+	// a - (b + c) must keep parens.
+	got := roundTrip(t, "SELECT a - (b + c) FROM t", DialectCDW)
+	if got != "SELECT a - (b + c) FROM t" {
+		t.Errorf("got %q", got)
+	}
+	got = roundTrip(t, "SELECT (a + b) * c FROM t", DialectCDW)
+	if got != "SELECT (a + b) * c FROM t" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestPrintRejectsLegacyConstructsInCDW(t *testing.T) {
+	s := mustParse(t, "insert into t values (:X)", DialectLegacy)
+	if _, err := Print(s, DialectCDW); err == nil {
+		t.Error("placeholder printed in CDW dialect")
+	}
+	s = mustParse(t, "select cast(x as DATE format 'YYYY-MM-DD') from t", DialectLegacy)
+	if _, err := Print(s, DialectCDW); err == nil {
+		t.Error("FORMAT cast printed in CDW dialect")
+	}
+	s = mustParse(t, "create table t (a VARCHAR(5) CHARACTER SET UNICODE)", DialectLegacy)
+	if _, err := Print(s, DialectCDW); err == nil {
+		t.Error("CHARACTER SET printed in CDW dialect")
+	}
+}
+
+func TestPrintTopVsLimit(t *testing.T) {
+	s := mustParse(t, "SEL TOP 7 a FROM t", DialectLegacy)
+	leg, err := Print(s, DialectLegacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leg != "SELECT TOP 7 a FROM t" {
+		t.Errorf("legacy print %q", leg)
+	}
+	cdw, err := Print(s, DialectCDW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cdw != "SELECT a FROM t LIMIT 7" {
+		t.Errorf("cdw print %q", cdw)
+	}
+}
+
+func TestPrintQuoting(t *testing.T) {
+	s := mustParse(t, `SELECT "from", "has ""quote""" FROM "order"`, DialectCDW)
+	out, err := Print(s, DialectCDW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `SELECT "from", "has ""quote""" FROM "order"`
+	if out != want {
+		t.Errorf("got %q want %q", out, want)
+	}
+}
+
+func TestPrintStringEscaping(t *testing.T) {
+	s := mustParse(t, "SELECT 'it''s' FROM t", DialectCDW)
+	out, _ := Print(s, DialectCDW)
+	if out != "SELECT 'it''s' FROM t" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestPrintUnionRoundTrips(t *testing.T) {
+	for _, src := range []string{
+		"SELECT a FROM t UNION ALL SELECT b FROM u",
+		"SELECT a FROM t UNION ALL SELECT b FROM u UNION ALL SELECT c FROM v ORDER BY a DESC LIMIT 5",
+		"SELECT count(*) FROM (SELECT a FROM t UNION ALL SELECT b FROM u) d",
+	} {
+		roundTrip(t, src, DialectCDW)
+	}
+	// legacy dialect too
+	roundTrip(t, "SEL a FROM t UNION ALL SEL b FROM u", DialectLegacy)
+}

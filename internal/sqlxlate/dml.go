@@ -1,0 +1,353 @@
+package sqlxlate
+
+import (
+	"fmt"
+	"strings"
+
+	"etlvirt/internal/sqlparse"
+)
+
+// DMLKind classifies an application-phase transformation.
+type DMLKind int
+
+// DML kinds.
+const (
+	DMLInsert DMLKind = iota
+	DMLUpdate
+	DMLDelete
+	DMLUpsert
+)
+
+// String names the kind.
+func (k DMLKind) String() string {
+	switch k {
+	case DMLUpdate:
+		return "UPDATE"
+	case DMLDelete:
+		return "DELETE"
+	case DMLUpsert:
+		return "UPSERT"
+	default:
+		return "INSERT"
+	}
+}
+
+// RangeStmt is a translated DML statement whose staging scan is restricted
+// to a __seq row range. The range bounds are literal nodes mutated by SQL;
+// a RangeStmt must therefore not be shared between goroutines.
+type RangeStmt struct {
+	stmt   sqlparse.Stmt
+	lo, hi *sqlparse.Literal
+}
+
+// SQL renders the statement for rows lo..hi inclusive.
+func (r *RangeStmt) SQL(lo, hi int64) (string, error) {
+	r.lo.Int, r.hi.Int = lo, hi
+	return sqlparse.Print(r.stmt, sqlparse.DialectCDW)
+}
+
+// DML is one translated application-phase statement plus the auxiliary
+// queries the virtualizer needs around it.
+type DML struct {
+	Kind   DMLKind
+	Target sqlparse.TableName
+	// Apply is the rewritten statement, sourced from the staging table and
+	// restricted to a row range. For upserts it is the UPDATE half.
+	Apply *RangeStmt
+	// ApplySecond is the guarded INSERT half of an upsert (nil otherwise).
+	// It must run after Apply; both statements are idempotent per range so
+	// adaptive retries converge.
+	ApplySecond *RangeStmt
+	// InsertExprs maps target column name (lower-cased) to the rewritten
+	// source expression over the staging alias. Only set for inserts; used to
+	// build uniqueness-emulation queries.
+	InsertExprs map[string]sqlparse.Expr
+	// OrderedExprs lists the rewritten insert source expressions in VALUES
+	// order. Used to probe which expression fails for an isolated bad row.
+	OrderedExprs []sqlparse.Expr
+}
+
+// StageFields returns the staging-column names (input fields) referenced by
+// expr, given the translator's staging alias.
+func StageFields(expr sqlparse.Expr, stageAlias string) []string {
+	var out []string
+	seen := map[string]bool{}
+	wrap := &sqlparse.SelectStmt{Items: []sqlparse.SelectItem{{Expr: expr}}}
+	sqlparse.WalkExprs(wrap, func(e sqlparse.Expr) {
+		if c, ok := e.(*sqlparse.ColRef); ok && strings.EqualFold(c.Qualifier, stageAlias) {
+			k := strings.ToUpper(c.Name)
+			if !seen[k] && !strings.EqualFold(c.Name, SeqColumn) {
+				seen[k] = true
+				out = append(out, c.Name)
+			}
+		}
+	})
+	return out
+}
+
+// TranslateDML rewrites the application-phase DML of an import job. The
+// legacy statement references input fields as :placeholders; the rewrite
+// sources them from tr.Stage restricted by __seq range, turning the
+// tuple-at-a-time legacy semantics into one set-oriented CDW statement per
+// range (§3, §6).
+func (tr *Translator) TranslateDML(legacySQL string) (*DML, error) {
+	if tr.StageAlias == "" || tr.Stage.Name == "" {
+		return nil, fmt.Errorf("sqlxlate: TranslateDML requires a staging context")
+	}
+	stmt, err := sqlparse.Parse(legacySQL, sqlparse.DialectLegacy)
+	if err != nil {
+		return nil, err
+	}
+	switch st := stmt.(type) {
+	case *sqlparse.InsertStmt:
+		return tr.translateInsertDML(st)
+	case *sqlparse.UpdateStmt:
+		return tr.translateUpdateDML(st)
+	case *sqlparse.DeleteStmt:
+		return tr.translateDeleteDML(st)
+	case *sqlparse.UpsertStmt:
+		return tr.translateUpsertDML(st)
+	default:
+		return nil, fmt.Errorf("sqlxlate: unsupported DML %T in application phase", stmt)
+	}
+}
+
+// rangePredicate builds s.__seq BETWEEN lo AND hi with mutable bounds.
+func (tr *Translator) rangePredicate() (sqlparse.Expr, *sqlparse.Literal, *sqlparse.Literal) {
+	lo := &sqlparse.Literal{Kind: sqlparse.LitInt}
+	hi := &sqlparse.Literal{Kind: sqlparse.LitInt}
+	pred := &sqlparse.BetweenExpr{
+		X:  &sqlparse.ColRef{Qualifier: tr.StageAlias, Name: SeqColumn},
+		Lo: lo,
+		Hi: hi,
+	}
+	return pred, lo, hi
+}
+
+func (tr *Translator) stageRef() *sqlparse.TableRef {
+	return &sqlparse.TableRef{Table: tr.Stage, Alias: tr.StageAlias}
+}
+
+func (tr *Translator) translateInsertDML(st *sqlparse.InsertStmt) (*DML, error) {
+	if st.Select != nil {
+		return nil, fmt.Errorf("sqlxlate: INSERT ... SELECT is not an ETL apply statement")
+	}
+	if len(st.Rows) != 1 {
+		return nil, fmt.Errorf("sqlxlate: ETL INSERT must have exactly one VALUES row")
+	}
+	target := tr.mapTable(st.Table)
+	pred, lo, hi := tr.rangePredicate()
+	sel := &sqlparse.SelectStmt{
+		From:  []sqlparse.TableExpr{tr.stageRef()},
+		Where: pred,
+	}
+	exprsByCol := make(map[string]sqlparse.Expr, len(st.Rows[0]))
+	var ordered []sqlparse.Expr
+	for i, e := range st.Rows[0] {
+		xe, err := tr.xlateExpr(e)
+		if err != nil {
+			return nil, err
+		}
+		ordered = append(ordered, xe)
+		sel.Items = append(sel.Items, sqlparse.SelectItem{Expr: xe})
+		if i < len(st.Columns) {
+			exprsByCol[strings.ToLower(st.Columns[i])] = xe
+		} else {
+			// positional: record under the ordinal; resolved against target
+			// metadata by the caller via PositionalInsertExpr.
+			exprsByCol[fmt.Sprintf("#%d", i)] = xe
+		}
+	}
+	ins := &sqlparse.InsertStmt{
+		Table:   target,
+		Columns: append([]string{}, st.Columns...),
+		Select:  sel,
+	}
+	return &DML{
+		Kind:         DMLInsert,
+		Target:       target,
+		Apply:        &RangeStmt{stmt: ins, lo: lo, hi: hi},
+		InsertExprs:  exprsByCol,
+		OrderedExprs: ordered,
+	}, nil
+}
+
+// PositionalInsertExpr returns the source expression feeding target column
+// ordinal i for an insert without an explicit column list.
+func (d *DML) PositionalInsertExpr(i int) (sqlparse.Expr, bool) {
+	e, ok := d.InsertExprs[fmt.Sprintf("#%d", i)]
+	return e, ok
+}
+
+// NamedInsertExpr returns the source expression feeding the named target
+// column.
+func (d *DML) NamedInsertExpr(col string) (sqlparse.Expr, bool) {
+	e, ok := d.InsertExprs[strings.ToLower(col)]
+	return e, ok
+}
+
+func (tr *Translator) translateUpdateDML(st *sqlparse.UpdateStmt) (*DML, error) {
+	target := tr.mapTable(st.Table)
+	pred, lo, hi := tr.rangePredicate()
+	out := &sqlparse.UpdateStmt{Table: target, Alias: st.Alias}
+	for _, a := range st.Set {
+		v, err := tr.xlateExpr(a.Value)
+		if err != nil {
+			return nil, err
+		}
+		out.Set = append(out.Set, sqlparse.Assignment{Column: a.Column, Value: v})
+	}
+	for _, te := range st.From {
+		t, err := tr.xlateTableExpr(te)
+		if err != nil {
+			return nil, err
+		}
+		out.From = append(out.From, t)
+	}
+	out.From = append(out.From, tr.stageRef())
+	if st.Where != nil {
+		w, err := tr.xlateExpr(st.Where)
+		if err != nil {
+			return nil, err
+		}
+		out.Where = &sqlparse.BinaryExpr{Op: "AND", L: w, R: pred}
+	} else {
+		out.Where = pred
+	}
+	return &DML{Kind: DMLUpdate, Target: target, Apply: &RangeStmt{stmt: out, lo: lo, hi: hi}}, nil
+}
+
+func (tr *Translator) translateDeleteDML(st *sqlparse.DeleteStmt) (*DML, error) {
+	target := tr.mapTable(st.Table)
+	pred, lo, hi := tr.rangePredicate()
+	out := &sqlparse.DeleteStmt{Table: target, Alias: st.Alias}
+	for _, te := range st.Using {
+		t, err := tr.xlateTableExpr(te)
+		if err != nil {
+			return nil, err
+		}
+		out.Using = append(out.Using, t)
+	}
+	out.Using = append(out.Using, tr.stageRef())
+	if st.Where != nil {
+		w, err := tr.xlateExpr(st.Where)
+		if err != nil {
+			return nil, err
+		}
+		out.Where = &sqlparse.BinaryExpr{Op: "AND", L: w, R: pred}
+	} else {
+		out.Where = pred
+	}
+	return &DML{Kind: DMLDelete, Target: target, Apply: &RangeStmt{stmt: out, lo: lo, hi: hi}}, nil
+}
+
+// translateUpsertDML rewrites the legacy atomic upsert into a set-oriented
+// pair: the UPDATE half sourced from the staging range, then an INSERT half
+// guarded by NOT EXISTS on the update's match condition so only unmatched
+// input rows insert. Both halves are idempotent for a fixed staged range,
+// which adaptive error handling relies on when it re-applies sub-ranges.
+func (tr *Translator) translateUpsertDML(st *sqlparse.UpsertStmt) (*DML, error) {
+	if !st.Update.Table.Equal(st.Insert.Table) {
+		return nil, fmt.Errorf("sqlxlate: upsert UPDATE targets %s but INSERT targets %s",
+			st.Update.Table, st.Insert.Table)
+	}
+	upd, err := tr.translateUpdateDML(st.Update)
+	if err != nil {
+		return nil, err
+	}
+	ins, err := tr.translateInsertDML(st.Insert)
+	if err != nil {
+		return nil, err
+	}
+	// Guard the insert's staging scan: only rows with no matching target
+	// row. Inside the subquery the target is in scope first, so the update's
+	// match condition resolves target columns against it and staging columns
+	// against the outer scan.
+	var matchCond sqlparse.Expr
+	if st.Update.Where != nil {
+		if matchCond, err = tr.xlateExpr(st.Update.Where); err != nil {
+			return nil, err
+		}
+	} else {
+		matchCond = &sqlparse.Literal{Kind: sqlparse.LitBool, Bool: true}
+	}
+	guard := &sqlparse.ExistsExpr{
+		Not: true,
+		Sub: &sqlparse.SelectStmt{
+			Items: []sqlparse.SelectItem{{Expr: &sqlparse.Literal{Kind: sqlparse.LitInt, Int: 1}}},
+			From:  []sqlparse.TableExpr{&sqlparse.TableRef{Table: upd.Target}},
+			Where: matchCond,
+		},
+	}
+	insStmt := ins.Apply.stmt.(*sqlparse.InsertStmt)
+	sel := insStmt.Select
+	sel.Where = &sqlparse.BinaryExpr{Op: "AND", L: sel.Where, R: guard}
+
+	return &DML{
+		Kind:         DMLUpsert,
+		Target:       upd.Target,
+		Apply:        upd.Apply,
+		ApplySecond:  ins.Apply,
+		InsertExprs:  ins.InsertExprs,
+		OrderedExprs: ins.OrderedExprs,
+	}, nil
+}
+
+// DupCheckQueries builds the uniqueness-emulation queries for an insert DML
+// (§7): intra-range duplicates among the rows being inserted, and collisions
+// between those rows and the target table. keyExprs are the rewritten source
+// expressions feeding the target's key columns (parallel to keyCols). Both
+// queries return the number of violations in the __seq range.
+func (tr *Translator) DupCheckQueries(d *DML, keyCols []string, keyExprs []sqlparse.Expr) (intra, target *RangeStmt, err error) {
+	if len(keyCols) == 0 || len(keyCols) != len(keyExprs) {
+		return nil, nil, fmt.Errorf("sqlxlate: bad uniqueness key specification")
+	}
+	countStar := func() *sqlparse.FuncCall {
+		return &sqlparse.FuncCall{Name: "COUNT", Args: []sqlparse.Expr{&sqlparse.Star{}}}
+	}
+
+	// intra: SELECT count(*) FROM (SELECT 1 AS one FROM stage s WHERE range
+	//        GROUP BY e1.. HAVING count(*) > 1) d
+	predI, loI, hiI := tr.rangePredicate()
+	inner := &sqlparse.SelectStmt{
+		Items:   []sqlparse.SelectItem{{Expr: &sqlparse.Literal{Kind: sqlparse.LitInt, Int: 1}, Alias: "one"}},
+		From:    []sqlparse.TableExpr{tr.stageRef()},
+		Where:   predI,
+		GroupBy: keyExprs,
+		Having: &sqlparse.BinaryExpr{Op: ">",
+			L: countStar(),
+			R: &sqlparse.Literal{Kind: sqlparse.LitInt, Int: 1}},
+	}
+	intraSel := &sqlparse.SelectStmt{
+		Items: []sqlparse.SelectItem{{Expr: countStar()}},
+		From:  []sqlparse.TableExpr{&sqlparse.SubqueryTable{Select: inner, Alias: "d"}},
+	}
+	intra = &RangeStmt{stmt: intraSel, lo: loI, hi: hiI}
+
+	// target: SELECT count(*) FROM stage s JOIN tgt t ON t.k1 = e1 ... WHERE range
+	predT, loT, hiT := tr.rangePredicate()
+	var on sqlparse.Expr
+	for i, kc := range keyCols {
+		eq := &sqlparse.BinaryExpr{Op: "=",
+			L: &sqlparse.ColRef{Qualifier: "t", Name: kc},
+			R: keyExprs[i]}
+		if on == nil {
+			on = eq
+		} else {
+			on = &sqlparse.BinaryExpr{Op: "AND", L: on, R: eq}
+		}
+	}
+	join := &sqlparse.Join{
+		Type:  sqlparse.JoinInner,
+		Left:  tr.stageRef(),
+		Right: &sqlparse.TableRef{Table: d.Target, Alias: "t"},
+		On:    on,
+	}
+	targetSel := &sqlparse.SelectStmt{
+		Items: []sqlparse.SelectItem{{Expr: countStar()}},
+		From:  []sqlparse.TableExpr{join},
+		Where: predT,
+	}
+	target = &RangeStmt{stmt: targetSel, lo: loT, hi: hiT}
+	return intra, target, nil
+}

@@ -1,0 +1,565 @@
+// Package sqlxlate is the SQL half of the Protocol Cross Compiler (§3, §6):
+// it rewrites statements from the legacy EDW dialect into the CDW dialect.
+//
+// The translations implemented here are the ones the paper calls out:
+//
+//   - type mapping across type systems (e.g. UNICODE character types to
+//     national varchar, BYTE to VARBINARY),
+//   - CAST (x AS DATE FORMAT 'YYYY-MM-DD') and friends into TO_DATE /
+//     TO_TIMESTAMP / TO_CHAR calls,
+//   - legacy function idioms (ZEROIFNULL, NULLIFZERO, INDEX, ...) into CDW
+//     equivalents,
+//   - ETL DML over :field placeholders into set-oriented statements sourced
+//     from the staging table, restricted by a __seq row range so the adaptive
+//     error handler can re-apply them on sub-chunks (§7).
+package sqlxlate
+
+import (
+	"fmt"
+	"strings"
+
+	"etlvirt/internal/ltype"
+	"etlvirt/internal/sqlparse"
+)
+
+// SeqColumn is the hidden row-sequence column the DataConverter prepends to
+// staged data.
+const SeqColumn = "__seq"
+
+// MapLegacyType converts a legacy type to the CDW type used for the same
+// data, applying the paper's §6 example mapping (UNICODE -> national
+// varchar) and the obvious numeric widenings.
+func MapLegacyType(t ltype.Type) sqlparse.TypeName {
+	switch t.Kind {
+	case ltype.KindByteInt, ltype.KindSmallInt:
+		return sqlparse.TypeName{Name: "SMALLINT"}
+	case ltype.KindInteger:
+		return sqlparse.TypeName{Name: "INTEGER"}
+	case ltype.KindBigInt:
+		return sqlparse.TypeName{Name: "BIGINT"}
+	case ltype.KindFloat:
+		return sqlparse.TypeName{Name: "DOUBLE"}
+	case ltype.KindDecimal:
+		return sqlparse.TypeName{Name: "DECIMAL", Args: []int{t.Precision, t.Scale}}
+	case ltype.KindChar, ltype.KindVarChar:
+		name := "VARCHAR"
+		if t.CharSet == ltype.CharSetUnicode {
+			name = "NVARCHAR"
+		}
+		return sqlparse.TypeName{Name: name, Args: []int{t.Length}}
+	case ltype.KindDate:
+		return sqlparse.TypeName{Name: "DATE"}
+	case ltype.KindTime:
+		return sqlparse.TypeName{Name: "TIME"}
+	case ltype.KindTimestamp:
+		return sqlparse.TypeName{Name: "TIMESTAMP"}
+	case ltype.KindByte, ltype.KindVarByte:
+		return sqlparse.TypeName{Name: "VARBINARY", Args: []int{t.Length}}
+	default:
+		return sqlparse.TypeName{Name: "VARCHAR"}
+	}
+}
+
+// mapTypeName translates a legacy written type to CDW spelling.
+func mapTypeName(t sqlparse.TypeName) (sqlparse.TypeName, error) {
+	out := sqlparse.TypeName{Args: append([]int{}, t.Args...)}
+	switch t.Name {
+	case "BYTEINT":
+		out.Name = "SMALLINT"
+		out.Args = nil
+	case "SMALLINT", "INTEGER", "INT", "BIGINT", "DATE", "TIME", "TIMESTAMP",
+		"DECIMAL", "NUMERIC", "FLOAT", "DOUBLE", "REAL", "BOOLEAN":
+		out.Name = t.Name
+	case "CHAR", "CHARACTER", "VARCHAR":
+		if t.CharSet == "UNICODE" {
+			out.Name = "NVARCHAR"
+		} else {
+			out.Name = "VARCHAR"
+		}
+		if len(out.Args) == 0 {
+			out.Args = []int{1}
+		}
+	case "BYTE", "VARBYTE":
+		out.Name = "VARBINARY"
+		if len(out.Args) == 0 {
+			out.Args = []int{1}
+		}
+	case "CLOB":
+		out.Name = "VARCHAR"
+		out.Args = nil
+	default:
+		return out, fmt.Errorf("sqlxlate: no CDW mapping for type %s", t.Name)
+	}
+	return out, nil
+}
+
+// Translator rewrites legacy statements. Binding a staging context enables
+// placeholder translation for ETL DML.
+type Translator struct {
+	// Stage is the staging table placeholders resolve against; required only
+	// for DML with :field placeholders.
+	Stage sqlparse.TableName
+	// StageAlias qualifies staging columns in rewritten statements.
+	StageAlias string
+	// Layout validates placeholder names when set.
+	Layout *ltype.Layout
+	// SchemaMap renames schemas (legacy database -> CDW schema). Keys are
+	// upper-cased.
+	SchemaMap map[string]string
+}
+
+func (tr *Translator) mapTable(tn sqlparse.TableName) sqlparse.TableName {
+	if tn.Schema == "" || tr.SchemaMap == nil {
+		return tn
+	}
+	if mapped, ok := tr.SchemaMap[strings.ToUpper(tn.Schema)]; ok {
+		return sqlparse.TableName{Schema: mapped, Name: tn.Name}
+	}
+	return tn
+}
+
+// TranslateStmt rewrites one legacy statement into a new CDW-dialect AST.
+// The input AST is not modified.
+func (tr *Translator) TranslateStmt(s sqlparse.Stmt) (sqlparse.Stmt, error) {
+	switch st := s.(type) {
+	case *sqlparse.SelectStmt:
+		return tr.xlateSelect(st)
+	case *sqlparse.InsertStmt:
+		return tr.xlateInsert(st)
+	case *sqlparse.UpdateStmt:
+		return tr.xlateUpdate(st)
+	case *sqlparse.DeleteStmt:
+		return tr.xlateDelete(st)
+	case *sqlparse.CreateTableStmt:
+		return tr.xlateCreate(st)
+	case *sqlparse.DropTableStmt:
+		return &sqlparse.DropTableStmt{Table: tr.mapTable(st.Table), IfExists: st.IfExists}, nil
+	case *sqlparse.TruncateStmt:
+		return &sqlparse.TruncateStmt{Table: tr.mapTable(st.Table)}, nil
+	default:
+		return nil, fmt.Errorf("sqlxlate: unsupported statement %T", s)
+	}
+}
+
+// Translate parses legacy SQL text and returns the rewritten CDW SQL text.
+func (tr *Translator) Translate(legacySQL string) (string, error) {
+	stmt, err := sqlparse.Parse(legacySQL, sqlparse.DialectLegacy)
+	if err != nil {
+		return "", err
+	}
+	out, err := tr.TranslateStmt(stmt)
+	if err != nil {
+		return "", err
+	}
+	return sqlparse.Print(out, sqlparse.DialectCDW)
+}
+
+// xlateInsert translates a general INSERT statement (constants or SELECT
+// source). ETL apply-phase inserts with placeholders go through TranslateDML
+// instead; placeholders here still resolve if a staging context is bound.
+func (tr *Translator) xlateInsert(st *sqlparse.InsertStmt) (sqlparse.Stmt, error) {
+	out := &sqlparse.InsertStmt{
+		Table:   tr.mapTable(st.Table),
+		Columns: append([]string{}, st.Columns...),
+	}
+	for _, row := range st.Rows {
+		var xrow []sqlparse.Expr
+		for _, e := range row {
+			xe, err := tr.xlateExpr(e)
+			if err != nil {
+				return nil, err
+			}
+			xrow = append(xrow, xe)
+		}
+		out.Rows = append(out.Rows, xrow)
+	}
+	if st.Select != nil {
+		sel, err := tr.xlateSelect(st.Select)
+		if err != nil {
+			return nil, err
+		}
+		out.Select = sel
+	}
+	return out, nil
+}
+
+func (tr *Translator) xlateUpdate(st *sqlparse.UpdateStmt) (sqlparse.Stmt, error) {
+	out := &sqlparse.UpdateStmt{Table: tr.mapTable(st.Table), Alias: st.Alias}
+	for _, a := range st.Set {
+		v, err := tr.xlateExpr(a.Value)
+		if err != nil {
+			return nil, err
+		}
+		out.Set = append(out.Set, sqlparse.Assignment{Column: a.Column, Value: v})
+	}
+	for _, te := range st.From {
+		x, err := tr.xlateTableExpr(te)
+		if err != nil {
+			return nil, err
+		}
+		out.From = append(out.From, x)
+	}
+	if st.Where != nil {
+		w, err := tr.xlateExpr(st.Where)
+		if err != nil {
+			return nil, err
+		}
+		out.Where = w
+	}
+	return out, nil
+}
+
+func (tr *Translator) xlateDelete(st *sqlparse.DeleteStmt) (sqlparse.Stmt, error) {
+	out := &sqlparse.DeleteStmt{Table: tr.mapTable(st.Table), Alias: st.Alias}
+	for _, te := range st.Using {
+		x, err := tr.xlateTableExpr(te)
+		if err != nil {
+			return nil, err
+		}
+		out.Using = append(out.Using, x)
+	}
+	if st.Where != nil {
+		w, err := tr.xlateExpr(st.Where)
+		if err != nil {
+			return nil, err
+		}
+		out.Where = w
+	}
+	return out, nil
+}
+
+func (tr *Translator) xlateCreate(st *sqlparse.CreateTableStmt) (sqlparse.Stmt, error) {
+	out := &sqlparse.CreateTableStmt{
+		Table:       tr.mapTable(st.Table),
+		IfNotExists: st.IfNotExists,
+		PrimaryKey:  append([]string{}, st.PrimaryKey...),
+	}
+	for _, u := range st.Unique {
+		out.Unique = append(out.Unique, append([]string{}, u...))
+	}
+	for _, c := range st.Columns {
+		ty, err := mapTypeName(c.Type)
+		if err != nil {
+			return nil, err
+		}
+		var def sqlparse.Expr
+		if c.Default != nil {
+			if def, err = tr.xlateExpr(c.Default); err != nil {
+				return nil, err
+			}
+		}
+		out.Columns = append(out.Columns, sqlparse.ColumnDef{
+			Name: c.Name, Type: ty, NotNull: c.NotNull, Default: def,
+		})
+	}
+	return out, nil
+}
+
+func (tr *Translator) xlateSelect(st *sqlparse.SelectStmt) (*sqlparse.SelectStmt, error) {
+	out := &sqlparse.SelectStmt{Distinct: st.Distinct}
+	if st.Limit != nil {
+		v := *st.Limit
+		out.Limit = &v
+	}
+	for _, it := range st.Items {
+		if it.Star {
+			out.Items = append(out.Items, it)
+			continue
+		}
+		e, err := tr.xlateExpr(it.Expr)
+		if err != nil {
+			return nil, err
+		}
+		out.Items = append(out.Items, sqlparse.SelectItem{Expr: e, Alias: it.Alias})
+	}
+	for _, te := range st.From {
+		t, err := tr.xlateTableExpr(te)
+		if err != nil {
+			return nil, err
+		}
+		out.From = append(out.From, t)
+	}
+	var err error
+	if st.Where != nil {
+		if out.Where, err = tr.xlateExpr(st.Where); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range st.GroupBy {
+		e, err := tr.xlateExpr(g)
+		if err != nil {
+			return nil, err
+		}
+		out.GroupBy = append(out.GroupBy, e)
+	}
+	if st.Having != nil {
+		if out.Having, err = tr.xlateExpr(st.Having); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range st.OrderBy {
+		e, err := tr.xlateExpr(o.Expr)
+		if err != nil {
+			return nil, err
+		}
+		out.OrderBy = append(out.OrderBy, sqlparse.OrderItem{Expr: e, Desc: o.Desc})
+	}
+	if st.Union != nil {
+		u, err := tr.xlateSelect(st.Union)
+		if err != nil {
+			return nil, err
+		}
+		out.Union = u
+	}
+	return out, nil
+}
+
+func (tr *Translator) xlateTableExpr(te sqlparse.TableExpr) (sqlparse.TableExpr, error) {
+	switch t := te.(type) {
+	case *sqlparse.TableRef:
+		return &sqlparse.TableRef{Table: tr.mapTable(t.Table), Alias: t.Alias}, nil
+	case *sqlparse.SubqueryTable:
+		sub, err := tr.xlateSelect(t.Select)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparse.SubqueryTable{Select: sub, Alias: t.Alias}, nil
+	case *sqlparse.Join:
+		l, err := tr.xlateTableExpr(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := tr.xlateTableExpr(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		var on sqlparse.Expr
+		if t.On != nil {
+			if on, err = tr.xlateExpr(t.On); err != nil {
+				return nil, err
+			}
+		}
+		return &sqlparse.Join{Type: t.Type, Left: l, Right: r, On: on}, nil
+	default:
+		return nil, fmt.Errorf("sqlxlate: unsupported table expression %T", te)
+	}
+}
+
+func (tr *Translator) placeholderRef(name string) (sqlparse.Expr, error) {
+	if tr.StageAlias == "" {
+		return nil, fmt.Errorf("sqlxlate: placeholder :%s outside an ETL job context", name)
+	}
+	if tr.Layout != nil && tr.Layout.FieldIndex(name) < 0 {
+		return nil, fmt.Errorf("sqlxlate: placeholder :%s does not match a layout field", name)
+	}
+	return &sqlparse.ColRef{Qualifier: tr.StageAlias, Name: name}, nil
+}
+
+func (tr *Translator) xlateExpr(x sqlparse.Expr) (sqlparse.Expr, error) {
+	switch v := x.(type) {
+	case nil:
+		return nil, nil
+	case *sqlparse.Literal:
+		c := *v
+		return &c, nil
+	case *sqlparse.ColRef:
+		c := *v
+		return &c, nil
+	case *sqlparse.Star:
+		return &sqlparse.Star{}, nil
+	case *sqlparse.Placeholder:
+		return tr.placeholderRef(v.Name)
+
+	case *sqlparse.UnaryExpr:
+		xx, err := tr.xlateExpr(v.X)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparse.UnaryExpr{Op: v.Op, X: xx}, nil
+
+	case *sqlparse.BinaryExpr:
+		l, err := tr.xlateExpr(v.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := tr.xlateExpr(v.R)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparse.BinaryExpr{Op: v.Op, L: l, R: r}, nil
+
+	case *sqlparse.FuncCall:
+		return tr.xlateFunc(v)
+
+	case *sqlparse.CastExpr:
+		return tr.xlateCast(v)
+
+	case *sqlparse.CaseExpr:
+		out := &sqlparse.CaseExpr{}
+		var err error
+		if v.Operand != nil {
+			if out.Operand, err = tr.xlateExpr(v.Operand); err != nil {
+				return nil, err
+			}
+		}
+		for _, w := range v.Whens {
+			cond, err := tr.xlateExpr(w.Cond)
+			if err != nil {
+				return nil, err
+			}
+			then, err := tr.xlateExpr(w.Then)
+			if err != nil {
+				return nil, err
+			}
+			out.Whens = append(out.Whens, sqlparse.WhenClause{Cond: cond, Then: then})
+		}
+		if v.Else != nil {
+			if out.Else, err = tr.xlateExpr(v.Else); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+
+	case *sqlparse.IsNullExpr:
+		xx, err := tr.xlateExpr(v.X)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparse.IsNullExpr{X: xx, Not: v.Not}, nil
+
+	case *sqlparse.InExpr:
+		xx, err := tr.xlateExpr(v.X)
+		if err != nil {
+			return nil, err
+		}
+		out := &sqlparse.InExpr{X: xx, Not: v.Not}
+		for _, it := range v.List {
+			e, err := tr.xlateExpr(it)
+			if err != nil {
+				return nil, err
+			}
+			out.List = append(out.List, e)
+		}
+		if v.Sub != nil {
+			if out.Sub, err = tr.xlateSelect(v.Sub); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+
+	case *sqlparse.BetweenExpr:
+		xx, err := tr.xlateExpr(v.X)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := tr.xlateExpr(v.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := tr.xlateExpr(v.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparse.BetweenExpr{X: xx, Lo: lo, Hi: hi, Not: v.Not}, nil
+
+	case *sqlparse.LikeExpr:
+		xx, err := tr.xlateExpr(v.X)
+		if err != nil {
+			return nil, err
+		}
+		p, err := tr.xlateExpr(v.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparse.LikeExpr{X: xx, Pattern: p, Not: v.Not}, nil
+
+	case *sqlparse.ExistsExpr:
+		sub, err := tr.xlateSelect(v.Sub)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparse.ExistsExpr{Sub: sub, Not: v.Not}, nil
+
+	case *sqlparse.SubqueryExpr:
+		sub, err := tr.xlateSelect(v.Sub)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparse.SubqueryExpr{Sub: sub}, nil
+
+	default:
+		return nil, fmt.Errorf("sqlxlate: unsupported expression %T", x)
+	}
+}
+
+// xlateCast rewrites legacy FORMAT casts to TO_DATE/TO_TIMESTAMP/TO_CHAR and
+// maps the target type.
+func (tr *Translator) xlateCast(v *sqlparse.CastExpr) (sqlparse.Expr, error) {
+	inner, err := tr.xlateExpr(v.X)
+	if err != nil {
+		return nil, err
+	}
+	if v.Format != "" {
+		switch v.Type.Name {
+		case "DATE":
+			return &sqlparse.FuncCall{Name: "TO_DATE", Args: []sqlparse.Expr{
+				inner, &sqlparse.Literal{Kind: sqlparse.LitString, Str: v.Format},
+			}}, nil
+		case "TIMESTAMP":
+			return &sqlparse.FuncCall{Name: "TO_TIMESTAMP", Args: []sqlparse.Expr{
+				inner, &sqlparse.Literal{Kind: sqlparse.LitString, Str: v.Format},
+			}}, nil
+		case "CHAR", "CHARACTER", "VARCHAR":
+			return &sqlparse.FuncCall{Name: "TO_CHAR", Args: []sqlparse.Expr{
+				inner, &sqlparse.Literal{Kind: sqlparse.LitString, Str: v.Format},
+			}}, nil
+		default:
+			return nil, fmt.Errorf("sqlxlate: FORMAT cast to %s has no CDW equivalent", v.Type.Name)
+		}
+	}
+	ty, err := mapTypeName(v.Type)
+	if err != nil {
+		return nil, err
+	}
+	return &sqlparse.CastExpr{X: inner, Type: ty}, nil
+}
+
+// xlateFunc maps legacy function idioms to CDW equivalents.
+func (tr *Translator) xlateFunc(v *sqlparse.FuncCall) (sqlparse.Expr, error) {
+	args := make([]sqlparse.Expr, len(v.Args))
+	for i, a := range v.Args {
+		e, err := tr.xlateExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = e
+	}
+	lit0 := func(n int64) sqlparse.Expr { return &sqlparse.Literal{Kind: sqlparse.LitInt, Int: n} }
+	switch v.Name {
+	case "ZEROIFNULL":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("sqlxlate: ZEROIFNULL expects 1 argument")
+		}
+		return &sqlparse.FuncCall{Name: "COALESCE", Args: []sqlparse.Expr{args[0], lit0(0)}}, nil
+	case "NULLIFZERO":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("sqlxlate: NULLIFZERO expects 1 argument")
+		}
+		return &sqlparse.FuncCall{Name: "NULLIF", Args: []sqlparse.Expr{args[0], lit0(0)}}, nil
+	case "INDEX":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("sqlxlate: INDEX expects 2 arguments")
+		}
+		return &sqlparse.FuncCall{Name: "POSITION", Args: args}, nil
+	case "CHARACTERS", "CHARACTER_LENGTH", "CHAR_LENGTH":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("sqlxlate: %s expects 1 argument", v.Name)
+		}
+		return &sqlparse.FuncCall{Name: "LENGTH", Args: args}, nil
+	case "OREPLACE":
+		return &sqlparse.FuncCall{Name: "REPLACE", Args: args}, nil
+	default:
+		// pass through with translated arguments
+		return &sqlparse.FuncCall{Name: v.Name, Args: args, Distinct: v.Distinct}, nil
+	}
+}

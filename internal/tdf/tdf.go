@@ -1,0 +1,417 @@
+// Package tdf implements the Tabular Data Format, the virtualizer's internal
+// binary representation for query results (§3 of the paper): "an extensible
+// format that can handle arbitrarily large nested data".
+//
+// A TDF stream is a sequence of packets. Each packet carries a schema and a
+// batch of rows. Values are self-describing: every value starts with a type
+// tag, so readers can skip data they do not understand and schemas can evolve
+// without breaking old readers. Nested LIST and STRUCT values support
+// arbitrarily deep composition; large payloads are split across packets by
+// the producer (see Cursor in internal/core).
+package tdf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Magic begins every TDF packet.
+var Magic = [4]byte{'T', 'D', 'F', '1'}
+
+// Tag identifies the runtime type of an encoded value.
+type Tag uint8
+
+// Value tags. Values are self-describing on the wire.
+const (
+	TagNull   Tag = 0
+	TagBool   Tag = 1
+	TagInt    Tag = 2 // zigzag varint
+	TagFloat  Tag = 3 // 8-byte IEEE-754
+	TagString Tag = 4 // varint length + UTF-8 bytes
+	TagBytes  Tag = 5 // varint length + bytes
+	TagList   Tag = 6 // varint count + values
+	TagStruct Tag = 7 // varint count + (name, value) pairs
+)
+
+// Value is a decoded TDF value.
+type Value struct {
+	Tag    Tag
+	Bool   bool
+	Int    int64
+	Float  float64
+	Str    string
+	Bytes  []byte
+	List   []Value
+	Fields []StructField
+}
+
+// StructField is one named member of a TagStruct value.
+type StructField struct {
+	Name  string
+	Value Value
+}
+
+// Null is the NULL value.
+func Null() Value { return Value{Tag: TagNull} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value { return Value{Tag: TagBool, Bool: v} }
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{Tag: TagInt, Int: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{Tag: TagFloat, Float: v} }
+
+// String returns a string value.
+func String(v string) Value { return Value{Tag: TagString, Str: v} }
+
+// BytesValue returns a binary value.
+func BytesValue(v []byte) Value { return Value{Tag: TagBytes, Bytes: v} }
+
+// List returns a list value.
+func List(vs ...Value) Value { return Value{Tag: TagList, List: vs} }
+
+// Struct returns a struct value.
+func Struct(fields ...StructField) Value { return Value{Tag: TagStruct, Fields: fields} }
+
+// Equal reports deep equality.
+func (v Value) Equal(o Value) bool {
+	if v.Tag != o.Tag {
+		return false
+	}
+	switch v.Tag {
+	case TagNull:
+		return true
+	case TagBool:
+		return v.Bool == o.Bool
+	case TagInt:
+		return v.Int == o.Int
+	case TagFloat:
+		return v.Float == o.Float || (math.IsNaN(v.Float) && math.IsNaN(o.Float))
+	case TagString:
+		return v.Str == o.Str
+	case TagBytes:
+		return string(v.Bytes) == string(o.Bytes)
+	case TagList:
+		if len(v.List) != len(o.List) {
+			return false
+		}
+		for i := range v.List {
+			if !v.List[i].Equal(o.List[i]) {
+				return false
+			}
+		}
+		return true
+	case TagStruct:
+		if len(v.Fields) != len(o.Fields) {
+			return false
+		}
+		for i := range v.Fields {
+			if v.Fields[i].Name != o.Fields[i].Name || !v.Fields[i].Value.Equal(o.Fields[i].Value) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// Column describes one result column in a packet schema. DeclType carries the
+// producer's declared SQL type as an opaque string for the consumer's
+// cross-compilation (e.g. "VARCHAR(5)"); TDF itself only cares about tags.
+type Column struct {
+	Name     string
+	DeclType string
+}
+
+// Packet is one self-contained batch of rows.
+type Packet struct {
+	Seq     uint64 // packet order within the stream
+	Last    bool   // true on the final packet of a result
+	Columns []Column
+	Rows    [][]Value
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+func appendVarint(dst []byte, v int64) []byte {
+	return binary.AppendVarint(dst, v)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendValue appends the self-describing encoding of v to dst.
+func AppendValue(dst []byte, v Value) ([]byte, error) {
+	dst = append(dst, byte(v.Tag))
+	switch v.Tag {
+	case TagNull:
+	case TagBool:
+		if v.Bool {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	case TagInt:
+		dst = appendVarint(dst, v.Int)
+	case TagFloat:
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v.Float))
+	case TagString:
+		dst = appendString(dst, v.Str)
+	case TagBytes:
+		dst = appendUvarint(dst, uint64(len(v.Bytes)))
+		dst = append(dst, v.Bytes...)
+	case TagList:
+		dst = appendUvarint(dst, uint64(len(v.List)))
+		var err error
+		for _, e := range v.List {
+			if dst, err = AppendValue(dst, e); err != nil {
+				return dst, err
+			}
+		}
+	case TagStruct:
+		dst = appendUvarint(dst, uint64(len(v.Fields)))
+		var err error
+		for _, f := range v.Fields {
+			dst = appendString(dst, f.Name)
+			if dst, err = AppendValue(dst, f.Value); err != nil {
+				return dst, err
+			}
+		}
+	default:
+		return dst, fmt.Errorf("tdf: cannot encode tag %d", v.Tag)
+	}
+	return dst, nil
+}
+
+type decoder struct {
+	b []byte
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("tdf: bad uvarint")
+	}
+	d.b = d.b[n:]
+	return v, nil
+}
+
+func (d *decoder) varint() (int64, error) {
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("tdf: bad varint")
+	}
+	d.b = d.b[n:]
+	return v, nil
+}
+
+func (d *decoder) take(n int) ([]byte, error) {
+	if n < 0 || len(d.b) < n {
+		return nil, fmt.Errorf("tdf: truncated value")
+	}
+	p := d.b[:n]
+	d.b = d.b[n:]
+	return p, nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	p, err := d.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(p), nil
+}
+
+const maxNesting = 64
+
+func (d *decoder) value(depth int) (Value, error) {
+	if depth > maxNesting {
+		return Value{}, fmt.Errorf("tdf: nesting exceeds %d levels", maxNesting)
+	}
+	if len(d.b) == 0 {
+		return Value{}, fmt.Errorf("tdf: missing value tag")
+	}
+	tag := Tag(d.b[0])
+	d.b = d.b[1:]
+	switch tag {
+	case TagNull:
+		return Null(), nil
+	case TagBool:
+		p, err := d.take(1)
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(p[0] != 0), nil
+	case TagInt:
+		v, err := d.varint()
+		if err != nil {
+			return Value{}, err
+		}
+		return Int(v), nil
+	case TagFloat:
+		p, err := d.take(8)
+		if err != nil {
+			return Value{}, err
+		}
+		return Float(math.Float64frombits(binary.BigEndian.Uint64(p))), nil
+	case TagString:
+		s, err := d.str()
+		if err != nil {
+			return Value{}, err
+		}
+		return String(s), nil
+	case TagBytes:
+		n, err := d.uvarint()
+		if err != nil {
+			return Value{}, err
+		}
+		p, err := d.take(int(n))
+		if err != nil {
+			return Value{}, err
+		}
+		b := make([]byte, len(p))
+		copy(b, p)
+		return BytesValue(b), nil
+	case TagList:
+		n, err := d.uvarint()
+		if err != nil {
+			return Value{}, err
+		}
+		if n > uint64(len(d.b)) {
+			return Value{}, fmt.Errorf("tdf: list count %d exceeds remaining bytes", n)
+		}
+		vs := make([]Value, 0, n)
+		for i := uint64(0); i < n; i++ {
+			e, err := d.value(depth + 1)
+			if err != nil {
+				return Value{}, err
+			}
+			vs = append(vs, e)
+		}
+		return Value{Tag: TagList, List: vs}, nil
+	case TagStruct:
+		n, err := d.uvarint()
+		if err != nil {
+			return Value{}, err
+		}
+		if n > uint64(len(d.b)) {
+			return Value{}, fmt.Errorf("tdf: struct count %d exceeds remaining bytes", n)
+		}
+		fs := make([]StructField, 0, n)
+		for i := uint64(0); i < n; i++ {
+			name, err := d.str()
+			if err != nil {
+				return Value{}, err
+			}
+			v, err := d.value(depth + 1)
+			if err != nil {
+				return Value{}, err
+			}
+			fs = append(fs, StructField{Name: name, Value: v})
+		}
+		return Value{Tag: TagStruct, Fields: fs}, nil
+	default:
+		return Value{}, fmt.Errorf("tdf: unknown tag %d", tag)
+	}
+}
+
+// EncodePacket serializes a packet. Layout:
+//
+//	magic[4] | seq uvarint | last byte | ncols uvarint |
+//	  per column: name string, decltype string |
+//	nrows uvarint | per row: ncols values |
+//	crc-less; integrity is delegated to the transport
+func EncodePacket(p *Packet) ([]byte, error) {
+	dst := append([]byte{}, Magic[:]...)
+	dst = appendUvarint(dst, p.Seq)
+	if p.Last {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = appendUvarint(dst, uint64(len(p.Columns)))
+	for _, c := range p.Columns {
+		dst = appendString(dst, c.Name)
+		dst = appendString(dst, c.DeclType)
+	}
+	dst = appendUvarint(dst, uint64(len(p.Rows)))
+	var err error
+	for _, row := range p.Rows {
+		if len(row) != len(p.Columns) {
+			return nil, fmt.Errorf("tdf: row has %d values, schema has %d columns", len(row), len(p.Columns))
+		}
+		for _, v := range row {
+			if dst, err = AppendValue(dst, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return dst, nil
+}
+
+// DecodePacket parses a packet produced by EncodePacket.
+func DecodePacket(b []byte) (*Packet, error) {
+	if len(b) < 4 || b[0] != Magic[0] || b[1] != Magic[1] || b[2] != Magic[2] || b[3] != Magic[3] {
+		return nil, fmt.Errorf("tdf: bad magic")
+	}
+	d := decoder{b: b[4:]}
+	p := &Packet{}
+	var err error
+	if p.Seq, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	lastB, err := d.take(1)
+	if err != nil {
+		return nil, err
+	}
+	p.Last = lastB[0] != 0
+	ncols, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ncols > 1<<16 {
+		return nil, fmt.Errorf("tdf: implausible column count %d", ncols)
+	}
+	p.Columns = make([]Column, ncols)
+	for i := range p.Columns {
+		if p.Columns[i].Name, err = d.str(); err != nil {
+			return nil, err
+		}
+		if p.Columns[i].DeclType, err = d.str(); err != nil {
+			return nil, err
+		}
+	}
+	nrows, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nrows > uint64(len(d.b))+1 {
+		return nil, fmt.Errorf("tdf: implausible row count %d", nrows)
+	}
+	p.Rows = make([][]Value, 0, nrows)
+	for i := uint64(0); i < nrows; i++ {
+		row := make([]Value, ncols)
+		for j := range row {
+			if row[j], err = d.value(0); err != nil {
+				return nil, err
+			}
+		}
+		p.Rows = append(p.Rows, row)
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("tdf: %d trailing bytes", len(d.b))
+	}
+	return p, nil
+}

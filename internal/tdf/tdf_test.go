@@ -1,0 +1,272 @@
+package tdf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func samplePacket() *Packet {
+	return &Packet{
+		Seq:  7,
+		Last: true,
+		Columns: []Column{
+			{Name: "id", DeclType: "INTEGER"},
+			{Name: "name", DeclType: "VARCHAR(50)"},
+			{Name: "tags", DeclType: "LIST"},
+			{Name: "meta", DeclType: "STRUCT"},
+		},
+		Rows: [][]Value{
+			{Int(1), String("alice"), List(String("a"), String("b")), Struct(
+				StructField{Name: "score", Value: Float(9.5)},
+				StructField{Name: "active", Value: Bool(true)},
+			)},
+			{Int(2), Null(), List(), Struct()},
+			{Int(-3), String("bob"), List(Int(1), List(Int(2), Int(3))), Null()},
+		},
+	}
+}
+
+func TestPacketRoundTrip(t *testing.T) {
+	p := samplePacket()
+	enc, err := EncodePacket(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePacket(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != p.Seq || got.Last != p.Last || len(got.Columns) != len(p.Columns) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range p.Columns {
+		if got.Columns[i] != p.Columns[i] {
+			t.Errorf("column %d: %+v want %+v", i, got.Columns[i], p.Columns[i])
+		}
+	}
+	if len(got.Rows) != len(p.Rows) {
+		t.Fatalf("row count %d want %d", len(got.Rows), len(p.Rows))
+	}
+	for i := range p.Rows {
+		for j := range p.Rows[i] {
+			if !got.Rows[i][j].Equal(p.Rows[i][j]) {
+				t.Errorf("row %d col %d: %+v want %+v", i, j, got.Rows[i][j], p.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestEmptyPacket(t *testing.T) {
+	p := &Packet{Seq: 0, Last: false}
+	enc, err := EncodePacket(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePacket(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Columns) != 0 || len(got.Rows) != 0 || got.Last {
+		t.Errorf("unexpected decode %+v", got)
+	}
+}
+
+func TestRowArityMismatch(t *testing.T) {
+	p := &Packet{
+		Columns: []Column{{Name: "a"}},
+		Rows:    [][]Value{{Int(1), Int(2)}},
+	}
+	if _, err := EncodePacket(p); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	p := samplePacket()
+	enc, err := EncodePacket(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePacket(nil); err == nil {
+		t.Error("nil input accepted")
+	}
+	if _, err := DecodePacket([]byte("XXXX")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	for cut := 4; cut < len(enc); cut += 7 {
+		if _, err := DecodePacket(enc[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := DecodePacket(append(append([]byte{}, enc...), 0)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func TestUnknownTag(t *testing.T) {
+	enc, err := EncodePacket(&Packet{Columns: []Column{{Name: "a"}}, Rows: [][]Value{{Int(1)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last-but-varint bytes include the value tag; corrupt the tag byte of
+	// the single value (it is the third byte from the end: tag + varint(2)).
+	enc[len(enc)-2] = 0xEE
+	if _, err := DecodePacket(enc); err == nil {
+		t.Error("unknown tag accepted")
+	}
+}
+
+func TestDeepNestingLimit(t *testing.T) {
+	v := Int(0)
+	for i := 0; i < maxNesting+5; i++ {
+		v = List(v)
+	}
+	enc, err := EncodePacket(&Packet{Columns: []Column{{Name: "x"}}, Rows: [][]Value{{v}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePacket(enc); err == nil {
+		t.Error("over-deep nesting accepted")
+	}
+}
+
+func randomValue(r *rand.Rand, depth int) Value {
+	max := 8
+	if depth > 3 {
+		max = 6 // no nested kinds below depth 3
+	}
+	switch r.Intn(max) {
+	case 0:
+		return Null()
+	case 1:
+		return Bool(r.Intn(2) == 0)
+	case 2:
+		return Int(int64(r.Uint64()))
+	case 3:
+		return Float(r.NormFloat64() * 1e6)
+	case 4:
+		b := make([]byte, r.Intn(20))
+		for i := range b {
+			b[i] = byte(r.Intn(256))
+		}
+		return String(string(b))
+	case 5:
+		b := make([]byte, r.Intn(20))
+		r.Read(b)
+		return BytesValue(b)
+	case 6:
+		n := r.Intn(4)
+		vs := make([]Value, n)
+		for i := range vs {
+			vs[i] = randomValue(r, depth+1)
+		}
+		return Value{Tag: TagList, List: vs}
+	default:
+		n := r.Intn(4)
+		fs := make([]StructField, n)
+		for i := range fs {
+			fs[i] = StructField{Name: string(rune('a' + i)), Value: randomValue(r, depth+1)}
+		}
+		return Value{Tag: TagStruct, Fields: fs}
+	}
+}
+
+func TestPropertyValueRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r, 0)
+		enc, err := AppendValue(nil, v)
+		if err != nil {
+			return false
+		}
+		d := decoder{b: enc}
+		got, err := d.value(0)
+		if err != nil || len(d.b) != 0 {
+			return false
+		}
+		return got.Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPacketRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ncols := 1 + r.Intn(5)
+		p := &Packet{Seq: r.Uint64() % 1000, Last: r.Intn(2) == 0}
+		for i := 0; i < ncols; i++ {
+			p.Columns = append(p.Columns, Column{Name: string(rune('a' + i)), DeclType: "X"})
+		}
+		nrows := r.Intn(10)
+		for i := 0; i < nrows; i++ {
+			row := make([]Value, ncols)
+			for j := range row {
+				row[j] = randomValue(r, 0)
+			}
+			p.Rows = append(p.Rows, row)
+		}
+		enc, err := EncodePacket(p)
+		if err != nil {
+			return false
+		}
+		got, err := DecodePacket(enc)
+		if err != nil || got.Seq != p.Seq || got.Last != p.Last || len(got.Rows) != len(p.Rows) {
+			return false
+		}
+		for i := range p.Rows {
+			for j := range p.Rows[i] {
+				if !got.Rows[i][j].Equal(p.Rows[i][j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatSpecialValues(t *testing.T) {
+	for _, f := range []float64{math.Inf(1), math.Inf(-1), math.NaN()} {
+		enc, err := AppendValue(nil, Float(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := decoder{b: enc}
+		got, err := d.value(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(Float(f)) {
+			t.Errorf("float %v did not round trip", f)
+		}
+	}
+}
+
+func BenchmarkEncodePacket(b *testing.B) {
+	p := samplePacket()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodePacket(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodePacket(b *testing.B) {
+	enc, err := EncodePacket(samplePacket())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodePacket(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"etlvirt/internal/ltype"
+)
+
+// Message body encoding helpers. Bodies are sequences of primitive fields:
+// fixed-width big-endian integers, length-prefixed strings and byte slices.
+
+type bodyWriter struct{ b []byte }
+
+func (w *bodyWriter) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *bodyWriter) u16(v uint16) { w.b = binary.BigEndian.AppendUint16(w.b, v) }
+func (w *bodyWriter) u32(v uint32) { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *bodyWriter) u64(v uint64) { w.b = binary.BigEndian.AppendUint64(w.b, v) }
+func (w *bodyWriter) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+func (w *bodyWriter) str(s string) error {
+	if len(s) > math.MaxUint32 {
+		return fmt.Errorf("wire: string too long")
+	}
+	w.u32(uint32(len(s)))
+	w.b = append(w.b, s...)
+	return nil
+}
+
+func (w *bodyWriter) bytes(p []byte) error {
+	if len(p) > math.MaxUint32 {
+		return fmt.Errorf("wire: byte slice too long")
+	}
+	w.u32(uint32(len(p)))
+	w.b = append(w.b, p...)
+	return nil
+}
+
+type bodyReader struct {
+	b   []byte
+	err error
+}
+
+func (r *bodyReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: truncated body reading %s", what)
+	}
+}
+
+func (r *bodyReader) u8() uint8 {
+	if r.err != nil || len(r.b) < 1 {
+		r.fail("u8")
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *bodyReader) u16() uint16 {
+	if r.err != nil || len(r.b) < 2 {
+		r.fail("u16")
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.b)
+	r.b = r.b[2:]
+	return v
+}
+
+func (r *bodyReader) u32() uint32 {
+	if r.err != nil || len(r.b) < 4 {
+		r.fail("u32")
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *bodyReader) u64() uint64 {
+	if r.err != nil || len(r.b) < 8 {
+		r.fail("u64")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *bodyReader) bool() bool { return r.u8() != 0 }
+
+func (r *bodyReader) str() string {
+	n := int(r.u32())
+	if r.err != nil || len(r.b) < n {
+		r.fail("string")
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}
+
+func (r *bodyReader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || len(r.b) < n {
+		r.fail("bytes")
+		return nil
+	}
+	p := make([]byte, n)
+	copy(p, r.b[:n])
+	r.b = r.b[n:]
+	return p
+}
+
+func (r *bodyReader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes in body", len(r.b))
+	}
+	return nil
+}
+
+// Layout wire encoding: count, then per field name + kind + length +
+// precision + scale + charset.
+
+func writeLayout(w *bodyWriter, l *ltype.Layout) error {
+	if err := w.str(l.Name); err != nil {
+		return err
+	}
+	if len(l.Fields) > math.MaxUint16 {
+		return fmt.Errorf("wire: layout has too many fields")
+	}
+	w.u16(uint16(len(l.Fields)))
+	for _, f := range l.Fields {
+		if err := w.str(f.Name); err != nil {
+			return err
+		}
+		w.u8(uint8(f.Type.Kind))
+		w.u32(uint32(f.Type.Length))
+		w.u8(uint8(f.Type.Precision))
+		w.u8(uint8(f.Type.Scale))
+		w.u8(uint8(f.Type.CharSet))
+	}
+	return nil
+}
+
+func readLayout(r *bodyReader) *ltype.Layout {
+	l := &ltype.Layout{Name: r.str()}
+	n := int(r.u16())
+	for i := 0; i < n && r.err == nil; i++ {
+		var f ltype.Field
+		f.Name = r.str()
+		f.Type.Kind = ltype.Kind(r.u8())
+		f.Type.Length = int(r.u32())
+		f.Type.Precision = int(r.u8())
+		f.Type.Scale = int(r.u8())
+		f.Type.CharSet = ltype.CharSet(r.u8())
+		l.Fields = append(l.Fields, f)
+	}
+	return l
+}

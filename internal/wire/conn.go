@@ -1,0 +1,89 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Conn wraps a byte stream with DWP message framing. Reads and writes are
+// independently safe for one concurrent reader and one concurrent writer;
+// concurrent writers are serialized by a mutex so response frames from
+// different server goroutines do not interleave.
+type Conn struct {
+	rw io.ReadWriteCloser
+
+	rmu sync.Mutex
+	br  *bufio.Reader
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+}
+
+// NewConn wraps rw (typically a *net.TCPConn) with buffered DWP framing.
+func NewConn(rw io.ReadWriteCloser) *Conn {
+	return &Conn{
+		rw: rw,
+		br: bufio.NewReaderSize(rw, 64<<10),
+		bw: bufio.NewWriterSize(rw, 64<<10),
+	}
+}
+
+// Dial connects to a DWP server.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(c), nil
+}
+
+// Send encodes and writes one message, then flushes.
+func (c *Conn) Send(session uint32, msg Message) error {
+	f, err := Encode(session, msg)
+	if err != nil {
+		return err
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := WriteFrame(c.bw, f); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// Recv reads and decodes the next message, returning it with its session id.
+func (c *Conn) Recv() (Message, uint32, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	f, err := ReadFrame(c.br)
+	if err != nil {
+		return nil, 0, err
+	}
+	m, err := Decode(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, f.Session, nil
+}
+
+// Expect reads the next message and asserts its kind. A Failure message is
+// converted to an error regardless of the expected kind.
+func (c *Conn) Expect(kind Kind) (Message, error) {
+	m, _, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if f, ok := m.(*Failure); ok {
+		return nil, f
+	}
+	if m.Kind() != kind {
+		return nil, fmt.Errorf("wire: expected %s, got %s", kind, m.Kind())
+	}
+	return m, nil
+}
+
+// Close closes the underlying stream.
+func (c *Conn) Close() error { return c.rw.Close() }

@@ -1,0 +1,200 @@
+// Package wire implements DWP, the legacy data-warehouse wire protocol that
+// ETL clients speak to the EDW server — and that the virtualizer must speak
+// to impersonate it (§3 of the paper).
+//
+// A DWP connection carries a stream of frames. Each frame has a fixed
+// 12-byte header followed by a message body whose layout depends on the
+// message kind. The Coalescer type reassembles complete frames from raw TCP
+// segments, mirroring the paper's Coalescer process.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Version is the DWP protocol version this implementation speaks.
+const Version = 3
+
+// HeaderSize is the size of the fixed frame header in bytes.
+const HeaderSize = 12
+
+// MaxBodySize caps the body of a single frame. Data chunks larger than this
+// must be split by the sender.
+const MaxBodySize = 8 << 20
+
+// Kind identifies the message carried by a frame.
+type Kind uint8
+
+// Frame kinds. The values are the protocol; do not renumber.
+const (
+	KindInvalid       Kind = 0
+	KindLogon         Kind = 1  // client -> server: authenticate
+	KindLogonOK       Kind = 2  // server -> client: session established
+	KindLogoff        Kind = 3  // client -> server: end session
+	KindRunSQL        Kind = 4  // client -> server: execute a SQL request
+	KindStmtSuccess   Kind = 5  // server -> client: statement succeeded
+	KindRecordHeader  Kind = 6  // server -> client: result-set layout
+	KindRecords       Kind = 7  // server -> client: batch of result records
+	KindEndStatement  Kind = 8  // server -> client: result set complete
+	KindFailure       Kind = 9  // server -> client: request failed
+	KindBeginLoad     Kind = 10 // client -> server: start an import job
+	KindLoadOK        Kind = 11 // server -> client: job created
+	KindAttachLoad    Kind = 12 // client -> server: attach a parallel data session
+	KindAttachOK      Kind = 13 // server -> client: session attached to job
+	KindDataChunk     Kind = 14 // client -> server: chunk of records
+	KindChunkAck      Kind = 15 // server -> client: chunk received
+	KindEndAcquire    Kind = 16 // client -> server: no more data on this session
+	KindAcquireDone   Kind = 17 // server -> client: all data staged
+	KindApplyDML      Kind = 18 // client -> server: run the application-phase DML
+	KindApplyResult   Kind = 19 // server -> client: DML outcome and error counts
+	KindEndLoad       Kind = 20 // client -> server: finish the job
+	KindLoadDone      Kind = 21 // server -> client: job closed
+	KindBeginExport   Kind = 22 // client -> server: start an export job
+	KindExportOK      Kind = 23 // server -> client: export ready, layout attached
+	KindExportChunkRq Kind = 24 // client -> server: request chunk N
+	KindExportChunk   Kind = 25 // server -> client: chunk N payload
+	KindEndExport     Kind = 26 // client -> server: finish export job
+)
+
+// String returns a diagnostic name for the kind.
+func (k Kind) String() string {
+	names := [...]string{
+		"Invalid", "Logon", "LogonOK", "Logoff", "RunSQL", "StmtSuccess",
+		"RecordHeader", "Records", "EndStatement", "Failure", "BeginLoad",
+		"LoadOK", "AttachLoad", "AttachOK", "DataChunk", "ChunkAck",
+		"EndAcquire", "AcquireDone", "ApplyDML", "ApplyResult", "EndLoad",
+		"LoadDone", "BeginExport", "ExportOK", "ExportChunkRq", "ExportChunk",
+		"EndExport",
+	}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Frame is one protocol frame: a kind, the session it belongs to, and the
+// encoded message body.
+type Frame struct {
+	Kind    Kind
+	Session uint32
+	Body    []byte
+}
+
+// header layout:
+//
+//	offset 0: version  uint8
+//	offset 1: kind     uint8
+//	offset 2: flags    uint16 BE (reserved, zero)
+//	offset 4: session  uint32 BE
+//	offset 8: bodyLen  uint32 BE
+
+// AppendFrame appends the encoded frame to dst and returns the result.
+func AppendFrame(dst []byte, f Frame) ([]byte, error) {
+	if len(f.Body) > MaxBodySize {
+		return dst, fmt.Errorf("wire: frame body %d exceeds max %d", len(f.Body), MaxBodySize)
+	}
+	dst = append(dst, Version, byte(f.Kind), 0, 0)
+	dst = binary.BigEndian.AppendUint32(dst, f.Session)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(f.Body)))
+	return append(dst, f.Body...), nil
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	buf, err := AppendFrame(make([]byte, 0, HeaderSize+len(f.Body)), f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one complete frame from r.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	f, bodyLen, err := parseHeader(hdr[:])
+	if err != nil {
+		return Frame{}, err
+	}
+	if bodyLen > 0 {
+		f.Body = make([]byte, bodyLen)
+		if _, err := io.ReadFull(r, f.Body); err != nil {
+			return Frame{}, fmt.Errorf("wire: truncated frame body: %w", err)
+		}
+	}
+	return f, nil
+}
+
+func parseHeader(hdr []byte) (Frame, int, error) {
+	if hdr[0] != Version {
+		return Frame{}, 0, fmt.Errorf("wire: bad protocol version %d", hdr[0])
+	}
+	k := Kind(hdr[1])
+	if k == KindInvalid || k > KindEndExport {
+		return Frame{}, 0, fmt.Errorf("wire: invalid frame kind %d", hdr[1])
+	}
+	bodyLen := int(binary.BigEndian.Uint32(hdr[8:]))
+	if bodyLen > MaxBodySize {
+		return Frame{}, 0, fmt.Errorf("wire: frame body %d exceeds max %d", bodyLen, MaxBodySize)
+	}
+	return Frame{Kind: k, Session: binary.BigEndian.Uint32(hdr[4:])}, bodyLen, nil
+}
+
+// Coalescer reassembles complete frames from an arbitrary sequence of byte
+// slices, as delivered by the network layer. It is a push parser: feed bytes
+// with Push, collect complete frames from the returned slice. Mirrors the
+// paper's Coalescer process, which "forms complete TCP messages from the raw
+// bytes received over the wire".
+type Coalescer struct {
+	buf     []byte
+	pending Frame
+	need    int  // body bytes still needed; 0 when waiting for a header
+	inBody  bool // true when a header has been parsed and body bytes are owed
+}
+
+// Push feeds raw bytes to the coalescer and returns any frames completed by
+// them. The returned frames own their body slices; they do not alias data.
+func (c *Coalescer) Push(data []byte) ([]Frame, error) {
+	c.buf = append(c.buf, data...)
+	var out []Frame
+	for {
+		if !c.inBody {
+			if len(c.buf) < HeaderSize {
+				return out, nil
+			}
+			f, bodyLen, err := parseHeader(c.buf[:HeaderSize])
+			if err != nil {
+				return out, err
+			}
+			c.buf = c.buf[HeaderSize:]
+			c.pending = f
+			c.need = bodyLen
+			c.inBody = true
+		}
+		if len(c.buf) < c.need {
+			return out, nil
+		}
+		if c.need > 0 {
+			c.pending.Body = make([]byte, c.need)
+			copy(c.pending.Body, c.buf[:c.need])
+			c.buf = c.buf[c.need:]
+		}
+		out = append(out, c.pending)
+		c.pending = Frame{}
+		c.need = 0
+		c.inBody = false
+		// Reclaim the buffer if it has been fully consumed to avoid unbounded
+		// growth of the backing array across pushes.
+		if len(c.buf) == 0 {
+			c.buf = nil
+		}
+	}
+}
+
+// Buffered returns the number of bytes held that do not yet form a frame.
+func (c *Coalescer) Buffered() int { return len(c.buf) }

@@ -1,0 +1,45 @@
+package wire
+
+import "testing"
+
+// FuzzCoalescer feeds arbitrary bytes to the frame reassembler: it must
+// never panic and never hand out a frame with an invalid kind.
+func FuzzCoalescer(f *testing.F) {
+	good, _ := Encode(1, &RunSQL{SQL: "SELECT 1"})
+	enc, _ := AppendFrame(nil, good)
+	f.Add(enc)
+	f.Add([]byte{Version, byte(KindLogon), 0, 0, 0, 0, 0, 1, 0, 0, 0, 0})
+	f.Add([]byte("garbage that is not a frame at all"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var c Coalescer
+		frames, err := c.Push(data)
+		if err != nil {
+			return
+		}
+		for _, fr := range frames {
+			if fr.Kind == KindInvalid || fr.Kind > KindEndExport {
+				t.Fatalf("coalescer emitted invalid kind %d", fr.Kind)
+			}
+		}
+	})
+}
+
+// FuzzDecode checks message decoding never panics on arbitrary bodies.
+func FuzzDecode(f *testing.F) {
+	for _, m := range []Message{
+		&Logon{User: "u"},
+		&BeginLoad{Table: "t", Layout: testLayout(), Sessions: 2},
+		&DataChunk{JobID: 1, Payload: []byte("x|y\n")},
+		&ExportChunk{JobID: 1, EOF: true},
+	} {
+		fr, _ := Encode(0, m)
+		f.Add(uint8(fr.Kind), fr.Body)
+	}
+	f.Fuzz(func(t *testing.T, kind uint8, body []byte) {
+		k := Kind(kind)
+		if k == KindInvalid || k > KindEndExport {
+			return
+		}
+		_, _ = Decode(Frame{Kind: k, Body: body})
+	})
+}

@@ -1,0 +1,343 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"etlvirt/internal/ltype"
+)
+
+func testLayout() *ltype.Layout {
+	return &ltype.Layout{Name: "CustLayout", Fields: []ltype.Field{
+		{Name: "CUST_ID", Type: ltype.VarChar(5)},
+		{Name: "CUST_NAME", Type: ltype.VarChar(50)},
+		{Name: "JOIN_DATE", Type: ltype.VarChar(10)},
+	}}
+}
+
+func allMessages() []Message {
+	return []Message{
+		&Logon{Host: "h", User: "u", Password: "p", Account: "a"},
+		&LogonOK{SessionID: 7, ServerVersion: "edw-1.0"},
+		&Logoff{},
+		&RunSQL{SQL: "SELECT 1"},
+		&StmtSuccess{ActivityCount: 42, Warning: "w"},
+		&RecordHeader{Layout: testLayout()},
+		&Records{Count: 3, Payload: []byte{1, 2, 3}},
+		&EndStatement{},
+		&Failure{Code: 3807, Message: "table does not exist"},
+		&BeginLoad{
+			Table: "PROD.CUSTOMER", ErrTableET: "PROD.CUSTOMER_ET",
+			ErrTableUV: "PROD.CUSTOMER_UV", Layout: testLayout(),
+			Format: FormatVartext, Delim: '|', Sessions: 4,
+			MaxErrors: 10, MaxRetries: 20,
+		},
+		&LoadOK{JobID: 9},
+		&AttachLoad{JobID: 9, SessionSeq: 2},
+		&AttachOK{},
+		&DataChunk{JobID: 9, Seq: 5, FirstRow: 101, Count: 2, Payload: []byte("x|y\nz|w\n")},
+		&ChunkAck{Seq: 5},
+		&EndAcquire{JobID: 9},
+		&AcquireDone{JobID: 9, RowsStaged: 100, DataErrors: 2},
+		&ApplyDML{JobID: 9, Label: "InsApply", SQL: "insert into t values (:a)"},
+		&ApplyResult{JobID: 9, Inserted: 90, Updated: 1, Deleted: 2, ErrorsET: 3, ErrorsUV: 4},
+		&EndLoad{JobID: 9},
+		&LoadDone{JobID: 9},
+		&BeginExport{SQL: "select * from t", Sessions: 2, Format: FormatVartext, Delim: ','},
+		&ExportOK{JobID: 11, Layout: testLayout()},
+		&ExportChunkRq{JobID: 11, Seq: 3},
+		&ExportChunk{JobID: 11, Seq: 3, Count: 10, EOF: true, Payload: []byte("data")},
+		&EndExport{JobID: 11},
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	for _, msg := range allMessages() {
+		f, err := Encode(123, msg)
+		if err != nil {
+			t.Fatalf("%s encode: %v", msg.Kind(), err)
+		}
+		if f.Kind != msg.Kind() || f.Session != 123 {
+			t.Errorf("%s: frame kind/session wrong: %+v", msg.Kind(), f)
+		}
+		got, err := Decode(f)
+		if err != nil {
+			t.Fatalf("%s decode: %v", msg.Kind(), err)
+		}
+		if !reflect.DeepEqual(got, msg) {
+			t.Errorf("%s round trip:\n got %#v\nwant %#v", msg.Kind(), got, msg)
+		}
+	}
+}
+
+func TestDecodeTruncatedBodies(t *testing.T) {
+	for _, msg := range allMessages() {
+		f, err := Encode(1, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(f.Body) == 0 {
+			continue
+		}
+		for cut := 0; cut < len(f.Body); cut++ {
+			trunc := Frame{Kind: f.Kind, Session: 1, Body: f.Body[:cut]}
+			if _, err := Decode(trunc); err == nil {
+				t.Errorf("%s: truncation at %d of %d accepted", msg.Kind(), cut, len(f.Body))
+				break
+			}
+		}
+		// trailing garbage must also be rejected
+		extra := Frame{Kind: f.Kind, Session: 1, Body: append(append([]byte{}, f.Body...), 0xFF)}
+		if _, err := Decode(extra); err == nil {
+			t.Errorf("%s: trailing garbage accepted", msg.Kind())
+		}
+	}
+}
+
+func TestFrameReadWrite(t *testing.T) {
+	var buf bytes.Buffer
+	frames := []Frame{
+		{Kind: KindLogon, Session: 1, Body: []byte("abc")},
+		{Kind: KindLogoff, Session: 2},
+		{Kind: KindDataChunk, Session: 3, Body: bytes.Repeat([]byte{7}, 100000)},
+	}
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range frames {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Kind != want.Kind || got.Session != want.Session || !bytes.Equal(got.Body, want.Body) {
+			t.Errorf("frame %d mismatch", i)
+		}
+	}
+}
+
+func TestReadFrameErrors(t *testing.T) {
+	// bad version
+	hdr := make([]byte, HeaderSize)
+	hdr[0] = 99
+	hdr[1] = byte(KindLogon)
+	if _, err := ReadFrame(bytes.NewReader(hdr)); err == nil {
+		t.Error("bad version accepted")
+	}
+	// bad kind
+	hdr[0] = Version
+	hdr[1] = 200
+	if _, err := ReadFrame(bytes.NewReader(hdr)); err == nil {
+		t.Error("bad kind accepted")
+	}
+	// oversized body
+	f := Frame{Kind: KindRecords, Body: make([]byte, MaxBodySize+1)}
+	if _, err := AppendFrame(nil, f); err == nil {
+		t.Error("oversized body accepted")
+	}
+	// truncated header
+	if _, err := ReadFrame(bytes.NewReader([]byte{Version})); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestCoalescerWholeStream(t *testing.T) {
+	var stream []byte
+	msgs := allMessages()
+	for i, m := range msgs {
+		f, err := Encode(uint32(i), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, err = AppendFrame(stream, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var c Coalescer
+	frames, err := c.Push(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != len(msgs) {
+		t.Fatalf("got %d frames, want %d", len(frames), len(msgs))
+	}
+	for i, f := range frames {
+		got, err := Decode(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, msgs[i]) {
+			t.Errorf("frame %d mismatch", i)
+		}
+	}
+	if c.Buffered() != 0 {
+		t.Errorf("coalescer holds %d leftover bytes", c.Buffered())
+	}
+}
+
+func TestCoalescerArbitrarySegmentation(t *testing.T) {
+	var stream []byte
+	msgs := allMessages()
+	for i, m := range msgs {
+		f, err := Encode(uint32(i), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, _ = AppendFrame(stream, f)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var c Coalescer
+		var frames []Frame
+		rest := stream
+		for len(rest) > 0 {
+			n := 1 + r.Intn(len(rest))
+			got, err := c.Push(rest[:n])
+			if err != nil {
+				t.Logf("push: %v", err)
+				return false
+			}
+			frames = append(frames, got...)
+			rest = rest[n:]
+		}
+		if len(frames) != len(msgs) || c.Buffered() != 0 {
+			t.Logf("frames=%d buffered=%d", len(frames), c.Buffered())
+			return false
+		}
+		for i, fr := range frames {
+			got, err := Decode(fr)
+			if err != nil || !reflect.DeepEqual(got, msgs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoalescerByteAtATime(t *testing.T) {
+	f, err := Encode(5, &RunSQL{SQL: "SELECT * FROM t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, _ := AppendFrame(nil, f)
+	var c Coalescer
+	var frames []Frame
+	for _, b := range enc {
+		got, err := c.Push([]byte{b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, got...)
+	}
+	if len(frames) != 1 {
+		t.Fatalf("got %d frames, want 1", len(frames))
+	}
+	m, err := Decode(frames[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.(*RunSQL).SQL != "SELECT * FROM t" {
+		t.Errorf("unexpected SQL %q", m.(*RunSQL).SQL)
+	}
+}
+
+func TestCoalescerBadHeader(t *testing.T) {
+	var c Coalescer
+	bad := make([]byte, HeaderSize)
+	bad[0] = 0xAA
+	if _, err := c.Push(bad); err == nil {
+		t.Error("bad header accepted")
+	}
+}
+
+func TestConnOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		conn := NewConn(nc)
+		defer conn.Close()
+		m, sess, err := conn.Recv()
+		if err != nil {
+			done <- err
+			return
+		}
+		logon, ok := m.(*Logon)
+		if !ok || logon.User != "alice" || sess != 0 {
+			done <- errFromf("unexpected logon %#v sess %d", m, sess)
+			return
+		}
+		done <- conn.Send(1, &LogonOK{SessionID: 1, ServerVersion: "test"})
+	}()
+
+	conn, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(0, &Logon{User: "alice"}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := conn.Expect(KindLogonOK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.(*LogonOK).SessionID != 1 {
+		t.Errorf("unexpected session id %d", m.(*LogonOK).SessionID)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpectFailure(t *testing.T) {
+	c1, c2 := net.Pipe()
+	server, client := NewConn(c1), NewConn(c2)
+	defer server.Close()
+	defer client.Close()
+	go func() {
+		server.Send(0, &Failure{Code: 2666, Message: "bad date"})
+	}()
+	_, err := client.Expect(KindStmtSuccess)
+	f, ok := err.(*Failure)
+	if !ok {
+		t.Fatalf("want *Failure, got %T %v", err, err)
+	}
+	if f.Code != 2666 {
+		t.Errorf("code %d, want 2666", f.Code)
+	}
+}
+
+func TestExpectWrongKind(t *testing.T) {
+	c1, c2 := net.Pipe()
+	server, client := NewConn(c1), NewConn(c2)
+	defer server.Close()
+	defer client.Close()
+	go func() { server.Send(0, &EndStatement{}) }()
+	if _, err := client.Expect(KindStmtSuccess); err == nil {
+		t.Error("wrong kind accepted")
+	}
+}
+
+func errFromf(format string, args ...any) error {
+	return &Failure{Code: 1, Message: fmt.Sprintf(format, args...)}
+}
