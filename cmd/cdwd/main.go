@@ -13,19 +13,24 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"etlvirt/internal/cdw"
 	"etlvirt/internal/cdwnet"
 	"etlvirt/internal/cloudstore"
+	"etlvirt/internal/obs"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7001", "address to serve the CDW protocol on")
 	storeDir := flag.String("store", "", "object-store directory shared with etlvirtd (required)")
 	initSQL := flag.String("init", "", "optional file of semicolon-separated DDL to run at startup")
+	debugAddr := flag.String("debug", "", "optional address for /healthz, /metrics and /debug/pprof (e.g. 127.0.0.1:7071)")
 	flag.Parse()
 
 	if *storeDir == "" {
@@ -49,6 +54,30 @@ func main() {
 	}
 
 	srv := cdwnet.NewServer(eng)
+	if *debugAddr != "" {
+		reg := obs.NewRegistry()
+		obs.RegisterRuntimeMetrics(reg)
+		requests := reg.Counter("cdw_requests_total", "Requests served by the CDW engine.")
+		errors := reg.Counter("cdw_errors_total", "Requests that returned an engine error.")
+		lat := reg.Histogram("cdw_request_seconds", "Engine latency per served request.", nil)
+		srv.SetObserver(func(_ string, d time.Duration, errCode int) {
+			requests.Inc()
+			if errCode != 0 {
+				errors.Inc()
+			}
+			lat.ObserveDuration(d)
+		})
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("cdwd: debug listener: %v", err)
+		}
+		go func() {
+			if err := http.Serve(ln, obs.Handler(reg)); err != nil {
+				log.Printf("cdwd: debug server: %v", err)
+			}
+		}()
+		log.Printf("cdwd: debug endpoints on http://%s", ln.Addr())
+	}
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		log.Fatalf("cdwd: %v", err)

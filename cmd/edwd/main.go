@@ -11,18 +11,22 @@ package main
 import (
 	"flag"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 
 	"etlvirt/internal/edw"
+	"etlvirt/internal/obs"
 	"etlvirt/internal/sqlxlate"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7002", "address to serve the legacy protocol on")
 	initSQL := flag.String("init", "", "optional file of semicolon-separated legacy DDL to run at startup")
+	debugAddr := flag.String("debug", "", "optional address for /healthz, /metrics and /debug/pprof (e.g. 127.0.0.1:7072)")
 	flag.Parse()
 
 	srv := edw.NewServer()
@@ -41,6 +45,21 @@ func main() {
 				log.Fatalf("edwd: init statement %q: %v", stmt, err)
 			}
 		}
+	}
+
+	if *debugAddr != "" {
+		reg := obs.NewRegistry()
+		obs.RegisterRuntimeMetrics(reg)
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("edwd: debug listener: %v", err)
+		}
+		go func() {
+			if err := http.Serve(ln, obs.Handler(reg)); err != nil {
+				log.Printf("edwd: debug server: %v", err)
+			}
+		}()
+		log.Printf("edwd: debug endpoints on http://%s", ln.Addr())
 	}
 
 	addr, err := srv.Listen(*listen)

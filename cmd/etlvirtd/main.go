@@ -35,7 +35,10 @@ func main() {
 	schemaMap := flag.String("schema-map", "", "legacy->CDW schema renames, e.g. PROD=analytics,DW=warehouse")
 	maxErrors := flag.Int("maxerrors", 0, "default max_errors for jobs that do not set one")
 	maxRetries := flag.Int("maxretries", 0, "default max_retries for jobs that do not set one")
-	debugAddr := flag.String("debug", "", "optional address for /healthz, /metrics and /jobs (e.g. 127.0.0.1:7070)")
+	debugAddr := flag.String("debug", "", "optional address for /healthz, /metrics, /jobs, /jobs/active, /jobs/{id}/trace and /debug/pprof (e.g. 127.0.0.1:7070)")
+	reportLog := flag.Int("report-log", 0, "completed job reports kept in memory (0 = 1024)")
+	traceRetain := flag.Int("trace-retain", 0, "finished job traces kept for /jobs/{id}/trace (0 = 64)")
+	traceSpans := flag.Int("trace-spans", 0, "span cap per job trace (0 = 8192)")
 	flag.Parse()
 
 	if *storeDir == "" {
@@ -57,6 +60,9 @@ func main() {
 		Gzip:              *gz,
 		MaxErrors:         *maxErrors,
 		MaxRetries:        *maxRetries,
+		ReportLogSize:     *reportLog,
+		TraceRetention:    *traceRetain,
+		TraceSpansPerJob:  *traceSpans,
 		Logger:            slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	}
 	if *schemaMap != "" {

@@ -205,7 +205,9 @@ func TestAblationsRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rows[1].Acquisition >= rows[0].Acquisition {
+	if !raceEnabled && rows[1].Acquisition >= rows[0].Acquisition {
+		// Skipped under the race detector: its instrumentation inflates the
+		// CPU cost of gzip far past the simulated uplink savings.
 		t.Errorf("gzip should win on a slow uplink: %v vs %v", rows[1].Acquisition, rows[0].Acquisition)
 	}
 	if _, err := AblationFileSize(150); err != nil {

@@ -59,7 +59,43 @@ func FormatFig7(rows []Fig7Row) string {
 			pctIncrease(base.Acquisition, last.Acquisition),
 			pctIncrease(base.Application, last.Application))
 	}
+	if len(rows) > 0 {
+		sb.WriteString(formatStages(rows[len(rows)-1].PaperMRows, rows[len(rows)-1].Times.Stages))
+	}
 	return sb.String()
+}
+
+// formatStages renders the per-stage histogram summary block appended to
+// Figure 7: where the largest run's time went, stage by stage.
+func formatStages(paperMRows int, stages []StageSummary) string {
+	if len(stages) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "per-stage latency, %dM-row run:\n", paperMRows)
+	sb.WriteString("stage                                count         mean          p50          p95\n")
+	for _, s := range stages {
+		render := fmtSeconds
+		if !strings.HasSuffix(s.Name, "_seconds") {
+			render = func(v float64) string { return fmt.Sprintf("%.1f", v) }
+		}
+		fmt.Fprintf(&sb, "%-34s %8d %12s %12s %12s\n",
+			s.Name, s.Count, render(s.Mean), render(s.P50), render(s.P95))
+	}
+	return sb.String()
+}
+
+// fmtSeconds renders a seconds value as a rounded duration.
+func fmtSeconds(v float64) string {
+	d := time.Duration(v * float64(time.Second))
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.Round(10 * time.Nanosecond).String()
+	}
 }
 
 func pctIncrease(base, v time.Duration) float64 {

@@ -42,6 +42,39 @@ type PhaseTimes struct {
 	ErrorsUV   int64
 	ApplyStmts int64
 	Files      int64
+
+	// Stages summarizes the node registry's per-stage latency histograms
+	// accumulated over the run — the stage-level attribution behind the
+	// phase split. Each run assembles a fresh stack, so the snapshot is the
+	// run's own delta.
+	Stages []StageSummary
+}
+
+// StageSummary condenses one stage histogram for benchmark reports.
+type StageSummary struct {
+	Name  string
+	Count int64
+	Mean  float64 // seconds (or the histogram's native unit)
+	P50   float64
+	P95   float64
+}
+
+// stageSummaries extracts non-empty histograms from a node registry.
+func stageSummaries(node *core.Node) []StageSummary {
+	var out []StageSummary
+	for _, h := range node.Metrics().Histograms() {
+		if h.Count == 0 {
+			continue
+		}
+		out = append(out, StageSummary{
+			Name:  h.Name,
+			Count: h.Count,
+			Mean:  h.Mean(),
+			P50:   h.Quantile(0.5),
+			P95:   h.Quantile(0.95),
+		})
+	}
+	return out
 }
 
 // AcquireRateMBs returns the acquisition throughput in MB/s.
@@ -119,6 +152,7 @@ func RunImport(cfg RunConfig) (PhaseTimes, error) {
 		ErrorsUV:    r.ErrorsUV,
 		ApplyStmts:  r.ApplyStmts,
 		Files:       r.FilesWritten,
+		Stages:      stageSummaries(node),
 	}, nil
 }
 

@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in. Timing
+// assertions that compare CPU-bound work (gzip) against simulated I/O skew
+// badly under the detector's instrumentation overhead and are skipped.
+const raceEnabled = false

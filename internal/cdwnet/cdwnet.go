@@ -15,6 +15,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"etlvirt/internal/cdw"
 	"etlvirt/internal/sqlparse"
@@ -67,9 +68,28 @@ type Server struct {
 	eng *cdw.Engine
 	ln  net.Listener
 
-	mu    sync.Mutex
-	conns map[net.Conn]struct{}
-	done  chan struct{}
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	done     chan struct{}
+	observer func(op string, d time.Duration, errCode int)
+}
+
+// SetObserver installs a callback invoked once per served request with the
+// request kind ("exec" or "describe"), its engine latency, and the engine
+// error code (0 on success). cdwd wires this into its request metrics.
+func (s *Server) SetObserver(fn func(op string, d time.Duration, errCode int)) {
+	s.mu.Lock()
+	s.observer = fn
+	s.mu.Unlock()
+}
+
+func (s *Server) observe(op string, start time.Time, errCode int) {
+	s.mu.Lock()
+	fn := s.observer
+	s.mu.Unlock()
+	if fn != nil {
+		fn(op, time.Since(start), errCode)
+	}
 }
 
 // NewServer returns an unstarted server for eng.
@@ -137,11 +157,14 @@ func (s *Server) serveConn(conn net.Conn) {
 			return // disconnect
 		}
 		if req.Describe != "" {
+			start := time.Now()
 			if err := s.serveDescribe(enc, req.Describe); err != nil {
 				return
 			}
+			s.observe("describe", start, 0)
 			continue
 		}
+		start := time.Now()
 		res, err := s.eng.ExecSQL(req.SQL)
 		var hdr responseHeader
 		if err != nil {
@@ -154,6 +177,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			hdr.HasRows = len(res.Columns) > 0
 		}
+		s.observe("exec", start, hdr.ErrCode)
 		if err := enc.Encode(&hdr); err != nil {
 			return
 		}
@@ -396,6 +420,28 @@ type Pool struct {
 	mu    sync.Mutex
 	made  int
 	size  int
+
+	obsMu    sync.Mutex
+	observer func(op string, d time.Duration, err error)
+}
+
+// SetObserver installs a callback invoked once per pooled round trip with
+// the operation kind ("exec", "query" or "describe"), its end-to-end
+// latency (including connection checkout), and the resulting error. The
+// virtualizer's Beta path wires this into its CDW request metrics.
+func (p *Pool) SetObserver(fn func(op string, d time.Duration, err error)) {
+	p.obsMu.Lock()
+	p.observer = fn
+	p.obsMu.Unlock()
+}
+
+func (p *Pool) observe(op string, start time.Time, err error) {
+	p.obsMu.Lock()
+	fn := p.observer
+	p.obsMu.Unlock()
+	if fn != nil {
+		fn(op, time.Since(start), err)
+	}
 }
 
 // NewPool creates a pool of up to size connections to addr. Connections are
@@ -454,11 +500,14 @@ func (p *Pool) Close() {
 
 // Exec borrows a connection and runs a statement.
 func (p *Pool) Exec(sql string) (int64, error) {
+	start := time.Now()
 	c, err := p.Get()
 	if err != nil {
+		p.observe("exec", start, err)
 		return 0, err
 	}
 	n, err := c.Exec(sql)
+	p.observe("exec", start, err)
 	if err != nil {
 		// Errors are either remote engine errors (connection still usable) or
 		// transport errors. Only reuse the connection for engine errors.
@@ -478,11 +527,14 @@ func (p *Pool) Exec(sql string) (int64, error) {
 
 // Describe borrows a connection and fetches table metadata.
 func (p *Pool) Describe(table string) (*TableMeta, error) {
+	start := time.Now()
 	c, err := p.Get()
 	if err != nil {
+		p.observe("describe", start, err)
 		return nil, err
 	}
 	meta, err := c.Describe(table)
+	p.observe("describe", start, err)
 	if err != nil {
 		if _, ok := err.(*cdw.Error); ok {
 			p.Put(c)
@@ -500,11 +552,14 @@ func (p *Pool) Describe(table string) (*TableMeta, error) {
 
 // QueryAll borrows a connection and materializes a query result.
 func (p *Pool) QueryAll(sql string) ([]ResultCol, [][]cdw.Datum, error) {
+	start := time.Now()
 	c, err := p.Get()
 	if err != nil {
+		p.observe("query", start, err)
 		return nil, nil, err
 	}
 	cols, rows, err := c.QueryAll(sql)
+	p.observe("query", start, err)
 	if err != nil {
 		if _, ok := err.(*cdw.Error); ok {
 			p.Put(c)

@@ -128,6 +128,10 @@ type Link struct {
 	// BytesPerSec caps sustained upload throughput across all concurrent
 	// uploads. Zero means unlimited.
 	BytesPerSec int64
+	// OnTransfer, when non-nil, is called after each simulated transfer
+	// with the object size and the wall time the link charged for it. Set
+	// it before the link carries traffic.
+	OnTransfer func(bytes int, d time.Duration)
 
 	mu       sync.Mutex
 	earliest time.Time // time at which the shared pipe is next free
@@ -135,6 +139,12 @@ type Link struct {
 
 // delay blocks the calling upload to model transferring n bytes.
 func (l *Link) delay(n int) {
+	start := time.Now()
+	defer func() {
+		if l.OnTransfer != nil {
+			l.OnTransfer(n, time.Since(start))
+		}
+	}()
 	if l.Latency > 0 {
 		time.Sleep(l.Latency)
 	}
@@ -144,11 +154,11 @@ func (l *Link) delay(n int) {
 	dur := time.Duration(float64(n) / float64(l.BytesPerSec) * float64(time.Second))
 	l.mu.Lock()
 	now := time.Now()
-	start := l.earliest
-	if start.Before(now) {
-		start = now
+	end := l.earliest
+	if end.Before(now) {
+		end = now
 	}
-	end := start.Add(dur)
+	end = end.Add(dur)
 	l.earliest = end
 	l.mu.Unlock()
 	time.Sleep(time.Until(end))

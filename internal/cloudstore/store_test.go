@@ -194,3 +194,25 @@ func TestBulkLoaderDir(t *testing.T) {
 		t.Error("missing dir accepted")
 	}
 }
+
+func TestLinkOnTransfer(t *testing.T) {
+	mem := NewMemStore()
+	link := &Link{BytesPerSec: 1 << 20}
+	var gotBytes int
+	var gotDur time.Duration
+	link.OnTransfer = func(bytes int, d time.Duration) {
+		gotBytes += bytes
+		gotDur += d
+	}
+	ts := &ThrottledStore{Store: mem, Link: link}
+	payload := make([]byte, 64<<10) // ~62ms at 1 MiB/s
+	if err := ts.Put("k", bytes.NewReader(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if gotBytes != len(payload) {
+		t.Errorf("OnTransfer saw %d bytes, want %d", gotBytes, len(payload))
+	}
+	if gotDur < 40*time.Millisecond {
+		t.Errorf("OnTransfer duration %v, want >= 40ms for a throttled upload", gotDur)
+	}
+}

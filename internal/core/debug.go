@@ -2,18 +2,119 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
+	"time"
+
+	"etlvirt/internal/obs"
 )
+
+// ActiveJob is the live progress snapshot of one running job, served by
+// /jobs/active. Counter fields are read from the job's atomics, so the
+// values advance while the job runs.
+type ActiveJob struct {
+	JobID     uint64    `json:"job_id"`
+	Kind      string    `json:"kind"`  // "import" or "export"
+	Target    string    `json:"target,omitempty"`
+	Phase     string    `json:"phase"` // "acquisition", "application" or "export"
+	StartedAt time.Time `json:"started_at"`
+	ElapsedMS int64     `json:"elapsed_ms"`
+
+	// acquisition progress
+	Chunks        int64 `json:"chunks_received,omitempty"`
+	RowsIn        int64 `json:"rows_received,omitempty"`
+	BytesIn       int64 `json:"bytes_received,omitempty"`
+	RowsConverted int64 `json:"rows_converted,omitempty"`
+	FilesWritten  int64 `json:"files_written,omitempty"`
+	FilesUploaded int64 `json:"files_uploaded,omitempty"`
+	BytesUploaded int64 `json:"bytes_uploaded,omitempty"`
+	CreditsHeld   int64 `json:"credits_held,omitempty"`
+
+	// application progress
+	Statements int64 `json:"statements_applied,omitempty"`
+	ErrorsET   int64 `json:"errors_et,omitempty"`
+	ErrorsUV   int64 `json:"errors_uv,omitempty"`
+
+	// export progress
+	RowsExported   int64 `json:"rows_exported,omitempty"`
+	BatchesFetched int64 `json:"batches_fetched,omitempty"`
+}
+
+// ActiveJobs snapshots every running import and export job.
+func (n *Node) ActiveJobs() []ActiveJob {
+	n.mu.Lock()
+	imports := make([]*importJob, 0, len(n.imports))
+	for _, j := range n.imports {
+		imports = append(imports, j)
+	}
+	exports := make([]*exportJob, 0, len(n.exports))
+	for _, j := range n.exports {
+		exports = append(exports, j)
+	}
+	n.mu.Unlock()
+
+	now := time.Now()
+	out := make([]ActiveJob, 0, len(imports)+len(exports))
+	for _, j := range imports {
+		phase := "acquisition"
+		if j.acqDone.Load() {
+			phase = "application"
+		}
+		out = append(out, ActiveJob{
+			JobID:         j.id,
+			Kind:          "import",
+			Target:        j.targets,
+			Phase:         phase,
+			StartedAt:     j.watch.start,
+			ElapsedMS:     now.Sub(j.watch.start).Milliseconds(),
+			Chunks:        j.chunks.Load(),
+			RowsIn:        j.rowsIn.Load(),
+			BytesIn:       j.bytesIn.Load(),
+			RowsConverted: j.rowsConv.Load(),
+			FilesWritten:  j.filesW.Load(),
+			FilesUploaded: j.files.Load(),
+			BytesUploaded: j.upBytes.Load(),
+			CreditsHeld:   j.creditsHeld.Load(),
+			Statements:    j.stmts.Load(),
+			ErrorsET:      j.errsETLive.Load(),
+			ErrorsUV:      j.errsUVLive.Load(),
+		})
+	}
+	for _, j := range exports {
+		out = append(out, ActiveJob{
+			JobID:          j.id,
+			Kind:           "export",
+			Phase:          "export",
+			StartedAt:      j.started,
+			ElapsedMS:      now.Sub(j.started).Milliseconds(),
+			RowsExported:   j.rowsOut.Load(),
+			BatchesFetched: j.batches.Load(),
+		})
+	}
+	// stable order for consumers
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].JobID < out[k-1].JobID; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
 
 // ServeDebug starts an HTTP listener exposing operational endpoints:
 //
-//	/healthz  liveness probe
-//	/metrics  Prometheus-style text counters
-//	/jobs     JSON array of completed job reports
+//	/healthz           liveness probe
+//	/metrics           Prometheus text exposition of the node registry
+//	/jobs              JSON array of completed job reports
+//	/jobs/active       JSON array of running jobs with live progress
+//	/jobs/{id}/trace   per-job span timeline; ?format=chrome emits
+//	                   Chrome trace_event JSON for chrome://tracing
+//	/debug/pprof/      runtime profiling
 //
-// It returns the bound address. The listener shuts down with the node.
+// It returns the bound address. Calling ServeDebug again replaces the
+// previous debug server, closing it. The listener shuts down with the node.
 func (n *Node) ServeDebug(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -23,54 +124,53 @@ func (n *Node) ServeDebug(addr string) (string, error) {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		n.writeMetrics(w)
-	})
+	mux.Handle("/metrics", obs.MetricsHandler(n.nm.reg))
 	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(n.Reports())
 	})
+	mux.HandleFunc("/jobs/active", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(n.ActiveJobs())
+	})
+	mux.HandleFunc("/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad job id", http.StatusBadRequest)
+			return
+		}
+		t, ok := n.tracer.Get(id)
+		if !ok {
+			http.Error(w, "no trace for job", http.StatusNotFound)
+			return
+		}
+		snap := t.Snapshot()
+		var body []byte
+		if r.URL.Query().Get("format") == "chrome" {
+			body, err = snap.ChromeTrace()
+		} else {
+			body, err = snap.JSON()
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+	})
+	obs.AttachPprof(mux)
 	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln)
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			n.log.Error("debug server", "err", err)
+		}
+	}()
 	n.mu.Lock()
+	prev := n.debugSrv
 	n.debugSrv = srv
 	n.mu.Unlock()
-	return ln.Addr().String(), nil
-}
-
-func (n *Node) writeMetrics(w http.ResponseWriter) {
-	reports := n.Reports()
-	var jobs, exports, rowsIn, bytesIn, errsET, errsUV, files int64
-	for _, r := range reports {
-		if r.Export {
-			exports++
-			continue
-		}
-		jobs++
-		rowsIn += r.RowsIn
-		bytesIn += r.BytesIn
-		errsET += r.ErrorsET
-		errsUV += r.ErrorsUV
-		files += r.FilesWritten
+	if prev != nil {
+		prev.Close()
 	}
-	n.mu.Lock()
-	active := len(n.imports) + len(n.exports)
-	n.mu.Unlock()
-	cs := n.Credits()
-
-	fmt.Fprintf(w, "# HELP etlvirt_jobs_completed_total Completed import jobs.\n")
-	fmt.Fprintf(w, "etlvirt_jobs_completed_total %d\n", jobs)
-	fmt.Fprintf(w, "etlvirt_exports_completed_total %d\n", exports)
-	fmt.Fprintf(w, "etlvirt_jobs_active %d\n", active)
-	fmt.Fprintf(w, "etlvirt_rows_received_total %d\n", rowsIn)
-	fmt.Fprintf(w, "etlvirt_bytes_received_total %d\n", bytesIn)
-	fmt.Fprintf(w, "etlvirt_files_uploaded_total %d\n", files)
-	fmt.Fprintf(w, "etlvirt_errors_et_total %d\n", errsET)
-	fmt.Fprintf(w, "etlvirt_errors_uv_total %d\n", errsUV)
-	fmt.Fprintf(w, "etlvirt_credits_total %d\n", cs.Total)
-	fmt.Fprintf(w, "etlvirt_credits_available %d\n", cs.Available)
-	fmt.Fprintf(w, "etlvirt_credit_acquires_total %d\n", cs.Acquires)
-	fmt.Fprintf(w, "etlvirt_credit_waits_total %d\n", cs.Waits)
-	fmt.Fprintf(w, "etlvirt_credit_inflight_bytes %d\n", cs.InFlight)
-	fmt.Fprintf(w, "etlvirt_credit_peak_inflight_bytes %d\n", cs.PeakInFlight)
+	return ln.Addr().String(), nil
 }

@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"etlvirt/internal/cdw"
 	"etlvirt/internal/cdwnet"
 	"etlvirt/internal/ltype"
+	"etlvirt/internal/obs"
 	"etlvirt/internal/tdf"
 	"etlvirt/internal/wire"
 )
@@ -36,7 +38,10 @@ type exportJob struct {
 	client     *cdwnet.Client
 	cursorDone chan struct{} // closed when runCursor has released the cursor
 	rows       int64
+	rowsOut    atomic.Int64 // rows encoded for the client, observable lock-free
+	batches    atomic.Int64 // result batches fetched by the TDFCursor
 	started    time.Time
+	trace      *obs.JobTrace
 }
 
 func (n *Node) newExportJob(m *wire.BeginExport) (*exportJob, error) {
@@ -48,12 +53,16 @@ func (n *Node) newExportJob(m *wire.BeginExport) (*exportJob, error) {
 	if err != nil {
 		return nil, err
 	}
+	openStart := time.Now()
 	cur, err := client.Query(cdwSQL, n.cfg.ExportChunkRows)
 	if err != nil {
 		n.pool.Put(client)
 		return nil, err
 	}
 	id := n.nextJob.Add(1)
+	n.nm.exportsStarted.Inc()
+	trace := n.tracer.Start(id, "export")
+	trace.Span("export_open", "tdfcursor", openStart, 0, 0, nil)
 	j := &exportJob{
 		id:         id,
 		node:       n,
@@ -64,6 +73,7 @@ func (n *Node) newExportJob(m *wire.BeginExport) (*exportJob, error) {
 		client:     client,
 		cursorDone: make(chan struct{}),
 		started:    time.Now(),
+		trace:      trace,
 	}
 	j.cond = sync.NewCond(&j.mu)
 	j.layout = layoutFromCols(fmt.Sprintf("export_%d", id), j.cols)
@@ -87,9 +97,17 @@ func (j *exportJob) runCursor(cur *cdwnet.Cursor) {
 		close(j.cursorDone)
 	}()
 	prefetch := j.node.cfg.ExportPrefetch
+	nm := j.node.nm
 	seq := uint64(0)
 	for {
+		fetchStart := time.Now()
 		batch, ok, err := cur.NextBatch()
+		if ok || err != nil {
+			nm.exportBatches.Inc()
+			nm.exportBatchLat.ObserveDuration(time.Since(fetchStart))
+			j.batches.Add(1)
+			j.trace.Span("export_fetch", "tdfcursor", fetchStart, int64(len(batch)), 0, err)
+		}
 		if err != nil {
 			j.mu.Lock()
 			j.err = err
@@ -189,10 +207,15 @@ func (j *exportJob) encodePacket(p *tdf.Packet) (*wire.ExportChunk, error) {
 		}
 		rows[i] = row
 	}
+	encStart := time.Now()
 	payload, err := encodeRowsLegacy(rows, j.layout, uint8(j.format), j.delim)
 	if err != nil {
 		return nil, err
 	}
+	j.trace.Span("export_encode", "pxc", encStart, int64(len(rows)), int64(len(payload)), nil)
+	j.node.nm.rowsExported.Add(int64(len(rows)))
+	j.node.nm.exportChunks.Inc()
+	j.rowsOut.Add(int64(len(rows)))
 	j.mu.Lock()
 	j.rows += int64(len(rows))
 	j.mu.Unlock()
@@ -223,6 +246,8 @@ func (j *exportJob) finish() {
 		Other:        time.Since(j.started),
 	}
 	j.node.reports.add(r)
+	j.node.nm.exportsCompleted.Inc()
+	j.node.tracer.Finish(j.id)
 	j.node.mu.Lock()
 	delete(j.node.exports, j.id)
 	j.node.mu.Unlock()

@@ -14,6 +14,7 @@ import (
 	"etlvirt/internal/credit"
 	"etlvirt/internal/errhandle"
 	"etlvirt/internal/fwriter"
+	"etlvirt/internal/obs"
 	"etlvirt/internal/sqlparse"
 	"etlvirt/internal/sqlxlate"
 	"etlvirt/internal/wire"
@@ -73,17 +74,25 @@ type importJob struct {
 	dataErrors []convert.DataError
 	failure    error // first pipeline failure; poisons the job
 
-	chunks    atomic.Int64
-	bytesIn   atomic.Int64
-	rowsIn    atomic.Int64
-	rowsConv  atomic.Int64
-	files     atomic.Int64
-	upBytes   atomic.Int64
-	acquireMu sync.Mutex
-	acquired  bool      // acquisition finalized
-	drain     sync.Once // pipeline teardown
-	finishSeq sync.Once // report filing + table cleanup
+	chunks      atomic.Int64
+	bytesIn     atomic.Int64
+	rowsIn      atomic.Int64
+	rowsConv    atomic.Int64
+	filesW      atomic.Int64 // intermediate files finalized
+	files       atomic.Int64 // files uploaded
+	upBytes     atomic.Int64
+	stmts       atomic.Int64 // application DML statements issued so far
+	errsETLive  atomic.Int64
+	errsUVLive  atomic.Int64
+	creditsHeld atomic.Int64
+	acqDone     atomic.Bool // acquisition finalized, observable lock-free
+	aborted     atomic.Bool
+	acquireMu   sync.Mutex
+	acquired    bool      // acquisition finalized
+	drain       sync.Once // pipeline teardown
+	finishSeq   sync.Once // report filing + table cleanup
 
+	trace  *obs.JobTrace
 	watch  stopwatch
 	report JobReport
 }
@@ -110,6 +119,9 @@ func (n *Node) newImportJob(m *wire.BeginLoad) (*importJob, error) {
 		targets: target.String(),
 	}
 	j.watch.start = time.Now()
+	n.nm.jobsStarted.Inc()
+	j.trace = n.tracer.Start(id, "import "+j.targets)
+	setupStart := time.Now()
 	j.tr = &sqlxlate.Translator{
 		Stage:      j.stage,
 		StageAlias: "s",
@@ -137,9 +149,11 @@ func (n *Node) newImportJob(m *wire.BeginLoad) (*importJob, error) {
 	}
 	for _, s := range stmts {
 		if _, err := n.pool.Exec(s); err != nil {
+			n.tracer.Finish(id)
 			return nil, fmt.Errorf("preparing job tables: %w", err)
 		}
 	}
+	j.trace.Span("setup", "session", setupStart, 0, 0, nil)
 
 	// spin up the pipeline
 	cfg := n.cfg
@@ -158,11 +172,11 @@ func (n *Node) newImportJob(m *wire.BeginLoad) (*importJob, error) {
 	}
 	for i := 0; i < cfg.Converters; i++ {
 		j.convWG.Add(1)
-		go j.runConverter()
+		go j.runConverter(i)
 	}
 	for u := 0; u < cfg.UploadParallelism; u++ {
 		j.uploadWG.Add(1)
-		go j.runUploader()
+		go j.runUploader(u)
 	}
 
 	n.mu.Lock()
@@ -178,11 +192,22 @@ func dropIfExists(tn sqlparse.TableName) string {
 
 func (j *importJob) fail(err error) {
 	j.mu.Lock()
-	if j.failure == nil {
+	first := j.failure == nil
+	if first {
 		j.failure = err
 	}
 	j.mu.Unlock()
+	if first {
+		j.node.nm.jobsFailed.Inc()
+	}
 	j.node.log.Error("import job failed", "job", j.id, "err", err)
+}
+
+// releaseCredit returns a credit to the pool and updates the live held count
+// surfaced by /jobs/active.
+func (j *importJob) releaseCredit(cr *credit.Credit) {
+	cr.Release()
+	j.creditsHeld.Add(-1)
 }
 
 func (j *importJob) failed() error {
@@ -198,6 +223,10 @@ func (j *importJob) handleChunk(m *wire.DataChunk, done chan struct{}) error {
 	j.chunks.Add(1)
 	j.bytesIn.Add(int64(len(m.Payload)))
 	j.rowsIn.Add(int64(m.Count))
+	nm := j.node.nm
+	nm.chunks.Inc()
+	nm.bytesIn.Add(int64(len(m.Payload)))
+	nm.rowsIn.Add(int64(m.Count))
 	j.mu.Lock()
 	if top := m.FirstRow + uint64(m.Count) - 1; int64(top) > j.maxSeq {
 		j.maxSeq = int64(top)
@@ -207,7 +236,9 @@ func (j *importJob) handleChunk(m *wire.DataChunk, done chan struct{}) error {
 	}
 	j.mu.Unlock()
 
+	waitStart := time.Now()
 	cr, err := j.node.credits.Acquire(context.Background(), int64(len(m.Payload)))
+	j.trace.Span("credit_wait", "session", waitStart, int64(m.Count), int64(len(m.Payload)), err)
 	if err != nil {
 		j.fail(err)
 		j.pending.Done()
@@ -216,31 +247,40 @@ func (j *importJob) handleChunk(m *wire.DataChunk, done chan struct{}) error {
 		}
 		return err
 	}
+	j.creditsHeld.Add(1)
 	j.convCh <- convTask{payload: m.Payload, firstRow: int64(m.FirstRow), credit: cr, done: done}
 	j.pending.Done()
 	return nil
 }
 
-func (j *importJob) runConverter() {
+func (j *importJob) runConverter(idx int) {
 	defer j.convWG.Done()
+	nm := j.node.nm
+	lane := fmt.Sprintf("convert-%d", idx)
 	for task := range j.convCh {
+		convStart := time.Now()
 		res, err := j.conv.Convert(task.payload, task.firstRow)
+		nm.convertLat.ObserveDuration(time.Since(convStart))
 		if err != nil {
-			task.credit.Release()
+			j.trace.Span("convert", lane, convStart, 0, int64(len(task.payload)), err)
+			j.releaseCredit(task.credit)
 			j.fail(err)
 			if task.done != nil {
 				close(task.done)
 			}
 			continue
 		}
+		j.trace.Span("convert", lane, convStart, int64(res.Rows), int64(len(task.payload)), nil)
 		if len(res.Errors) > 0 {
+			nm.dataErrors.Add(int64(len(res.Errors)))
 			j.mu.Lock()
 			j.dataErrors = append(j.dataErrors, res.Errors...)
 			j.mu.Unlock()
 		}
 		j.rowsConv.Add(int64(res.Rows))
+		nm.rowsConverted.Add(int64(res.Rows))
 		if res.Rows == 0 {
-			task.credit.Release()
+			j.releaseCredit(task.credit)
 			if task.done != nil {
 				close(task.done)
 			}
@@ -253,6 +293,8 @@ func (j *importJob) runConverter() {
 
 func (j *importJob) runFileWriter(idx int, ch chan writeTask) {
 	defer j.writeWG.Done()
+	nm := j.node.nm
+	lane := fmt.Sprintf("write-%d", idx)
 	var fs fwriter.FS
 	if j.memfs != nil {
 		fs = j.memfs
@@ -263,12 +305,21 @@ func (j *importJob) runFileWriter(idx int, ch chan writeTask) {
 		SizeThreshold: j.node.cfg.FileSizeThreshold,
 		Gzip:          j.node.cfg.Gzip,
 		NamePrefix:    fmt.Sprintf("job%d-w%d-", j.id, idx),
+		OnRotate: func(f fwriter.FinishedFile, d time.Duration) {
+			nm.rotateLat.ObserveDuration(d)
+			nm.filesWritten.Inc()
+			j.filesW.Add(1)
+			j.trace.Add(obs.Span{Stage: "rotate", Worker: lane,
+				Start: time.Now().Add(-d), Dur: d, Rows: int64(f.Rows), Bytes: int64(f.Bytes)})
+		},
 	})
 	for task := range ch {
 		// The credit returns to the pool just before the data is written to
 		// disk (§5, Figure 4).
-		task.credit.Release()
+		j.releaseCredit(task.credit)
+		writeStart := time.Now()
 		err := w.Write(task.csv, task.rows)
+		j.trace.Span("write", lane, writeStart, int64(task.rows), int64(len(task.csv)), err)
 		if task.done != nil {
 			close(task.done)
 		}
@@ -290,10 +341,13 @@ func (j *importJob) runFileWriter(idx int, ch chan writeTask) {
 	}
 }
 
-func (j *importJob) runUploader() {
+func (j *importJob) runUploader(idx int) {
 	defer j.uploadWG.Done()
+	nm := j.node.nm
+	lane := fmt.Sprintf("upload-%d", idx)
 	for f := range j.uploadCh {
 		key := j.keyPfx + f.Name
+		upStart := time.Now()
 		var err error
 		var n int64
 		if j.memfs != nil {
@@ -307,12 +361,16 @@ func (j *importJob) runUploader() {
 		} else {
 			n, err = j.node.loader.UploadFile(j.osDir+"/"+f.Name, key)
 		}
+		nm.uploadLat.ObserveDuration(time.Since(upStart))
+		j.trace.Span("upload", lane, upStart, int64(f.Rows), n, err)
 		if err != nil {
 			j.fail(fmt.Errorf("uploading %s: %w", f.Name, err))
 			continue
 		}
 		j.files.Add(1)
 		j.upBytes.Add(n)
+		nm.filesUploaded.Inc()
+		nm.bytesUploaded.Add(n)
 	}
 }
 
@@ -342,7 +400,10 @@ func (j *importJob) finishAcquisition() (*wire.AcquireDone, error) {
 	if err != nil {
 		return nil, err
 	}
+	copyStart := time.Now()
 	staged, err := j.node.pool.Exec(copySQL)
+	j.node.nm.copyStatements.Inc()
+	j.trace.Span("copy", "stage", copyStart, staged, j.upBytes.Load(), err)
 	if err != nil {
 		return nil, fmt.Errorf("COPY into staging failed: %w", err)
 	}
@@ -361,6 +422,7 @@ func (j *importJob) finishAcquisition() (*wire.AcquireDone, error) {
 	}
 	j.watch.acqTo = time.Now()
 	j.acquired = true
+	j.acqDone.Store(true)
 	return j.acquireReply(), nil
 }
 
@@ -392,6 +454,8 @@ func (j *importJob) drainPipeline() {
 // the job's CDW state removed, without running COPY or the application
 // phase.
 func (j *importJob) abort() {
+	j.aborted.Store(true)
+	j.node.nm.jobsAborted.Inc()
 	j.acquireMu.Lock()
 	j.drainPipeline()
 	j.acquireMu.Unlock()
@@ -522,6 +586,7 @@ func (j *importJob) applyDML(m *wire.ApplyDML) (*wire.ApplyResult, error) {
 		}
 	}
 
+	nm := j.node.nm
 	var errsET, errsUV int64
 	record := func(lo, hi int64, c errhandle.Classified) error {
 		table := j.etName
@@ -530,10 +595,14 @@ func (j *importJob) applyDML(m *wire.ApplyDML) (*wire.ApplyResult, error) {
 		case c.Code == errhandle.CodeMaxErrors:
 			msg = fmt.Sprintf("Max number of errors reached during DML on %s, row numbers: (%d, %d)", j.targets, lo, hi)
 			errsET++
+			j.errsETLive.Add(1)
+			nm.errorsET.Inc()
 		case c.Unique:
 			table = j.uvName
 			msg = fmt.Sprintf("%s during DML on %s, row number: %d%s", c.Msg, j.targets, lo, j.stagedTupleSuffix(lo))
 			errsUV++
+			j.errsUVLive.Add(1)
+			nm.errorsUV.Inc()
 		default:
 			if c.Field == "" && lo == hi {
 				// isolate the offending input field by probing each insert
@@ -542,6 +611,8 @@ func (j *importJob) applyDML(m *wire.ApplyDML) (*wire.ApplyResult, error) {
 			}
 			msg = fmt.Sprintf("%s during DML on %s, row number: %d", c.Msg, j.targets, lo)
 			errsET++
+			j.errsETLive.Add(1)
+			nm.errorsET.Inc()
 		}
 		if table.Name == "" {
 			return nil // job declared no error table; drop silently like the legacy tools
@@ -552,6 +623,17 @@ func (j *importJob) applyDML(m *wire.ApplyDML) (*wire.ApplyResult, error) {
 	cfg := errhandle.Config{
 		MaxErrors:  int(j.req.MaxErrors),
 		MaxRetries: int(j.req.MaxRetries),
+		Observe: func(depth int, lo, hi int64, d time.Duration, err error) {
+			nm.dmlStatements.Inc()
+			nm.dmlLat.ObserveDuration(d)
+			j.stmts.Add(1)
+			if err != nil {
+				nm.splitDepth.Observe(float64(depth))
+			}
+			j.trace.Add(obs.Span{Stage: "dml", Worker: "beta",
+				Start: time.Now().Add(-d), Dur: d, Rows: hi - lo + 1, Depth: depth,
+				Err: errString(err)})
+		},
 	}
 	if cfg.MaxErrors == 0 {
 		cfg.MaxErrors = j.node.cfg.MaxErrors
@@ -563,10 +645,15 @@ func (j *importJob) applyDML(m *wire.ApplyDML) (*wire.ApplyResult, error) {
 	j.mu.Lock()
 	maxSeq := j.maxSeq
 	j.mu.Unlock()
-	if err := h.Run(context.Background(), 1, maxSeq); err != nil {
-		return nil, err
-	}
+	applyStart := time.Now()
+	runErr := h.Run(context.Background(), 1, maxSeq)
 	st := h.Stats()
+	j.trace.Span("apply", "beta", applyStart, st.Activity, 0, runErr)
+	nm.adaptiveSplits.Add(st.Splits)
+	nm.blockErrors.Add(st.BlockErrors)
+	if runErr != nil {
+		return nil, runErr
+	}
 	j.watch.appTo = time.Now()
 
 	res := &wire.ApplyResult{JobID: j.id, ErrorsET: uint64(errsET), ErrorsUV: uint64(errsUV)}
@@ -581,14 +668,26 @@ func (j *importJob) applyDML(m *wire.ApplyDML) (*wire.ApplyResult, error) {
 		res.Updated = uint64(upsertUpdated)
 		res.Inserted = uint64(upsertInserted)
 	}
+	nm.rowsInserted.Add(int64(res.Inserted))
+	nm.rowsUpdated.Add(int64(res.Updated))
+	nm.rowsDeleted.Add(int64(res.Deleted))
 	j.report.ApplyStmts = st.Attempts
 	j.report.BlockErrors = st.BlockErrors
+	j.report.Splits = st.Splits
+	j.report.MaxSplitDepth = st.MaxDepth
 	j.report.Inserted = int64(res.Inserted)
 	j.report.Updated = int64(res.Updated)
 	j.report.Deleted = int64(res.Deleted)
 	j.report.ErrorsET = errsET
 	j.report.ErrorsUV = errsUV
 	return res, nil
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // probeRow evaluates the full rewritten insert projection against the single
@@ -700,6 +799,10 @@ func (j *importJob) finish() *JobReport {
 		j.report.BytesUpload = j.upBytes.Load()
 		j.watch.fill(&j.report, time.Now())
 		j.node.reports.add(j.report)
+		if !j.aborted.Load() {
+			j.node.nm.jobsCompleted.Inc()
+		}
+		j.node.tracer.Finish(j.id)
 		j.node.mu.Lock()
 		delete(j.node.imports, j.id)
 		j.node.mu.Unlock()

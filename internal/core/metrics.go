@@ -1,0 +1,149 @@
+package core
+
+import (
+	"time"
+
+	"etlvirt/internal/cloudstore"
+	"etlvirt/internal/obs"
+)
+
+// nodeMetrics is the node's registry of live pipeline series — the
+// stage-granular telemetry the paper's evaluation attributes job time with
+// (§9, Figures 7-11). Every pipeline stage publishes here while jobs run;
+// JobReport remains the per-job summary filed at completion.
+type nodeMetrics struct {
+	reg *obs.Registry
+
+	// job lifecycle
+	jobsStarted, jobsCompleted, jobsFailed, jobsAborted *obs.Counter
+	exportsStarted, exportsCompleted                    *obs.Counter
+
+	// acquisition (Alpha chunk receipt -> conversion -> files -> upload)
+	chunks, rowsIn, bytesIn           *obs.Counter
+	rowsConverted, dataErrors         *obs.Counter
+	filesWritten, filesUploaded       *obs.Counter
+	bytesUploaded, copyStatements     *obs.Counter
+	creditWait, convertLat, rotateLat *obs.Histogram
+	uploadLat, linkLat                *obs.Histogram
+
+	// application (Beta DML with adaptive splitting)
+	rowsInserted, rowsUpdated, rowsDeleted *obs.Counter
+	errorsET, errorsUV, blockErrors        *obs.Counter
+	dmlStatements, adaptiveSplits          *obs.Counter
+	dmlLat                                 *obs.Histogram
+	splitDepth                             *obs.Histogram
+
+	// export (TDFCursor)
+	rowsExported, exportBatches, exportChunks *obs.Counter
+	exportBatchLat                            *obs.Histogram
+
+	// CDW round trips (all Beta traffic incl. staging DDL and probes)
+	cdwRequests, cdwErrors *obs.Counter
+	cdwReqLat              *obs.Histogram
+}
+
+// newNodeMetrics builds the registry and wires the stage observers of every
+// subsystem the node owns into it.
+func newNodeMetrics(n *Node) *nodeMetrics {
+	r := obs.NewRegistry()
+	m := &nodeMetrics{reg: r}
+
+	m.jobsStarted = r.Counter("etlvirt_jobs_started_total", "Import jobs begun.")
+	m.jobsCompleted = r.Counter("etlvirt_jobs_completed_total", "Completed import jobs.")
+	m.jobsFailed = r.Counter("etlvirt_jobs_failed_total", "Import jobs poisoned by a pipeline failure.")
+	m.jobsAborted = r.Counter("etlvirt_jobs_aborted_total", "Import jobs aborted by client disconnect.")
+	m.exportsStarted = r.Counter("etlvirt_exports_started_total", "Export jobs begun.")
+	m.exportsCompleted = r.Counter("etlvirt_exports_completed_total", "Completed export jobs.")
+	r.GaugeFunc("etlvirt_jobs_active", "Import jobs currently running.", func() float64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return float64(len(n.imports))
+	})
+	r.GaugeFunc("etlvirt_exports_active", "Export jobs currently running.", func() float64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return float64(len(n.exports))
+	})
+
+	m.chunks = r.Counter("etlvirt_chunks_received_total", "Data chunks received from legacy clients (Alpha).")
+	m.rowsIn = r.Counter("etlvirt_rows_received_total", "Records received from legacy clients.")
+	m.bytesIn = r.Counter("etlvirt_bytes_received_total", "Payload bytes received from legacy clients.")
+	m.rowsConverted = r.Counter("etlvirt_rows_converted_total", "Records surviving DataConverter conversion.")
+	m.dataErrors = r.Counter("etlvirt_data_errors_total", "Records rejected during acquisition conversion.")
+	m.filesWritten = r.Counter("etlvirt_files_written_total", "Intermediate files finalized by FileWriters.")
+	m.filesUploaded = r.Counter("etlvirt_files_uploaded_total", "Intermediate files uploaded to the object store.")
+	m.bytesUploaded = r.Counter("etlvirt_bytes_uploaded_total", "Bytes handed to the bulk loader.")
+	m.copyStatements = r.Counter("etlvirt_copy_statements_total", "COPY statements issued to stage uploaded files.")
+	m.creditWait = r.Histogram("etlvirt_credit_wait_seconds",
+		"Time sessions spent acquiring a credit (back-pressure, §5).", nil)
+	m.convertLat = r.Histogram("etlvirt_chunk_convert_seconds",
+		"Per-chunk DataConverter latency.", nil)
+	m.rotateLat = r.Histogram("etlvirt_file_rotate_seconds",
+		"FileWriter rotation latency (gzip finalize + close).", nil)
+	m.uploadLat = r.Histogram("etlvirt_upload_seconds",
+		"Per-file bulk-loader upload latency.", nil)
+	m.linkLat = r.Histogram("etlvirt_link_transfer_seconds",
+		"Simulated cloud-link transfer time per object.", nil)
+
+	m.rowsInserted = r.Counter("etlvirt_rows_inserted_total", "Rows inserted by application DML.")
+	m.rowsUpdated = r.Counter("etlvirt_rows_updated_total", "Rows updated by application DML.")
+	m.rowsDeleted = r.Counter("etlvirt_rows_deleted_total", "Rows deleted by application DML.")
+	m.errorsET = r.Counter("etlvirt_errors_et_total", "Application errors recorded in ET tables.")
+	m.errorsUV = r.Counter("etlvirt_errors_uv_total", "Uniqueness violations recorded in UV tables.")
+	m.blockErrors = r.Counter("etlvirt_block_errors_total", "Ranges recorded as blocks after budget exhaustion.")
+	m.dmlStatements = r.Counter("etlvirt_dml_statements_total",
+		"Application DML statements issued, including adaptive retries (Figure 11).")
+	m.adaptiveSplits = r.Counter("etlvirt_adaptive_splits_total",
+		"Failing ranges split in half by the adaptive error handler (§7).")
+	m.dmlLat = r.Histogram("etlvirt_dml_statement_seconds",
+		"Per-statement application DML latency.", nil)
+	m.splitDepth = r.Histogram("etlvirt_split_depth",
+		"Adaptive-split depth of failing DML statements.", obs.DepthBuckets)
+
+	m.rowsExported = r.Counter("etlvirt_rows_exported_total", "Rows streamed to export clients.")
+	m.exportBatches = r.Counter("etlvirt_export_batches_total", "Result batches fetched by TDFCursors.")
+	m.exportChunks = r.Counter("etlvirt_export_chunks_total", "Export chunks encoded for legacy clients.")
+	m.exportBatchLat = r.Histogram("etlvirt_export_batch_seconds",
+		"Per-batch TDFCursor fetch latency.", nil)
+
+	m.cdwRequests = r.Counter("etlvirt_cdw_requests_total", "Round trips to the CDW (all Beta traffic).")
+	m.cdwErrors = r.Counter("etlvirt_cdw_errors_total", "CDW round trips that returned an error.")
+	m.cdwReqLat = r.Histogram("etlvirt_cdw_request_seconds", "CDW round-trip latency.", nil)
+
+	// CreditManager pool state, read live at scrape time.
+	r.GaugeFunc("etlvirt_credits_total", "Size of the CreditManager pool.",
+		func() float64 { return float64(n.credits.Stats().Total) })
+	r.GaugeFunc("etlvirt_credits_available", "Credits currently available.",
+		func() float64 { return float64(n.credits.Stats().Available) })
+	r.GaugeFunc("etlvirt_credit_inflight_bytes", "Bytes charged to outstanding credits.",
+		func() float64 { return float64(n.credits.Stats().InFlight) })
+	r.GaugeFunc("etlvirt_credit_peak_inflight_bytes", "Peak observed in-flight bytes.",
+		func() float64 { return float64(n.credits.Stats().PeakInFlight) })
+	r.CounterFunc("etlvirt_credit_acquires_total", "Credit Acquire calls.",
+		func() int64 { return n.credits.Stats().Acquires })
+	r.CounterFunc("etlvirt_credit_waits_total", "Credit acquires that had to block.",
+		func() int64 { return n.credits.Stats().Waits })
+
+	r.GaugeFunc("etlvirt_reports_dropped", "Completed job reports evicted from the bounded report log.",
+		func() float64 { return float64(n.reports.droppedCount()) })
+
+	obs.RegisterRuntimeMetrics(r)
+
+	// stage observers
+	n.credits.SetObserver(func(wait time.Duration, _ bool) {
+		m.creditWait.ObserveDuration(wait)
+	})
+	n.pool.SetObserver(func(_ string, d time.Duration, err error) {
+		m.cdwRequests.Inc()
+		if err != nil {
+			m.cdwErrors.Inc()
+		}
+		m.cdwReqLat.ObserveDuration(d)
+	})
+	if ts, ok := n.store.(*cloudstore.ThrottledStore); ok && ts.Link != nil {
+		ts.Link.OnTransfer = func(bytes int, d time.Duration) {
+			m.linkLat.ObserveDuration(d)
+		}
+	}
+	return m
+}

@@ -23,6 +23,7 @@ import (
 	"etlvirt/internal/cloudstore"
 	"etlvirt/internal/convert"
 	"etlvirt/internal/credit"
+	"etlvirt/internal/obs"
 	"etlvirt/internal/sqlparse"
 	"etlvirt/internal/sqlxlate"
 	"etlvirt/internal/wire"
@@ -79,6 +80,17 @@ type Config struct {
 	MaxErrors  int
 	MaxRetries int
 
+	// ReportLogSize bounds the in-memory log of completed job reports; the
+	// oldest reports are evicted beyond it and counted in the
+	// etlvirt_reports_dropped gauge. Zero defaults to 1024.
+	ReportLogSize int
+	// TraceRetention bounds how many finished job traces stay retrievable
+	// via /jobs/{id}/trace. Zero defaults to 64.
+	TraceRetention int
+	// TraceSpansPerJob caps the spans recorded per job timeline; spans past
+	// the cap are dropped and counted. Zero defaults to 8192.
+	TraceSpansPerJob int
+
 	// SyncAcquisition is the ablation of §5's design discussion: when set,
 	// a chunk is only acknowledged after it has been converted and written,
 	// synchronizing the pipeline instead of relying on the CreditManager.
@@ -121,6 +133,9 @@ func (c Config) withDefaults() Config {
 	if c.ExportPrefetch <= 0 {
 		c.ExportPrefetch = 8
 	}
+	if c.ReportLogSize <= 0 {
+		c.ReportLogSize = 1024
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(discard{}, nil))
 	}
@@ -154,13 +169,15 @@ type Node struct {
 	nextSession atomic.Uint32
 
 	reports reportLog
+	nm      *nodeMetrics
+	tracer  *obs.Tracer
 }
 
 // NewNode builds a node. store is the cloud object store shared with the
 // CDW (uploads land there; COPY reads from there).
 func NewNode(cfg Config, store cloudstore.Store) *Node {
 	cfg = cfg.withDefaults()
-	return &Node{
+	n := &Node{
 		cfg:     cfg,
 		credits: credit.NewManager(cfg.Credits, cfg.MemBudget),
 		pool:    cdwnet.NewPool(cfg.CDWAddr, cfg.CDWPoolSize),
@@ -170,7 +187,11 @@ func NewNode(cfg Config, store cloudstore.Store) *Node {
 		conns:   make(map[net.Conn]struct{}),
 		imports: make(map[uint64]*importJob),
 		exports: make(map[uint64]*exportJob),
+		tracer:  obs.NewTracer(cfg.TraceRetention, cfg.TraceSpansPerJob),
 	}
+	n.reports.setCap(cfg.ReportLogSize)
+	n.nm = newNodeMetrics(n)
+	return n
 }
 
 // Credits exposes the node's CreditManager statistics.
@@ -178,6 +199,14 @@ func (n *Node) Credits() credit.Stats { return n.credits.Stats() }
 
 // Reports returns the reports of all completed jobs.
 func (n *Node) Reports() []JobReport { return n.reports.all() }
+
+// Metrics exposes the node's live metrics registry — the same series
+// /metrics serves — so embedders and the benchmark harness can snapshot
+// per-stage telemetry programmatically.
+func (n *Node) Metrics() *obs.Registry { return n.nm.reg }
+
+// Tracer exposes the node's per-job span tracer.
+func (n *Node) Tracer() *obs.Tracer { return n.tracer }
 
 // Listen binds addr and starts the Alpha accept loop, returning the bound
 // address.

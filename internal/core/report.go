@@ -29,14 +29,16 @@ type JobReport struct {
 	BytesUpload  int64 // bytes handed to the bulk loader
 
 	// application counters
-	Inserted     int64
-	Updated      int64
-	Deleted      int64
-	ErrorsET     int64
-	ErrorsUV     int64
-	BlockErrors  int64
-	ApplyStmts   int64 // DML statements issued, incl. adaptive retries
-	ExportedRows int64
+	Inserted      int64
+	Updated       int64
+	Deleted       int64
+	ErrorsET      int64
+	ErrorsUV      int64
+	BlockErrors   int64
+	ApplyStmts    int64 // DML statements issued, incl. adaptive retries
+	Splits        int64 // failing ranges split by the adaptive handler
+	MaxSplitDepth int   // deepest adaptive-split level reached
+	ExportedRows  int64
 }
 
 // Total returns the end-to-end job duration.
@@ -45,25 +47,52 @@ func (r *JobReport) Total() time.Duration {
 }
 
 // reportLog keeps finished job reports for inspection by tests and the
-// benchmark harness.
+// benchmark harness. It is a bounded ring: once cap reports accumulate the
+// oldest are evicted, and the eviction count is surfaced as the
+// etlvirt_reports_dropped gauge so operators notice the truncation.
 type reportLog struct {
 	mu      sync.Mutex
+	cap     int
 	reports []JobReport
+	start   int // index of the oldest report when the ring is full
+	dropped int64
+}
+
+// setCap bounds the log. It must be called before the log carries reports;
+// n <= 0 leaves the log unbounded.
+func (l *reportLog) setCap(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.cap = n
 }
 
 func (l *reportLog) add(r JobReport) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.cap > 0 && len(l.reports) >= l.cap {
+		l.reports[l.start] = r
+		l.start = (l.start + 1) % len(l.reports)
+		l.dropped++
+		return
+	}
 	l.reports = append(l.reports, r)
 }
 
-// all returns a copy of the accumulated reports.
+// all returns a copy of the retained reports in insertion order.
 func (l *reportLog) all() []JobReport {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]JobReport, len(l.reports))
-	copy(out, l.reports)
+	out := make([]JobReport, 0, len(l.reports))
+	out = append(out, l.reports[l.start:]...)
+	out = append(out, l.reports[:l.start]...)
 	return out
+}
+
+// droppedCount reports how many finished jobs were evicted from the ring.
+func (l *reportLog) droppedCount() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
 }
 
 // stopwatch measures named spans of a job's lifetime.

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrOutOfMemory reports that in-flight chunk bytes exceeded the node's
@@ -38,6 +39,18 @@ type Manager struct {
 	waits    atomic.Int64 // number of Acquire calls that blocked
 	acquires atomic.Int64
 	peak     int64 // max observed in-flight bytes (under mu)
+
+	observer func(wait time.Duration, blocked bool) // under mu
+}
+
+// SetObserver installs a callback invoked after every successful Acquire
+// with the time the caller spent waiting for a credit and whether it had to
+// block at all. The virtualizer node wires this into its credit-wait
+// histogram; nil disables observation.
+func (m *Manager) SetObserver(fn func(wait time.Duration, blocked bool)) {
+	m.mu.Lock()
+	m.observer = fn
+	m.mu.Unlock()
 }
 
 // NewManager returns a pool with the given number of credits and an optional
@@ -64,6 +77,7 @@ type Credit struct {
 // would exceed the memory cap, Acquire fails with ErrOutOfMemory — the
 // paper's unbounded-credit failure mode.
 func (m *Manager) Acquire(ctx context.Context, bytes int64) (*Credit, error) {
+	start := time.Now()
 	m.acquires.Add(1)
 	m.mu.Lock()
 	blocked := false
@@ -94,7 +108,11 @@ func (m *Manager) Acquire(ctx context.Context, bytes int64) (*Credit, error) {
 	if m.inFlite > m.peak {
 		m.peak = m.inFlite
 	}
+	observer := m.observer
 	m.mu.Unlock()
+	if observer != nil {
+		observer(time.Since(start), blocked)
+	}
 	return &Credit{m: m, bytes: bytes}, nil
 }
 

@@ -204,3 +204,52 @@ func TestMinimumOneCredit(t *testing.T) {
 		t.Errorf("total = %d, want clamped to 1", m.Stats().Total)
 	}
 }
+
+func TestAcquireObserver(t *testing.T) {
+	m := NewManager(1, 0)
+	type obs struct {
+		wait    time.Duration
+		blocked bool
+	}
+	var mu sync.Mutex
+	var seen []obs
+	m.SetObserver(func(wait time.Duration, blocked bool) {
+		mu.Lock()
+		seen = append(seen, obs{wait, blocked})
+		mu.Unlock()
+	})
+
+	ctx := context.Background()
+	c1, err := m.Acquire(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second acquire must block until the first credit is released.
+	done := make(chan *Credit)
+	go func() {
+		c2, err := m.Acquire(ctx, 1)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- c2
+	}()
+	time.Sleep(20 * time.Millisecond)
+	c1.Release()
+	c2 := <-done
+	c2.Release()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 {
+		t.Fatalf("observer calls = %d, want 2", len(seen))
+	}
+	if seen[0].blocked {
+		t.Error("first acquire reported blocked with a free pool")
+	}
+	if !seen[1].blocked {
+		t.Error("second acquire should report blocked")
+	}
+	if seen[1].wait < 10*time.Millisecond {
+		t.Errorf("blocked wait = %v, want >= 10ms", seen[1].wait)
+	}
+}

@@ -17,6 +17,7 @@ package errhandle
 import (
 	"context"
 	"fmt"
+	"time"
 )
 
 // Classified is the verdict of the error classifier on a failed range
@@ -38,6 +39,11 @@ type Config struct {
 	// before the remaining range is recorded as a block. Zero means
 	// DefaultMaxRetries.
 	MaxRetries int
+	// Observe, when non-nil, receives every DML statement attempt: the
+	// split depth the range sits at, the rows it covers, the statement
+	// latency, and the error (nil on success). The virtualizer wires this
+	// into its DML-latency histogram and the per-job span timeline.
+	Observe func(depth int, lo, hi int64, d time.Duration, err error)
 }
 
 // Default budgets applied when Config fields are zero.
@@ -65,6 +71,8 @@ type Stats struct {
 	IndividualErrors int64 // tuples recorded one-by-one
 	BlockErrors      int64 // range entries recorded after budget exhaustion
 	BlockedRows      int64 // rows covered by block entries
+	Splits           int64 // failing ranges that were split in half
+	MaxDepth         int   // deepest split level reached
 }
 
 // Handler drives adaptive application for one job. Not safe for concurrent
@@ -109,7 +117,14 @@ func (h *Handler) run(ctx context.Context, lo, hi int64, depth int) error {
 		return err
 	}
 	h.stats.Attempts++
+	if depth > h.stats.MaxDepth {
+		h.stats.MaxDepth = depth
+	}
+	start := time.Now()
 	n, err := h.apply(ctx, lo, hi)
+	if h.cfg.Observe != nil {
+		h.cfg.Observe(depth, lo, hi, time.Since(start), err)
+	}
 	if err == nil {
 		h.stats.Activity += n
 		return nil
@@ -133,6 +148,7 @@ func (h *Handler) run(ctx context.Context, lo, hi int64, depth int) error {
 		return h.recordBlock(lo, hi, c)
 	}
 
+	h.stats.Splits++
 	mid := lo + (hi-lo)/2
 	if err := h.run(ctx, lo, mid, depth+1); err != nil {
 		return err

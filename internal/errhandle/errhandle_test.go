@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 // fakeTarget simulates a set-oriented engine over rows 1..n with a set of
@@ -295,5 +296,43 @@ func TestPropertyAttemptsLogarithmic(t *testing.T) {
 		if ft.attempts > limit+2 {
 			t.Errorf("n=%d: %d attempts exceeds ~2*log2(n)=%d", n, ft.attempts, limit)
 		}
+	}
+}
+
+func TestObserveReceivesEveryAttempt(t *testing.T) {
+	ft := newFakeTarget(3)
+	var recs []recorded
+	type attempt struct {
+		depth  int
+		lo, hi int64
+		failed bool
+	}
+	var attempts []attempt
+	h := New(Config{
+		Observe: func(depth int, lo, hi int64, _ time.Duration, err error) {
+			attempts = append(attempts, attempt{depth, lo, hi, err != nil})
+		},
+	}, ft.apply, passThrough, collect(&recs))
+	if err := h.Run(context.Background(), 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	st := h.Stats()
+	if int64(len(attempts)) != st.Attempts {
+		t.Fatalf("observer saw %d attempts, stats counted %d", len(attempts), st.Attempts)
+	}
+	if attempts[0].depth != 0 || attempts[0].lo != 1 || attempts[0].hi != 4 || !attempts[0].failed {
+		t.Errorf("first attempt = %+v, want failing root range 1..4 at depth 0", attempts[0])
+	}
+	maxDepth := 0
+	for _, a := range attempts {
+		if a.depth > maxDepth {
+			maxDepth = a.depth
+		}
+		if a.lo == 3 && a.hi == 3 && !a.failed {
+			t.Error("isolated bad row 3 observed as success")
+		}
+	}
+	if maxDepth != st.MaxDepth {
+		t.Errorf("observer max depth = %d, stats say %d", maxDepth, st.MaxDepth)
 	}
 }

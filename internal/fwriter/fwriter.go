@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 // FS abstracts the filesystem the writer targets so benchmarks can run
@@ -94,6 +95,10 @@ type Config struct {
 	Gzip bool
 	// NamePrefix distinguishes files from parallel writers.
 	NamePrefix string
+	// OnRotate, when non-nil, is called each time a file is finalized with
+	// the finished file and the time spent closing it out (gzip flush +
+	// close). The virtualizer wires this into its rotation histogram.
+	OnRotate func(f FinishedFile, d time.Duration)
 }
 
 // FinishedFile describes one finalized intermediate file ready for upload.
@@ -189,6 +194,7 @@ func (w *Writer) rotate() error {
 	if w.cur == nil {
 		return nil
 	}
+	start := time.Now()
 	if w.gz != nil {
 		if err := w.gz.Close(); err != nil {
 			return fmt.Errorf("fwriter: finalizing %s: %w", w.curName, err)
@@ -198,14 +204,18 @@ func (w *Writer) rotate() error {
 	if err := w.cur.Close(); err != nil {
 		return fmt.Errorf("fwriter: closing %s: %w", w.curName, err)
 	}
-	w.finished = append(w.finished, FinishedFile{
+	f := FinishedFile{
 		Name:  w.curName,
 		Rows:  w.curRows,
 		Bytes: w.curComp.n,
 		Raw:   w.curRaw,
-	})
+	}
+	w.finished = append(w.finished, f)
 	w.cur = nil
 	w.curComp = nil
+	if w.cfg.OnRotate != nil {
+		w.cfg.OnRotate(f, time.Since(start))
+	}
 	return nil
 }
 

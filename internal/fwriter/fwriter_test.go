@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestWriterRotation(t *testing.T) {
@@ -142,5 +143,38 @@ func TestMemFSDuplicateCreate(t *testing.T) {
 	fs.Remove("a")
 	if _, err := fs.Create("a"); err != nil {
 		t.Errorf("create after remove: %v", err)
+	}
+}
+
+func TestOnRotateCallback(t *testing.T) {
+	fs := NewMemFS()
+	var rotated []FinishedFile
+	w := NewWriter(fs, Config{
+		SizeThreshold: 100,
+		NamePrefix:    "r0-",
+		OnRotate: func(f FinishedFile, d time.Duration) {
+			if d < 0 {
+				t.Errorf("rotation duration %v < 0", d)
+			}
+			rotated = append(rotated, f)
+		},
+	})
+	chunk := bytes.Repeat([]byte("x"), 40)
+	for i := 0; i < 6; i++ { // 240 bytes -> two threshold rotations
+		if err := w.Write(chunk, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := w.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rotated) != len(files) {
+		t.Fatalf("OnRotate fired %d times for %d finished files", len(rotated), len(files))
+	}
+	for i, f := range files {
+		if rotated[i] != f {
+			t.Errorf("rotation %d = %+v, want %+v", i, rotated[i], f)
+		}
 	}
 }

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// AttachPprof mounts the net/http/pprof handlers on mux under /debug/pprof/,
+// without touching http.DefaultServeMux.
+func AttachPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// MetricsHandler serves r in Prometheus text exposition format.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Handler returns a mux exposing /healthz, /metrics and the pprof endpoints
+// for r — the standalone debug surface used by daemons without a virtualizer
+// node (cdwd, edwd, etlrun).
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.Handle("/metrics", MetricsHandler(r))
+	AttachPprof(mux)
+	return mux
+}
+
+// memStatsReader caches runtime.ReadMemStats so one scrape does not pay the
+// stop-the-world cost once per registered gauge.
+type memStatsReader struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+func (m *memStatsReader) read() runtime.MemStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if time.Since(m.at) > 500*time.Millisecond {
+		runtime.ReadMemStats(&m.stat)
+		m.at = time.Now()
+	}
+	return m.stat
+}
+
+// RegisterRuntimeMetrics publishes Go runtime health series (goroutines,
+// heap, GC) into r under the process_ prefix.
+func RegisterRuntimeMetrics(r *Registry) {
+	ms := &memStatsReader{}
+	r.GaugeFunc("process_goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("process_gomaxprocs", "GOMAXPROCS setting.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	r.GaugeFunc("process_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 { return float64(ms.read().HeapAlloc) })
+	r.GaugeFunc("process_heap_sys_bytes", "Heap memory obtained from the OS.",
+		func() float64 { return float64(ms.read().HeapSys) })
+	r.CounterFunc("process_alloc_bytes_total", "Cumulative bytes allocated.",
+		func() int64 { return int64(ms.read().TotalAlloc) })
+	r.CounterFunc("process_gc_cycles_total", "Completed GC cycles.",
+		func() int64 { return int64(ms.read().NumGC) })
+}

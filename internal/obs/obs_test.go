@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "X.")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("y", "Y.")
+	g.Set(10)
+	g.Add(-4)
+	if g.Value() != 6 {
+		t.Errorf("gauge = %d, want 6", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.02, 0.5, 2, 7} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if got, want := h.Sum(), 0.005+0.01+0.02+0.5+2+7; got != want {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+	// per-bucket (non-cumulative): le=0.01 has {0.005, 0.01}, le=0.1 has
+	// {0.02}, le=1 has {0.5}, +Inf has {2, 7}
+	snap := r.Histograms()[0]
+	for i, want := range []int64{2, 1, 1, 2} {
+		if snap.Counts[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, snap.Counts[i], want)
+		}
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.01"} 2`,
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="1"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 6`,
+		"lat_seconds_count 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "Q.", []float64{1, 2, 4, 8})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // all land in the (1,2] bucket
+	}
+	snap := r.Histograms()[0]
+	p50 := snap.Quantile(0.5)
+	if p50 < 1 || p50 > 2 {
+		t.Errorf("p50 = %g, want within (1,2]", p50)
+	}
+	if m := snap.Mean(); m < 1.49 || m > 1.51 {
+		t.Errorf("mean = %g, want 1.5", m)
+	}
+	if got := (HistSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+}
+
+func TestExpositionTypeLines(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "A.").Inc()
+	r.Gauge("b", "B.").Set(1)
+	r.GaugeFunc("c", "C.", func() float64 { return 2.5 })
+	r.CounterFunc("d_total", "D.", func() int64 { return 3 })
+	r.Histogram("e_seconds", "E.", []float64{1}).Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	// every series line must be preceded by HELP and TYPE lines for its family
+	typed := map[string]bool{}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			typed[strings.Fields(line)[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := strings.Fields(line)[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suffix); base != name && typed[base] {
+				name = base
+				break
+			}
+		}
+		if !typed[name] {
+			t.Errorf("series %q has no preceding # TYPE line", name)
+		}
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("c_seconds", "C.", nil)
+	c := r.Counter("c_total", "C.")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 1000; k++ {
+				h.Observe(0.001)
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 || c.Value() != 8000 {
+		t.Errorf("count = %d / %d, want 8000", h.Count(), c.Value())
+	}
+}
+
+func TestTracerTimeline(t *testing.T) {
+	tr := NewTracer(2, 0)
+	jt := tr.Start(7, "import prod.customer")
+	base := time.Now()
+	// add out of order; snapshot must sort by start
+	jt.Add(Span{Stage: "upload", Start: base.Add(20 * time.Millisecond), Dur: time.Millisecond})
+	jt.Add(Span{Stage: "convert", Start: base.Add(5 * time.Millisecond), Dur: 2 * time.Millisecond, Rows: 10})
+	jt.Add(Span{Stage: "credit_wait", Start: base, Dur: time.Millisecond})
+
+	snap := jt.Snapshot()
+	if snap.Finished {
+		t.Error("live trace reported finished")
+	}
+	order := []string{"credit_wait", "convert", "upload"}
+	for i, want := range order {
+		if snap.Spans[i].Stage != want {
+			t.Errorf("span %d = %s, want %s", i, snap.Spans[i].Stage, want)
+		}
+	}
+
+	tr.Finish(7)
+	got, ok := tr.Get(7)
+	if !ok || !got.Snapshot().Finished {
+		t.Fatal("finished trace not retained")
+	}
+
+	// retention: finish more traces than the bound keeps
+	for id := uint64(8); id < 12; id++ {
+		tr.Start(id, "x")
+		tr.Finish(id)
+	}
+	if _, ok := tr.Get(7); ok {
+		t.Error("oldest trace should have been evicted")
+	}
+	if _, ok := tr.Get(11); !ok {
+		t.Error("newest finished trace missing")
+	}
+}
+
+func TestTraceSpanCap(t *testing.T) {
+	tr := NewTracer(1, 3)
+	jt := tr.Start(1, "capped")
+	for i := 0; i < 10; i++ {
+		jt.Add(Span{Stage: "s", Start: time.Now()})
+	}
+	snap := jt.Snapshot()
+	if len(snap.Spans) != 3 || snap.Dropped != 7 {
+		t.Errorf("spans=%d dropped=%d, want 3/7", len(snap.Spans), snap.Dropped)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer(1, 0)
+	jt := tr.Start(3, "import t")
+	base := jt.Begin
+	jt.Add(Span{Stage: "convert", Worker: "convert-0", Start: base.Add(time.Millisecond),
+		Dur: 2 * time.Millisecond, Rows: 5, Bytes: 100})
+	jt.Add(Span{Stage: "upload", Worker: "upload-1", Start: base.Add(4 * time.Millisecond),
+		Dur: time.Millisecond, Err: "boom"})
+	tr.Finish(3)
+
+	raw, err := jt.Snapshot().ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	var complete, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			complete++
+			if ev["ts"].(float64) < 0 || ev["dur"].(float64) <= 0 {
+				t.Errorf("bad ts/dur: %v", ev)
+			}
+		case "M":
+			meta++
+		}
+	}
+	if complete != 2 {
+		t.Errorf("complete events = %d, want 2", complete)
+	}
+	if meta < 3 { // process_name + two thread_name lanes
+		t.Errorf("metadata events = %d, want >= 3", meta)
+	}
+
+	js, err := jt.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(js) {
+		t.Error("snapshot JSON invalid")
+	}
+}
+
+func TestNilTraceSafe(t *testing.T) {
+	var jt *JobTrace
+	jt.Add(Span{Stage: "s"})
+	jt.Span("s", "w", time.Now(), 0, 0, nil)
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration should panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("dup", "first.")
+	r.Counter("dup", "second.")
+}
+
+func TestRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"process_goroutines", "process_heap_alloc_bytes", "process_gc_cycles_total"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("runtime metrics missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package obs is the virtualizer's observability spine: a dependency-free
+// metrics registry (atomic counters, gauges and fixed-bucket histograms with
+// conformant Prometheus text exposition) plus a per-job span tracer whose
+// timelines export as JSON and as Chrome trace_event files.
+//
+// The package deliberately depends on the standard library only, so every
+// layer of the system — credit pool, converter, file writer, cloud store,
+// CDW network client, benchmark harness, daemons — can publish into one
+// registry without import cycles or third-party baggage.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n. Negative deltas are ignored: counters only go up.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket latency/size histogram. Buckets are cumulative
+// upper bounds, exposed Prometheus-style as name_bucket{le="..."} series plus
+// name_sum and name_count.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64  // float64 bits
+	count  atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DurationBuckets is the default bucket layout for stage latencies: 10µs to
+// 30s on a roughly logarithmic grid. Values are seconds.
+var DurationBuckets = []float64{
+	0.00001, 0.00005, 0.0001, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// DepthBuckets suits small integer distributions such as adaptive-split
+// depth or retry counts.
+var DepthBuckets = []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
+
+// SizeBuckets suits byte sizes from 1 KiB to 256 MiB.
+var SizeBuckets = []float64{
+	1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10,
+	1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20,
+}
+
+// metric is one registered series with its exposition metadata.
+type metric struct {
+	name string
+	help string
+	typ  string // "counter" | "gauge" | "histogram"
+
+	counter     *Counter
+	gauge       *Gauge
+	counterFunc func() int64
+	gaugeFunc   func() float64
+	hist        *Histogram
+}
+
+// Registry holds named metrics and renders them in Prometheus text format.
+// Registration is not idempotent: registering a name twice panics, catching
+// wiring mistakes early.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics []*metric
+	byName  map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[m.name]; dup {
+		panic("obs: duplicate metric " + m.name)
+	}
+	r.byName[m.name] = m
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, typ: "counter", counter: c})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at exposition
+// time (for counters already maintained elsewhere).
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	r.register(&metric{name: name, help: help, typ: "counter", counterFunc: fn})
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, typ: "gauge", gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at exposition time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, typ: "gauge", gaugeFunc: fn})
+}
+
+// Histogram registers and returns a histogram with the given cumulative
+// upper bounds (ascending; +Inf is implicit). Nil buckets default to
+// DurationBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DurationBuckets
+	}
+	bounds := make([]float64, len(buckets))
+	copy(bounds, buckets)
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram buckets must be ascending: " + name)
+		}
+	}
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	r.register(&metric{name: name, help: help, typ: "histogram", hist: h})
+	return h
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered series in Prometheus text
+// exposition format: each series carries # HELP and # TYPE lines, histograms
+// expand to _bucket/_sum/_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	metrics := make([]*metric, len(r.metrics))
+	copy(metrics, r.metrics)
+	r.mu.RUnlock()
+
+	var sb strings.Builder
+	for _, m := range metrics {
+		fmt.Fprintf(&sb, "# HELP %s %s\n", m.name, m.help)
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", m.name, m.typ)
+		switch {
+		case m.counter != nil:
+			fmt.Fprintf(&sb, "%s %d\n", m.name, m.counter.Value())
+		case m.counterFunc != nil:
+			fmt.Fprintf(&sb, "%s %d\n", m.name, m.counterFunc())
+		case m.gauge != nil:
+			fmt.Fprintf(&sb, "%s %d\n", m.name, m.gauge.Value())
+		case m.gaugeFunc != nil:
+			fmt.Fprintf(&sb, "%s %s\n", m.name, formatFloat(m.gaugeFunc()))
+		case m.hist != nil:
+			h := m.hist
+			cum := int64(0)
+			for i, b := range h.bounds {
+				cum += h.counts[i].Load()
+				fmt.Fprintf(&sb, "%s_bucket{le=\"%s\"} %d\n", m.name, formatFloat(b), cum)
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
+			fmt.Fprintf(&sb, "%s_sum %s\n", m.name, formatFloat(h.Sum()))
+			fmt.Fprintf(&sb, "%s_count %d\n", m.name, cum)
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// HistSnapshot is a point-in-time copy of one histogram, suitable for
+// summary statistics in benchmark reports.
+type HistSnapshot struct {
+	Name   string
+	Bounds []float64 // upper bounds, +Inf implicit
+	Counts []int64   // per-bucket (non-cumulative), len(Bounds)+1
+	Sum    float64
+	Count  int64
+}
+
+// Mean returns the average observed value.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0..1) by linear interpolation within
+// the containing bucket. Values beyond the last finite bound clamp to it.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := float64(0)
+	for i, b := range s.Bounds {
+		prev := cum
+		cum += float64(s.Counts[i])
+		if cum >= rank && s.Counts[i] > 0 {
+			lo := float64(0)
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			frac := (rank - prev) / float64(s.Counts[i])
+			return lo + (b-lo)*frac
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Histograms snapshots every registered histogram in registration order.
+func (r *Registry) Histograms() []HistSnapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []HistSnapshot
+	for _, m := range r.metrics {
+		if m.hist == nil {
+			continue
+		}
+		h := m.hist
+		snap := HistSnapshot{
+			Name:   m.name,
+			Bounds: h.bounds,
+			Counts: make([]int64, len(h.counts)),
+			Sum:    h.Sum(),
+			Count:  h.Count(),
+		}
+		for i := range h.counts {
+			snap.Counts[i] = h.counts[i].Load()
+		}
+		out = append(out, snap)
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one timed stage of a job: receipt of a chunk, one conversion, one
+// file rotation, one upload, one DML statement, one export batch.
+type Span struct {
+	Stage  string        `json:"stage"`
+	Worker string        `json:"worker,omitempty"` // goroutine lane, e.g. "convert-2"
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"dur_ns"`
+	Rows   int64         `json:"rows,omitempty"`
+	Bytes  int64         `json:"bytes,omitempty"`
+	Depth  int           `json:"depth,omitempty"` // adaptive-split depth for DML spans
+	Err    string        `json:"err,omitempty"`
+}
+
+// JobTrace accumulates the ordered span timeline of one job. Spans may be
+// added concurrently from every pipeline goroutine; the timeline is
+// retrievable at any moment, including while the job is still running. The
+// span count is capped so error storms cannot grow memory without bound;
+// spans past the cap are counted in Dropped.
+type JobTrace struct {
+	JobID uint64
+	Label string
+	Begin time.Time
+
+	mu       sync.Mutex
+	spans    []Span
+	cap      int
+	dropped  int64
+	finished bool
+	end      time.Time
+}
+
+// Add appends one span. Safe on a nil trace (tracing disabled).
+func (t *JobTrace) Add(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= t.cap {
+		t.dropped++
+		return
+	}
+	t.spans = append(t.spans, s)
+}
+
+// Span records a completed stage that started at start and just ended.
+func (t *JobTrace) Span(stage, worker string, start time.Time, rows, bytes int64, err error) {
+	if t == nil {
+		return
+	}
+	s := Span{Stage: stage, Worker: worker, Start: start, Dur: time.Since(start), Rows: rows, Bytes: bytes}
+	if err != nil {
+		s.Err = err.Error()
+	}
+	t.Add(s)
+}
+
+// TraceSnapshot is a copy of a trace timeline, spans ordered by start time.
+type TraceSnapshot struct {
+	JobID    uint64    `json:"job_id"`
+	Label    string    `json:"label"`
+	Begin    time.Time `json:"begin"`
+	End      time.Time `json:"end,omitempty"`
+	Finished bool      `json:"finished"`
+	Dropped  int64     `json:"dropped_spans"`
+	Spans    []Span    `json:"spans"`
+}
+
+// Snapshot copies the timeline. Safe while the job is running.
+func (t *JobTrace) Snapshot() TraceSnapshot {
+	t.mu.Lock()
+	spans := make([]Span, len(t.spans))
+	copy(spans, t.spans)
+	snap := TraceSnapshot{
+		JobID:    t.JobID,
+		Label:    t.Label,
+		Begin:    t.Begin,
+		End:      t.end,
+		Finished: t.finished,
+		Dropped:  t.dropped,
+		Spans:    spans,
+	}
+	t.mu.Unlock()
+	sort.SliceStable(snap.Spans, func(i, j int) bool {
+		return snap.Spans[i].Start.Before(snap.Spans[j].Start)
+	})
+	return snap
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s TraceSnapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// chromeEvent is one Chrome trace_event object. Durations and timestamps
+// are microseconds, as the format requires.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  uint64         `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace renders the snapshot in Chrome trace_event JSON object format,
+// loadable by chrome://tracing and Perfetto. Each worker lane becomes a
+// thread; the job is the process.
+func (s TraceSnapshot) ChromeTrace() ([]byte, error) {
+	tids := map[string]int{}
+	var events []chromeEvent
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", PID: s.JobID,
+		Args: map[string]any{"name": s.Label},
+	})
+	laneID := func(worker string) int {
+		if worker == "" {
+			worker = "job"
+		}
+		id, ok := tids[worker]
+		if !ok {
+			id = len(tids)
+			tids[worker] = id
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: s.JobID, TID: id,
+				Args: map[string]any{"name": worker},
+			})
+		}
+		return id
+	}
+	for _, sp := range s.Spans {
+		args := map[string]any{}
+		if sp.Rows != 0 {
+			args["rows"] = sp.Rows
+		}
+		if sp.Bytes != 0 {
+			args["bytes"] = sp.Bytes
+		}
+		if sp.Depth != 0 {
+			args["depth"] = sp.Depth
+		}
+		if sp.Err != "" {
+			args["err"] = sp.Err
+		}
+		events = append(events, chromeEvent{
+			Name: sp.Stage,
+			Cat:  "stage",
+			Ph:   "X",
+			TS:   float64(sp.Start.Sub(s.Begin).Nanoseconds()) / 1e3,
+			Dur:  float64(sp.Dur.Nanoseconds()) / 1e3,
+			PID:  s.JobID,
+			TID:  laneID(sp.Worker),
+			Args: args,
+		})
+	}
+	return json.Marshal(struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{events, "ms"})
+}
+
+// Tracer owns the traces of a node's jobs: live jobs are tracked in a map,
+// finished traces are retained in a bounded FIFO so recent jobs stay
+// inspectable without unbounded growth.
+type Tracer struct {
+	mu      sync.Mutex
+	spanCap int
+	retain  int
+	live    map[uint64]*JobTrace
+	done    map[uint64]*JobTrace
+	order   []uint64 // finished-trace eviction order
+}
+
+// NewTracer returns a tracer retaining up to retain finished traces, each
+// capped at spanCap spans. Non-positive arguments select defaults (64
+// traces, 8192 spans).
+func NewTracer(retain, spanCap int) *Tracer {
+	if retain <= 0 {
+		retain = 64
+	}
+	if spanCap <= 0 {
+		spanCap = 8192
+	}
+	return &Tracer{
+		spanCap: spanCap,
+		retain:  retain,
+		live:    make(map[uint64]*JobTrace),
+		done:    make(map[uint64]*JobTrace),
+	}
+}
+
+// Start opens the trace for a new job.
+func (tr *Tracer) Start(id uint64, label string) *JobTrace {
+	t := &JobTrace{JobID: id, Label: label, Begin: time.Now(), cap: tr.spanCap}
+	tr.mu.Lock()
+	tr.live[id] = t
+	tr.mu.Unlock()
+	return t
+}
+
+// Finish marks a job's trace complete and moves it to the retained set,
+// evicting the oldest finished trace beyond the retention bound.
+func (tr *Tracer) Finish(id uint64) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	t, ok := tr.live[id]
+	if !ok {
+		return
+	}
+	delete(tr.live, id)
+	t.mu.Lock()
+	t.finished = true
+	t.end = time.Now()
+	t.mu.Unlock()
+	tr.done[id] = t
+	tr.order = append(tr.order, id)
+	for len(tr.order) > tr.retain {
+		delete(tr.done, tr.order[0])
+		tr.order = tr.order[1:]
+	}
+}
+
+// Get looks a trace up among live then finished jobs.
+func (tr *Tracer) Get(id uint64) (*JobTrace, bool) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if t, ok := tr.live[id]; ok {
+		return t, true
+	}
+	t, ok := tr.done[id]
+	return t, ok
+}
+
+// Live returns the traces of jobs still running, ordered by job ID.
+func (tr *Tracer) Live() []*JobTrace {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]*JobTrace, 0, len(tr.live))
+	for _, t := range tr.live {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
+	return out
+}
