@@ -1,0 +1,181 @@
+package etlvirt_test
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"etlvirt/internal/cdw"
+	"etlvirt/internal/cdwnet"
+	"etlvirt/internal/cloudstore"
+	"etlvirt/internal/core"
+	"etlvirt/internal/edw"
+	"etlvirt/internal/etlclient"
+	"etlvirt/internal/etlscript"
+	"etlvirt/internal/faultinject"
+)
+
+// TestChaosDifferentialOracle is the differential chaos test: one unmodified
+// legacy ETL script runs natively against the reference EDW (the semantic
+// ground truth) and through the virtualizer against a CDW whose object store
+// and network transport are riddled with injected faults. The virtualized
+// run must retry its way to the exact same target table and error-table rows
+// the legacy engine produces — resilience must be invisible at the data
+// level.
+//
+// The fault seed comes from ETLVIRT_FAULT_SEED (the CI chaos matrix), so a
+// failure reproduces locally with the same seed.
+func TestChaosDifferentialOracle(t *testing.T) {
+	seed := int64(1)
+	if s := os.Getenv("ETLVIRT_FAULT_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("ETLVIRT_FAULT_SEED=%q: %v", s, err)
+		}
+		seed = v
+	}
+
+	const script = `
+.logon host/user,pass;
+.layout CustLayout;
+.field CUST_ID varchar(5);
+.field CUST_NAME varchar(50);
+.field JOIN_DATE varchar(10);
+.begin import tables PROD.CUSTOMER
+	errortables PROD.CUSTOMER_ET PROD.CUSTOMER_UV;
+.dml label InsApply;
+insert into PROD.CUSTOMER values (
+	trim(:CUST_ID), trim(:CUST_NAME),
+	cast(:JOIN_DATE as DATE format 'YYYY-MM-DD') );
+.import infile input.txt
+	format vartext '|' layout CustLayout
+	apply InsApply;
+.end load;
+`
+	const ddl = `CREATE TABLE PROD.CUSTOMER (
+	CUST_ID VARCHAR(5) NOT NULL,
+	CUST_NAME VARCHAR(50),
+	JOIN_DATE DATE,
+	PRIMARY KEY (CUST_ID))`
+
+	// mixed input: clean rows, conversion errors, duplicate keys
+	var sb strings.Builder
+	for i := 1; i <= 200; i++ {
+		date := fmt.Sprintf("2022-%02d-%02d", 1+i%12, 1+i%28)
+		switch {
+		case i%23 == 5:
+			date = "not-a-date"
+		case i == 190:
+			// duplicate of row 11's key
+			fmt.Fprintf(&sb, "11|Dup %d|%s\n", i, date)
+			continue
+		}
+		fmt.Fprintf(&sb, "%d|Name %d|%s\n", i, i, date)
+	}
+	input := sb.String()
+
+	runOnce := func(addr string) *etlclient.Result {
+		s, err := etlscript.Parse(script)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := etlclient.Run(s, etlclient.Options{
+			Addr:         addr,
+			ChunkRecords: 16,
+			ReadFile:     func(string) ([]byte, error) { return []byte(input), nil },
+		})
+		if err != nil {
+			t.Fatalf("script run failed: %v", err)
+		}
+		return res
+	}
+
+	// reference run on the legacy EDW
+	edwSrv := edw.NewServer()
+	edwAddr, err := edwSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { edwSrv.Close() })
+	if _, err := edwSrv.Engine().ExecSQL(ddl); err != nil {
+		t.Fatal(err)
+	}
+	edwRes := runOnce(edwAddr)
+
+	// virtualized run with fault injection on both infrastructure seams:
+	// the virtualizer's store traffic and its CDW transport
+	inj := faultinject.New(seed)
+	inj.SetRule(faultinject.OpStorePut,
+		faultinject.Rule{Rate: 0.15, Every: 5, Class: faultinject.ClassTimeout})
+	inj.SetRule("cdw.query",
+		faultinject.Rule{Rate: 0.02, Every: 30, Class: faultinject.ClassReset})
+
+	store := cloudstore.NewMemStore()
+	cdwEng := cdw.NewEngine(store, cdw.Options{})
+	cdwSrv := cdwnet.NewServer(cdwEng)
+	cdwAddr, err := cdwSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cdwSrv.Close() })
+	node := core.NewNode(core.Config{
+		CDWAddr:           cdwAddr,
+		UploadParallelism: 1, // deterministic store.put order for the seed
+		FileSizeThreshold: 2 << 10,
+		FaultInjector:     inj,
+		RetryMaxAttempts:  8,
+		RetryBaseDelay:    time.Millisecond,
+		RetryMaxDelay:     5 * time.Millisecond,
+	}, store)
+	nodeAddr, err := node.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+	if _, err := cdwEng.ExecSQL(ddl); err != nil {
+		t.Fatal(err)
+	}
+	virtRes := runOnce(nodeAddr)
+
+	if inj.Injected() == 0 {
+		t.Fatal("no faults were injected; the chaos run tested nothing")
+	}
+
+	// job-level outcomes must match
+	l, v := edwRes.Imports[0], virtRes.Imports[0]
+	if l.Inserted != v.Inserted || l.ErrorsET != v.ErrorsET || l.ErrorsUV != v.ErrorsUV {
+		t.Errorf("outcomes differ (seed %d):\n edw:  %+v\n virt: %+v", seed, l, v)
+	}
+
+	// table state must be byte-identical
+	state := func(eng *cdw.Engine, sql string) []string {
+		res, err := eng.ExecSQL(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		var out []string
+		for _, row := range res.Rows {
+			var parts []string
+			for _, d := range row {
+				parts = append(parts, d.Render())
+			}
+			out = append(out, strings.Join(parts, "|"))
+		}
+		sort.Strings(out)
+		return out
+	}
+	for _, q := range []string{
+		"SELECT CUST_ID, CUST_NAME, JOIN_DATE FROM PROD.CUSTOMER",
+		"SELECT SEQNO, SEQNO_END, ERRCODE FROM PROD.CUSTOMER_ET",
+		"SELECT SEQNO, SEQNO_END, ERRCODE FROM PROD.CUSTOMER_UV",
+	} {
+		got, want := state(cdwEng, q), state(edwSrv.Engine(), q)
+		if strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Errorf("diverged under seed %d for %q:\n edw:  %v\n virt: %v", seed, q, want, got)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"etlvirt/internal/cdw"
 	"etlvirt/internal/cdwnet"
 	"etlvirt/internal/cloudstore"
+	"etlvirt/internal/faultinject"
 	"etlvirt/internal/obs"
 )
 
@@ -31,15 +32,26 @@ func main() {
 	storeDir := flag.String("store", "", "object-store directory shared with etlvirtd (required)")
 	initSQL := flag.String("init", "", "optional file of semicolon-separated DDL to run at startup")
 	debugAddr := flag.String("debug", "", "optional address for /healthz, /metrics and /debug/pprof (e.g. 127.0.0.1:7071)")
+	faultSpec := flag.String("fault-spec", "", "fault-injection spec for engine-side store reads, e.g. 'store.get:rate=0.05' (empty = off)")
+	faultSeed := flag.Int64("fault-seed", 1, "deterministic seed for -fault-spec schedules")
 	flag.Parse()
 
 	if *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "cdwd: -store is required")
 		os.Exit(2)
 	}
+	var store cloudstore.Store
 	store, err := cloudstore.NewDirStore(*storeDir)
 	if err != nil {
 		log.Fatalf("cdwd: %v", err)
+	}
+	if *faultSpec != "" {
+		inj, err := faultinject.Parse(*faultSpec, *faultSeed)
+		if err != nil {
+			log.Fatalf("cdwd: -fault-spec: %v", err)
+		}
+		store = faultinject.NewStore(inj, store)
+		log.Printf("cdwd: fault injection armed (seed %d): %s", *faultSeed, *faultSpec)
 	}
 	eng := cdw.NewEngine(store, cdw.Options{})
 

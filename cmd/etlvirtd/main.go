@@ -20,6 +20,7 @@ import (
 
 	"etlvirt/internal/cloudstore"
 	"etlvirt/internal/core"
+	"etlvirt/internal/faultinject"
 )
 
 func main() {
@@ -39,6 +40,14 @@ func main() {
 	reportLog := flag.Int("report-log", 0, "completed job reports kept in memory (0 = 1024)")
 	traceRetain := flag.Int("trace-retain", 0, "finished job traces kept for /jobs/{id}/trace (0 = 64)")
 	traceSpans := flag.Int("trace-spans", 0, "span cap per job trace (0 = 8192)")
+	faultSpec := flag.String("fault-spec", "", "fault-injection spec, e.g. 'store.put:rate=0.1,class=timeout;cdw.exec:every=50' (empty = off)")
+	faultSeed := flag.Int64("fault-seed", 1, "deterministic seed for -fault-spec schedules")
+	retryMax := flag.Int("retry-max", 0, "attempts per retried operation incl. the first (0 = 4)")
+	retryBase := flag.Duration("retry-base", 0, "backoff before the first retry (0 = 5ms)")
+	retryCap := flag.Duration("retry-cap", 0, "backoff ceiling (0 = 500ms)")
+	retryBudget := flag.Int64("retry-budget", 0, "total retries allowed node-wide (0 = unlimited)")
+	putTimeout := flag.Duration("put-timeout", 0, "per-put object-store deadline (0 = none)")
+	cdwTimeout := flag.Duration("cdw-timeout", 0, "per-round-trip CDW deadline (0 = none)")
 	flag.Parse()
 
 	if *storeDir == "" {
@@ -63,7 +72,21 @@ func main() {
 		ReportLogSize:     *reportLog,
 		TraceRetention:    *traceRetain,
 		TraceSpansPerJob:  *traceSpans,
+		RetryMaxAttempts:  *retryMax,
+		RetryBaseDelay:    *retryBase,
+		RetryMaxDelay:     *retryCap,
+		RetryBudget:       *retryBudget,
+		PutTimeout:        *putTimeout,
+		CDWTimeout:        *cdwTimeout,
 		Logger:            slog.New(slog.NewTextHandler(os.Stderr, nil)),
+	}
+	if *faultSpec != "" {
+		inj, err := faultinject.Parse(*faultSpec, *faultSeed)
+		if err != nil {
+			log.Fatalf("etlvirtd: -fault-spec: %v", err)
+		}
+		cfg.FaultInjector = inj
+		log.Printf("etlvirtd: fault injection armed (seed %d): %s", *faultSeed, *faultSpec)
 	}
 	if *schemaMap != "" {
 		cfg.SchemaMap = map[string]string{}

@@ -9,6 +9,7 @@
 package cdwnet
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"etlvirt/internal/cdw"
+	"etlvirt/internal/retrier"
 	"etlvirt/internal/sqlparse"
 )
 
@@ -253,6 +255,21 @@ type Client struct {
 
 	// open cursor state
 	cursorOpen bool
+
+	// broken marks a connection whose last round trip hit a transport
+	// failure (send/recv error, deadline, or injected fault). The gob
+	// stream may be desynchronized, so the connection must be discarded,
+	// never recycled — Pool.Put enforces this.
+	broken bool
+
+	// timeout, when > 0, bounds each network operation (request send,
+	// header recv, and every batch recv) with a connection deadline.
+	timeout time.Duration
+
+	// faultHook, when non-nil, is consulted before each round trip with
+	// the operation kind ("query", "describe", "fetch"); a non-nil return
+	// is surfaced as a transport failure before anything hits the wire.
+	faultHook func(op string) error
 }
 
 // Dial connects to a CDW server.
@@ -266,6 +283,39 @@ func Dial(addr string) (*Client, error) {
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// SetTimeout bounds each subsequent network operation; zero disables the
+// bound.
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// SetFaultHook installs the fault-injection hook consulted before each round
+// trip.
+func (c *Client) SetFaultHook(fn func(op string) error) { c.faultHook = fn }
+
+// Broken reports whether the connection suffered a transport failure and
+// must not be reused.
+func (c *Client) Broken() bool { return c.broken }
+
+// fault consults the injection hook; an injected fault poisons the
+// connection exactly like a real transport failure so the pool's discard
+// path is exercised.
+func (c *Client) fault(op string) error {
+	if c.faultHook == nil {
+		return nil
+	}
+	if err := c.faultHook(op); err != nil {
+		c.broken = true
+		return fmt.Errorf("cdwnet: %s: %w", op, err)
+	}
+	return nil
+}
+
+// armDeadline starts the per-operation timeout window.
+func (c *Client) armDeadline() {
+	if c.timeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+}
 
 // remoteError reconstructs the engine error from a response header.
 func remoteError(hdr *responseHeader) error {
@@ -324,11 +374,17 @@ func (c *Client) Describe(table string) (*TableMeta, error) {
 	if c.cursorOpen {
 		return nil, errors.New("cdwnet: previous cursor still open")
 	}
+	if err := c.fault("describe"); err != nil {
+		return nil, err
+	}
+	c.armDeadline()
 	if err := c.enc.Encode(&request{Describe: table}); err != nil {
+		c.broken = true
 		return nil, fmt.Errorf("cdwnet: send: %w", err)
 	}
 	var hdr responseHeader
 	if err := c.dec.Decode(&hdr); err != nil {
+		c.broken = true
 		return nil, fmt.Errorf("cdwnet: recv: %w", err)
 	}
 	if err := remoteError(&hdr); err != nil {
@@ -352,11 +408,17 @@ func (c *Client) Query(sql string, fetchSize int) (*Cursor, error) {
 	if c.cursorOpen {
 		return nil, errors.New("cdwnet: previous cursor still open")
 	}
+	if err := c.fault("query"); err != nil {
+		return nil, err
+	}
+	c.armDeadline()
 	if err := c.enc.Encode(&request{SQL: sql, FetchSize: fetchSize}); err != nil {
+		c.broken = true
 		return nil, fmt.Errorf("cdwnet: send: %w", err)
 	}
 	var hdr responseHeader
 	if err := c.dec.Decode(&hdr); err != nil {
+		c.broken = true
 		return nil, fmt.Errorf("cdwnet: recv: %w", err)
 	}
 	if err := remoteError(&hdr); err != nil {
@@ -386,10 +448,17 @@ func (cur *Cursor) NextBatch() ([][]cdw.Datum, bool, error) {
 	if cur.finished {
 		return nil, false, nil
 	}
+	if err := cur.client.fault("fetch"); err != nil {
+		cur.finished = true
+		cur.client.cursorOpen = false
+		return nil, false, err
+	}
+	cur.client.armDeadline()
 	var batch rowBatch
 	if err := cur.client.dec.Decode(&batch); err != nil {
 		cur.finished = true
 		cur.client.cursorOpen = false
+		cur.client.broken = true
 		if err == io.EOF {
 			return nil, false, fmt.Errorf("cdwnet: connection closed mid-result")
 		}
@@ -421,8 +490,49 @@ type Pool struct {
 	made  int
 	size  int
 
+	cfgMu     sync.Mutex
+	timeout   time.Duration
+	faultHook func(op string) error
+	retry     *retrier.Retrier
+
 	obsMu    sync.Mutex
 	observer func(op string, d time.Duration, err error)
+}
+
+// SetTimeout bounds each network operation on pooled connections; zero
+// disables the bound. Applies to connections dialed after the call.
+func (p *Pool) SetTimeout(d time.Duration) {
+	p.cfgMu.Lock()
+	p.timeout = d
+	p.cfgMu.Unlock()
+}
+
+// SetFaultHook installs the fault-injection hook propagated to every
+// connection the pool dials.
+func (p *Pool) SetFaultHook(fn func(op string) error) {
+	p.cfgMu.Lock()
+	p.faultHook = fn
+	p.cfgMu.Unlock()
+}
+
+// SetRetrier makes Exec/Describe/QueryAll retry transient transport
+// failures on a fresh connection under r's policy. Nil disables retries.
+func (p *Pool) SetRetrier(r *retrier.Retrier) {
+	p.cfgMu.Lock()
+	p.retry = r
+	p.cfgMu.Unlock()
+}
+
+func (p *Pool) clientConfig() (time.Duration, func(op string) error) {
+	p.cfgMu.Lock()
+	defer p.cfgMu.Unlock()
+	return p.timeout, p.faultHook
+}
+
+func (p *Pool) retrier() *retrier.Retrier {
+	p.cfgMu.Lock()
+	defer p.cfgMu.Unlock()
+	return p.retry
 }
 
 // SetObserver installs a callback invoked once per pooled round trip with
@@ -471,19 +581,40 @@ func (p *Pool) Get() (*Client, error) {
 			p.mu.Unlock()
 			return nil, err
 		}
+		timeout, hook := p.clientConfig()
+		c.SetTimeout(timeout)
+		c.SetFaultHook(hook)
 		return c, nil
 	}
 	p.mu.Unlock()
 	return <-p.conns, nil
 }
 
-// Put returns a connection to the pool.
+// Put returns a connection to the pool. A connection whose last round trip
+// hit a transport failure (Broken) — or that still has a cursor open — is
+// poisoned: its gob stream may be desynchronized, so it is closed and its
+// pool slot freed for a fresh dial instead of being recycled.
 func (p *Pool) Put(c *Client) {
+	if c == nil {
+		return
+	}
+	if c.Broken() || c.cursorOpen {
+		p.discard(c)
+		return
+	}
 	select {
 	case p.conns <- c:
 	default:
-		c.Close()
+		p.discard(c)
 	}
+}
+
+// discard closes a connection and releases its pool slot.
+func (p *Pool) discard(c *Client) {
+	c.Close()
+	p.mu.Lock()
+	p.made--
+	p.mu.Unlock()
 }
 
 // Close closes all pooled connections.
@@ -498,79 +629,72 @@ func (p *Pool) Close() {
 	}
 }
 
+// roundTrip borrows a connection, runs fn on it, and returns it — Put
+// discards it if fn broke it. With a retrier installed, transient transport
+// failures (injected faults, deadlines) are retried on a fresh connection
+// under the backoff policy; remote engine errors are never retried, so
+// legacy per-tuple error semantics are preserved.
+func (p *Pool) roundTrip(op string, fn func(c *Client) error) error {
+	attempt := func() error {
+		c, err := p.Get()
+		if err != nil {
+			return err
+		}
+		err = fn(c)
+		p.Put(c)
+		return err
+	}
+	if r := p.retrier(); r != nil {
+		return r.Do(context.Background(), "cdw."+op, attempt)
+	}
+	return attempt()
+}
+
 // Exec borrows a connection and runs a statement.
 func (p *Pool) Exec(sql string) (int64, error) {
 	start := time.Now()
-	c, err := p.Get()
-	if err != nil {
-		p.observe("exec", start, err)
-		return 0, err
-	}
-	n, err := c.Exec(sql)
+	var n int64
+	err := p.roundTrip("exec", func(c *Client) error {
+		var cerr error
+		n, cerr = c.Exec(sql)
+		return cerr
+	})
 	p.observe("exec", start, err)
 	if err != nil {
-		// Errors are either remote engine errors (connection still usable) or
-		// transport errors. Only reuse the connection for engine errors.
-		if _, ok := err.(*cdw.Error); ok {
-			p.Put(c)
-		} else {
-			c.Close()
-			p.mu.Lock()
-			p.made--
-			p.mu.Unlock()
-		}
 		return 0, err
 	}
-	p.Put(c)
 	return n, nil
 }
 
 // Describe borrows a connection and fetches table metadata.
 func (p *Pool) Describe(table string) (*TableMeta, error) {
 	start := time.Now()
-	c, err := p.Get()
-	if err != nil {
-		p.observe("describe", start, err)
-		return nil, err
-	}
-	meta, err := c.Describe(table)
+	var meta *TableMeta
+	err := p.roundTrip("describe", func(c *Client) error {
+		var cerr error
+		meta, cerr = c.Describe(table)
+		return cerr
+	})
 	p.observe("describe", start, err)
 	if err != nil {
-		if _, ok := err.(*cdw.Error); ok {
-			p.Put(c)
-		} else {
-			c.Close()
-			p.mu.Lock()
-			p.made--
-			p.mu.Unlock()
-		}
 		return nil, err
 	}
-	p.Put(c)
 	return meta, nil
 }
 
 // QueryAll borrows a connection and materializes a query result.
 func (p *Pool) QueryAll(sql string) ([]ResultCol, [][]cdw.Datum, error) {
 	start := time.Now()
-	c, err := p.Get()
-	if err != nil {
-		p.observe("query", start, err)
-		return nil, nil, err
-	}
-	cols, rows, err := c.QueryAll(sql)
+	var cols []ResultCol
+	var rows [][]cdw.Datum
+	err := p.roundTrip("query", func(c *Client) error {
+		var cerr error
+		cols, rows, cerr = c.QueryAll(sql)
+		return cerr
+	})
 	p.observe("query", start, err)
 	if err != nil {
-		if _, ok := err.(*cdw.Error); ok {
-			p.Put(c)
-		} else {
-			c.Close()
-			p.mu.Lock()
-			p.made--
-			p.mu.Unlock()
-		}
 		return nil, nil, err
 	}
-	p.Put(c)
 	return cols, rows, nil
 }

@@ -1,12 +1,16 @@
 package cdwnet
 
 import (
+	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"etlvirt/internal/cdw"
 	"etlvirt/internal/cloudstore"
+	"etlvirt/internal/retrier"
 )
 
 func startServer(t *testing.T) (*cdw.Engine, string) {
@@ -232,5 +236,141 @@ func TestDescribe(t *testing.T) {
 	defer pool.Close()
 	if _, err := pool.Describe("s.t"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPoolDiscardsPoisonedConnection is the regression test for the
+// recycling bug: a connection whose round trip hit a transport failure must
+// be discarded by Put, never handed out again.
+func TestPoolDiscardsPoisonedConnection(t *testing.T) {
+	_, addr := startServer(t)
+	p := NewPool(addr, 1)
+	defer p.Close()
+
+	c1, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poison the connection with an injected transport fault.
+	c1.SetFaultHook(func(op string) error { return fmt.Errorf("injected transport fault") })
+	if _, err := c1.Exec("SELECT 1"); err == nil {
+		t.Fatal("faulted round trip should error")
+	}
+	if !c1.Broken() {
+		t.Fatal("transport failure must mark the connection broken")
+	}
+	p.Put(c1)
+
+	// The pool slot must have been freed and the next Get must dial fresh —
+	// returning the poisoned client here would hand out a desynchronized
+	// gob stream.
+	c2, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 == c1 {
+		t.Fatal("poisoned connection was handed out again")
+	}
+	if _, err := c2.Exec("SELECT 1"); err != nil {
+		t.Fatalf("fresh connection should work: %v", err)
+	}
+	p.Put(c2)
+}
+
+// TestPoolRetriesTransientFaults wires a retrier and a one-shot injected
+// fault into the pool and checks the round trip succeeds transparently on a
+// fresh connection.
+func TestPoolRetriesTransientFaults(t *testing.T) {
+	_, addr := startServer(t)
+	p := NewPool(addr, 2)
+	defer p.Close()
+
+	var mu sync.Mutex
+	faults := 0
+	p.SetFaultHook(func(op string) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if op == "query" && faults == 0 {
+			faults++
+			return &faultErr{}
+		}
+		return nil
+	})
+	p.SetRetrier(&retrier.Retrier{
+		Policy: retrier.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond},
+	})
+	if _, err := p.Exec("CREATE TABLE rt (a BIGINT)"); err != nil {
+		t.Fatalf("retried exec failed: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if faults != 1 {
+		t.Errorf("fault fired %d times", faults)
+	}
+}
+
+// TestPoolDoesNotRetryEngineErrors: remote engine errors must surface
+// immediately (per-tuple error semantics depend on it).
+func TestPoolDoesNotRetryEngineErrors(t *testing.T) {
+	_, addr := startServer(t)
+	p := NewPool(addr, 1)
+	defer p.Close()
+	attempts := 0
+	p.SetRetrier(&retrier.Retrier{
+		Policy: retrier.Policy{MaxAttempts: 5, BaseDelay: time.Millisecond},
+		Observe: func(string, int, time.Duration, error) { attempts++ },
+	})
+	if _, err := p.Exec("SELECT * FROM no_such_table"); err == nil {
+		t.Fatal("engine error expected")
+	}
+	if attempts != 0 {
+		t.Errorf("engine error was retried %d times", attempts)
+	}
+}
+
+// faultErr is a transient transport failure for pool tests.
+type faultErr struct{}
+
+func (*faultErr) Error() string   { return "injected fault" }
+func (*faultErr) Transient() bool { return true }
+
+// TestClientTimeout bounds a round trip against a server that never
+// responds; the deadline must fire and poison the connection.
+func TestClientTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// accept and go silent: never answer
+			defer conn.Close()
+		}
+	}()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetTimeout(50 * time.Millisecond)
+	start := time.Now()
+	_, err = c.Exec("SELECT 1")
+	if err == nil {
+		t.Fatal("timeout expected")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("err = %v, want net timeout", err)
+	}
+	if !c.Broken() {
+		t.Error("timed-out connection must be marked broken")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("deadline did not bound the round trip: %v", elapsed)
 	}
 }

@@ -3,10 +3,12 @@ package cloudstore
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
 
 // LoaderConfig tunes the bulk loader, mirroring the knobs the paper exposes
@@ -17,7 +19,31 @@ type LoaderConfig struct {
 	// Parallelism is the number of concurrent upload workers for directory
 	// uploads. Values below 1 are treated as 1.
 	Parallelism int
+	// PutTimeout bounds each object-store put; zero disables the bound. A
+	// put that exceeds it fails with *TimeoutError, which classifies as
+	// transient so the caller's retry policy re-drives the upload. Puts
+	// are idempotent (same key, same content), so a late completion of the
+	// abandoned attempt is harmless.
+	PutTimeout time.Duration
 }
+
+// TimeoutError reports an object-store operation that exceeded its
+// per-operation bound.
+type TimeoutError struct {
+	Op    string
+	Key   string
+	Limit time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("cloudstore: %s %q exceeded %v", e.Op, e.Key, e.Limit)
+}
+
+// Timeout satisfies net.Error-style checks.
+func (e *TimeoutError) Timeout() bool { return true }
+
+// Transient marks the timeout as retryable.
+func (e *TimeoutError) Transient() bool { return true }
 
 // BulkLoader is the vendor upload utility equivalent ("aws s3 cp" / AzCopy):
 // it copies local files into the object store.
@@ -34,6 +60,26 @@ func NewBulkLoader(store Store, cfg LoaderConfig) *BulkLoader {
 	return &BulkLoader{store: store, cfg: cfg}
 }
 
+// put drives one store put, bounded by cfg.PutTimeout when set. On timeout
+// the attempt is abandoned (the goroutine drains on its own; a late success
+// writes the same bytes under the same key, so it cannot corrupt state) and
+// the caller gets a transient *TimeoutError.
+func (b *BulkLoader) put(key string, r io.Reader) error {
+	if b.cfg.PutTimeout <= 0 {
+		return b.store.Put(key, r)
+	}
+	done := make(chan error, 1)
+	go func() { done <- b.store.Put(key, r) }()
+	timer := time.NewTimer(b.cfg.PutTimeout)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-timer.C:
+		return &TimeoutError{Op: "put", Key: key, Limit: b.cfg.PutTimeout}
+	}
+}
+
 // UploadFile copies one local file to the object key and returns the number
 // of bytes uploaded.
 func (b *BulkLoader) UploadFile(localPath, key string) (int64, error) {
@@ -46,7 +92,7 @@ func (b *BulkLoader) UploadFile(localPath, key string) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := b.store.Put(key, f); err != nil {
+	if err := b.put(key, f); err != nil {
 		return 0, err
 	}
 	return st.Size(), nil
@@ -55,7 +101,7 @@ func (b *BulkLoader) UploadFile(localPath, key string) (int64, error) {
 // UploadBytes uploads an in-memory buffer, used when the FileWriter runs
 // with an in-memory filesystem.
 func (b *BulkLoader) UploadBytes(data []byte, key string) (int64, error) {
-	if err := b.store.Put(key, bytes.NewReader(data)); err != nil {
+	if err := b.put(key, bytes.NewReader(data)); err != nil {
 		return 0, err
 	}
 	return int64(len(data)), nil

@@ -195,6 +195,119 @@ func TestBulkLoaderDir(t *testing.T) {
 	}
 }
 
+// brokenReader yields some bytes, then fails — an upload whose source dies
+// mid-stream.
+type brokenReader struct {
+	data []byte
+	err  error
+	off  int
+}
+
+func (r *brokenReader) Read(p []byte) (int, error) {
+	if r.off < len(r.data) {
+		n := copy(p, r.data[r.off:])
+		r.off += n
+		return n, nil
+	}
+	return 0, r.err
+}
+
+// TestMemStorePutErroringReader is the partial-read regression test: a Put
+// whose reader errors mid-stream must fail without leaving a truncated
+// object visible, and must not clobber a pre-existing object under the key.
+func TestMemStorePutErroringReader(t *testing.T) {
+	s := NewMemStore()
+	bang := io.ErrUnexpectedEOF
+	if err := s.Put("k", &brokenReader{data: []byte("part"), err: bang}); err == nil {
+		t.Fatal("erroring reader accepted")
+	}
+	if _, err := s.Get("k"); err == nil {
+		t.Fatal("truncated object visible after failed put")
+	}
+	if _, err := s.Size("k"); err == nil {
+		t.Fatal("Size sees object after failed put")
+	}
+
+	// A failed overwrite must preserve the previous version intact.
+	if err := s.Put("k", bytes.NewReader([]byte("good-v1"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", &brokenReader{data: []byte("bad"), err: bang}); err == nil {
+		t.Fatal("erroring overwrite accepted")
+	}
+	r, err := s.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(r)
+	r.Close()
+	if string(data) != "good-v1" {
+		t.Errorf("failed overwrite corrupted object: %q", data)
+	}
+}
+
+// TestDirStorePutErroringReader: same invariant for the on-disk store (tmp
+// file + rename must keep half-written data invisible).
+func TestDirStorePutErroringReader(t *testing.T) {
+	s, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", bytes.NewReader([]byte("good-v1"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", &brokenReader{data: []byte("bad"), err: io.ErrUnexpectedEOF}); err == nil {
+		t.Fatal("erroring overwrite accepted")
+	}
+	r, err := s.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(r)
+	r.Close()
+	if string(data) != "good-v1" {
+		t.Errorf("failed overwrite corrupted object: %q", data)
+	}
+	keys, _ := s.List("")
+	if len(keys) != 1 {
+		t.Errorf("stray keys after failed put: %v", keys)
+	}
+}
+
+// slowStore stalls every Put until released.
+type slowStore struct {
+	Store
+	delay time.Duration
+}
+
+func (s *slowStore) Put(key string, r io.Reader) error {
+	time.Sleep(s.delay)
+	return s.Store.Put(key, r)
+}
+
+func TestBulkLoaderPutTimeout(t *testing.T) {
+	mem := NewMemStore()
+	slow := &slowStore{Store: mem, delay: 200 * time.Millisecond}
+	b := NewBulkLoader(slow, LoaderConfig{PutTimeout: 20 * time.Millisecond})
+	_, err := b.UploadBytes([]byte("x"), "k")
+	te, ok := err.(*TimeoutError)
+	if !ok {
+		t.Fatalf("err = %v, want *TimeoutError", err)
+	}
+	if !te.Timeout() || !te.Transient() || te.Key != "k" {
+		t.Errorf("TimeoutError = %+v", te)
+	}
+
+	// Generous bound: the put completes in time.
+	fast := NewBulkLoader(mem, LoaderConfig{PutTimeout: 5 * time.Second})
+	if _, err := fast.UploadBytes([]byte("y"), "k2"); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := mem.Size("k2"); err != nil || n != 1 {
+		t.Errorf("Size(k2) = %d, %v", n, err)
+	}
+}
+
 func TestLinkOnTransfer(t *testing.T) {
 	mem := NewMemStore()
 	link := &Link{BytesPerSec: 1 << 20}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -49,14 +50,26 @@ func (n *Node) newExportJob(m *wire.BeginExport) (*exportJob, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cross-compiling export query: %w", err)
 	}
-	client, err := n.pool.Get()
-	if err != nil {
-		return nil, err
-	}
+	// Opening an export pins a pooled connection for the cursor's lifetime,
+	// so the pool's internal round-trip retry does not apply; re-drive the
+	// open (fresh Get + Query) under the node retry policy instead.
+	var client *cdwnet.Client
+	var cur *cdwnet.Cursor
 	openStart := time.Now()
-	cur, err := client.Query(cdwSQL, n.cfg.ExportChunkRows)
+	err = n.retry.Do(context.Background(), "export.open", func() error {
+		c, err := n.pool.Get()
+		if err != nil {
+			return err
+		}
+		q, err := c.Query(cdwSQL, n.cfg.ExportChunkRows)
+		if err != nil {
+			n.pool.Put(c) // discards if the fault poisoned it
+			return err
+		}
+		client, cur = c, q
+		return nil
+	})
 	if err != nil {
-		n.pool.Put(client)
 		return nil, err
 	}
 	id := n.nextJob.Add(1)

@@ -1,0 +1,291 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"etlvirt/internal/cdw"
+	"etlvirt/internal/cdwnet"
+	"etlvirt/internal/cloudstore"
+	"etlvirt/internal/core"
+	"etlvirt/internal/etlclient"
+	"etlvirt/internal/etlscript"
+	"etlvirt/internal/faultinject"
+)
+
+func parseScript(t *testing.T, script string) *etlscript.Script {
+	t.Helper()
+	s, err := etlscript.Parse(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// chaosSeed returns the fault seed for this run: ETLVIRT_FAULT_SEED from the
+// environment (the CI chaos matrix sets it), or 1.
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	s := os.Getenv("ETLVIRT_FAULT_SEED")
+	if s == "" {
+		return 1
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("ETLVIRT_FAULT_SEED=%q: %v", s, err)
+	}
+	return v
+}
+
+// metricsDump renders the node's registry the same way /metrics does.
+func metricsDump(t *testing.T, node *core.Node) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := node.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// metricValue extracts an un-labelled series value from a Prometheus dump.
+func metricValue(t *testing.T, dump, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(dump, "\n") {
+		val, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			t.Fatalf("metric %s: bad value %q", name, val)
+		}
+		return v
+	}
+	t.Fatalf("metric %s not found in dump:\n%s", name, dump)
+	return 0
+}
+
+// chaosInput builds a load with clean rows, scattered bad dates, and one
+// duplicate key, so faults hit acquisition and the error-handling
+// application phase alike.
+func chaosInput(rows int) string {
+	var sb strings.Builder
+	for i := 1; i <= rows; i++ {
+		date := fmt.Sprintf("2021-%02d-%02d", 1+i%12, 1+i%28)
+		if i%30 == 7 {
+			date = "xxxx" // conversion error -> ET
+		}
+		id := i
+		if i == rows-3 {
+			id = 1 // duplicate key -> UV
+		}
+		fmt.Fprintf(&sb, "%d|Name %d|%s\n", id, i, date)
+	}
+	return sb.String()
+}
+
+// TestImportUnderInjectedFaults is the headline resilience assertion: an
+// import driven through injected object-store and CDW transport faults must
+// converge to the exact same target table and error-table contents as the
+// same import with no faults, while the retry metrics record the recovery
+// work.
+func TestImportUnderInjectedFaults(t *testing.T) {
+	seed := chaosSeed(t)
+	input := chaosInput(300)
+	// UploadParallelism 1 keeps the store.put call order deterministic, so a
+	// given seed always exercises the same schedule.
+	base := core.Config{UploadParallelism: 1, FileSizeThreshold: 2 << 10}
+
+	clean := startStack(t, base)
+	mustEng(t, clean.eng, customerDDL)
+	cleanRes := runScript(t, clean.addr, example21Script(""), map[string]string{"input.txt": input},
+		etlclient.Options{ChunkRecords: 20})
+
+	inj := faultinject.New(seed)
+	inj.SetRule(faultinject.OpStorePut,
+		faultinject.Rule{Rate: 0.2, Every: 4, Class: faultinject.ClassTimeout})
+	inj.SetRule("cdw.query",
+		faultinject.Rule{Rate: 0.02, Every: 25, Class: faultinject.ClassReset})
+	cfg := base
+	cfg.FaultInjector = inj
+	cfg.RetryMaxAttempts = 8
+	cfg.RetryBaseDelay = time.Millisecond
+	cfg.RetryMaxDelay = 5 * time.Millisecond
+	faulted := startStack(t, cfg)
+	mustEng(t, faulted.eng, customerDDL)
+	faultedRes := runScript(t, faulted.addr, example21Script(""), map[string]string{"input.txt": input},
+		etlclient.Options{ChunkRecords: 20})
+
+	c, f := cleanRes.Imports[0], faultedRes.Imports[0]
+	if c.Inserted != f.Inserted || c.ErrorsET != f.ErrorsET || c.ErrorsUV != f.ErrorsUV ||
+		c.RowsStaged != f.RowsStaged || c.DataErrors != f.DataErrors {
+		t.Errorf("job outcomes diverged under faults:\n clean:   %+v\n faulted: %+v", c, f)
+	}
+	for _, q := range []string{
+		"SELECT CUST_ID, CUST_NAME, JOIN_DATE FROM PROD.CUSTOMER",
+		"SELECT SEQNO, SEQNO_END, ERRCODE, ERRFIELD, ERRMSG FROM PROD.CUSTOMER_ET",
+		"SELECT SEQNO, SEQNO_END, ERRCODE, ERRMSG FROM PROD.CUSTOMER_UV",
+	} {
+		if got, want := engState(t, faulted.eng, q), engState(t, clean.eng, q); got != want {
+			t.Errorf("state diverged under faults for %q:\n clean:\n%s\n faulted:\n%s", q, want, got)
+		}
+	}
+
+	dump := metricsDump(t, faulted.node)
+	if v := metricValue(t, dump, "etlvirt_faults_injected_total"); v == 0 {
+		t.Error("no faults fired; the chaos schedule is dead")
+	}
+	if v := metricValue(t, dump, "etlvirt_retry_attempts_total"); v == 0 {
+		t.Error("faults fired but nothing was retried")
+	}
+	if v := metricValue(t, dump, "etlvirt_retry_exhausted_total"); v != 0 {
+		t.Errorf("retries exhausted %v times during a load that succeeded", v)
+	}
+	if inj.Injected() == 0 {
+		t.Error("injector reports zero faults")
+	}
+	// the clean node must publish the same series, at zero
+	cleanDump := metricsDump(t, clean.node)
+	if v := metricValue(t, cleanDump, "etlvirt_faults_injected_total"); v != 0 {
+		t.Errorf("clean run injected %v faults", v)
+	}
+}
+
+// engState canonicalizes a query result for byte-for-byte comparison across
+// engines: rendered rows, sorted.
+func engState(t *testing.T, eng *cdw.Engine, sql string) string {
+	t.Helper()
+	res, err := eng.ExecSQL(sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	lines := make([]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		var parts []string
+		for _, d := range row {
+			parts = append(parts, d.Render())
+		}
+		lines = append(lines, strings.Join(parts, "|"))
+	}
+	// insertion-order independence
+	for i := 1; i < len(lines); i++ {
+		for j := i; j > 0 && lines[j] < lines[j-1]; j-- {
+			lines[j], lines[j-1] = lines[j-1], lines[j]
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestCopyRecoveryOnEngineFault injects a fault into the CDW engine's side
+// of the object store — the COPY's read path — and checks the node recovers
+// by recreating the staging table and re-running the COPY.
+func TestCopyRecoveryOnEngineFault(t *testing.T) {
+	mem := cloudstore.NewMemStore()
+	engInj := faultinject.New(chaosSeed(t))
+	// first store read the engine performs (the COPY pulling the uploaded
+	// file) fails
+	engInj.SetRule(faultinject.OpStoreGet, faultinject.Rule{Nth: []int64{1}})
+	eng := cdw.NewEngine(faultinject.NewStore(engInj, mem), cdw.Options{})
+	srv := cdwnet.NewServer(eng)
+	cdwAddr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	node := core.NewNode(core.Config{
+		CDWAddr:        cdwAddr,
+		RetryBaseDelay: time.Millisecond,
+	}, mem)
+	addr, err := node.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+	mustEng(t, eng, customerDDL)
+
+	clean := "1|Alpha|2020-01-01\n2|Beta|2020-01-02\n3|Gamma|2020-01-03\n"
+	res := runScript(t, addr, example21Script(""), map[string]string{"input.txt": clean},
+		etlclient.Options{ChunkRecords: 10})
+	if res.Imports[0].Inserted != 3 {
+		t.Errorf("inserted = %d, want 3", res.Imports[0].Inserted)
+	}
+	if n := mustEng(t, eng, "SELECT count(*) FROM PROD.CUSTOMER").Rows[0][0].I; n != 3 {
+		t.Errorf("target count = %d", n)
+	}
+	dump := metricsDump(t, node)
+	if v := metricValue(t, dump, "etlvirt_copy_recoveries_total"); v < 1 {
+		t.Errorf("copy recoveries = %v, want >= 1", v)
+	}
+	if v := metricValue(t, dump, "etlvirt_retry_attempts_total"); v < 1 {
+		t.Errorf("retry attempts = %v, want >= 1", v)
+	}
+	if engInj.Injected() != 1 {
+		t.Errorf("engine-side faults = %d, want 1", engInj.Injected())
+	}
+}
+
+// TestRetryExhaustionPoisonsJob removes any hope of recovery (every put
+// faults forever) and checks the job fails cleanly instead of hanging, with
+// the exhaustion recorded.
+func TestRetryExhaustionPoisonsJob(t *testing.T) {
+	inj := faultinject.New(chaosSeed(t))
+	inj.SetRule(faultinject.OpStorePut, faultinject.Rule{Every: 1})
+	st := startStack(t, core.Config{
+		FaultInjector:    inj,
+		RetryMaxAttempts: 3,
+		RetryBaseDelay:   time.Millisecond,
+		RetryMaxDelay:    2 * time.Millisecond,
+	})
+	mustEng(t, st.eng, customerDDL)
+	s := parseScript(t, example21Script(""))
+	_, err := etlclient.Run(s, etlclient.Options{
+		Addr:     st.addr,
+		ReadFile: func(string) ([]byte, error) { return []byte("1|A|2020-01-01\n"), nil },
+	})
+	if err == nil {
+		t.Fatal("load succeeded with every store put faulting")
+	}
+	dump := metricsDump(t, st.node)
+	if v := metricValue(t, dump, "etlvirt_retry_exhausted_total"); v < 1 {
+		t.Errorf("retry exhaustion not recorded: %v", v)
+	}
+	if v := metricValue(t, dump, "etlvirt_jobs_failed_total"); v != 1 {
+		t.Errorf("jobs failed = %v, want 1", v)
+	}
+}
+
+// TestRetryBudgetBoundsRecoveryWork sets a node-wide retry budget smaller
+// than the fault schedule demands and checks the budget gauge drains to zero
+// and the job fails rather than retrying forever.
+func TestRetryBudgetBoundsRecoveryWork(t *testing.T) {
+	inj := faultinject.New(chaosSeed(t))
+	inj.SetRule(faultinject.OpStorePut, faultinject.Rule{Every: 1})
+	st := startStack(t, core.Config{
+		FaultInjector:    inj,
+		RetryMaxAttempts: 100,
+		RetryBaseDelay:   time.Millisecond,
+		RetryMaxDelay:    2 * time.Millisecond,
+		RetryBudget:      5,
+	})
+	mustEng(t, st.eng, customerDDL)
+	s := parseScript(t, example21Script(""))
+	_, err := etlclient.Run(s, etlclient.Options{
+		Addr:     st.addr,
+		ReadFile: func(string) ([]byte, error) { return []byte("1|A|2020-01-01\n"), nil },
+	})
+	if err == nil {
+		t.Fatal("load succeeded with every store put faulting")
+	}
+	dump := metricsDump(t, st.node)
+	if v := metricValue(t, dump, "etlvirt_retry_budget_remaining"); v != 0 {
+		t.Errorf("budget remaining = %v, want 0", v)
+	}
+	if v := metricValue(t, dump, "etlvirt_retry_attempts_total"); v != 5 {
+		t.Errorf("retry attempts = %v, want exactly the budget (5)", v)
+	}
+}

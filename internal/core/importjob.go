@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"etlvirt/internal/errhandle"
 	"etlvirt/internal/fwriter"
 	"etlvirt/internal/obs"
+	"etlvirt/internal/retrier"
 	"etlvirt/internal/sqlparse"
 	"etlvirt/internal/sqlxlate"
 	"etlvirt/internal/wire"
@@ -356,10 +358,21 @@ func (j *importJob) runUploader(idx int) {
 				j.fail(fmt.Errorf("finished file %s missing from spool", f.Name))
 				continue
 			}
-			n, err = j.node.loader.UploadBytes(data, key)
+			// Puts are idempotent (same key, same bytes), so transient store
+			// failures are retried whole-file.
+			err = j.node.retry.Do(context.Background(), "upload", func() error {
+				var uerr error
+				n, uerr = j.node.loader.UploadBytes(data, key)
+				return uerr
+			})
 			j.memfs.Remove(f.Name)
 		} else {
-			n, err = j.node.loader.UploadFile(j.osDir+"/"+f.Name, key)
+			path := j.osDir + "/" + f.Name
+			err = j.node.retry.Do(context.Background(), "upload", func() error {
+				var uerr error
+				n, uerr = j.node.loader.UploadFile(path, key)
+				return uerr
+			})
 		}
 		nm.uploadLat.ObserveDuration(time.Since(upStart))
 		j.trace.Span("upload", lane, upStart, int64(f.Rows), n, err)
@@ -400,10 +413,7 @@ func (j *importJob) finishAcquisition() (*wire.AcquireDone, error) {
 	if err != nil {
 		return nil, err
 	}
-	copyStart := time.Now()
-	staged, err := j.node.pool.Exec(copySQL)
-	j.node.nm.copyStatements.Inc()
-	j.trace.Span("copy", "stage", copyStart, staged, j.upBytes.Load(), err)
+	staged, err := j.copyWithRecovery(copySQL)
 	if err != nil {
 		return nil, fmt.Errorf("COPY into staging failed: %w", err)
 	}
@@ -424,6 +434,53 @@ func (j *importJob) finishAcquisition() (*wire.AcquireDone, error) {
 	j.acquired = true
 	j.acqDone.Store(true)
 	return j.acquireReply(), nil
+}
+
+// copyWithRecovery drives the staging COPY under the node's retry policy.
+// Transient transport failures are already retried inside the pool; this
+// layer additionally recovers engine-side COPY failures (the CDW reading a
+// faulted object store) by recreating the staging table before re-running
+// the statement — the engine's COPY is atomic, but recreation guarantees a
+// clean slate even if that ever changes. Engine errors other than
+// CodeCopyFailed surface immediately.
+func (j *importJob) copyWithRecovery(copySQL string) (int64, error) {
+	nm := j.node.nm
+	var staged int64
+	attempt := 0
+	r := *j.node.retry // shares Budget/observers; only Retryable differs
+	r.Retryable = func(err error) bool {
+		if retrier.IsTransient(err) {
+			return true
+		}
+		var ce *cdw.Error
+		return errors.As(err, &ce) && ce.Code == cdw.CodeCopyFailed
+	}
+	err := r.Do(context.Background(), "copy", func() error {
+		attempt++
+		if attempt > 1 {
+			// recovery point: wipe any partial staging state before re-COPY
+			recStart := time.Now()
+			nm.copyRecoveries.Inc()
+			if _, err := j.node.pool.Exec(dropIfExists(j.stage)); err != nil {
+				return err
+			}
+			ddl, err := sqlxlate.StagingDDL(j.stage, j.req.Layout)
+			if err != nil {
+				return err
+			}
+			if _, err := j.node.pool.Exec(ddl); err != nil {
+				return err
+			}
+			j.trace.Span("copy_retry", "stage", recStart, 0, 0, nil)
+		}
+		copyStart := time.Now()
+		var err error
+		staged, err = j.node.pool.Exec(copySQL)
+		nm.copyStatements.Inc()
+		j.trace.Span("copy", "stage", copyStart, staged, j.upBytes.Load(), err)
+		return err
+	})
+	return staged, err
 }
 
 func (j *importJob) acquireReply() *wire.AcquireDone {
@@ -571,6 +628,13 @@ func (j *importJob) applyDML(m *wire.ApplyDML) (*wire.ApplyResult, error) {
 	}
 
 	classify := func(err error) errhandle.Classified {
+		var ex *retrier.Exhausted
+		if errors.As(err, &ex) {
+			// Retries gave up on an infrastructure failure: poison the job
+			// instead of splitting — adaptive splitting is for per-tuple data
+			// errors, and re-driving a dead CDW would burn the whole budget.
+			return errhandle.Classified{Fatal: true, Msg: err.Error()}
+		}
 		ce, ok := err.(*cdw.Error)
 		if !ok {
 			return errhandle.Classified{Fatal: true, Msg: err.Error()}

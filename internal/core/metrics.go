@@ -40,6 +40,11 @@ type nodeMetrics struct {
 	// CDW round trips (all Beta traffic incl. staging DDL and probes)
 	cdwRequests, cdwErrors *obs.Counter
 	cdwReqLat              *obs.Histogram
+
+	// resilience layer (retries, recovery, injected faults)
+	retryAttempts, retryExhausted *obs.Counter
+	copyRecoveries                *obs.Counter
+	retryBackoff                  *obs.Histogram
 }
 
 // newNodeMetrics builds the registry and wires the stage observers of every
@@ -110,6 +115,26 @@ func newNodeMetrics(n *Node) *nodeMetrics {
 	m.cdwErrors = r.Counter("etlvirt_cdw_errors_total", "CDW round trips that returned an error.")
 	m.cdwReqLat = r.Histogram("etlvirt_cdw_request_seconds", "CDW round-trip latency.", nil)
 
+	m.retryAttempts = r.Counter("etlvirt_retry_attempts_total",
+		"Operations re-driven after a transient failure (CDW round trips, uploads, COPY, export opens).")
+	m.retryExhausted = r.Counter("etlvirt_retry_exhausted_total",
+		"Operations abandoned after exhausting their retry attempts or budget.")
+	m.copyRecoveries = r.Counter("etlvirt_copy_recoveries_total",
+		"Staging tables recreated to recover a failed COPY.")
+	m.retryBackoff = r.Histogram("etlvirt_retry_backoff_seconds",
+		"Backoff scheduled before each retry.", nil)
+	r.GaugeFunc("etlvirt_retry_budget_remaining",
+		"Retries left in the node-wide budget; -1 when unlimited.",
+		func() float64 { return float64(n.budget.Remaining()) })
+	inj := n.inj
+	r.CounterFunc("etlvirt_faults_injected_total", "Faults fired by the fault-injection layer.",
+		func() int64 {
+			if inj == nil {
+				return 0
+			}
+			return inj.Injected()
+		})
+
 	// CreditManager pool state, read live at scrape time.
 	r.GaugeFunc("etlvirt_credits_total", "Size of the CreditManager pool.",
 		func() float64 { return float64(n.credits.Stats().Total) })
@@ -140,6 +165,15 @@ func newNodeMetrics(n *Node) *nodeMetrics {
 		}
 		m.cdwReqLat.ObserveDuration(d)
 	})
+	n.retry.Observe = func(op string, retry int, delay time.Duration, err error) {
+		m.retryAttempts.Inc()
+		m.retryBackoff.ObserveDuration(delay)
+		n.log.Warn("retrying after transient failure", "op", op, "retry", retry, "delay", delay, "err", err)
+	}
+	n.retry.OnExhausted = func(op string, attempts int, err error) {
+		m.retryExhausted.Inc()
+		n.log.Error("retries exhausted", "op", op, "attempts", attempts, "err", err)
+	}
 	if ts, ok := n.store.(*cloudstore.ThrottledStore); ok && ts.Link != nil {
 		ts.Link.OnTransfer = func(bytes int, d time.Duration) {
 			m.linkLat.ObserveDuration(d)

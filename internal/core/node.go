@@ -17,13 +17,16 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"etlvirt/internal/cdw"
 	"etlvirt/internal/cdwnet"
 	"etlvirt/internal/cloudstore"
 	"etlvirt/internal/convert"
 	"etlvirt/internal/credit"
+	"etlvirt/internal/faultinject"
 	"etlvirt/internal/obs"
+	"etlvirt/internal/retrier"
 	"etlvirt/internal/sqlparse"
 	"etlvirt/internal/sqlxlate"
 	"etlvirt/internal/wire"
@@ -90,6 +93,28 @@ type Config struct {
 	// TraceSpansPerJob caps the spans recorded per job timeline; spans past
 	// the cap are dropped and counted. Zero defaults to 8192.
 	TraceSpansPerJob int
+
+	// RetryMaxAttempts caps attempts (including the first) for each retried
+	// operation: CDW round trips, uploads, COPY recovery, export opens.
+	// Zero selects retrier.DefaultMaxAttempts.
+	RetryMaxAttempts int
+	// RetryBaseDelay is the backoff before the first retry; RetryMaxDelay
+	// caps the exponential growth. Zeros select the retrier defaults.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// RetryBudget bounds total retries across the whole node; zero or
+	// negative means unlimited.
+	RetryBudget int64
+
+	// PutTimeout bounds each object-store put; CDWTimeout bounds each CDW
+	// round trip. Zero disables the bound.
+	PutTimeout time.Duration
+	CDWTimeout time.Duration
+
+	// FaultInjector, when non-nil, wraps the object store in a
+	// faultinject.FaultyStore and arms the CDW client fault hook — the
+	// chaos-testing surface. Nil injects nothing.
+	FaultInjector *faultinject.Injector
 
 	// SyncAcquisition is the ablation of §5's design discussion: when set,
 	// a chunk is only acknowledged after it has been converted and written,
@@ -171,23 +196,54 @@ type Node struct {
 	reports reportLog
 	nm      *nodeMetrics
 	tracer  *obs.Tracer
+
+	retry  *retrier.Retrier
+	budget *retrier.Budget
+	inj    *faultinject.Injector // nil when fault injection is off
 }
 
 // NewNode builds a node. store is the cloud object store shared with the
 // CDW (uploads land there; COPY reads from there).
 func NewNode(cfg Config, store cloudstore.Store) *Node {
 	cfg = cfg.withDefaults()
+	if cfg.FaultInjector != nil {
+		// The virtualizer's own store traffic goes through the injector; the
+		// CDW engine keeps its direct handle (its faults are injected on its
+		// side via the daemon flag).
+		store = faultinject.NewStore(cfg.FaultInjector, store)
+	}
 	n := &Node{
 		cfg:     cfg,
 		credits: credit.NewManager(cfg.Credits, cfg.MemBudget),
 		pool:    cdwnet.NewPool(cfg.CDWAddr, cfg.CDWPoolSize),
 		store:   store,
-		loader:  cloudstore.NewBulkLoader(store, cloudstore.LoaderConfig{Parallelism: cfg.UploadParallelism}),
+		loader: cloudstore.NewBulkLoader(store, cloudstore.LoaderConfig{
+			Parallelism: cfg.UploadParallelism,
+			PutTimeout:  cfg.PutTimeout,
+		}),
 		log:     cfg.Logger,
 		conns:   make(map[net.Conn]struct{}),
 		imports: make(map[uint64]*importJob),
 		exports: make(map[uint64]*exportJob),
 		tracer:  obs.NewTracer(cfg.TraceRetention, cfg.TraceSpansPerJob),
+		inj:     cfg.FaultInjector,
+	}
+	n.budget = retrier.NewBudget(cfg.RetryBudget)
+	n.retry = &retrier.Retrier{
+		Policy: retrier.Policy{
+			MaxAttempts: cfg.RetryMaxAttempts,
+			BaseDelay:   cfg.RetryBaseDelay,
+			MaxDelay:    cfg.RetryMaxDelay,
+		}.WithDefaults(),
+		Budget: n.budget,
+	}
+	n.pool.SetRetrier(n.retry)
+	if cfg.CDWTimeout > 0 {
+		n.pool.SetTimeout(cfg.CDWTimeout)
+	}
+	if n.inj != nil {
+		inj := n.inj
+		n.pool.SetFaultHook(func(op string) error { return inj.Fault("cdw." + op) })
 	}
 	n.reports.setCap(cfg.ReportLogSize)
 	n.nm = newNodeMetrics(n)

@@ -1,0 +1,310 @@
+// Package faultinject is the deterministic fault-injection layer the chaos
+// tests drive the resilience machinery with. An Injector holds per-operation
+// rules — error rates, error classes, nth-call triggers, and latency
+// schedules — and is consulted by thin wrappers at the system's
+// infrastructure seams: FaultyStore around a cloudstore.Store, and the fault
+// hook inside cdwnet client round trips.
+//
+// Determinism is the point: every operation name owns an independent PRNG
+// seeded from (seed, op), so the nth call to a given operation makes the
+// same fault decision in every run with that seed, regardless of how calls
+// to *other* operations interleave. Same seed, same per-op call sequence ⇒
+// same fault sequence, which is what lets the differential tests assert that
+// a faulted run converges to a byte-identical final state.
+//
+// Faults fire *before* the wrapped operation executes, modeling a request
+// lost on the way to the service. A retried operation therefore executes at
+// most once per logical request, which keeps retries semantically safe in
+// the simulation while still exercising every recovery path.
+package faultinject
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Class is the failure mode an injected fault presents as. All classes
+// except ClassFatal report themselves transient, mirroring how cloud SDKs
+// classify service errors.
+type Class string
+
+const (
+	ClassUnavailable Class = "unavailable" // 503-style service unavailable
+	ClassTimeout     Class = "timeout"     // request deadline exceeded
+	ClassThrottle    Class = "throttle"    // rate-limit rejection
+	ClassReset       Class = "reset"       // connection reset mid-request
+	ClassFatal       Class = "fatal"       // permanent failure, not retryable
+)
+
+func validClass(c Class) bool {
+	switch c {
+	case ClassUnavailable, ClassTimeout, ClassThrottle, ClassReset, ClassFatal:
+		return true
+	}
+	return false
+}
+
+// Error is an injected fault. Seq is the 1-based call number of Op that
+// triggered it, making failures reproducible and reportable.
+type Error struct {
+	Op    string
+	Class Class
+	Seq   int64
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("faultinject: %s fault injected on %s (call %d)", e.Class, e.Op, e.Seq)
+}
+
+// Transient reports whether retrying may succeed.
+func (e *Error) Transient() bool { return e.Class != ClassFatal }
+
+// Timeout lets timeout-class faults satisfy net.Error-style checks.
+func (e *Error) Timeout() bool { return e.Class == ClassTimeout }
+
+// Rule schedules faults for one operation name. Triggers combine: a call
+// fails if its number appears in Nth, divides Every, or the per-op PRNG
+// draws below Rate. Limit bounds the total errors injected for the op.
+type Rule struct {
+	// Rate is the probability (0..1) that any one call fails.
+	Rate float64
+	// Class is the failure mode; empty selects ClassUnavailable.
+	Class Class
+	// Nth lists 1-based call numbers that always fail.
+	Nth []int64
+	// Every, when > 0, fails every Every-th call.
+	Every int64
+	// Limit, when > 0, caps how many faults the op injects in total.
+	Limit int64
+	// Latency is added to every call (or every LatencyEvery-th call when
+	// that is set), simulating slow infrastructure; it applies to calls
+	// whether or not they also fault, and is what per-operation timeouts
+	// are tested against.
+	Latency time.Duration
+	// LatencyEvery, when > 0, applies Latency only to every
+	// LatencyEvery-th call.
+	LatencyEvery int64
+}
+
+type opState struct {
+	rule     Rule
+	rng      *rand.Rand
+	calls    int64
+	injected int64
+	nth      map[int64]bool
+}
+
+// Injector decides faults for named operations. Safe for concurrent use.
+type Injector struct {
+	seed int64
+
+	mu  sync.Mutex
+	ops map[string]*opState
+
+	injected atomic.Int64
+	onInject func(op string, err *Error)
+	sleep    func(time.Duration)
+}
+
+// New returns an injector with no rules: every Fault call passes until
+// SetRule installs schedules.
+func New(seed int64) *Injector {
+	return &Injector{seed: seed, ops: make(map[string]*opState), sleep: time.Sleep}
+}
+
+// Seed returns the injector's seed.
+func (i *Injector) Seed() int64 { return i.seed }
+
+// SetRule installs (or replaces) the schedule for op, resetting the op's
+// call counter and PRNG so rule changes are themselves deterministic.
+func (i *Injector) SetRule(op string, r Rule) {
+	if r.Class == "" {
+		r.Class = ClassUnavailable
+	}
+	st := &opState{
+		rule: r,
+		rng:  rand.New(rand.NewSource(i.seed ^ int64(hashOp(op)))),
+	}
+	if len(r.Nth) > 0 {
+		st.nth = make(map[int64]bool, len(r.Nth))
+		for _, n := range r.Nth {
+			st.nth[n] = true
+		}
+	}
+	i.mu.Lock()
+	i.ops[op] = st
+	i.mu.Unlock()
+}
+
+// SetOnInject installs a callback invoked once per injected fault, after the
+// fault decision and outside the injector lock. The node wires this into its
+// etlvirt_faults_injected_total metric and debug log.
+func (i *Injector) SetOnInject(fn func(op string, err *Error)) {
+	i.mu.Lock()
+	i.onInject = fn
+	i.mu.Unlock()
+}
+
+// SetSleep replaces the latency sleep, letting tests run latency schedules
+// without wall-clock waits.
+func (i *Injector) SetSleep(fn func(time.Duration)) {
+	i.mu.Lock()
+	i.sleep = fn
+	i.mu.Unlock()
+}
+
+// Injected returns the total number of faults injected across all ops.
+func (i *Injector) Injected() int64 { return i.injected.Load() }
+
+// Ops returns the operation names with rules installed, sorted.
+func (i *Injector) Ops() []string {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make([]string, 0, len(i.ops))
+	for op := range i.ops {
+		out = append(out, op)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Fault records one call to op and returns the fault to inject, or nil to
+// let the call proceed. Latency schedules are served before returning.
+func (i *Injector) Fault(op string) error {
+	i.mu.Lock()
+	st, ok := i.ops[op]
+	if !ok {
+		i.mu.Unlock()
+		return nil
+	}
+	st.calls++
+	seq := st.calls
+	r := st.rule
+
+	var delay time.Duration
+	if r.Latency > 0 && (r.LatencyEvery <= 0 || seq%r.LatencyEvery == 0) {
+		delay = r.Latency
+	}
+
+	fail := false
+	if r.Rate > 0 {
+		// Draw exactly once per call so the random sequence stays aligned
+		// with the call counter whatever the other triggers say.
+		draw := st.rng.Float64()
+		fail = draw < r.Rate
+	}
+	if st.nth[seq] || (r.Every > 0 && seq%r.Every == 0) {
+		fail = true
+	}
+	if fail && r.Limit > 0 && st.injected >= r.Limit {
+		fail = false
+	}
+	var ferr *Error
+	if fail {
+		st.injected++
+		ferr = &Error{Op: op, Class: r.Class, Seq: seq}
+	}
+	onInject := i.onInject
+	sleep := i.sleep
+	i.mu.Unlock()
+
+	if delay > 0 && sleep != nil {
+		sleep(delay)
+	}
+	if ferr == nil {
+		return nil
+	}
+	i.injected.Add(1)
+	if onInject != nil {
+		onInject(op, ferr)
+	}
+	return ferr
+}
+
+func hashOp(op string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(op))
+	return h.Sum64()
+}
+
+// Parse builds an injector from a flag-friendly spec:
+//
+//	op:key=value,key=value;op2:key=value,...
+//
+// Keys: rate (0..1), class (unavailable|timeout|throttle|reset|fatal),
+// nth (1-based call numbers joined with '+', e.g. nth=3+7), every, limit,
+// latency (Go duration, e.g. 5ms), latency_every.
+//
+// Example: "store.put:rate=0.1,class=timeout;cdw.query:every=7"
+func Parse(spec string, seed int64) (*Injector, error) {
+	inj := New(seed)
+	if strings.TrimSpace(spec) == "" {
+		return inj, nil
+	}
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		op, kvs, ok := strings.Cut(entry, ":")
+		op = strings.TrimSpace(op)
+		if !ok || op == "" {
+			return nil, fmt.Errorf("faultinject: entry %q is not op:key=value,...", entry)
+		}
+		var rule Rule
+		for _, kv := range strings.Split(kvs, ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("faultinject: %s: %q is not key=value", op, kv)
+			}
+			var err error
+			switch key {
+			case "rate":
+				rule.Rate, err = strconv.ParseFloat(val, 64)
+				if err == nil && (rule.Rate < 0 || rule.Rate > 1) {
+					err = fmt.Errorf("rate %v outside [0,1]", rule.Rate)
+				}
+			case "class":
+				rule.Class = Class(val)
+				if !validClass(rule.Class) {
+					err = fmt.Errorf("unknown class %q", val)
+				}
+			case "nth":
+				for _, n := range strings.Split(val, "+") {
+					v, perr := strconv.ParseInt(n, 10, 64)
+					if perr != nil || v < 1 {
+						err = fmt.Errorf("bad nth value %q", n)
+						break
+					}
+					rule.Nth = append(rule.Nth, v)
+				}
+			case "every":
+				rule.Every, err = strconv.ParseInt(val, 10, 64)
+			case "limit":
+				rule.Limit, err = strconv.ParseInt(val, 10, 64)
+			case "latency":
+				rule.Latency, err = time.ParseDuration(val)
+			case "latency_every":
+				rule.LatencyEvery, err = strconv.ParseInt(val, 10, 64)
+			default:
+				err = fmt.Errorf("unknown key %q", key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: %s: %s=%s: %v", op, key, val, err)
+			}
+		}
+		inj.SetRule(op, rule)
+	}
+	return inj, nil
+}

@@ -1,0 +1,237 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"etlvirt/internal/cloudstore"
+	"etlvirt/internal/retrier"
+)
+
+// faultSequence records which of n calls to op fault.
+func faultSequence(inj *Injector, op string, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = inj.Fault(op) != nil
+	}
+	return out
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	rule := Rule{Rate: 0.3, Class: ClassTimeout}
+	a, b := New(42), New(42)
+	a.SetRule("store.put", rule)
+	b.SetRule("store.put", rule)
+	sa := faultSequence(a, "store.put", 500)
+	sb := faultSequence(b, "store.put", 500)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("same seed diverged at call %d", i+1)
+		}
+	}
+	faults := 0
+	for _, f := range sa {
+		if f {
+			faults++
+		}
+	}
+	if faults < 100 || faults > 200 {
+		t.Errorf("rate 0.3 over 500 calls injected %d faults", faults)
+	}
+
+	// A different seed must produce a different sequence.
+	c := New(43)
+	c.SetRule("store.put", rule)
+	sc := faultSequence(c, "store.put", 500)
+	same := true
+	for i := range sa {
+		if sa[i] != sc[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fault sequences")
+	}
+}
+
+func TestPerOpIndependence(t *testing.T) {
+	// The op-A sequence must not change when op-B calls interleave.
+	solo := New(7)
+	solo.SetRule("a", Rule{Rate: 0.5})
+	want := faultSequence(solo, "a", 200)
+
+	mixed := New(7)
+	mixed.SetRule("a", Rule{Rate: 0.5})
+	mixed.SetRule("b", Rule{Rate: 0.5})
+	got := make([]bool, 200)
+	for i := range got {
+		_ = mixed.Fault("b") // interleaved traffic on another op
+		got[i] = mixed.Fault("a") != nil
+		_ = mixed.Fault("b")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("op-a sequence changed at call %d when op-b interleaved", i+1)
+		}
+	}
+}
+
+func TestNthEveryLimit(t *testing.T) {
+	inj := New(1)
+	inj.SetRule("op", Rule{Nth: []int64{2, 5}})
+	got := faultSequence(inj, "op", 6)
+	want := []bool{false, true, false, false, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("nth: call %d fault=%v, want %v", i+1, got[i], want[i])
+		}
+	}
+
+	inj.SetRule("op2", Rule{Every: 3})
+	got = faultSequence(inj, "op2", 7)
+	want = []bool{false, false, true, false, false, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("every: call %d fault=%v, want %v", i+1, got[i], want[i])
+		}
+	}
+
+	inj.SetRule("op3", Rule{Every: 1, Limit: 2})
+	got = faultSequence(inj, "op3", 5)
+	want = []bool{true, true, false, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("limit: call %d fault=%v, want %v", i+1, got[i], want[i])
+		}
+	}
+}
+
+func TestErrorClassification(t *testing.T) {
+	for _, c := range []Class{ClassUnavailable, ClassTimeout, ClassThrottle, ClassReset} {
+		e := &Error{Op: "x", Class: c, Seq: 1}
+		if !e.Transient() || !retrier.IsTransient(e) {
+			t.Errorf("class %s must be transient", c)
+		}
+	}
+	fatal := &Error{Op: "x", Class: ClassFatal, Seq: 1}
+	if fatal.Transient() || retrier.IsTransient(fatal) {
+		t.Error("fatal class must not be transient")
+	}
+	to := &Error{Op: "x", Class: ClassTimeout, Seq: 1}
+	if !to.Timeout() {
+		t.Error("timeout class must report Timeout()")
+	}
+}
+
+func TestLatencySchedule(t *testing.T) {
+	inj := New(9)
+	var slept []time.Duration
+	inj.SetSleep(func(d time.Duration) { slept = append(slept, d) })
+	inj.SetRule("op", Rule{Latency: 5 * time.Millisecond, LatencyEvery: 2})
+	for i := 0; i < 4; i++ {
+		_ = inj.Fault("op")
+	}
+	if len(slept) != 2 || slept[0] != 5*time.Millisecond {
+		t.Errorf("latency schedule: slept %v", slept)
+	}
+}
+
+func TestOnInjectAndCounters(t *testing.T) {
+	inj := New(3)
+	inj.SetRule("op", Rule{Every: 1})
+	var seen []string
+	inj.SetOnInject(func(op string, err *Error) { seen = append(seen, op) })
+	_ = inj.Fault("op")
+	_ = inj.Fault("other") // no rule: no fault
+	_ = inj.Fault("op")
+	if inj.Injected() != 2 || len(seen) != 2 {
+		t.Errorf("injected=%d observed=%d", inj.Injected(), len(seen))
+	}
+}
+
+func TestParse(t *testing.T) {
+	inj, err := Parse("store.put:rate=0.25,class=timeout,latency=2ms;cdw.query:every=7,limit=3;x:nth=2+9", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := inj.Ops()
+	if len(ops) != 3 || ops[0] != "cdw.query" || ops[1] != "store.put" || ops[2] != "x" {
+		t.Errorf("ops = %v", ops)
+	}
+	// nth rule round-trips
+	got := faultSequence(inj, "x", 9)
+	if !got[1] || !got[8] || got[0] || got[4] {
+		t.Errorf("nth parse: %v", got)
+	}
+
+	for _, bad := range []string{
+		"noColon", "op:rate=2", "op:class=bogus", "op:nth=0", "op:latency=fast", "op:wat=1", "op:kv",
+	} {
+		if _, err := Parse(bad, 1); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+
+	empty, err := Parse("  ", 1)
+	if err != nil || empty.Fault("anything") != nil {
+		t.Errorf("empty spec must inject nothing: %v", err)
+	}
+}
+
+func TestFaultyStore(t *testing.T) {
+	mem := cloudstore.NewMemStore()
+	inj := New(5)
+	inj.SetRule(OpStorePut, Rule{Nth: []int64{1}})
+	inj.SetRule(OpStoreGet, Rule{Nth: []int64{1}})
+	fs := NewStore(inj, mem)
+
+	// first put faults, nothing stored
+	if err := fs.Put("k", strings.NewReader("hello")); err == nil {
+		t.Fatal("first put should fault")
+	}
+	if _, err := mem.Size("k"); err == nil {
+		t.Fatal("faulted put must not store the object")
+	}
+	// retry (second call) passes through
+	if err := fs.Put("k", strings.NewReader("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Get("k"); err == nil {
+		t.Fatal("first get should fault")
+	}
+	rc, err := fs.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Close()
+	if keys, err := fs.List(""); err != nil || len(keys) != 1 {
+		t.Errorf("list: %v %v", keys, err)
+	}
+	if n, err := fs.Size("k"); err != nil || n != 5 {
+		t.Errorf("size: %d %v", n, err)
+	}
+	if err := fs.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+
+	// reset-class put faults consume part of the body (mid-stream break)
+	inj2 := New(5)
+	inj2.SetRule(OpStorePut, Rule{Every: 1, Class: ClassReset})
+	fs2 := NewStore(inj2, mem)
+	body := bytes.NewReader([]byte("abcdef"))
+	err = fs2.Put("r", body)
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Class != ClassReset {
+		t.Fatalf("err = %v", err)
+	}
+	if body.Len() == 6 {
+		t.Error("reset fault should have consumed part of the body")
+	}
+	if _, serr := mem.Size("r"); serr == nil {
+		t.Error("no object may be visible after a mid-stream reset")
+	}
+}

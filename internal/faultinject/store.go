@@ -1,0 +1,79 @@
+package faultinject
+
+import (
+	"io"
+
+	"etlvirt/internal/cloudstore"
+)
+
+// Store operation names FaultyStore consults the injector with.
+const (
+	OpStorePut    = "store.put"
+	OpStoreGet    = "store.get"
+	OpStoreList   = "store.list"
+	OpStoreDelete = "store.delete"
+	OpStoreSize   = "store.size"
+)
+
+// FaultyStore implements cloudstore.Store, consulting an Injector before
+// delegating each operation. Faults fire before the inner store sees the
+// request, so a failed Put never stores anything — except reset-class put
+// faults, which consume part of the request body first to model an upload
+// broken mid-stream (the inner store must still not expose a truncated
+// object; FaultyStore never forwards the partial read).
+type FaultyStore struct {
+	inner cloudstore.Store
+	inj   *Injector
+}
+
+// NewStore wraps inner with fault injection.
+func NewStore(inj *Injector, inner cloudstore.Store) *FaultyStore {
+	return &FaultyStore{inner: inner, inj: inj}
+}
+
+// Inner returns the wrapped store.
+func (s *FaultyStore) Inner() cloudstore.Store { return s.inner }
+
+// Put implements cloudstore.Store.
+func (s *FaultyStore) Put(key string, r io.Reader) error {
+	if err := s.inj.Fault(OpStorePut); err != nil {
+		if fe, ok := err.(*Error); ok && fe.Class == ClassReset {
+			// connection reset mid-upload: part of the body is gone
+			_, _ = io.CopyN(io.Discard, r, 1)
+		}
+		return err
+	}
+	return s.inner.Put(key, r)
+}
+
+// Get implements cloudstore.Store.
+func (s *FaultyStore) Get(key string) (io.ReadCloser, error) {
+	if err := s.inj.Fault(OpStoreGet); err != nil {
+		return nil, err
+	}
+	return s.inner.Get(key)
+}
+
+// List implements cloudstore.Store.
+func (s *FaultyStore) List(prefix string) ([]string, error) {
+	if err := s.inj.Fault(OpStoreList); err != nil {
+		return nil, err
+	}
+	return s.inner.List(prefix)
+}
+
+// Delete implements cloudstore.Store.
+func (s *FaultyStore) Delete(key string) error {
+	if err := s.inj.Fault(OpStoreDelete); err != nil {
+		return err
+	}
+	return s.inner.Delete(key)
+}
+
+// Size implements cloudstore.Store.
+func (s *FaultyStore) Size(key string) (int64, error) {
+	if err := s.inj.Fault(OpStoreSize); err != nil {
+		return 0, err
+	}
+	return s.inner.Size(key)
+}

@@ -1,0 +1,239 @@
+// Package retrier implements the shared retry/backoff policy the resilience
+// layer uses around transient infrastructure failures: object-store puts,
+// CDW round trips, and COPY recovery.
+//
+// The design follows three rules the fault-injection tests depend on:
+//
+//   - Deterministic schedule. Backoff is capped exponential with NO jitter,
+//     so the same failure sequence always produces the same wait sequence —
+//     a prerequisite for the differential chaos tests, which assert that a
+//     faulted run converges to the same final state as a fault-free run.
+//   - Transient vs fatal. Only errors classified transient are retried;
+//     engine errors (wrong SQL, uniqueness violations, data errors) must
+//     surface immediately so legacy per-tuple error semantics are preserved.
+//   - Bounded work. A per-call attempt cap plus an optional shared Budget
+//     bound the total retry work a node performs; once either is exhausted
+//     the operation fails with *Exhausted, which classifies as fatal.
+package retrier
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// Policy is a capped exponential backoff schedule. The zero value selects
+// the defaults below.
+type Policy struct {
+	// MaxAttempts is the total number of attempts including the first.
+	// Zero selects DefaultMaxAttempts; 1 disables retries.
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry. Zero selects
+	// DefaultBaseDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the growing backoff. Zero selects DefaultMaxDelay.
+	MaxDelay time.Duration
+	// Multiplier grows the delay between retries. Values <= 1 select
+	// DefaultMultiplier.
+	Multiplier float64
+}
+
+// Defaults applied when Policy fields are zero.
+const (
+	DefaultMaxAttempts = 4
+	DefaultBaseDelay   = 5 * time.Millisecond
+	DefaultMaxDelay    = 500 * time.Millisecond
+	DefaultMultiplier  = 2.0
+)
+
+// WithDefaults returns the policy with zero fields replaced by defaults.
+func (p Policy) WithDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultMaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultBaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultMaxDelay
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = DefaultMultiplier
+	}
+	return p
+}
+
+// Delay returns the backoff before retry number retry (1-based: the wait
+// after the first failed attempt is Delay(1)). The schedule is deterministic:
+// BaseDelay * Multiplier^(retry-1), capped at MaxDelay.
+func (p Policy) Delay(retry int) time.Duration {
+	p = p.WithDefaults()
+	d := float64(p.BaseDelay)
+	for i := 1; i < retry; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			return p.MaxDelay
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		return p.MaxDelay
+	}
+	return time.Duration(d)
+}
+
+// Budget is a shared cap on the total number of retries a set of retriers
+// may perform — the node-wide bound on recovery work.
+type Budget struct {
+	remaining atomic.Int64
+	unlimited bool
+}
+
+// NewBudget returns a budget of n retries. n <= 0 means unlimited.
+func NewBudget(n int64) *Budget {
+	b := &Budget{unlimited: n <= 0}
+	b.remaining.Store(n)
+	return b
+}
+
+// Take consumes one retry from the budget, reporting false when spent.
+func (b *Budget) Take() bool {
+	if b == nil || b.unlimited {
+		return true
+	}
+	for {
+		r := b.remaining.Load()
+		if r <= 0 {
+			return false
+		}
+		if b.remaining.CompareAndSwap(r, r-1) {
+			return true
+		}
+	}
+}
+
+// Remaining returns the retries left, or -1 for an unlimited budget.
+func (b *Budget) Remaining() int64 {
+	if b == nil || b.unlimited {
+		return -1
+	}
+	return b.remaining.Load()
+}
+
+// Exhausted reports an operation abandoned after its retry budget or attempt
+// cap ran out. It classifies as non-transient so callers fail fast instead
+// of retrying a retry failure.
+type Exhausted struct {
+	Op       string
+	Attempts int
+	Err      error // last attempt's error
+}
+
+func (e *Exhausted) Error() string {
+	return fmt.Sprintf("retrier: %s failed after %d attempts: %v", e.Op, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the last attempt's error.
+func (e *Exhausted) Unwrap() error { return e.Err }
+
+// Transient marks exhaustion as fatal for classification purposes.
+func (e *Exhausted) Transient() bool { return false }
+
+// transienter is the classification interface injected faults, store
+// timeouts, and exhaustion all implement.
+type transienter interface{ Transient() bool }
+
+// IsTransient reports whether a retry of the failed operation may succeed.
+// Errors carrying a Transient() verdict use it; network timeouts are
+// transient; context cancellation and everything unknown is not — an
+// unrecognized failure must surface, not spin.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var tr transienter
+	if errors.As(err, &tr) {
+		return tr.Transient()
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return ne.Timeout()
+	}
+	return false
+}
+
+// Retrier runs operations under a Policy. The zero value retries nothing;
+// construct with the fields needed. A Retrier is safe for concurrent use as
+// long as its fields are not mutated after first use.
+type Retrier struct {
+	Policy Policy
+	// Budget, when non-nil, bounds total retries across every Do call
+	// sharing it.
+	Budget *Budget
+	// Retryable decides whether an error is worth another attempt. Nil
+	// selects IsTransient.
+	Retryable func(error) bool
+	// Sleep waits between attempts; nil selects a context-aware sleep.
+	// Tests inject a recording no-op to keep the schedule instant.
+	Sleep func(ctx context.Context, d time.Duration)
+	// Observe, when non-nil, is called before each backoff wait with the
+	// operation name, the retry number (1-based), the scheduled delay, and
+	// the error being retried. The node wires this into etlvirt_retry_*.
+	Observe func(op string, retry int, delay time.Duration, err error)
+	// OnExhausted, when non-nil, is called once when an operation gives up.
+	OnExhausted func(op string, attempts int, err error)
+}
+
+func defaultSleep(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// Do runs fn until it succeeds, fails non-transiently, or the attempt cap /
+// budget / context is exhausted. On give-up after a transient failure the
+// returned error is *Exhausted wrapping the last attempt's error;
+// non-retryable errors are returned unwrapped.
+func (r *Retrier) Do(ctx context.Context, op string, fn func() error) error {
+	pol := r.Policy.WithDefaults()
+	retryable := r.Retryable
+	if retryable == nil {
+		retryable = IsTransient
+	}
+	sleep := r.Sleep
+	if sleep == nil {
+		sleep = defaultSleep
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = fn()
+		if err == nil {
+			return nil
+		}
+		if !retryable(err) {
+			return err
+		}
+		if attempt >= pol.MaxAttempts || ctx.Err() != nil || !r.Budget.Take() {
+			if r.OnExhausted != nil {
+				r.OnExhausted(op, attempt, err)
+			}
+			return &Exhausted{Op: op, Attempts: attempt, Err: err}
+		}
+		delay := pol.Delay(attempt)
+		if r.Observe != nil {
+			r.Observe(op, attempt, delay, err)
+		}
+		sleep(ctx, delay)
+	}
+}

@@ -1,0 +1,237 @@
+package retrier
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+)
+
+// transientErr is a minimal transient failure for the tests.
+type transientErr struct{ msg string }
+
+func (e *transientErr) Error() string   { return e.msg }
+func (e *transientErr) Transient() bool { return true }
+
+// fatalErr carries an explicit non-transient verdict.
+type fatalErr struct{ msg string }
+
+func (e *fatalErr) Error() string   { return e.msg }
+func (e *fatalErr) Transient() bool { return false }
+
+// timeoutNetErr mimics a net.Error timeout.
+type timeoutNetErr struct{}
+
+func (timeoutNetErr) Error() string   { return "i/o timeout" }
+func (timeoutNetErr) Timeout() bool   { return true }
+func (timeoutNetErr) Temporary() bool { return true }
+
+func TestPolicyDelaySchedule(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Multiplier: 2}
+	want := []time.Duration{
+		10 * time.Millisecond, // retry 1
+		20 * time.Millisecond, // retry 2
+		40 * time.Millisecond, // retry 3
+		80 * time.Millisecond, // retry 4 hits the cap
+		80 * time.Millisecond, // and stays capped
+	}
+	for i, w := range want {
+		if got := p.Delay(i + 1); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestPolicyDefaults(t *testing.T) {
+	p := Policy{}.WithDefaults()
+	if p.MaxAttempts != DefaultMaxAttempts || p.BaseDelay != DefaultBaseDelay ||
+		p.MaxDelay != DefaultMaxDelay || p.Multiplier != DefaultMultiplier {
+		t.Errorf("defaults not applied: %+v", p)
+	}
+}
+
+func TestDo(t *testing.T) {
+	transient := &transientErr{"store unavailable"}
+	fatal := &fatalErr{"bad request"}
+	plain := errors.New("unclassified")
+
+	cases := []struct {
+		name      string
+		policy    Policy
+		budget    *Budget
+		errs      []error // per-attempt results; nil = success
+		wantErr   func(error) bool
+		wantCalls int
+		wantWaits []time.Duration
+	}{
+		{
+			name:      "first try succeeds",
+			policy:    Policy{MaxAttempts: 3, BaseDelay: time.Millisecond},
+			errs:      []error{nil},
+			wantErr:   func(err error) bool { return err == nil },
+			wantCalls: 1,
+		},
+		{
+			name:      "transient then success",
+			policy:    Policy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond, Multiplier: 2},
+			errs:      []error{transient, transient, nil},
+			wantErr:   func(err error) bool { return err == nil },
+			wantCalls: 3,
+			wantWaits: []time.Duration{time.Millisecond, 2 * time.Millisecond},
+		},
+		{
+			name:   "attempt cap exhausted",
+			policy: Policy{MaxAttempts: 3, BaseDelay: time.Millisecond},
+			errs:   []error{transient, transient, transient},
+			wantErr: func(err error) bool {
+				var ex *Exhausted
+				return errors.As(err, &ex) && ex.Attempts == 3 && errors.Is(err, transient)
+			},
+			wantCalls: 3,
+		},
+		{
+			name:      "fatal short-circuits",
+			policy:    Policy{MaxAttempts: 5, BaseDelay: time.Millisecond},
+			errs:      []error{fatal},
+			wantErr:   func(err error) bool { return errors.Is(err, fatal) },
+			wantCalls: 1,
+		},
+		{
+			name:      "unclassified errors are not retried",
+			policy:    Policy{MaxAttempts: 5, BaseDelay: time.Millisecond},
+			errs:      []error{plain},
+			wantErr:   func(err error) bool { return errors.Is(err, plain) },
+			wantCalls: 1,
+		},
+		{
+			name:   "budget exhausted mid-flight",
+			policy: Policy{MaxAttempts: 10, BaseDelay: time.Millisecond},
+			budget: NewBudget(2),
+			errs:   []error{transient, transient, transient},
+			wantErr: func(err error) bool {
+				var ex *Exhausted
+				return errors.As(err, &ex) && ex.Attempts == 3
+			},
+			wantCalls: 3, // first attempt + 2 budgeted retries
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			calls := 0
+			var waits []time.Duration
+			r := &Retrier{
+				Policy: tc.policy,
+				Budget: tc.budget,
+				Sleep:  func(_ context.Context, d time.Duration) { waits = append(waits, d) },
+			}
+			err := r.Do(context.Background(), "op", func() error {
+				calls++
+				if calls > len(tc.errs) {
+					t.Fatalf("unexpected attempt %d", calls)
+				}
+				return tc.errs[calls-1]
+			})
+			if !tc.wantErr(err) {
+				t.Errorf("err = %v", err)
+			}
+			if calls != tc.wantCalls {
+				t.Errorf("calls = %d, want %d", calls, tc.wantCalls)
+			}
+			if tc.wantWaits != nil {
+				if len(waits) != len(tc.wantWaits) {
+					t.Fatalf("waits = %v, want %v", waits, tc.wantWaits)
+				}
+				for i := range waits {
+					if waits[i] != tc.wantWaits[i] {
+						t.Errorf("wait[%d] = %v, want %v", i, waits[i], tc.wantWaits[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDoContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	r := &Retrier{
+		Policy: Policy{MaxAttempts: 10, BaseDelay: time.Millisecond},
+		Sleep:  defaultSleep,
+	}
+	err := r.Do(ctx, "op", func() error {
+		calls++
+		cancel() // cancel during the first attempt
+		return &transientErr{"flaky"}
+	})
+	var ex *Exhausted
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %v, want *Exhausted", err)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (no retries after cancellation)", calls)
+	}
+}
+
+func TestDoObservers(t *testing.T) {
+	var observed []string
+	exhausted := 0
+	r := &Retrier{
+		Policy: Policy{MaxAttempts: 3, BaseDelay: time.Millisecond},
+		Sleep:  func(context.Context, time.Duration) {},
+		Observe: func(op string, retry int, delay time.Duration, err error) {
+			observed = append(observed, fmt.Sprintf("%s#%d", op, retry))
+		},
+		OnExhausted: func(op string, attempts int, err error) { exhausted++ },
+	}
+	_ = r.Do(context.Background(), "upload", func() error { return &transientErr{"x"} })
+	if len(observed) != 2 || observed[0] != "upload#1" || observed[1] != "upload#2" {
+		t.Errorf("observed = %v", observed)
+	}
+	if exhausted != 1 {
+		t.Errorf("exhausted callbacks = %d", exhausted)
+	}
+}
+
+func TestBudget(t *testing.T) {
+	b := NewBudget(2)
+	if !b.Take() || !b.Take() {
+		t.Fatal("budget should allow 2 takes")
+	}
+	if b.Take() {
+		t.Fatal("budget should be spent")
+	}
+	if b.Remaining() != 0 {
+		t.Errorf("remaining = %d", b.Remaining())
+	}
+	var unlimited *Budget
+	if !unlimited.Take() {
+		t.Error("nil budget must be unlimited")
+	}
+	if NewBudget(0).Remaining() != -1 {
+		t.Error("zero budget must be unlimited")
+	}
+}
+
+func TestIsTransient(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{&transientErr{"x"}, true},
+		{&fatalErr{"x"}, false},
+		{timeoutNetErr{}, true},
+		{io.EOF, false},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+		{fmt.Errorf("wrap: %w", &transientErr{"x"}), true},
+		{&Exhausted{Op: "op", Attempts: 3, Err: &transientErr{"x"}}, false},
+	}
+	for _, tc := range cases {
+		if got := IsTransient(tc.err); got != tc.want {
+			t.Errorf("IsTransient(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
