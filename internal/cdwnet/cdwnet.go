@@ -298,14 +298,16 @@ func (c *Client) Broken() bool { return c.broken }
 
 // fault consults the injection hook; an injected fault poisons the
 // connection exactly like a real transport failure so the pool's discard
-// path is exercised.
+// path is exercised. The error is tagged NotSent — injected faults fire
+// before anything hits the wire, so retrying them cannot re-execute a
+// statement.
 func (c *Client) fault(op string) error {
 	if c.faultHook == nil {
 		return nil
 	}
 	if err := c.faultHook(op); err != nil {
 		c.broken = true
-		return fmt.Errorf("cdwnet: %s: %w", op, err)
+		return &notSentError{err: fmt.Errorf("cdwnet: %s: %w", op, err)}
 	}
 	return nil
 }
@@ -315,6 +317,28 @@ func (c *Client) armDeadline() {
 	if c.timeout > 0 {
 		_ = c.conn.SetDeadline(time.Now().Add(c.timeout))
 	}
+}
+
+// notSentError tags a failure that occurred before the request hit the wire
+// (an injected fault or a dial failure). Only these are safe for the pool to
+// retry blindly: once bytes have been sent, the engine may have executed the
+// statement even though the client saw a transport error, and re-running a
+// non-idempotent statement would double-apply it.
+type notSentError struct{ err error }
+
+func (e *notSentError) Error() string { return e.err.Error() }
+
+// Unwrap exposes the underlying failure so Transient()/Timeout()
+// classification still works through errors.As.
+func (e *notSentError) Unwrap() error { return e.err }
+
+func (e *notSentError) notSent() {}
+
+// NotSent reports whether err happened before the request reached the wire,
+// making a retry safe even for non-idempotent statements.
+func NotSent(err error) bool {
+	var ns interface{ notSent() }
+	return errors.As(err, &ns)
 }
 
 // remoteError reconstructs the engine error from a response header.
@@ -484,13 +508,16 @@ func (cur *Cursor) Close() error {
 // Pool is a fixed-size pool of CDW client connections, shared by the
 // virtualizer's concurrent jobs.
 type Pool struct {
-	addr  string
+	addr string
+	// conns holds idle healthy connections; slots holds dial-capacity
+	// tokens. Every live connection owns exactly one token, taken at dial
+	// and returned by discard, so a Get blocked on capacity wakes up as
+	// soon as a broken connection is discarded.
 	conns chan *Client
-	mu    sync.Mutex
-	made  int
-	size  int
+	slots chan struct{}
 
 	cfgMu     sync.Mutex
+	ctx       context.Context
 	timeout   time.Duration
 	faultHook func(op string) error
 	retry     *retrier.Retrier
@@ -517,10 +544,33 @@ func (p *Pool) SetFaultHook(fn func(op string) error) {
 
 // SetRetrier makes Exec/Describe/QueryAll retry transient transport
 // failures on a fresh connection under r's policy. Nil disables retries.
+// Retries are further restricted per operation: idempotent round trips
+// (Describe, QueryAll) retry any transient failure, while Exec — which may
+// carry non-idempotent DML — retries only failures that happened before the
+// request hit the wire (NotSent), so a deadline firing after the engine
+// executed a statement can never double-apply it.
 func (p *Pool) SetRetrier(r *retrier.Retrier) {
 	p.cfgMu.Lock()
 	p.retry = r
 	p.cfgMu.Unlock()
+}
+
+// SetContext sets the base context for pooled round trips: backoff waits and
+// further retry attempts stop once it is canceled, so node shutdown or job
+// abort is not delayed by in-flight recovery. Nil resets to Background.
+func (p *Pool) SetContext(ctx context.Context) {
+	p.cfgMu.Lock()
+	p.ctx = ctx
+	p.cfgMu.Unlock()
+}
+
+func (p *Pool) context() context.Context {
+	p.cfgMu.Lock()
+	defer p.cfgMu.Unlock()
+	if p.ctx == nil {
+		return context.Background()
+	}
+	return p.ctx
 }
 
 func (p *Pool) clientConfig() (time.Duration, func(op string) error) {
@@ -560,34 +610,37 @@ func NewPool(addr string, size int) *Pool {
 	if size < 1 {
 		size = 1
 	}
-	return &Pool{addr: addr, conns: make(chan *Client, size), size: size}
+	p := &Pool{addr: addr, conns: make(chan *Client, size), slots: make(chan struct{}, size)}
+	for i := 0; i < size; i++ {
+		p.slots <- struct{}{}
+	}
+	return p
 }
 
-// Get borrows a connection, dialing a new one if the pool has capacity.
+// Get borrows a connection, dialing a new one if the pool has capacity. When
+// the pool is at capacity it blocks until a connection is returned or a
+// broken one is discarded (which frees a dial slot).
 func (p *Pool) Get() (*Client, error) {
 	select {
 	case c := <-p.conns:
 		return c, nil
 	default:
 	}
-	p.mu.Lock()
-	if p.made < p.size {
-		p.made++
-		p.mu.Unlock()
+	select {
+	case c := <-p.conns:
+		return c, nil
+	case <-p.slots:
 		c, err := Dial(p.addr)
 		if err != nil {
-			p.mu.Lock()
-			p.made--
-			p.mu.Unlock()
-			return nil, err
+			p.slots <- struct{}{}
+			// Nothing hit the wire, so the failure is safe to retry.
+			return nil, &notSentError{err: err}
 		}
 		timeout, hook := p.clientConfig()
 		c.SetTimeout(timeout)
 		c.SetFaultHook(hook)
 		return c, nil
 	}
-	p.mu.Unlock()
-	return <-p.conns, nil
 }
 
 // Put returns a connection to the pool. A connection whose last round trip
@@ -609,12 +662,11 @@ func (p *Pool) Put(c *Client) {
 	}
 }
 
-// discard closes a connection and releases its pool slot.
+// discard closes a connection and releases its dial slot, waking any Get
+// blocked on capacity.
 func (p *Pool) discard(c *Client) {
 	c.Close()
-	p.mu.Lock()
-	p.made--
-	p.mu.Unlock()
+	p.slots <- struct{}{}
 }
 
 // Close closes all pooled connections.
@@ -631,10 +683,14 @@ func (p *Pool) Close() {
 
 // roundTrip borrows a connection, runs fn on it, and returns it — Put
 // discards it if fn broke it. With a retrier installed, transient transport
-// failures (injected faults, deadlines) are retried on a fresh connection
-// under the backoff policy; remote engine errors are never retried, so
-// legacy per-tuple error semantics are preserved.
-func (p *Pool) roundTrip(op string, fn func(c *Client) error) error {
+// failures are retried on a fresh connection under the backoff policy —
+// any transient failure for idempotent operations, but only failures that
+// happened before the request hit the wire (NotSent: injected faults, dial
+// errors) otherwise, because a real deadline can fire after the engine
+// already executed the statement and a blind retry would double-apply
+// non-idempotent DML. Remote engine errors are never retried, so legacy
+// per-tuple error semantics are preserved.
+func (p *Pool) roundTrip(op string, idempotent bool, fn func(c *Client) error) error {
 	attempt := func() error {
 		c, err := p.Get()
 		if err != nil {
@@ -645,7 +701,15 @@ func (p *Pool) roundTrip(op string, fn func(c *Client) error) error {
 		return err
 	}
 	if r := p.retrier(); r != nil {
-		return r.Do(context.Background(), "cdw."+op, attempt)
+		base := r.Retryable
+		if base == nil {
+			base = retrier.IsTransient
+		}
+		rr := *r
+		rr.Retryable = func(err error) bool {
+			return base(err) && (idempotent || NotSent(err))
+		}
+		return rr.Do(p.context(), "cdw."+op, attempt)
 	}
 	return attempt()
 }
@@ -654,7 +718,7 @@ func (p *Pool) roundTrip(op string, fn func(c *Client) error) error {
 func (p *Pool) Exec(sql string) (int64, error) {
 	start := time.Now()
 	var n int64
-	err := p.roundTrip("exec", func(c *Client) error {
+	err := p.roundTrip("exec", false, func(c *Client) error {
 		var cerr error
 		n, cerr = c.Exec(sql)
 		return cerr
@@ -670,7 +734,7 @@ func (p *Pool) Exec(sql string) (int64, error) {
 func (p *Pool) Describe(table string) (*TableMeta, error) {
 	start := time.Now()
 	var meta *TableMeta
-	err := p.roundTrip("describe", func(c *Client) error {
+	err := p.roundTrip("describe", true, func(c *Client) error {
 		var cerr error
 		meta, cerr = c.Describe(table)
 		return cerr
@@ -687,7 +751,7 @@ func (p *Pool) QueryAll(sql string) ([]ResultCol, [][]cdw.Datum, error) {
 	start := time.Now()
 	var cols []ResultCol
 	var rows [][]cdw.Datum
-	err := p.roundTrip("query", func(c *Client) error {
+	err := p.roundTrip("query", true, func(c *Client) error {
 		var cerr error
 		cols, rows, cerr = c.QueryAll(sql)
 		return cerr

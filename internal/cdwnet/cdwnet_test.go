@@ -317,7 +317,7 @@ func TestPoolDoesNotRetryEngineErrors(t *testing.T) {
 	defer p.Close()
 	attempts := 0
 	p.SetRetrier(&retrier.Retrier{
-		Policy: retrier.Policy{MaxAttempts: 5, BaseDelay: time.Millisecond},
+		Policy:  retrier.Policy{MaxAttempts: 5, BaseDelay: time.Millisecond},
 		Observe: func(string, int, time.Duration, error) { attempts++ },
 	})
 	if _, err := p.Exec("SELECT * FROM no_such_table"); err == nil {
@@ -372,5 +372,157 @@ func TestClientTimeout(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Errorf("deadline did not bound the round trip: %v", elapsed)
+	}
+}
+
+// startSilentServer accepts connections and never answers, so every round
+// trip against it dies on the client's recv deadline — a failure that
+// happens AFTER the request hit the wire.
+func startSilentServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		var conns []net.Conn
+		defer func() {
+			for _, c := range conns {
+				c.Close()
+			}
+		}()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conns = append(conns, conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestPoolDoesNotRetryExecAfterSend: a real recv deadline fires after the
+// request may have executed server-side, so the pool must NOT re-run a
+// (possibly non-idempotent) Exec — a retry would double-apply DML.
+func TestPoolDoesNotRetryExecAfterSend(t *testing.T) {
+	addr := startSilentServer(t)
+	p := NewPool(addr, 1)
+	defer p.Close()
+	p.SetTimeout(30 * time.Millisecond)
+	retries := 0
+	p.SetRetrier(&retrier.Retrier{
+		Policy:  retrier.Policy{MaxAttempts: 4, BaseDelay: time.Millisecond},
+		Observe: func(string, int, time.Duration, error) { retries++ },
+	})
+	_, err := p.Exec("INSERT INTO t VALUES (1)")
+	if err == nil {
+		t.Fatal("timeout expected")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("err = %v, want net timeout", err)
+	}
+	if NotSent(err) {
+		t.Errorf("post-send deadline misclassified as NotSent: %v", err)
+	}
+	if retries != 0 {
+		t.Errorf("post-send timeout on Exec was retried %d times", retries)
+	}
+}
+
+// TestPoolRetriesIdempotentAfterSend: the same post-send deadline IS retried
+// for read-only round trips (QueryAll, Describe), which are safe to re-run.
+func TestPoolRetriesIdempotentAfterSend(t *testing.T) {
+	addr := startSilentServer(t)
+	p := NewPool(addr, 1)
+	defer p.Close()
+	p.SetTimeout(30 * time.Millisecond)
+	retries := 0
+	p.SetRetrier(&retrier.Retrier{
+		Policy:  retrier.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond},
+		Observe: func(string, int, time.Duration, error) { retries++ },
+	})
+	if _, _, err := p.QueryAll("SELECT 1"); err == nil {
+		t.Fatal("timeout expected")
+	}
+	if retries == 0 {
+		t.Error("post-send timeout on read-only QueryAll was not retried")
+	}
+}
+
+// TestPoolGetWokenByDiscard: a Get blocked on pool capacity must wake up
+// when a broken connection is discarded — discarding frees a dial slot.
+// Regression test for the hang where discard decremented the made counter
+// without signaling blocked waiters.
+func TestPoolGetWokenByDiscard(t *testing.T) {
+	_, addr := startServer(t)
+	p := NewPool(addr, 1)
+	defer p.Close()
+
+	c1, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(chan error, 1)
+	go func() {
+		c2, err := p.Get()
+		if err == nil {
+			p.Put(c2)
+		}
+		got <- err
+	}()
+	// Let the goroutine reach the blocking select, then poison c1 so Put
+	// discards it instead of recycling.
+	time.Sleep(20 * time.Millisecond)
+	c1.SetFaultHook(func(op string) error { return fmt.Errorf("poison") })
+	if _, err := c1.Exec("SELECT 1"); err == nil {
+		t.Fatal("faulted round trip should error")
+	}
+	p.Put(c1) // discard: must free the slot and wake the blocked Get
+
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("woken Get failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Get blocked forever after discard freed capacity")
+	}
+}
+
+// TestNotSentClassification: injected faults and dial failures are tagged
+// NotSent (safe to retry blindly); their Transient verdict still unwraps.
+func TestNotSentClassification(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetFaultHook(func(op string) error { return &faultErr{} })
+	_, err = c.Exec("SELECT 1")
+	if err == nil {
+		t.Fatal("fault expected")
+	}
+	if !NotSent(err) {
+		t.Errorf("injected fault not tagged NotSent: %v", err)
+	}
+	if !retrier.IsTransient(err) {
+		t.Errorf("NotSent wrapper hid the Transient verdict: %v", err)
+	}
+
+	// Dial failure: point a pool at a dead address.
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	dead := ln.Addr().String()
+	ln.Close()
+	p := NewPool(dead, 1)
+	defer p.Close()
+	if _, err := p.Get(); err == nil {
+		t.Fatal("dial to dead address should fail")
+	} else if !NotSent(err) {
+		t.Errorf("dial failure not tagged NotSent: %v", err)
 	}
 }

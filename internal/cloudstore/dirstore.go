@@ -35,7 +35,10 @@ func (d *DirStore) path(key string) (string, error) {
 	return filepath.Join(d.Root, clean), nil
 }
 
-// Put implements Store.
+// Put implements Store. Each put writes a uniquely named temp file and
+// renames it into place, so concurrent puts to the same key — e.g. a retry
+// racing an abandoned timed-out attempt — never interleave writes: whichever
+// rename lands last installs one complete object.
 func (d *DirStore) Put(key string, r io.Reader) error {
 	p, err := d.path(key)
 	if err != nil {
@@ -44,11 +47,11 @@ func (d *DirStore) Put(key string, r io.Reader) error {
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return err
 	}
-	tmp := p + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := os.CreateTemp(filepath.Dir(p), filepath.Base(p)+".*.tmp")
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
 	if _, err := io.Copy(f, r); err != nil {
 		f.Close()
 		os.Remove(tmp)

@@ -21,9 +21,11 @@ type LoaderConfig struct {
 	Parallelism int
 	// PutTimeout bounds each object-store put; zero disables the bound. A
 	// put that exceeds it fails with *TimeoutError, which classifies as
-	// transient so the caller's retry policy re-drives the upload. Puts
-	// are idempotent (same key, same content), so a late completion of the
-	// abandoned attempt is harmless.
+	// transient so the caller's retry policy re-drives the upload. The
+	// abandoned attempt keeps running in the background, but it owns its
+	// reader (each attempt opens its own) and stores write complete
+	// objects atomically, so a late completion writes the same bytes and
+	// cannot corrupt a concurrent retry.
 	PutTimeout time.Duration
 }
 
@@ -60,16 +62,26 @@ func NewBulkLoader(store Store, cfg LoaderConfig) *BulkLoader {
 	return &BulkLoader{store: store, cfg: cfg}
 }
 
-// put drives one store put, bounded by cfg.PutTimeout when set. On timeout
-// the attempt is abandoned (the goroutine drains on its own; a late success
-// writes the same bytes under the same key, so it cannot corrupt state) and
+// put drives one store put, bounded by cfg.PutTimeout when set. Each attempt
+// opens its own reader via open and closes it itself, so when a timeout
+// abandons the attempt goroutine, nothing the caller still holds is shared
+// with it: the caller can retry the key immediately while the stale attempt
+// finishes (or fails) in the background against its own reader. On timeout
 // the caller gets a transient *TimeoutError.
-func (b *BulkLoader) put(key string, r io.Reader) error {
-	if b.cfg.PutTimeout <= 0 {
+func (b *BulkLoader) put(key string, open func() (io.ReadCloser, error)) error {
+	attempt := func() error {
+		r, err := open()
+		if err != nil {
+			return err
+		}
+		defer r.Close()
 		return b.store.Put(key, r)
 	}
+	if b.cfg.PutTimeout <= 0 {
+		return attempt()
+	}
 	done := make(chan error, 1)
-	go func() { done <- b.store.Put(key, r) }()
+	go func() { done <- attempt() }()
 	timer := time.NewTimer(b.cfg.PutTimeout)
 	defer timer.Stop()
 	select {
@@ -83,16 +95,18 @@ func (b *BulkLoader) put(key string, r io.Reader) error {
 // UploadFile copies one local file to the object key and returns the number
 // of bytes uploaded.
 func (b *BulkLoader) UploadFile(localPath, key string) (int64, error) {
-	f, err := os.Open(localPath)
+	st, err := os.Stat(localPath)
 	if err != nil {
 		return 0, fmt.Errorf("cloudstore: open %s: %w", localPath, err)
 	}
-	defer f.Close()
-	st, err := f.Stat()
+	err = b.put(key, func() (io.ReadCloser, error) {
+		f, err := os.Open(localPath)
+		if err != nil {
+			return nil, fmt.Errorf("cloudstore: open %s: %w", localPath, err)
+		}
+		return f, nil
+	})
 	if err != nil {
-		return 0, err
-	}
-	if err := b.put(key, f); err != nil {
 		return 0, err
 	}
 	return st.Size(), nil
@@ -101,7 +115,10 @@ func (b *BulkLoader) UploadFile(localPath, key string) (int64, error) {
 // UploadBytes uploads an in-memory buffer, used when the FileWriter runs
 // with an in-memory filesystem.
 func (b *BulkLoader) UploadBytes(data []byte, key string) (int64, error) {
-	if err := b.put(key, bytes.NewReader(data)); err != nil {
+	err := b.put(key, func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(data)), nil
+	})
+	if err != nil {
 		return 0, err
 	}
 	return int64(len(data)), nil

@@ -329,3 +329,98 @@ func TestLinkOnTransfer(t *testing.T) {
 		t.Errorf("OnTransfer duration %v, want >= 40ms for a throttled upload", gotDur)
 	}
 }
+
+// TestDirStoreConcurrentPutSameKey: concurrent puts to one key (a retry
+// racing an abandoned timed-out attempt) must never interleave — each put
+// writes a uniquely named temp file, so the installed object is always one
+// attempt's complete bytes. Regression test for the shared fixed ".tmp"
+// path.
+func TestDirStoreConcurrentPutSameKey(t *testing.T) {
+	s, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := bytes.Repeat([]byte("a"), 1<<20)
+	b := bytes.Repeat([]byte("b"), 768<<10)
+	for i := 0; i < 20; i++ {
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for _, content := range [][]byte{a, b} {
+			wg.Add(1)
+			go func(content []byte) {
+				defer wg.Done()
+				<-start
+				// Hide bytes.Reader's WriteTo fast path so the copy into
+				// the temp file proceeds in small chunks, giving the two
+				// puts a real window to interleave.
+				r := struct{ io.Reader }{bytes.NewReader(content)}
+				if err := s.Put("k", r); err != nil {
+					t.Error(err)
+				}
+			}(content)
+		}
+		close(start)
+		wg.Wait()
+		r, err := s.Get("k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(r)
+		r.Close()
+		if !bytes.Equal(data, a) && !bytes.Equal(data, b) {
+			t.Fatalf("iteration %d: object is a corrupt interleaving (%d bytes)", i, len(data))
+		}
+		keys, _ := s.List("")
+		if len(keys) != 1 {
+			t.Fatalf("iteration %d: stray keys %v", i, keys)
+		}
+	}
+}
+
+// TestUploadFileRetryAfterTimeout: a timed-out UploadFile abandons its put
+// attempt, but the attempt owns its own file handle, so the caller can
+// retry (and even return) while the stale attempt finishes in the
+// background without racing the retry — the reader-sharing regression the
+// race detector catches.
+func TestUploadFileRetryAfterTimeout(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "chunk.csv")
+	content := bytes.Repeat([]byte("x,y,z\n"), 4<<10)
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := &slowStore{Store: store, delay: 100 * time.Millisecond}
+	b := NewBulkLoader(slow, LoaderConfig{PutTimeout: 10 * time.Millisecond})
+	if _, err := b.UploadFile(path, "k"); err == nil {
+		t.Fatal("timeout expected")
+	} else if _, ok := err.(*TimeoutError); !ok {
+		t.Fatalf("err = %v, want *TimeoutError", err)
+	}
+
+	// Retry immediately while the abandoned attempt is still in flight.
+	fast := NewBulkLoader(store, LoaderConfig{})
+	n, err := fast.UploadFile(path, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(content)) {
+		t.Errorf("uploaded %d bytes, want %d", n, len(content))
+	}
+
+	// Let the abandoned attempt complete; the object must stay intact.
+	time.Sleep(200 * time.Millisecond)
+	r, err := store.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(r)
+	r.Close()
+	if !bytes.Equal(data, content) {
+		t.Errorf("object corrupted after late completion: %d bytes, want %d", len(data), len(content))
+	}
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -56,7 +55,7 @@ func (n *Node) newExportJob(m *wire.BeginExport) (*exportJob, error) {
 	var client *cdwnet.Client
 	var cur *cdwnet.Cursor
 	openStart := time.Now()
-	err = n.retry.Do(context.Background(), "export.open", func() error {
+	err = n.retry.Do(n.ctx, "export.open", func() error {
 		c, err := n.pool.Get()
 		if err != nil {
 			return err

@@ -360,7 +360,7 @@ func (j *importJob) runUploader(idx int) {
 			}
 			// Puts are idempotent (same key, same bytes), so transient store
 			// failures are retried whole-file.
-			err = j.node.retry.Do(context.Background(), "upload", func() error {
+			err = j.node.retry.Do(j.node.ctx, "upload", func() error {
 				var uerr error
 				n, uerr = j.node.loader.UploadBytes(data, key)
 				return uerr
@@ -368,7 +368,7 @@ func (j *importJob) runUploader(idx int) {
 			j.memfs.Remove(f.Name)
 		} else {
 			path := j.osDir + "/" + f.Name
-			err = j.node.retry.Do(context.Background(), "upload", func() error {
+			err = j.node.retry.Do(j.node.ctx, "upload", func() error {
 				var uerr error
 				n, uerr = j.node.loader.UploadFile(path, key)
 				return uerr
@@ -455,7 +455,7 @@ func (j *importJob) copyWithRecovery(copySQL string) (int64, error) {
 		var ce *cdw.Error
 		return errors.As(err, &ce) && ce.Code == cdw.CodeCopyFailed
 	}
-	err := r.Do(context.Background(), "copy", func() error {
+	err := r.Do(j.node.ctx, "copy", func() error {
 		attempt++
 		if attempt > 1 {
 			// recovery point: wipe any partial staging state before re-COPY

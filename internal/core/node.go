@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"net"
@@ -200,6 +201,11 @@ type Node struct {
 	retry  *retrier.Retrier
 	budget *retrier.Budget
 	inj    *faultinject.Injector // nil when fault injection is off
+
+	// ctx is canceled on Close, stopping retry backoff waits and further
+	// recovery attempts so teardown is not delayed by in-flight retries.
+	ctx       context.Context
+	ctxCancel context.CancelFunc
 }
 
 // NewNode builds a node. store is the cloud object store shared with the
@@ -228,6 +234,7 @@ func NewNode(cfg Config, store cloudstore.Store) *Node {
 		tracer:  obs.NewTracer(cfg.TraceRetention, cfg.TraceSpansPerJob),
 		inj:     cfg.FaultInjector,
 	}
+	n.ctx, n.ctxCancel = context.WithCancel(context.Background())
 	n.budget = retrier.NewBudget(cfg.RetryBudget)
 	n.retry = &retrier.Retrier{
 		Policy: retrier.Policy{
@@ -238,6 +245,7 @@ func NewNode(cfg Config, store cloudstore.Store) *Node {
 		Budget: n.budget,
 	}
 	n.pool.SetRetrier(n.retry)
+	n.pool.SetContext(n.ctx)
 	if cfg.CDWTimeout > 0 {
 		n.pool.SetTimeout(cfg.CDWTimeout)
 	}
@@ -276,8 +284,10 @@ func (n *Node) Listen(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close shuts the node down: listener, live connections, CDW pool.
+// Close shuts the node down: listener, live connections, CDW pool. Retry
+// backoff waits in flight are canceled so teardown is not delayed.
 func (n *Node) Close() error {
+	n.ctxCancel()
 	n.mu.Lock()
 	n.closed = true
 	for c := range n.conns {
