@@ -69,9 +69,9 @@ func main() {
 	if *debugAddr != "" {
 		reg := obs.NewRegistry()
 		obs.RegisterRuntimeMetrics(reg)
-		requests := reg.Counter("cdw_requests_total", "Requests served by the CDW engine.")
-		errors := reg.Counter("cdw_errors_total", "Requests that returned an engine error.")
-		lat := reg.Histogram("cdw_request_seconds", "Engine latency per served request.", nil)
+		requests := reg.Counter("etlvirt_cdwd_requests_total", "Requests served by the CDW engine.")
+		errors := reg.Counter("etlvirt_cdwd_errors_total", "Requests that returned an engine error.")
+		lat := reg.Histogram("etlvirt_cdwd_request_seconds", "Engine latency per served request.", nil)
 		srv.SetObserver(func(_ string, d time.Duration, errCode int) {
 			requests.Inc()
 			if errCode != 0 {

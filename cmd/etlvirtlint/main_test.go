@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The ctxbg fixture package: two findings, analyzer ctxbg.
+const ctxbgFixture = "./internal/lint/testdata/src/ctxbg"
+
+func TestJSONOutput(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-json", ctxbgFixture}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	var rep struct {
+		Analyzers []struct{ Name string } `json:"analyzers"`
+		Findings  []struct {
+			Analyzer string `json:"analyzer"`
+			Line     int    `json:"line"`
+		} `json:"findings"`
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if rep.Count != 2 || len(rep.Findings) != 2 {
+		t.Fatalf("count = %d findings = %d, want 2", rep.Count, len(rep.Findings))
+	}
+	for _, f := range rep.Findings {
+		if f.Analyzer != "ctxbg" {
+			t.Errorf("finding analyzer = %q, want ctxbg", f.Analyzer)
+		}
+	}
+	if len(rep.Analyzers) != 6 {
+		t.Errorf("analyzers = %d, want 6", len(rep.Analyzers))
+	}
+}
+
+func TestDisableFlag(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-disable=ctxbg", ctxbgFixture}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+}
+
+func TestEnableFlag(t *testing.T) {
+	var out, errb strings.Builder
+	// only endian enabled: the ctxbg fixture is clean under it
+	if code := run([]string{"-enable=endian", ctxbgFixture}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr: %s", code, errb.String())
+	}
+	if code := run([]string{"-enable=nosuch", ctxbgFixture}, &out, &errb); code != 2 {
+		t.Fatalf("unknown analyzer exit = %d, want 2", code)
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"ctxbg", "errwrapw", "endian", "retrysafe", "metricname", "goroleak"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s", name)
+		}
+	}
+}

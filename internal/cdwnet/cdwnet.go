@@ -568,7 +568,10 @@ func (p *Pool) context() context.Context {
 	p.cfgMu.Lock()
 	defer p.cfgMu.Unlock()
 	if p.ctx == nil {
-		return context.Background()
+		// Documented SetContext(nil) reset: a pool used without a node
+		// (tests, standalone tools) falls back to an unbounded context.
+		// Every node-owned pool has SetContext wired at construction.
+		return context.Background() //nolint:ctxbg // explicit nil-reset fallback, not node-owned I/O
 	}
 	return p.ctx
 }

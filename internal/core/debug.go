@@ -17,7 +17,7 @@ import (
 // values advance while the job runs.
 type ActiveJob struct {
 	JobID     uint64    `json:"job_id"`
-	Kind      string    `json:"kind"`  // "import" or "export"
+	Kind      string    `json:"kind"` // "import" or "export"
 	Target    string    `json:"target,omitempty"`
 	Phase     string    `json:"phase"` // "acquisition", "application" or "export"
 	StartedAt time.Time `json:"started_at"`
@@ -160,7 +160,9 @@ func (n *Node) ServeDebug(addr string) (string, error) {
 	})
 	obs.AttachPprof(mux)
 	srv := &http.Server{Handler: mux}
-	go func() {
+	// Bounded by the listener: node Close() (or a replacing DebugListen)
+	// calls srv.Close, which stops Serve and ends the goroutine.
+	go func() { //nolint:goroleak // listener-bounded; srv.Close stops Serve
 		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			n.log.Error("debug server", "err", err)
 		}

@@ -238,8 +238,10 @@ func (j *importJob) handleChunk(m *wire.DataChunk, done chan struct{}) error {
 	}
 	j.mu.Unlock()
 
+	// The wait is bounded by the node lifetime: Close cancels n.ctx, which
+	// wakes blocked acquisitions so shutdown never hangs on back-pressure.
 	waitStart := time.Now()
-	cr, err := j.node.credits.Acquire(context.Background(), int64(len(m.Payload)))
+	cr, err := j.node.credits.Acquire(j.node.ctx, int64(len(m.Payload)))
 	j.trace.Span("credit_wait", "session", waitStart, int64(m.Count), int64(len(m.Payload)), err)
 	if err != nil {
 		j.fail(err)
@@ -455,7 +457,9 @@ func (j *importJob) copyWithRecovery(copySQL string) (int64, error) {
 		var ce *cdw.Error
 		return errors.As(err, &ce) && ce.Code == cdw.CodeCopyFailed
 	}
-	err := r.Do(j.node.ctx, "copy", func() error {
+	// COPY is made idempotent by the recovery step above each re-attempt
+	// (drop + recreate staging), so retrying Exec here cannot double-apply.
+	err := r.Do(j.node.ctx, "copy", func() error { //nolint:retrysafe // COPY re-runs against a recreated staging table
 		attempt++
 		if attempt > 1 {
 			// recovery point: wipe any partial staging state before re-COPY
@@ -709,8 +713,11 @@ func (j *importJob) applyDML(m *wire.ApplyDML) (*wire.ApplyResult, error) {
 	j.mu.Lock()
 	maxSeq := j.maxSeq
 	j.mu.Unlock()
+	// The adaptive run derives from the node lifetime so Close aborts the
+	// application phase between statements instead of letting it drive a
+	// closed pool.
 	applyStart := time.Now()
-	runErr := h.Run(context.Background(), 1, maxSeq)
+	runErr := h.Run(j.node.ctx, 1, maxSeq)
 	st := h.Stats()
 	j.trace.Span("apply", "beta", applyStart, st.Activity, 0, runErr)
 	nm.adaptiveSplits.Add(st.Splits)

@@ -322,7 +322,9 @@ func (n *Node) acceptLoop() {
 		n.conns[conn] = struct{}{}
 		n.mu.Unlock()
 		n.connWG.Add(1)
-		go func() {
+		// Bounded by the connection, not a context: Close() closes every
+		// live conn, which unblocks serveConn's reads and ends the goroutine.
+		go func() { //nolint:goroleak // conn-bounded; Close() closes all conns
 			defer n.connWG.Done()
 			n.serveConn(conn)
 			n.mu.Lock()

@@ -110,7 +110,9 @@ func (s *Server) acceptLoop() {
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.connWG.Add(1)
-		go func() {
+		// Bounded by the connection, not a context: Close() closes every
+		// live conn, which unblocks serveConn's reads and ends the goroutine.
+		go func() { //nolint:goroleak // conn-bounded; Close() closes all conns
 			defer s.connWG.Done()
 			s.serveConn(conn)
 			s.mu.Lock()

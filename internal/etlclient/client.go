@@ -281,7 +281,7 @@ func splitInput(data []byte, format wire.DataFormat, chunkRecords int) ([]chunk,
 				if len(rest) < 2 {
 					return nil, 0, fmt.Errorf("etlclient: truncated record in input")
 				}
-				n := 2 + int(binary.LittleEndian.Uint16(rest)) + 1
+				n := 2 + int(binary.BigEndian.Uint16(rest)) + 1
 				if len(rest) < n {
 					return nil, 0, fmt.Errorf("etlclient: truncated record in input")
 				}

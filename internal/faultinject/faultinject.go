@@ -301,7 +301,7 @@ func Parse(spec string, seed int64) (*Injector, error) {
 				err = fmt.Errorf("unknown key %q", key)
 			}
 			if err != nil {
-				return nil, fmt.Errorf("faultinject: %s: %s=%s: %v", op, key, val, err)
+				return nil, fmt.Errorf("faultinject: %s: %s=%s: %w", op, key, val, err)
 			}
 		}
 		inj.SetRule(op, rule)

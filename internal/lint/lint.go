@@ -1,0 +1,295 @@
+// Package lint is etlvirtlint's analyzer framework: a dependency-free
+// static-analysis driver (go/parser + go/types + go/importer only) that
+// enforces the virtualizer's cross-cutting correctness invariants at build
+// time — the protocol discipline the runtime layers rely on but cannot
+// check themselves (context lineage, error-chain wrapping, wire endianness,
+// retry idempotence, metric-name hygiene, goroutine stoppability).
+//
+// The framework deliberately mirrors the shape of golang.org/x/tools'
+// analysis package (Analyzer, Pass, Diagnostic) without importing it, so
+// the module keeps its zero-dependency go.mod.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding reported by an analyzer.
+type Diagnostic struct {
+	Pos      token.Position // resolved position of the offending node
+	Analyzer string         // analyzer name, e.g. "ctxbg"
+	Message  string
+
+	// Related lists additional positions tied to the finding (for
+	// retrysafe, the retrier.Do call enclosing the flagged Exec). A nolint
+	// directive on any related line suppresses the finding too, so the
+	// justification can sit where the intent lives.
+	Related []token.Position
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Path     string // import path, e.g. "etlvirt/internal/core"
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Report files a diagnostic at node n.
+func (p *Pass) Report(n ast.Node, format string, args ...any) {
+	p.ReportRelated(n, nil, format, args...)
+}
+
+// ReportRelated files a diagnostic at node n with extra positions whose
+// nolint directives also suppress it.
+func (p *Pass) ReportRelated(n ast.Node, related []ast.Node, format string, args ...any) {
+	d := Diagnostic{
+		Pos:      p.Fset.Position(n.Pos()),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	}
+	for _, r := range related {
+		d.Related = append(d.Related, p.Fset.Position(r.Pos()))
+	}
+	p.report(d)
+}
+
+// Filename returns the file name a node lives in.
+func (p *Pass) Filename(n ast.Node) string {
+	return p.Fset.Position(n.Pos()).Filename
+}
+
+// TypeOf returns the static type of e, or nil when type information is
+// unavailable (a package that failed to fully type-check still runs every
+// analyzer on what was resolved).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// Uses resolves an identifier to the object it refers to, or nil.
+func (p *Pass) Uses(id *ast.Ident) types.Object {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.Uses[id]
+}
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	Name string
+	Doc  string // one-line description shown by -help and the JSON header
+	Run  func(*Pass)
+}
+
+// Analyzers returns a fresh instance of every etlvirtlint analyzer.
+// Instances carry per-run state (metricname's cross-package duplicate
+// table), so each driver invocation must use its own set.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		newCtxbg(),
+		newErrwrapw(),
+		newEndian(),
+		newRetrysafe(),
+		newMetricname(),
+		newGoroleak(),
+	}
+}
+
+// Result is the outcome of running a set of analyzers over a set of
+// packages: the surviving findings plus the count of findings a //nolint
+// directive suppressed, per analyzer.
+type Result struct {
+	Diagnostics []Diagnostic
+	Suppressed  map[string]int // analyzer name -> nolint-suppressed findings
+}
+
+// Runner drives analyzers over loaded packages and applies nolint
+// filtering.
+type Runner struct {
+	Analyzers []*Analyzer
+}
+
+// Run executes every analyzer over every package and returns the filtered,
+// position-sorted findings.
+func (r *Runner) Run(pkgs []*Package) Result {
+	res := Result{Suppressed: make(map[string]int)}
+	for _, pkg := range pkgs {
+		nolint := collectNolint(pkg)
+		for _, a := range r.Analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Path:     pkg.Path,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			pass.report = func(d Diagnostic) {
+				if nolint.suppresses(d) {
+					res.Suppressed[a.Name]++
+					return
+				}
+				res.Diagnostics = append(res.Diagnostics, d)
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return res
+}
+
+// nolintIndex maps file -> line -> the set of analyzer names silenced
+// there. The wildcard entry "*" silences every analyzer.
+type nolintIndex map[string]map[int]map[string]bool
+
+// collectNolint scans a package's comments for //nolint directives. A
+// directive applies to findings on its own line and on the line directly
+// below it (so it can sit on the statement or on a comment line above it).
+//
+//	foo() //nolint:ctxbg          — silences ctxbg on this line
+//	//nolint:ctxbg,errwrapw       — silences both on the next line
+//	//nolint                      — silences every analyzer on the next line
+func collectNolint(pkg *Package) nolintIndex {
+	idx := make(nolintIndex)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseNolint(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					idx[pos.Filename] = lines
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					set := lines[line]
+					if set == nil {
+						set = make(map[string]bool)
+						lines[line] = set
+					}
+					for _, n := range names {
+						set[n] = true
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// parseNolint recognizes "//nolint" and "//nolint:a,b" (with optional
+// trailing justification after a space). It returns the silenced analyzer
+// names, or {"*"} for the bare form.
+func parseNolint(text string) ([]string, bool) {
+	body, ok := strings.CutPrefix(text, "//nolint")
+	if !ok {
+		return nil, false
+	}
+	if body == "" || body[0] == ' ' || body[0] == '\t' {
+		return []string{"*"}, true
+	}
+	if body[0] != ':' {
+		return nil, false
+	}
+	body = body[1:]
+	// strip a trailing justification: "ctxbg,endian -- reason" or
+	// "ctxbg // reason"
+	if i := strings.IndexAny(body, " \t"); i >= 0 {
+		body = body[:i]
+	}
+	var names []string
+	for _, n := range strings.Split(body, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return []string{"*"}, true
+	}
+	return names, true
+}
+
+func (idx nolintIndex) suppresses(d Diagnostic) bool {
+	at := func(pos token.Position) bool {
+		set := idx[pos.Filename][pos.Line]
+		return set["*"] || set[d.Analyzer]
+	}
+	if at(d.Pos) {
+		return true
+	}
+	for _, r := range d.Related {
+		if at(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// walkFiles applies fn to every node of every file in the pass.
+func (p *Pass) walkFiles(fn func(file *ast.File, n ast.Node) bool) {
+	for _, f := range p.Files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			return fn(file, n)
+		})
+	}
+}
+
+// pkgOf resolves which imported package an identifier names, e.g. the
+// "context" in context.Background. It prefers type information and falls
+// back to matching the file's import specs by local name, so analyzers
+// still fire on packages that failed to type-check.
+func (p *Pass) pkgOf(file *ast.File, id *ast.Ident) string {
+	if obj := p.Uses(id); obj != nil {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path()
+		}
+		return "" // shadowed by a local object
+	}
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := ""
+		if imp.Name != nil {
+			name = imp.Name.Name
+		} else if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			name = path[i+1:]
+		} else {
+			name = path
+		}
+		if name == id.Name {
+			return path
+		}
+	}
+	return ""
+}

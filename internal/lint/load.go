@@ -1,0 +1,330 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// TypeErrors holds soft type-check failures. Analysis still runs with
+	// whatever information was resolved; the driver surfaces these as
+	// warnings so a half-broken tree still gets linted.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages of one module from source. It
+// resolves module-internal imports itself and delegates the standard
+// library to go/importer's source importer, keeping the whole driver free
+// of external dependencies.
+type Loader struct {
+	ModPath string // module path from go.mod, e.g. "etlvirt"
+	ModDir  string // module root directory
+
+	fset  *token.FileSet
+	std   types.ImporterFrom
+	cache map[string]*Package
+}
+
+// NewLoader builds a loader rooted at modDir. It reads the module path
+// from go.mod.
+func NewLoader(modDir string) (*Loader, error) {
+	abs, err := filepath.Abs(modDir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	// The source importer type-checks the standard library from GOROOT
+	// source; cgo variants cannot be type-checked that way, so force the
+	// pure-Go build configuration before the importer captures the
+	// context.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer unavailable")
+	}
+	return &Loader{
+		ModPath: modPath,
+		ModDir:  abs,
+		fset:    fset,
+		std:     std,
+		cache:   make(map[string]*Package),
+	}, nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			if p := strings.TrimSpace(rest); p != "" {
+				return strings.Trim(p, `"`), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Load resolves package patterns to loaded packages. Supported patterns:
+// "./..." (every package under the module), "./dir/..." (every package
+// under dir), and plain relative directories ("./internal/core").
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			root := filepath.Join(l.ModDir, strings.TrimSuffix(rest, "/"))
+			expanded, err := expandDirs(root)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range expanded {
+				add(d)
+			}
+			continue
+		}
+		add(filepath.Join(l.ModDir, pat))
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// expandDirs walks root collecting every directory holding non-test Go
+// files, applying the go tool's conventions: testdata, _-prefixed and
+// .-prefixed directories are invisible to "...".
+func expandDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".")) {
+			return filepath.SkipDir
+		}
+		has, err := hasGoFiles(path)
+		if err != nil {
+			return err
+		}
+		if has {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range ents {
+		if !e.IsDir() && isLintableGoFile(e.Name()) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// isLintableGoFile reports whether name is a non-test Go source file the
+// driver should analyze. Tests are exempt from the invariants by design:
+// they legitimately use context.Background and raw byte orders.
+func isLintableGoFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+// LoadDir loads the package in one directory. Directories without Go files
+// return (nil, nil).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.ModDir, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("lint: %s is outside module %s", dir, l.ModDir)
+	}
+	path := l.ModPath
+	if rel != "." {
+		path = l.ModPath + "/" + filepath.ToSlash(rel)
+	}
+	return l.loadPath(path, abs)
+}
+
+func (l *Loader) loadPath(path, dir string) (*Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !isLintableGoFile(e.Name()) {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		if !buildConstraintsSatisfied(src) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, name, src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	cfg := &types.Config{
+		Importer:    (*loaderImporter)(l),
+		FakeImportC: true,
+		Error:       func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := cfg.Check(path, l.fset, files, info) // errors collected above
+	pkg.Types = tpkg
+	pkg.Info = info
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// buildConstraintsSatisfied evaluates a file's //go:build (or legacy
+// +build) header against the default build configuration: current
+// GOOS/GOARCH, gc, cgo off, race off — the configuration the analyzers
+// reason about. Files excluded under it (race-enabled twins, foreign
+// platforms) are skipped so variant pairs don't collide in one package.
+func buildConstraintsSatisfied(src []byte) bool {
+	for _, line := range strings.Split(headerOf(src), "\n") {
+		line = strings.TrimSpace(line)
+		if !constraint.IsGoBuild(line) && !constraint.IsPlusBuild(line) {
+			continue
+		}
+		expr, err := constraint.Parse(line)
+		if err != nil {
+			continue
+		}
+		if !expr.Eval(defaultBuildTag) {
+			return false
+		}
+	}
+	return true
+}
+
+func defaultBuildTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		return isUnixGOOS(runtime.GOOS)
+	}
+	// Assume every go1.N version gate is satisfied by the running
+	// toolchain; the module requires a floor well below it.
+	return strings.HasPrefix(tag, "go1.")
+}
+
+func isUnixGOOS(goos string) bool {
+	switch goos {
+	case "linux", "darwin", "freebsd", "netbsd", "openbsd", "dragonfly", "solaris", "aix":
+		return true
+	}
+	return false
+}
+
+// headerOf returns the portion of src before the package clause, where
+// build constraints must appear.
+func headerOf(src []byte) string {
+	s := string(src)
+	if i := strings.Index(s, "\npackage "); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// loaderImporter resolves imports during type-checking: module-internal
+// paths load from the module tree (recursively, memoized); everything else
+// is the standard library, delegated to the source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+		pkg, err := l.loadPath(path, filepath.Join(l.ModDir, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil || pkg.Types == nil {
+			return nil, fmt.Errorf("lint: no Go files in %s", path)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+)
+
+// metricNameRE is the required shape of every registered metric name: the
+// etlvirt_ namespace, lowercase snake case.
+var metricNameRE = regexp.MustCompile(`^etlvirt_[a-z0-9_]+$`)
+
+// registryMethods are the obs.Registry registration entry points and the
+// index of their name argument.
+var registryMethods = map[string]bool{
+	"Counter": true, "CounterFunc": true,
+	"Gauge": true, "GaugeFunc": true,
+	"Histogram": true,
+}
+
+// newMetricname builds the metricname analyzer: obs.Registry registrations
+// must use a literal, namespaced, unique metric name.
+//
+// Invariant (PR 2): the registry panics at runtime on duplicate names and
+// the Prometheus exposition relies on one flat etlvirt_ namespace for
+// dashboard queries. A computed name defeats both greppability and this
+// static duplicate check; a name outside the namespace collides with
+// foreign exporters on shared scrape endpoints.
+func newMetricname() *Analyzer {
+	seen := make(map[string]token.Position) // cross-package duplicate table
+	return &Analyzer{
+		Name: "metricname",
+		Doc:  "obs metric names must be literal etlvirt_[a-z0-9_]+ strings, unique across the tree",
+		Run: func(p *Pass) {
+			runMetricname(p, seen)
+		},
+	}
+}
+
+func runMetricname(p *Pass, seen map[string]token.Position) {
+	p.walkFiles(func(file *ast.File, n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !registryMethods[sel.Sel.Name] {
+			return true
+		}
+		if !isNamed(p.TypeOf(sel.X), "obs", "Registry") {
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		name, ok := stringLiteral(call.Args[0])
+		if !ok {
+			p.Report(call.Args[0], "metric name must be a string literal so duplicates are detectable statically")
+			return true
+		}
+		if !metricNameRE.MatchString(name) {
+			p.Report(call.Args[0], "metric name %q does not match ^etlvirt_[a-z0-9_]+$", name)
+			return true
+		}
+		if prev, dup := seen[name]; dup {
+			p.Report(call.Args[0], "duplicate metric name %q (also registered at %s); the registry panics on the second registration", name, prev)
+			return true
+		}
+		seen[name] = p.Fset.Position(call.Args[0].Pos())
+		return true
+	})
+}

@@ -1,0 +1,19 @@
+// Package ctxbg is the ctxbg analyzer fixture: root contexts minted
+// outside the node-lifecycle root must be flagged.
+package ctxbg
+
+import "context"
+
+// violating: a root context created in pipeline code ignores node shutdown.
+func acquire() context.Context {
+	return context.Background() // want "context.Background\(\) escapes the node lifetime"
+}
+
+func todo() context.Context {
+	return context.TODO() // want "context.TODO\(\) escapes the node lifetime"
+}
+
+// conforming: deriving from a caller-supplied context is the rule.
+func derive(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}

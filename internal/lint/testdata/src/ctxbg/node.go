@@ -1,0 +1,9 @@
+package ctxbg
+
+import "context"
+
+// conforming: node.go is the node-lifecycle root, the one place a base
+// context may be minted.
+func mintRoot() (context.Context, context.CancelFunc) {
+	return context.WithCancel(context.Background())
+}

@@ -1,0 +1,39 @@
+// Package errwrapw is the errwrapw analyzer fixture: fmt.Errorf calls
+// carrying an error must wrap it with %w.
+package errwrapw
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+// violating: %v flattens the chain; errors.As can no longer classify it.
+func flattenV(err error) error {
+	return fmt.Errorf("upload failed: %v", err) // want "error formatted without %w"
+}
+
+func flattenS(op string, err error) error {
+	return fmt.Errorf("%s: %s", op, err) // want "error formatted without %w"
+}
+
+// conforming: %w preserves the chain.
+func wrap(err error) error {
+	return fmt.Errorf("upload failed: %w", err)
+}
+
+// conforming: no error argument at all.
+func plain(rows int) error {
+	return fmt.Errorf("staging row count %d mismatch", rows)
+}
+
+// conforming: err.Error() is a string, already flattened on purpose.
+func stringified(err error) error {
+	return fmt.Errorf("legacy message %q", err.Error())
+}
+
+// out of static reach: computed format strings are skipped.
+func computed(format string, err error) error {
+	return fmt.Errorf("prefix: "+format, err)
+}

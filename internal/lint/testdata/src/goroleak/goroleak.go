@@ -1,0 +1,61 @@
+// Package goroleak is the goroleak analyzer fixture: goroutine literals
+// must be reachable by a stop signal.
+package goroleak
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// violating: nothing can ever stop this goroutine.
+func spinner() {
+	go func() { // want "references no context.Context and no channel"
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+// violating: a WaitGroup joins the goroutine but cannot interrupt it.
+func waitOnly(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // want "references no context.Context and no channel"
+		defer wg.Done()
+		for i := 0; i < 1000000; i++ {
+			_ = i * i
+		}
+	}()
+}
+
+// conforming: receives a context parameter.
+func withCtxParam(ctx context.Context) {
+	go func(ctx context.Context) {
+		<-ctx.Done()
+	}(ctx)
+}
+
+// conforming: captures a channel from the enclosing scope.
+func withCapturedChan() chan struct{} {
+	stop := make(chan struct{})
+	go func() {
+		<-stop
+	}()
+	return stop
+}
+
+// conforming: captures a context from the enclosing scope.
+func withCapturedCtx(ctx context.Context, cond *sync.Cond) {
+	go func() {
+		<-ctx.Done()
+		cond.Broadcast()
+	}()
+}
+
+// conforming: a named function is the callee's responsibility, not the
+// launch site's.
+func namedLaunch() {
+	go helper()
+}
+
+func helper() {}

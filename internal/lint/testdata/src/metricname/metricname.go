@@ -1,0 +1,26 @@
+// Package metricname is the metricname analyzer fixture: registrations
+// must use literal, namespaced, unique names.
+package metricname
+
+import "etlvirt/internal/obs"
+
+func register(r *obs.Registry, dynamic string) {
+	// conforming: namespaced literal.
+	r.Counter("etlvirt_fixture_rows_total", "Rows.")
+	r.Gauge("etlvirt_fixture_depth", "Depth.")
+	r.Histogram("etlvirt_fixture_wait_seconds", "Wait.", nil)
+	r.CounterFunc("etlvirt_fixture_funcs_total", "Funcs.", func() int64 { return 0 })
+	r.GaugeFunc("etlvirt_fixture_live", "Live.", func() float64 { return 0 })
+
+	// violating: outside the etlvirt_ namespace.
+	r.Counter("rows_total", "Rows.") // want "does not match"
+
+	// violating: uppercase breaks the snake-case convention.
+	r.Gauge("etlvirt_Depth", "Depth.") // want "does not match"
+
+	// violating: a computed name defeats static duplicate detection.
+	r.Counter(dynamic, "Dynamic.") // want "metric name must be a string literal"
+
+	// violating: second registration of an existing name panics at runtime.
+	r.Gauge("etlvirt_fixture_depth", "Depth again.") // want "duplicate metric name"
+}

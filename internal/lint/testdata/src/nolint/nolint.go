@@ -1,0 +1,26 @@
+// Package nolint is the suppression fixture: //nolint directives silence
+// findings on their own line or the line below, per analyzer or globally.
+package nolint
+
+import "context"
+
+// suppressed inline, by name.
+func inline() context.Context {
+	return context.Background() //nolint:ctxbg // bounded by process lifetime in this fixture
+}
+
+// suppressed from the line above, by name.
+func above() context.Context {
+	//nolint:ctxbg
+	return context.Background()
+}
+
+// suppressed by the bare wildcard form.
+func wildcard() context.Context {
+	return context.Background() //nolint
+}
+
+// NOT suppressed: the directive names a different analyzer.
+func wrongName() context.Context {
+	return context.Background() //nolint:endian // want "context.Background\(\) escapes the node lifetime"
+}

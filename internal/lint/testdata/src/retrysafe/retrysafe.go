@@ -1,0 +1,41 @@
+// Package retrysafe is the retrysafe analyzer fixture: CDW Exec calls may
+// not sit lexically inside a retrier.Do closure.
+package retrysafe
+
+import (
+	"context"
+
+	"etlvirt/internal/cdwnet"
+	"etlvirt/internal/retrier"
+)
+
+// violating: a blind retry loop around Exec can double-apply DML.
+func retryExec(ctx context.Context, r *retrier.Retrier, p *cdwnet.Pool) error {
+	return r.Do(ctx, "dml", func() error {
+		_, err := p.Exec("UPDATE t SET x = x + 1") // want "Pool.Exec inside a retrier.Do closure"
+		return err
+	})
+}
+
+// violating: the single-connection client is just as unsafe.
+func retryClientExec(ctx context.Context, r *retrier.Retrier, c *cdwnet.Client) error {
+	return r.Do(ctx, "dml", func() error {
+		_, err := c.Exec("DELETE FROM t") // want "Client.Exec inside a retrier.Do closure"
+		return err
+	})
+}
+
+// conforming: idempotent reads may retry freely.
+func retryQuery(ctx context.Context, r *retrier.Retrier, p *cdwnet.Pool) error {
+	return r.Do(ctx, "probe", func() error {
+		_, _, err := p.QueryAll("SELECT 1")
+		return err
+	})
+}
+
+// conforming: Exec outside any retry closure relies on the pool's
+// NotSent-only retry.
+func plainExec(p *cdwnet.Pool) error {
+	_, err := p.Exec("INSERT INTO t VALUES (1)")
+	return err
+}

@@ -1,0 +1,20 @@
+// Package wire is the endian analyzer fixture: the import path ends in
+// /wire, putting it in the wire-format scope where only binary.BigEndian
+// may be referenced.
+package wire
+
+import "encoding/binary"
+
+// violating: little-endian framing desynchronizes the legacy stream.
+func putLenLE(dst []byte, n uint16) {
+	binary.LittleEndian.PutUint16(dst, n) // want "binary.LittleEndian in a wire-format package"
+}
+
+func readLenNative(src []byte) uint16 {
+	return binary.NativeEndian.Uint16(src) // want "binary.NativeEndian in a wire-format package"
+}
+
+// conforming: network byte order.
+func putLenBE(dst []byte, n uint16) {
+	binary.BigEndian.PutUint16(dst, n)
+}

@@ -15,9 +15,11 @@ const RecordTerminator = 0x0A
 type Record []Value
 
 // EncodeRecord appends the indicator-mode binary encoding of rec to dst and
-// returns the extended slice. The format is:
+// returns the extended slice. Like every other wire format in the system
+// (DWP parcel headers, TDF packets), records are network byte order end to
+// end — the endian invariant etlvirtlint enforces. The format is:
 //
-//	uint16 LE  payload length (indicators + field bytes)
+//	uint16 BE  payload length (indicators + field bytes)
 //	indicator bitmap, ceil(nfields/8) bytes, MSB-first, bit set = NULL
 //	field values in layout order (NULL fields still occupy their fixed
 //	width with zero bytes; variable-length NULL fields encode length 0)
@@ -51,7 +53,7 @@ func EncodeRecord(dst []byte, layout *Layout, rec Record) ([]byte, error) {
 	if payload > math.MaxUint16 {
 		return dst, fmt.Errorf("ltype: record payload %d exceeds 64KB", payload)
 	}
-	binary.LittleEndian.PutUint16(dst[lenPos:], uint16(payload))
+	binary.BigEndian.PutUint16(dst[lenPos:], uint16(payload))
 	dst = append(dst, RecordTerminator)
 	return dst, nil
 }
@@ -64,15 +66,15 @@ func encodeValue(dst []byte, t Type, v Value) ([]byte, error) {
 	case KindByteInt:
 		return append(dst, byte(int8(v.I))), nil
 	case KindSmallInt:
-		return binary.LittleEndian.AppendUint16(dst, uint16(int16(v.I))), nil
+		return binary.BigEndian.AppendUint16(dst, uint16(int16(v.I))), nil
 	case KindInteger, KindDate:
-		return binary.LittleEndian.AppendUint32(dst, uint32(int32(v.I))), nil
+		return binary.BigEndian.AppendUint32(dst, uint32(int32(v.I))), nil
 	case KindTime:
-		return binary.LittleEndian.AppendUint32(dst, uint32(int32(v.I))), nil
+		return binary.BigEndian.AppendUint32(dst, uint32(int32(v.I))), nil
 	case KindBigInt:
-		return binary.LittleEndian.AppendUint64(dst, uint64(v.I)), nil
+		return binary.BigEndian.AppendUint64(dst, uint64(v.I)), nil
 	case KindFloat:
-		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.F)), nil
+		return binary.BigEndian.AppendUint64(dst, math.Float64bits(v.F)), nil
 	case KindDecimal:
 		sz := DecimalWireSize(t.Precision)
 		u := uint64(v.I)
@@ -114,7 +116,7 @@ func encodeValue(dst []byte, t Type, v Value) ([]byte, error) {
 		if len(s) > t.Length {
 			return dst, fmt.Errorf("VARCHAR value of %d bytes exceeds length %d", len(s), t.Length)
 		}
-		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
 		return append(dst, s...), nil
 	case KindByte:
 		b := v.B
@@ -137,7 +139,7 @@ func encodeValue(dst []byte, t Type, v Value) ([]byte, error) {
 		if len(b) > t.Length {
 			return dst, fmt.Errorf("VARBYTE value of %d bytes exceeds length %d", len(b), t.Length)
 		}
-		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(b)))
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(b)))
 		return append(dst, b...), nil
 	default:
 		return dst, fmt.Errorf("cannot encode kind %s", t.Kind)
@@ -151,7 +153,7 @@ func DecodeRecord(buf []byte, layout *Layout) (Record, int, error) {
 	if len(buf) < 2 {
 		return nil, 0, fmt.Errorf("ltype: truncated record: missing length prefix")
 	}
-	payload := int(binary.LittleEndian.Uint16(buf))
+	payload := int(binary.BigEndian.Uint16(buf))
 	total := 2 + payload + 1
 	if len(buf) < total {
 		return nil, 0, fmt.Errorf("ltype: truncated record: need %d bytes, have %d", total, len(buf))
@@ -205,22 +207,22 @@ func decodeValue(p []byte, t Type, null bool) (Value, []byte, error) {
 		if err := need(2); err != nil {
 			return Value{}, p, err
 		}
-		return mk(IntValue(t.Kind, int64(int16(binary.LittleEndian.Uint16(p)))), 2)
+		return mk(IntValue(t.Kind, int64(int16(binary.BigEndian.Uint16(p)))), 2)
 	case KindInteger, KindDate, KindTime:
 		if err := need(4); err != nil {
 			return Value{}, p, err
 		}
-		return mk(IntValue(t.Kind, int64(int32(binary.LittleEndian.Uint32(p)))), 4)
+		return mk(IntValue(t.Kind, int64(int32(binary.BigEndian.Uint32(p)))), 4)
 	case KindBigInt:
 		if err := need(8); err != nil {
 			return Value{}, p, err
 		}
-		return mk(IntValue(t.Kind, int64(binary.LittleEndian.Uint64(p))), 8)
+		return mk(IntValue(t.Kind, int64(binary.BigEndian.Uint64(p))), 8)
 	case KindFloat:
 		if err := need(8); err != nil {
 			return Value{}, p, err
 		}
-		return mk(FloatValue(math.Float64frombits(binary.LittleEndian.Uint64(p))), 8)
+		return mk(FloatValue(math.Float64frombits(binary.BigEndian.Uint64(p))), 8)
 	case KindDecimal:
 		sz := DecimalWireSize(t.Precision)
 		if err := need(sz); err != nil {
@@ -250,7 +252,7 @@ func decodeValue(p []byte, t Type, null bool) (Value, []byte, error) {
 		if err := need(2); err != nil {
 			return Value{}, p, err
 		}
-		n := int(binary.LittleEndian.Uint16(p))
+		n := int(binary.BigEndian.Uint16(p))
 		if err := need(2 + n); err != nil {
 			return Value{}, p, err
 		}
@@ -269,7 +271,7 @@ func decodeValue(p []byte, t Type, null bool) (Value, []byte, error) {
 		if err := need(2); err != nil {
 			return Value{}, p, err
 		}
-		n := int(binary.LittleEndian.Uint16(p))
+		n := int(binary.BigEndian.Uint16(p))
 		if err := need(2 + n); err != nil {
 			return Value{}, p, err
 		}
@@ -294,7 +296,7 @@ func CountRecords(buf []byte) (int, error) {
 		if len(buf) < 2 {
 			return n, fmt.Errorf("ltype: truncated record length prefix")
 		}
-		payload := int(binary.LittleEndian.Uint16(buf))
+		payload := int(binary.BigEndian.Uint16(buf))
 		total := 2 + payload + 1
 		if len(buf) < total {
 			return n, fmt.Errorf("ltype: truncated record")

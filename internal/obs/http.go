@@ -58,19 +58,19 @@ func (m *memStatsReader) read() runtime.MemStats {
 }
 
 // RegisterRuntimeMetrics publishes Go runtime health series (goroutines,
-// heap, GC) into r under the process_ prefix.
+// heap, GC) into r under the etlvirt_process_ prefix.
 func RegisterRuntimeMetrics(r *Registry) {
 	ms := &memStatsReader{}
-	r.GaugeFunc("process_goroutines", "Number of live goroutines.",
+	r.GaugeFunc("etlvirt_process_goroutines", "Number of live goroutines.",
 		func() float64 { return float64(runtime.NumGoroutine()) })
-	r.GaugeFunc("process_gomaxprocs", "GOMAXPROCS setting.",
+	r.GaugeFunc("etlvirt_process_gomaxprocs", "GOMAXPROCS setting.",
 		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
-	r.GaugeFunc("process_heap_alloc_bytes", "Bytes of allocated heap objects.",
+	r.GaugeFunc("etlvirt_process_heap_alloc_bytes", "Bytes of allocated heap objects.",
 		func() float64 { return float64(ms.read().HeapAlloc) })
-	r.GaugeFunc("process_heap_sys_bytes", "Heap memory obtained from the OS.",
+	r.GaugeFunc("etlvirt_process_heap_sys_bytes", "Heap memory obtained from the OS.",
 		func() float64 { return float64(ms.read().HeapSys) })
-	r.CounterFunc("process_alloc_bytes_total", "Cumulative bytes allocated.",
+	r.CounterFunc("etlvirt_process_alloc_bytes_total", "Cumulative bytes allocated.",
 		func() int64 { return int64(ms.read().TotalAlloc) })
-	r.CounterFunc("process_gc_cycles_total", "Completed GC cycles.",
+	r.CounterFunc("etlvirt_process_gc_cycles_total", "Completed GC cycles.",
 		func() int64 { return int64(ms.read().NumGC) })
 }

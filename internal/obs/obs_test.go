@@ -269,7 +269,7 @@ func TestRuntimeMetrics(t *testing.T) {
 	if err := r.WritePrometheus(&sb); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"process_goroutines", "process_heap_alloc_bytes", "process_gc_cycles_total"} {
+	for _, want := range []string{"etlvirt_process_goroutines", "etlvirt_process_heap_alloc_bytes", "etlvirt_process_gc_cycles_total"} {
 		if !strings.Contains(sb.String(), want) {
 			t.Errorf("runtime metrics missing %s", want)
 		}

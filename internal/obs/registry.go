@@ -190,12 +190,15 @@ func formatFloat(v float64) string {
 
 // WritePrometheus renders every registered series in Prometheus text
 // exposition format: each series carries # HELP and # TYPE lines, histograms
-// expand to _bucket/_sum/_count.
+// expand to _bucket/_sum/_count. Series are emitted sorted by name, so the
+// exposition is byte-stable regardless of registration order — scrape
+// diffing and the exposition regression tests rely on it.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.RLock()
 	metrics := make([]*metric, len(r.metrics))
 	copy(metrics, r.metrics)
 	r.mu.RUnlock()
+	sort.Slice(metrics, func(i, j int) bool { return metrics[i].name < metrics[j].name })
 
 	var sb strings.Builder
 	for _, m := range metrics {

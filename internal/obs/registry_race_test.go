@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentDuplicateRegistration races N goroutines registering the
+// same metric name. Exactly one registration must win; every loser must
+// panic (the registry's duplicate guard), and the surviving registry must
+// expose exactly one series under the name. Run under -race in CI, this
+// also pins the registration path's synchronization.
+func TestConcurrentDuplicateRegistration(t *testing.T) {
+	r := NewRegistry()
+	const n = 16
+	var wg sync.WaitGroup
+	var won, panicked atomic.Int32
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if recover() != nil {
+					panicked.Add(1)
+				}
+			}()
+			<-start
+			r.Counter("etlvirt_race_total", "Raced registration.")
+			won.Add(1)
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if won.Load() != 1 {
+		t.Errorf("winners = %d, want exactly 1", won.Load())
+	}
+	if panicked.Load() != n-1 {
+		t.Errorf("panics = %d, want %d", panicked.Load(), n-1)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "# HELP etlvirt_race_total"); got != 1 {
+		t.Errorf("exposed series count = %d, want 1", got)
+	}
+}
+
+// TestConcurrentDistinctRegistration races goroutines registering distinct
+// names while another goroutine scrapes: no panic, no race, and every
+// series lands in the exposition.
+func TestConcurrentDistinctRegistration(t *testing.T) {
+	r := NewRegistry()
+	names := []string{
+		"etlvirt_reg_a_total", "etlvirt_reg_b_total", "etlvirt_reg_c_total",
+		"etlvirt_reg_d", "etlvirt_reg_e", "etlvirt_reg_f_seconds",
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			<-start
+			switch {
+			case strings.HasSuffix(name, "_total"):
+				r.Counter(name, "C.").Inc()
+			case strings.HasSuffix(name, "_seconds"):
+				r.Histogram(name, "H.", []float64{1}).Observe(0.5)
+			default:
+				r.Gauge(name, "G.").Set(1)
+			}
+		}(name)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		var sb strings.Builder
+		_ = r.WritePrometheus(&sb) // concurrent scrape must not race
+	}()
+	close(start)
+	wg.Wait()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if !strings.Contains(sb.String(), "# HELP "+name) {
+			t.Errorf("series %s missing from exposition", name)
+		}
+	}
+}
+
+// TestExpositionStableSorted is the regression test for exposition
+// determinism: output is byte-identical across scrapes and series appear
+// sorted by name regardless of registration order.
+func TestExpositionStableSorted(t *testing.T) {
+	r := NewRegistry()
+	// deliberately registered out of name order
+	r.Counter("etlvirt_zeta_total", "Z.").Add(3)
+	r.Histogram("etlvirt_mid_seconds", "M.", []float64{0.1, 1}).Observe(0.2)
+	r.Gauge("etlvirt_alpha", "A.").Set(7)
+
+	var first, second strings.Builder
+	if err := r.WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Errorf("exposition not stable across scrapes:\n--- first\n%s\n--- second\n%s", first.String(), second.String())
+	}
+	out := first.String()
+	iA := strings.Index(out, "# HELP etlvirt_alpha")
+	iM := strings.Index(out, "# HELP etlvirt_mid_seconds")
+	iZ := strings.Index(out, "# HELP etlvirt_zeta_total")
+	if iA < 0 || iM < 0 || iZ < 0 {
+		t.Fatalf("missing series in exposition:\n%s", out)
+	}
+	if !(iA < iM && iM < iZ) {
+		t.Errorf("series not sorted by name: alpha@%d mid@%d zeta@%d", iA, iM, iZ)
+	}
+}
