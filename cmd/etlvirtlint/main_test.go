@@ -34,8 +34,8 @@ func TestJSONOutput(t *testing.T) {
 			t.Errorf("finding analyzer = %q, want ctxbg", f.Analyzer)
 		}
 	}
-	if len(rep.Analyzers) != 6 {
-		t.Errorf("analyzers = %d, want 6", len(rep.Analyzers))
+	if len(rep.Analyzers) != 7 {
+		t.Errorf("analyzers = %d, want 7", len(rep.Analyzers))
 	}
 }
 

@@ -30,6 +30,9 @@ func Fig7(scale int) ([]Fig7Row, error) {
 		cfg := RunConfig{
 			Workload: Workload{Rows: m * scale / 25, RowBytes: 500, Seed: int64(m)},
 			Sessions: 2, ChunkRecords: 500,
+			// The paper's pipeline compresses staged files before upload;
+			// Figure 7 attributes that work to the acquisition phase.
+			Node: core.Config{Gzip: true},
 		}
 		p, err := RunImport(cfg)
 		if err != nil {

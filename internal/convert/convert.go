@@ -16,6 +16,8 @@ package convert
 
 import (
 	"fmt"
+	"strconv"
+	"sync"
 	"time"
 	"unicode/utf8"
 
@@ -65,6 +67,16 @@ type Converter struct {
 	format wire.DataFormat
 	delim  byte
 	opts   Options
+	// scratch pools per-chunk decode state (a Record sized to the layout
+	// plus vartext split buffers) so steady-state conversion never allocates
+	// per row.
+	scratch sync.Pool
+}
+
+// convScratch is the per-chunk reusable decode state.
+type convScratch struct {
+	rec ltype.Record
+	vs  ltype.VartextScratch
 }
 
 // NewConverter builds a converter for a job's layout and input format.
@@ -80,7 +92,11 @@ func NewConverter(layout *ltype.Layout, format wire.DataFormat, delim byte, opts
 			return nil, fmt.Errorf("convert: vartext requires a delimiter")
 		}
 	}
-	return &Converter{layout: layout, format: format, delim: delim, opts: opts}, nil
+	c := &Converter{layout: layout, format: format, delim: delim, opts: opts}
+	c.scratch.New = func() any {
+		return &convScratch{rec: make(ltype.Record, len(layout.Fields))}
+	}
+	return c, nil
 }
 
 // Result is the outcome of converting one chunk.
@@ -93,64 +109,100 @@ type Result struct {
 // Convert transforms one chunk payload. firstRow is the 1-based global row
 // number of the chunk's first record. A malformed binary chunk (framing
 // broken mid-chunk) returns an error; per-record data problems are reported
-// in Result.Errors instead.
+// in Result.Errors instead. Hot-path callers use ConvertInto, which writes
+// CSV into a caller-supplied (typically recycled) buffer.
 func (c *Converter) Convert(payload []byte, firstRow int64) (*Result, error) {
+	return c.ConvertInto(make([]byte, 0, len(payload)+len(payload)/4), payload, firstRow)
+}
+
+// ConvertInto is Convert with caller-managed memory: converted CSV is
+// appended to dst and returned as Result.CSV, so a recycled buffer in means
+// no per-chunk CSV allocation. Ownership of dst transfers to the Result
+// (the append may have moved it); on error dst is lost. The payload buffer
+// is the caller's again as soon as ConvertInto returns — the decode works
+// on a private copy, so nothing in the Result aliases payload and it may be
+// recycled immediately.
+func (c *Converter) ConvertInto(dst []byte, payload []byte, firstRow int64) (*Result, error) {
 	if c.opts.SimulatedByteCost > 0 {
 		time.Sleep(time.Duration(len(payload)) * c.opts.SimulatedByteCost)
 	}
+	// The chunk's one unavoidable allocation: an immutable string copy that
+	// every decoded string value aliases for the duration of the call.
+	chunk := string(payload)
 	switch c.format {
 	case wire.FormatVartext:
-		return c.convertVartext(payload, firstRow)
+		return c.convertVartext(dst, chunk, firstRow)
 	case wire.FormatIndicator:
-		return c.convertIndicator(payload, firstRow)
+		return c.convertIndicator(dst, chunk, firstRow)
 	default:
-		return nil, fmt.Errorf("convert: unknown format %d", c.format)
+		return nil, errUnknownFormat(c.format)
 	}
 }
 
-func (c *Converter) convertVartext(payload []byte, firstRow int64) (*Result, error) {
-	res := &Result{CSV: make([]byte, 0, len(payload)+len(payload)/4)}
-	lines := ltype.SplitVartextLines(payload)
+//etlvirt:hotpath
+func (c *Converter) convertVartext(dst []byte, payload string, firstRow int64) (*Result, error) {
+	res := &Result{}
+	sc := c.scratch.Get().(*convScratch)
+	defer c.scratch.Put(sc)
 	row := firstRow
-	for _, line := range lines {
-		rec, err := ltype.ParseVartextRecord(line, c.delim, c.layout)
-		if err != nil {
+	for pos := 0; pos < len(payload); {
+		line, next, ok := ltype.NextVartextLine(payload, pos)
+		if !ok {
+			break
+		}
+		pos = next
+		if err := ltype.ParseVartextRecordInto(sc.rec, line, c.delim, c.layout, &sc.vs); err != nil {
 			res.Errors = append(res.Errors, c.classifyVartextError(line, row, err))
 			row++
 			continue
 		}
-		if derr := c.validateRecord(rec, row); derr != nil {
+		if derr := c.validateRecord(sc.rec, row); derr != nil {
 			res.Errors = append(res.Errors, *derr)
 			row++
 			continue
 		}
-		res.CSV = c.appendCSVRow(res.CSV, rec, row)
+		dst = c.appendCSVRow(dst, sc.rec, row)
 		res.Rows++
 		row++
 	}
+	res.CSV = dst
 	return res, nil
 }
 
-func (c *Converter) convertIndicator(payload []byte, firstRow int64) (*Result, error) {
-	res := &Result{CSV: make([]byte, 0, len(payload)+len(payload)/4)}
+//etlvirt:hotpath
+func (c *Converter) convertIndicator(dst []byte, payload string, firstRow int64) (*Result, error) {
+	res := &Result{}
+	sc := c.scratch.Get().(*convScratch)
+	defer c.scratch.Put(sc)
 	row := firstRow
-	for len(payload) > 0 {
-		rec, n, err := ltype.DecodeRecord(payload, c.layout)
+	for pos := 0; pos < len(payload); {
+		n, err := ltype.DecodeRecordInto(sc.rec, payload[pos:], c.layout)
 		if err != nil {
 			// Broken framing poisons the rest of the chunk: fail it.
-			return nil, fmt.Errorf("convert: chunk framing broken at row %d: %w", row, err)
+			return nil, errFraming(row, err)
 		}
-		payload = payload[n:]
-		if derr := c.validateRecord(rec, row); derr != nil {
+		pos += n
+		if derr := c.validateRecord(sc.rec, row); derr != nil {
 			res.Errors = append(res.Errors, *derr)
 			row++
 			continue
 		}
-		res.CSV = c.appendCSVRow(res.CSV, rec, row)
+		dst = c.appendCSVRow(dst, sc.rec, row)
 		res.Rows++
 		row++
 	}
+	res.CSV = dst
 	return res, nil
+}
+
+// Cold error constructors, kept out of the hotpath-annotated converters.
+
+func errUnknownFormat(f wire.DataFormat) error {
+	return fmt.Errorf("convert: unknown format %d", f)
+}
+
+func errFraming(row int64, err error) error {
+	return fmt.Errorf("convert: chunk framing broken at row %d: %w", row, err)
 }
 
 func (c *Converter) classifyVartextError(line string, row int64, err error) DataError {
@@ -165,6 +217,8 @@ func (c *Converter) classifyVartextError(line string, row int64, err error) Data
 // validateRecord applies the conversion-time checks of §4: null detection is
 // already done by the record codecs; here we validate character-set
 // constraints for UNICODE fields.
+//
+//etlvirt:hotpath
 func (c *Converter) validateRecord(rec ltype.Record, row int64) *DataError {
 	if !c.opts.ValidateUTF8 {
 		return nil
@@ -183,21 +237,40 @@ func (c *Converter) validateRecord(rec ltype.Record, row int64) *DataError {
 
 // appendCSVRow serializes __seq plus the record's fields as one CSV line in
 // the CDW's COPY format: comma-separated, \N for NULL, RFC-4180 quoting.
+// Non-character kinds render via the append codecs; their text is digits and
+// punctuation that never needs quoting, so only string-carrying kinds pay
+// the quote scan.
+//
+//etlvirt:hotpath
 func (c *Converter) appendCSVRow(dst []byte, rec ltype.Record, row int64) []byte {
-	dst = appendCSVField(dst, fmt.Sprintf("%d", row))
-	for _, v := range rec {
+	dst = strconv.AppendInt(dst, row, 10)
+	for i := range rec {
+		v := &rec[i]
 		dst = append(dst, ',')
 		if v.Null {
 			dst = append(dst, '\\', 'N')
 			continue
 		}
-		dst = appendCSVField(dst, v.Text())
+		switch v.Kind {
+		case ltype.KindChar, ltype.KindVarChar, ltype.KindTimestamp:
+			dst = appendCSVField(dst, v.S)
+		case ltype.KindDecimal:
+			if v.S != "" {
+				dst = append(dst, v.S...) // pre-formatted (vartext parse path)
+			} else {
+				dst = ltype.AppendDecimal(dst, v.I, c.layout.Fields[i].Type.Scale)
+			}
+		default:
+			dst = v.AppendText(dst)
+		}
 	}
 	return append(dst, '\n')
 }
 
 // appendCSVField writes one CSV field, quoting when it contains a comma,
 // quote, newline, or could be mistaken for the NULL marker.
+//
+//etlvirt:hotpath
 func appendCSVField(dst []byte, s string) []byte {
 	needQuote := s == `\N`
 	for i := 0; i < len(s) && !needQuote; i++ {

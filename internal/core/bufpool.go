@@ -1,0 +1,35 @@
+package core
+
+import "sync"
+
+// bufPool recycles the two large per-chunk buffers of the acquisition
+// pipeline: the wire payload a session hands to a converter, and the CSV
+// buffer a converter hands to a file writer. Ownership moves strictly
+// forward (session → converter → writer) and whichever stage consumes a
+// buffer returns it here; see the hand-off comments in importjob.go.
+var bufPool sync.Pool
+
+// maxPooledBuf bounds the capacity of recycled buffers so one pathological
+// chunk does not pin megabytes in the pool forever.
+const maxPooledBuf = 8 << 20
+
+// getBuf returns an empty buffer with at least capHint capacity, recycled
+// when the pool has one big enough.
+func getBuf(capHint int) []byte {
+	if v := bufPool.Get(); v != nil {
+		b := *(v.(*[]byte))
+		if cap(b) >= capHint {
+			return b[:0]
+		}
+	}
+	return make([]byte, 0, capHint)
+}
+
+// putBuf returns a buffer to the pool. The caller must not touch b again.
+func putBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}

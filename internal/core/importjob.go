@@ -72,9 +72,14 @@ type importJob struct {
 	rr atomic.Uint64 // round-robin for writer selection
 
 	mu         sync.Mutex
-	maxSeq     int64
 	dataErrors []convert.DataError
 	failure    error // first pipeline failure; poisons the job
+
+	// maxSeq and acqFromNs are updated lock-free on every chunk (CAS loops
+	// in handleChunk) so concurrent session goroutines never contend on
+	// j.mu for the per-chunk bookkeeping.
+	maxSeq    atomic.Int64
+	acqFromNs atomic.Int64 // UnixNano of the first data chunk; 0 = none yet
 
 	chunks      atomic.Int64
 	bytesIn     atomic.Int64
@@ -162,7 +167,14 @@ func (n *Node) newImportJob(m *wire.BeginLoad) (*importJob, error) {
 	j.convCh = make(chan convTask, cfg.Converters)
 	j.uploadCh = make(chan fwriter.FinishedFile, cfg.FileWriters*2)
 	if cfg.SpoolDir == "" {
-		j.memfs = fwriter.NewMemFS()
+		// Pre-size spool buffers from the rotation threshold: files rotate
+		// shortly after crossing it, so this is the file's final size plus
+		// slack (much less when gzip shrinks what actually lands in memory).
+		hint := cfg.FileSizeThreshold + cfg.FileSizeThreshold/8
+		if cfg.Gzip {
+			hint = cfg.FileSizeThreshold / 4
+		}
+		j.memfs = fwriter.NewMemFSSized(hint)
 	} else {
 		j.osDir = cfg.SpoolDir
 	}
@@ -229,14 +241,18 @@ func (j *importJob) handleChunk(m *wire.DataChunk, done chan struct{}) error {
 	nm.chunks.Inc()
 	nm.bytesIn.Add(int64(len(m.Payload)))
 	nm.rowsIn.Add(int64(m.Count))
-	j.mu.Lock()
-	if top := m.FirstRow + uint64(m.Count) - 1; int64(top) > j.maxSeq {
-		j.maxSeq = int64(top)
+	top := int64(m.FirstRow + uint64(m.Count) - 1)
+	for {
+		cur := j.maxSeq.Load()
+		if top <= cur || j.maxSeq.CompareAndSwap(cur, top) {
+			break
+		}
 	}
-	if j.watch.acqFrom.IsZero() {
-		j.watch.acqFrom = time.Now()
+	if j.acqFromNs.Load() == 0 {
+		// First chunk starts the acquisition stopwatch; losing the CAS just
+		// means another session's chunk arrived first.
+		j.acqFromNs.CompareAndSwap(0, time.Now().UnixNano())
 	}
-	j.mu.Unlock()
 
 	// The wait is bounded by the node lifetime: Close cancels n.ctx, which
 	// wakes blocked acquisitions so shutdown never hangs on back-pressure.
@@ -244,6 +260,7 @@ func (j *importJob) handleChunk(m *wire.DataChunk, done chan struct{}) error {
 	cr, err := j.node.credits.Acquire(j.node.ctx, int64(len(m.Payload)))
 	j.trace.Span("credit_wait", "session", waitStart, int64(m.Count), int64(len(m.Payload)), err)
 	if err != nil {
+		putBuf(m.Payload) // never reached the converter; recycle here
 		j.fail(err)
 		j.pending.Done()
 		if done != nil {
@@ -252,6 +269,8 @@ func (j *importJob) handleChunk(m *wire.DataChunk, done chan struct{}) error {
 		return err
 	}
 	j.creditsHeld.Add(1)
+	// Ownership of m.Payload transfers to the conversion stage with this
+	// send; the session goroutine must not touch it afterwards.
 	j.convCh <- convTask{payload: m.Payload, firstRow: int64(m.FirstRow), credit: cr, done: done}
 	j.pending.Done()
 	return nil
@@ -263,10 +282,17 @@ func (j *importJob) runConverter(idx int) {
 	lane := fmt.Sprintf("convert-%d", idx)
 	for task := range j.convCh {
 		convStart := time.Now()
-		res, err := j.conv.Convert(task.payload, task.firstRow)
+		payloadLen := len(task.payload)
+		// The CSV buffer comes from the pool; ConvertInto appends into it and
+		// hands it back as res.CSV.
+		dst := getBuf(payloadLen + payloadLen/4)
+		res, err := j.conv.ConvertInto(dst, task.payload, task.firstRow)
+		// ConvertInto works on a private copy, so the payload buffer is
+		// recyclable the moment it returns.
+		putBuf(task.payload)
 		nm.convertLat.ObserveDuration(time.Since(convStart))
 		if err != nil {
-			j.trace.Span("convert", lane, convStart, 0, int64(len(task.payload)), err)
+			j.trace.Span("convert", lane, convStart, 0, int64(payloadLen), err)
 			j.releaseCredit(task.credit)
 			j.fail(err)
 			if task.done != nil {
@@ -274,7 +300,7 @@ func (j *importJob) runConverter(idx int) {
 			}
 			continue
 		}
-		j.trace.Span("convert", lane, convStart, int64(res.Rows), int64(len(task.payload)), nil)
+		j.trace.Span("convert", lane, convStart, int64(res.Rows), int64(payloadLen), nil)
 		if len(res.Errors) > 0 {
 			nm.dataErrors.Add(int64(len(res.Errors)))
 			j.mu.Lock()
@@ -284,12 +310,15 @@ func (j *importJob) runConverter(idx int) {
 		j.rowsConv.Add(int64(res.Rows))
 		nm.rowsConverted.Add(int64(res.Rows))
 		if res.Rows == 0 {
+			putBuf(res.CSV) // no writer will consume it
 			j.releaseCredit(task.credit)
 			if task.done != nil {
 				close(task.done)
 			}
 			continue
 		}
+		// Ownership of res.CSV transfers to the file-writer stage; it returns
+		// the buffer to the pool once the bytes are on disk.
 		w := int(j.rr.Add(1)) % len(j.writeChs)
 		j.writeChs[w] <- writeTask{csv: res.CSV, rows: res.Rows, credit: task.credit, done: task.done}
 	}
@@ -323,6 +352,9 @@ func (j *importJob) runFileWriter(idx int, ch chan writeTask) {
 		j.releaseCredit(task.credit)
 		writeStart := time.Now()
 		err := w.Write(task.csv, task.rows)
+		// Write copies the bytes into the spool file, so the CSV buffer's
+		// trip through the pipeline ends here.
+		putBuf(task.csv)
 		j.trace.Span("write", lane, writeStart, int64(task.rows), int64(len(task.csv)), err)
 		if task.done != nil {
 			close(task.done)
@@ -427,10 +459,8 @@ func (j *importJob) finishAcquisition() (*wire.AcquireDone, error) {
 	j.mu.Lock()
 	dataErrs := j.dataErrors
 	j.mu.Unlock()
-	for _, de := range dataErrs {
-		if err := j.recordError(j.etName, de.Row, de.Row, de.Code, de.Field, de.Msg); err != nil {
-			return nil, err
-		}
+	if err := j.recordDataErrors(j.etName, dataErrs); err != nil {
+		return nil, err
 	}
 	j.watch.acqTo = time.Now()
 	j.acquired = true
@@ -524,17 +554,27 @@ func (j *importJob) abort() {
 	j.finish()
 }
 
+// errInsertBatch is how many error rows one INSERT into an error table
+// carries: large enough that error-heavy jobs don't serialize thousands of
+// pool round trips, small enough to keep statements readable in traces.
+const errInsertBatch = 100
+
+// errorRow builds one error-table tuple.
+func errorRow(lo, hi int64, code int, field, msg string) []sqlparse.Expr {
+	return []sqlparse.Expr{
+		&sqlparse.Literal{Kind: sqlparse.LitInt, Int: lo},
+		&sqlparse.Literal{Kind: sqlparse.LitInt, Int: hi},
+		&sqlparse.Literal{Kind: sqlparse.LitInt, Int: int64(code)},
+		&sqlparse.Literal{Kind: sqlparse.LitString, Str: field},
+		&sqlparse.Literal{Kind: sqlparse.LitString, Str: msg},
+	}
+}
+
 // recordError inserts one entry into an error table.
 func (j *importJob) recordError(table sqlparse.TableName, lo, hi int64, code int, field, msg string) error {
 	ins := &sqlparse.InsertStmt{
 		Table: table,
-		Rows: [][]sqlparse.Expr{{
-			&sqlparse.Literal{Kind: sqlparse.LitInt, Int: lo},
-			&sqlparse.Literal{Kind: sqlparse.LitInt, Int: hi},
-			&sqlparse.Literal{Kind: sqlparse.LitInt, Int: int64(code)},
-			&sqlparse.Literal{Kind: sqlparse.LitString, Str: field},
-			&sqlparse.Literal{Kind: sqlparse.LitString, Str: msg},
-		}},
+		Rows:  [][]sqlparse.Expr{errorRow(lo, hi, code, field, msg)},
 	}
 	sql, err := sqlparse.Print(ins, sqlparse.DialectCDW)
 	if err != nil {
@@ -542,6 +582,30 @@ func (j *importJob) recordError(table sqlparse.TableName, lo, hi int64, code int
 	}
 	_, err = j.node.pool.Exec(sql)
 	return err
+}
+
+// recordDataErrors inserts acquisition data errors into an error table in
+// multi-row batches of errInsertBatch, one round trip per batch.
+func (j *importJob) recordDataErrors(table sqlparse.TableName, errs []convert.DataError) error {
+	for len(errs) > 0 {
+		n := len(errs)
+		if n > errInsertBatch {
+			n = errInsertBatch
+		}
+		ins := &sqlparse.InsertStmt{Table: table}
+		for _, de := range errs[:n] {
+			ins.Rows = append(ins.Rows, errorRow(de.Row, de.Row, de.Code, de.Field, de.Msg))
+		}
+		sql, err := sqlparse.Print(ins, sqlparse.DialectCDW)
+		if err != nil {
+			return err
+		}
+		if _, err := j.node.pool.Exec(sql); err != nil {
+			return err
+		}
+		errs = errs[n:]
+	}
+	return nil
 }
 
 // applyDML runs the application phase: translate the legacy DML, set up
@@ -710,9 +774,7 @@ func (j *importJob) applyDML(m *wire.ApplyDML) (*wire.ApplyResult, error) {
 		cfg.MaxRetries = j.node.cfg.MaxRetries
 	}
 	h := errhandle.New(cfg, apply, classify, record)
-	j.mu.Lock()
-	maxSeq := j.maxSeq
-	j.mu.Unlock()
+	maxSeq := j.maxSeq.Load()
 	// The adaptive run derives from the node lifetime so Close aborts the
 	// application phase between statements instead of letting it drive a
 	// closed pool.
@@ -868,6 +930,9 @@ func (j *importJob) finish() *JobReport {
 		j.report.DataErrors = int64(len(j.dataErrors))
 		j.report.FilesWritten = j.files.Load()
 		j.report.BytesUpload = j.upBytes.Load()
+		if ns := j.acqFromNs.Load(); ns != 0 {
+			j.watch.acqFrom = time.Unix(0, ns)
+		}
 		j.watch.fill(&j.report, time.Now())
 		j.node.reports.add(j.report)
 		if !j.aborted.Load() {

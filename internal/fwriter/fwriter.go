@@ -38,13 +38,22 @@ func (f OSFS) Create(name string) (io.WriteCloser, error) {
 
 // MemFS collects files in memory; Bytes retrieves them.
 type MemFS struct {
-	mu    sync.Mutex
-	files map[string]*bytes.Buffer
+	mu       sync.Mutex
+	files    map[string]*bytes.Buffer
+	sizeHint int
 }
 
 // NewMemFS returns an empty in-memory FS.
 func NewMemFS() *MemFS {
-	return &MemFS{files: make(map[string]*bytes.Buffer)}
+	return NewMemFSSized(0)
+}
+
+// NewMemFSSized returns an empty in-memory FS whose files pre-allocate
+// sizeHint bytes of capacity on creation. Callers that know the rotation
+// threshold pass it here so file buffers grow once instead of doubling
+// their way up through every Write.
+func NewMemFSSized(sizeHint int) *MemFS {
+	return &MemFS{files: make(map[string]*bytes.Buffer), sizeHint: sizeHint}
 }
 
 type memFile struct {
@@ -61,7 +70,7 @@ func (m *MemFS) Create(name string) (io.WriteCloser, error) {
 	if _, ok := m.files[name]; ok {
 		return nil, fmt.Errorf("fwriter: file %q already exists", name)
 	}
-	buf := &bytes.Buffer{}
+	buf := bytes.NewBuffer(make([]byte, 0, m.sizeHint))
 	m.files[name] = buf
 	return &memFile{buf: buf}, nil
 }
@@ -127,6 +136,13 @@ type Writer struct {
 	finished []FinishedFile
 }
 
+// gzPool recycles gzip.Writers across file rotations and Writer instances:
+// a gzip.Writer carries several hundred KB of compressor state, so building
+// one per rotated file would dominate the writer stage's allocations.
+var gzPool = sync.Pool{
+	New: func() any { return gzip.NewWriter(io.Discard) },
+}
+
 type countWriter struct {
 	w io.Writer
 	n int
@@ -185,7 +201,8 @@ func (w *Writer) open() error {
 	w.curRows = 0
 	w.curComp = &countWriter{w: f}
 	if w.cfg.Gzip {
-		w.gz = gzip.NewWriter(w.curComp)
+		w.gz = gzPool.Get().(*gzip.Writer)
+		w.gz.Reset(w.curComp)
 	}
 	return nil
 }
@@ -199,6 +216,7 @@ func (w *Writer) rotate() error {
 		if err := w.gz.Close(); err != nil {
 			return fmt.Errorf("fwriter: finalizing %s: %w", w.curName, err)
 		}
+		gzPool.Put(w.gz)
 		w.gz = nil
 	}
 	if err := w.cur.Close(); err != nil {
@@ -230,6 +248,7 @@ func (w *Writer) Flush() ([]FinishedFile, error) {
 		// empty open file: discard
 		if w.gz != nil {
 			w.gz.Close()
+			gzPool.Put(w.gz)
 			w.gz = nil
 		}
 		w.cur.Close()

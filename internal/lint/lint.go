@@ -108,6 +108,7 @@ func Analyzers() []*Analyzer {
 		newRetrysafe(),
 		newMetricname(),
 		newGoroleak(),
+		newHotalloc(),
 	}
 }
 

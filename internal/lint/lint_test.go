@@ -122,6 +122,15 @@ func TestRetrysafeFixture(t *testing.T)  { runFixture(t, "retrysafe", "retrysafe
 func TestMetricnameFixture(t *testing.T) { runFixture(t, "metricname", "metricname") }
 func TestGoroleakFixture(t *testing.T)   { runFixture(t, "goroleak", "goroleak") }
 
+// TestHotallocFixture also pins the escape hatch: the fixture's one
+// //nolint:hotalloc use must be counted as suppressed, not reported.
+func TestHotallocFixture(t *testing.T) {
+	res := runFixture(t, "hotalloc", "hotalloc")
+	if got := res.Suppressed["hotalloc"]; got != 1 {
+		t.Errorf("suppressed[hotalloc] = %d, want 1", got)
+	}
+}
+
 // TestNolintSuppression checks the escape hatch: three of the four
 // context.Background calls in the fixture carry a matching directive and
 // are suppressed (and counted); the one naming the wrong analyzer still

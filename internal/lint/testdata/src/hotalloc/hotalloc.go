@@ -1,0 +1,63 @@
+// Package hotalloc is the hotalloc analyzer fixture: fmt calls inside
+// functions annotated //etlvirt:hotpath must be flagged.
+package hotalloc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// violating: per-row formatting through fmt.
+
+//etlvirt:hotpath
+func appendRow(dst []byte, row int64) []byte {
+	s := fmt.Sprintf("%d", row) // want "fmt.Sprintf inside hot-path function appendRow"
+	return append(dst, s...)
+}
+
+//etlvirt:hotpath
+func decodeField(p []byte) error {
+	if len(p) < 2 {
+		return fmt.Errorf("truncated field") // want "fmt.Errorf inside hot-path function decodeField"
+	}
+	return nil
+}
+
+// violating even in nested closures: the annotation covers the whole body.
+//
+//etlvirt:hotpath
+func viaClosure(rows []int64) {
+	for _, r := range rows {
+		func() {
+			fmt.Println(r) // want "fmt.Println inside hot-path function viaClosure"
+		}()
+	}
+}
+
+// conforming: append codecs and cold error helpers.
+
+//etlvirt:hotpath
+func appendRowFast(dst []byte, row int64) []byte {
+	return strconv.AppendInt(dst, row, 10)
+}
+
+//etlvirt:hotpath
+func decodeFieldFast(p []byte) error {
+	if len(p) < 2 {
+		return errTruncated()
+	}
+	return nil
+}
+
+// errTruncated is the cold helper: un-annotated, fmt is fine here.
+func errTruncated() error { return fmt.Errorf("truncated field") }
+
+// conforming: no annotation, no rule — slow paths may use fmt freely.
+func slowPath(row int64) string { return fmt.Sprintf("%d", row) }
+
+// conforming: the escape hatch for a justified exception.
+//
+//etlvirt:hotpath
+func escapeHatch(row int64) string {
+	return fmt.Sprintf("%d", row) //nolint:hotalloc // one-off diagnostic, not per-row
+}

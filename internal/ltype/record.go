@@ -148,143 +148,261 @@ func encodeValue(dst []byte, t Type, v Value) ([]byte, error) {
 
 // DecodeRecord decodes one indicator-mode record from buf, returning the
 // record and the number of bytes consumed. It returns an error if buf does
-// not start with a complete, well-formed record.
+// not start with a complete, well-formed record. Hot-path callers use
+// DecodeRecordInto, which reuses a caller-provided scratch record.
 func DecodeRecord(buf []byte, layout *Layout) (Record, int, error) {
 	if len(buf) < 2 {
 		return nil, 0, fmt.Errorf("ltype: truncated record: missing length prefix")
 	}
-	payload := int(binary.BigEndian.Uint16(buf))
-	total := 2 + payload + 1
+	total := 2 + int(binary.BigEndian.Uint16(buf)) + 1
 	if len(buf) < total {
 		return nil, 0, fmt.Errorf("ltype: truncated record: need %d bytes, have %d", total, len(buf))
 	}
+	rec := make(Record, len(layout.Fields))
+	// One copy of just this record's bytes: the decoded string values alias
+	// the immutable copy, so the returned record is safe regardless of what
+	// the caller later does with buf.
+	n, err := DecodeRecordInto(rec, string(buf[:total]), layout)
+	if err != nil {
+		return nil, 0, err
+	}
+	// DecodeRecordInto leaves DECIMAL text unformatted; this compatibility
+	// API promises it eagerly.
+	for i, f := range layout.Fields {
+		if f.Type.Kind == KindDecimal && !rec[i].Null {
+			rec[i].S = FormatDecimal(rec[i].I, f.Type.Scale)
+		}
+	}
+	return rec, n, nil
+}
+
+// DecodeRecordInto decodes one indicator-mode record from the front of buf
+// into rec, which must have exactly len(layout.Fields) values, and returns
+// the number of bytes consumed. It is the allocation-free core of
+// DecodeRecord: string-kinded values alias buf's memory (buf being a string
+// guarantees they stay immutable), binary-kinded values reuse rec's
+// existing B capacity, and DECIMAL values carry only the unscaled integer
+// in I — their S text is NOT materialized; use AppendDecimal with the
+// field's scale to render them. The caller owns rec and must consume or
+// copy its values before the next DecodeRecordInto call on the same rec.
+//
+//etlvirt:hotpath
+func DecodeRecordInto(rec Record, buf string, layout *Layout) (int, error) {
+	if len(rec) != len(layout.Fields) {
+		return 0, errScratchSize(len(rec), layout)
+	}
+	if len(buf) < 2 {
+		return 0, errMissingLenPrefix()
+	}
+	payload := int(beU16(buf))
+	total := 2 + payload + 1
+	if len(buf) < total {
+		return 0, errTruncatedRecord(total, len(buf))
+	}
 	if buf[total-1] != RecordTerminator {
-		return nil, 0, fmt.Errorf("ltype: record missing terminator")
+		return 0, errMissingTerminator()
 	}
 	p := buf[2 : 2+payload]
 	nInd := (len(layout.Fields) + 7) / 8
 	if len(p) < nInd {
-		return nil, 0, fmt.Errorf("ltype: record too short for indicator bytes")
+		return 0, errShortIndicators()
 	}
 	ind := p[:nInd]
 	p = p[nInd:]
-	rec := make(Record, len(layout.Fields))
-	for i, f := range layout.Fields {
+	for i := range layout.Fields {
 		null := ind[i/8]&(0x80>>(i%8)) != 0
-		v, rest, err := decodeValue(p, f.Type, null)
+		n, err := decodeValueInto(&rec[i], p, layout.Fields[i].Type, null)
 		if err != nil {
-			return nil, 0, fmt.Errorf("ltype: field %q: %w", f.Name, err)
+			return 0, errField(layout.Fields[i].Name, err)
 		}
-		rec[i] = v
-		p = rest
+		p = p[n:]
 	}
 	if len(p) != 0 {
-		return nil, 0, fmt.Errorf("ltype: %d trailing bytes in record payload", len(p))
+		return 0, errTrailingBytes(len(p))
 	}
-	return rec, total, nil
+	return total, nil
 }
 
-func decodeValue(p []byte, t Type, null bool) (Value, []byte, error) {
-	need := func(n int) error {
-		if len(p) < n {
-			return fmt.Errorf("truncated %s value", t.Kind)
-		}
-		return nil
-	}
-	mk := func(v Value, n int) (Value, []byte, error) {
-		if null {
-			return NullValue(t.Kind), p[n:], nil
-		}
-		return v, p[n:], nil
-	}
+// reset prepares a scratch value for a freshly decoded field: every payload
+// slot is cleared but the B capacity survives, so binary fields recycle
+// their backing array across rows.
+//
+//etlvirt:hotpath
+func (v *Value) reset(k Kind, null bool) {
+	v.Kind, v.Null, v.I, v.F, v.S = k, null, 0, 0, ""
+	v.B = v.B[:0]
+}
+
+// decodeValueInto decodes one field value from the front of p into v and
+// returns the number of payload bytes consumed. NULL fields still consume
+// their wire bytes but leave v a NULL of the field's kind.
+//
+//etlvirt:hotpath
+func decodeValueInto(v *Value, p string, t Type, null bool) (int, error) {
+	v.reset(t.Kind, null)
 	switch t.Kind {
 	case KindByteInt:
-		if err := need(1); err != nil {
-			return Value{}, p, err
+		if len(p) < 1 {
+			return 0, errTruncatedValue(t.Kind)
 		}
-		return mk(IntValue(t.Kind, int64(int8(p[0]))), 1)
+		if !null {
+			v.I = int64(int8(p[0]))
+		}
+		return 1, nil
 	case KindSmallInt:
-		if err := need(2); err != nil {
-			return Value{}, p, err
+		if len(p) < 2 {
+			return 0, errTruncatedValue(t.Kind)
 		}
-		return mk(IntValue(t.Kind, int64(int16(binary.BigEndian.Uint16(p)))), 2)
+		if !null {
+			v.I = int64(int16(beU16(p)))
+		}
+		return 2, nil
 	case KindInteger, KindDate, KindTime:
-		if err := need(4); err != nil {
-			return Value{}, p, err
+		if len(p) < 4 {
+			return 0, errTruncatedValue(t.Kind)
 		}
-		return mk(IntValue(t.Kind, int64(int32(binary.BigEndian.Uint32(p)))), 4)
+		if !null {
+			v.I = int64(int32(beU32(p)))
+		}
+		return 4, nil
 	case KindBigInt:
-		if err := need(8); err != nil {
-			return Value{}, p, err
+		if len(p) < 8 {
+			return 0, errTruncatedValue(t.Kind)
 		}
-		return mk(IntValue(t.Kind, int64(binary.BigEndian.Uint64(p))), 8)
+		if !null {
+			v.I = int64(beU64(p))
+		}
+		return 8, nil
 	case KindFloat:
-		if err := need(8); err != nil {
-			return Value{}, p, err
+		if len(p) < 8 {
+			return 0, errTruncatedValue(t.Kind)
 		}
-		return mk(FloatValue(math.Float64frombits(binary.BigEndian.Uint64(p))), 8)
+		if !null {
+			v.F = math.Float64frombits(beU64(p))
+		}
+		return 8, nil
 	case KindDecimal:
 		sz := DecimalWireSize(t.Precision)
-		if err := need(sz); err != nil {
-			return Value{}, p, err
+		if len(p) < sz {
+			return 0, errTruncatedValue(t.Kind)
 		}
-		var u uint64
-		for i := sz - 1; i >= 0; i-- {
-			u = u<<8 | uint64(p[i])
+		if !null {
+			var u uint64
+			for i := sz - 1; i >= 0; i-- {
+				u = u<<8 | uint64(p[i])
+			}
+			// sign-extend; S stays empty — see DecodeRecordInto
+			shift := uint(64 - 8*sz)
+			v.I = int64(u<<shift) >> shift
 		}
-		// sign-extend
-		shift := uint(64 - 8*sz)
-		iv := int64(u<<shift) >> shift
-		v := IntValue(KindDecimal, iv)
-		v.S = FormatDecimal(iv, t.Scale)
-		return mk(v, sz)
+		return sz, nil
 	case KindChar:
-		if err := need(t.Length); err != nil {
-			return Value{}, p, err
+		if len(p) < t.Length {
+			return 0, errTruncatedValue(t.Kind)
 		}
-		return mk(StringValue(KindChar, strings.TrimRight(string(p[:t.Length]), " ")), t.Length)
+		if !null {
+			v.S = strings.TrimRight(p[:t.Length], " ")
+		}
+		return t.Length, nil
 	case KindTimestamp:
-		if err := need(TimestampWidth); err != nil {
-			return Value{}, p, err
+		if len(p) < TimestampWidth {
+			return 0, errTruncatedValue(t.Kind)
 		}
-		return mk(StringValue(KindTimestamp, strings.TrimRight(string(p[:TimestampWidth]), " ")), TimestampWidth)
+		if !null {
+			v.S = strings.TrimRight(p[:TimestampWidth], " ")
+		}
+		return TimestampWidth, nil
 	case KindVarChar:
-		if err := need(2); err != nil {
-			return Value{}, p, err
+		if len(p) < 2 {
+			return 0, errTruncatedValue(t.Kind)
 		}
-		n := int(binary.BigEndian.Uint16(p))
-		if err := need(2 + n); err != nil {
-			return Value{}, p, err
+		n := int(beU16(p))
+		if len(p) < 2+n {
+			return 0, errTruncatedValue(t.Kind)
 		}
 		if n > t.Length {
-			return Value{}, p, fmt.Errorf("VARCHAR length %d exceeds declared %d", n, t.Length)
+			return 0, errVarLength("VARCHAR", n, t.Length)
 		}
-		return mk(StringValue(KindVarChar, string(p[2:2+n])), 2+n)
+		if !null {
+			v.S = p[2 : 2+n]
+		}
+		return 2 + n, nil
 	case KindByte:
-		if err := need(t.Length); err != nil {
-			return Value{}, p, err
+		if len(p) < t.Length {
+			return 0, errTruncatedValue(t.Kind)
 		}
-		b := make([]byte, t.Length)
-		copy(b, p[:t.Length])
-		return mk(BytesValue(KindByte, b), t.Length)
+		if !null {
+			v.B = append(v.B, p[:t.Length]...)
+		}
+		return t.Length, nil
 	case KindVarByte:
-		if err := need(2); err != nil {
-			return Value{}, p, err
+		if len(p) < 2 {
+			return 0, errTruncatedValue(t.Kind)
 		}
-		n := int(binary.BigEndian.Uint16(p))
-		if err := need(2 + n); err != nil {
-			return Value{}, p, err
+		n := int(beU16(p))
+		if len(p) < 2+n {
+			return 0, errTruncatedValue(t.Kind)
 		}
 		if n > t.Length {
-			return Value{}, p, fmt.Errorf("VARBYTE length %d exceeds declared %d", n, t.Length)
+			return 0, errVarLength("VARBYTE", n, t.Length)
 		}
-		b := make([]byte, n)
-		copy(b, p[2:2+n])
-		return mk(BytesValue(KindVarByte, b), 2+n)
+		if !null {
+			v.B = append(v.B, p[2:2+n]...)
+		}
+		return 2 + n, nil
 	default:
-		return Value{}, p, fmt.Errorf("cannot decode kind %s", t.Kind)
+		return 0, errBadKind(t.Kind)
 	}
 }
+
+// Big-endian loads from a string, the wire byte order everywhere in the
+// system (see EncodeRecord). encoding/binary only reads []byte; these keep
+// the string-aliasing decode path off the allocator.
+
+//etlvirt:hotpath
+func beU16(s string) uint16 { return uint16(s[0])<<8 | uint16(s[1]) }
+
+//etlvirt:hotpath
+func beU32(s string) uint32 {
+	return uint32(s[0])<<24 | uint32(s[1])<<16 | uint32(s[2])<<8 | uint32(s[3])
+}
+
+//etlvirt:hotpath
+func beU64(s string) uint64 { return uint64(beU32(s))<<32 | uint64(beU32(s[4:])) }
+
+// Cold error constructors: the hot decode functions above are barred from
+// fmt by the hotalloc analyzer, so message formatting lives here.
+
+func errScratchSize(n int, layout *Layout) error {
+	return fmt.Errorf("ltype: scratch record has %d values, layout %q has %d fields",
+		n, layout.Name, len(layout.Fields))
+}
+
+func errMissingLenPrefix() error {
+	return fmt.Errorf("ltype: truncated record: missing length prefix")
+}
+
+func errTruncatedRecord(need, have int) error {
+	return fmt.Errorf("ltype: truncated record: need %d bytes, have %d", need, have)
+}
+
+func errMissingTerminator() error { return fmt.Errorf("ltype: record missing terminator") }
+
+func errShortIndicators() error { return fmt.Errorf("ltype: record too short for indicator bytes") }
+
+func errField(name string, err error) error { return fmt.Errorf("ltype: field %q: %w", name, err) }
+
+func errTrailingBytes(n int) error {
+	return fmt.Errorf("ltype: %d trailing bytes in record payload", n)
+}
+
+func errTruncatedValue(k Kind) error { return fmt.Errorf("truncated %s value", k) }
+
+func errVarLength(what string, n, max int) error {
+	return fmt.Errorf("%s length %d exceeds declared %d", what, n, max)
+}
+
+func errBadKind(k Kind) error { return fmt.Errorf("cannot decode kind %s", k) }
 
 // CountRecords scans a chunk payload and returns the number of complete
 // indicator-mode records it contains, without materializing values. This is

@@ -93,35 +93,17 @@ func (v Value) Equal(o Value) bool {
 // Text formats the value as legacy client text, as it would appear in a
 // vartext export file or an error-table dump. NULL renders as the empty
 // string; callers that need an explicit marker handle NULL themselves.
+// Hot-path callers use AppendText, which produces the same bytes into a
+// caller-provided buffer.
 func (v Value) Text() string {
 	if v.Null {
 		return ""
 	}
 	switch v.Kind {
-	case KindByteInt, KindSmallInt, KindInteger, KindBigInt:
-		return strconv.FormatInt(v.I, 10)
-	case KindFloat:
-		return strconv.FormatFloat(v.F, 'g', -1, 64)
-	case KindDecimal:
-		return v.S // formatted at parse time when scale known; see FormatDecimal
-	case KindChar, KindVarChar, KindTimestamp:
-		return v.S
-	case KindDate:
-		y, m, d := DecodeLegacyDate(v.I)
-		return fmt.Sprintf("%04d-%02d-%02d", y, m, d)
-	case KindTime:
-		sec := v.I
-		return fmt.Sprintf("%02d:%02d:%02d", sec/3600, (sec/60)%60, sec%60)
-	case KindByte, KindVarByte:
-		const hexdigits = "0123456789ABCDEF"
-		var sb strings.Builder
-		for _, b := range v.B {
-			sb.WriteByte(hexdigits[b>>4])
-			sb.WriteByte(hexdigits[b&0xF])
-		}
-		return sb.String()
+	case KindDecimal, KindChar, KindVarChar, KindTimestamp:
+		return v.S // DECIMAL is formatted at parse time when the scale is known
 	default:
-		return ""
+		return string(v.AppendText(nil))
 	}
 }
 
@@ -132,11 +114,11 @@ func FormatDecimal(unscaled int64, scale int) string {
 		return strconv.FormatInt(unscaled, 10)
 	}
 	neg := unscaled < 0
-	u := unscaled
+	u := uint64(unscaled)
 	if neg {
-		u = -u
+		u = uint64(-unscaled) // two's-complement magnitude, MinInt64-safe
 	}
-	s := strconv.FormatInt(u, 10)
+	s := strconv.FormatUint(u, 10)
 	for len(s) <= scale {
 		s = "0" + s
 	}

@@ -1,7 +1,6 @@
 package ltype
 
 import (
-	"bytes"
 	"fmt"
 	"strings"
 )
@@ -15,32 +14,75 @@ import (
 // legacy client rejects scripts that declare numeric fields for vartext
 // files, mirroring the real utilities.
 
+// VartextScratch holds reusable buffers for vartext field splitting. The
+// zero value is ready to use; reusing one scratch across calls keeps the
+// per-line split allocation-free once the buffers have grown.
+type VartextScratch struct {
+	fields []string
+	esc    []byte
+}
+
 // VartextRecord splits one vartext line into raw field strings, honoring
-// backslash escapes. It does not validate against a layout.
+// backslash escapes. It does not validate against a layout. Hot-path
+// callers use vartextFieldsInto via ParseVartextRecordInto instead.
 func VartextRecord(line string, delim byte) []string {
-	var fields []string
-	var cur strings.Builder
+	var sc VartextScratch
+	fields := vartextFieldsInto(&sc, line, delim)
+	out := make([]string, len(fields))
+	copy(out, fields)
+	return out
+}
+
+// vartextFieldsInto splits line into sc.fields and returns it. Lines with
+// no escapes — the overwhelming majority — split by slicing line itself, so
+// the returned strings alias line's memory and the call allocates nothing
+// once sc.fields has grown to the field count.
+//
+//etlvirt:hotpath
+func vartextFieldsInto(sc *VartextScratch, line string, delim byte) []string {
+	sc.fields = sc.fields[:0]
+	if strings.IndexByte(line, '\\') < 0 {
+		start := 0
+		for i := 0; i < len(line); i++ {
+			if line[i] == delim {
+				sc.fields = append(sc.fields, line[start:i])
+				start = i + 1
+			}
+		}
+		sc.fields = append(sc.fields, line[start:])
+		return sc.fields
+	}
+	return vartextFieldsSlow(sc, line, delim)
+}
+
+// vartextFieldsSlow handles lines containing backslash escapes. Unescaped
+// bytes are built in sc.esc, but each field still materializes as its own
+// string — acceptable, since escaped lines are rare.
+func vartextFieldsSlow(sc *VartextScratch, line string, delim byte) []string {
+	buf := sc.esc[:0]
+	start := 0 // index in buf where the current field begins
 	esc := false
 	for i := 0; i < len(line); i++ {
 		c := line[i]
 		switch {
 		case esc:
-			cur.WriteByte(c)
+			buf = append(buf, c)
 			esc = false
 		case c == '\\':
 			esc = true
 		case c == delim:
-			fields = append(fields, cur.String())
-			cur.Reset()
+			sc.fields = append(sc.fields, string(buf[start:]))
+			start = len(buf)
 		default:
-			cur.WriteByte(c)
+			buf = append(buf, c)
 		}
 	}
 	if esc {
-		cur.WriteByte('\\') // trailing lone backslash is literal
+		buf = append(buf, '\\') // trailing lone backslash is literal
 	}
-	fields = append(fields, cur.String())
-	return fields
+	sc.fields = append(sc.fields, string(buf[start:]))
+	sc.esc = buf
+	return sc.fields
 }
 
 // AppendVartext appends the vartext encoding of the raw field strings to dst
@@ -63,22 +105,45 @@ func AppendVartext(dst []byte, fields []string, delim byte) []byte {
 
 // ParseVartextRecord converts one vartext line into a Record for the layout.
 // The field count must match the layout exactly; this is the classic "wrong
-// number of fields" data error of §7.
+// number of fields" data error of §7. Hot-path callers use
+// ParseVartextRecordInto, which reuses caller-provided scratch.
 func ParseVartextRecord(line string, delim byte, layout *Layout) (Record, error) {
-	fields := VartextRecord(line, delim)
-	if len(fields) != len(layout.Fields) {
-		return nil, fmt.Errorf("ltype: vartext record has %d fields, layout %q expects %d",
-			len(fields), layout.Name, len(layout.Fields))
+	rec := make(Record, len(layout.Fields))
+	var sc VartextScratch
+	if err := ParseVartextRecordInto(rec, line, delim, layout, &sc); err != nil {
+		return nil, err
 	}
-	rec := make(Record, len(fields))
-	for i, f := range layout.Fields {
-		v, err := ParseText(fields[i], f.Type)
+	return rec, nil
+}
+
+// ParseVartextRecordInto parses one vartext line into rec, which must have
+// exactly len(layout.Fields) values, reusing sc's split buffers. On the
+// common escape-free line the parsed string values alias line's memory and
+// the call performs no allocation; the caller must consume or copy rec
+// before reusing it or mutating line's backing storage.
+//
+//etlvirt:hotpath
+func ParseVartextRecordInto(rec Record, line string, delim byte, layout *Layout, sc *VartextScratch) error {
+	if len(rec) != len(layout.Fields) {
+		return errScratchSize(len(rec), layout)
+	}
+	fields := vartextFieldsInto(sc, line, delim)
+	if len(fields) != len(layout.Fields) {
+		return errVartextFieldCount(len(fields), layout)
+	}
+	for i := range layout.Fields {
+		v, err := ParseText(fields[i], layout.Fields[i].Type)
 		if err != nil {
-			return nil, fmt.Errorf("ltype: field %q: %w", f.Name, err)
+			return errField(layout.Fields[i].Name, err)
 		}
 		rec[i] = v
 	}
-	return rec, nil
+	return nil
+}
+
+func errVartextFieldCount(n int, layout *Layout) error {
+	return fmt.Errorf("ltype: vartext record has %d fields, layout %q expects %d",
+		n, layout.Name, len(layout.Fields))
 }
 
 // ValidateVartextLayout checks that a layout is usable with vartext input:
@@ -95,11 +160,35 @@ func ValidateVartextLayout(layout *Layout) error {
 
 // SplitVartextLines splits file contents into lines, tolerating a missing
 // final newline and both \n and \r\n line endings. Escaped newlines inside a
-// field (backslash immediately before the newline) do not split.
+// field (backslash immediately before the newline) do not split. Hot-path
+// callers iterate with NextVartextLine instead of materializing the slice.
 func SplitVartextLines(data []byte) []string {
 	var lines []string
-	start := 0
-	for i := 0; i < len(data); i++ {
+	s := string(data) // one copy; the returned lines alias it
+	for pos := 0; pos < len(s); {
+		line, next, ok := NextVartextLine(s, pos)
+		if !ok {
+			break
+		}
+		lines = append(lines, line)
+		pos = next
+	}
+	return lines
+}
+
+// NextVartextLine returns the vartext line starting at pos in data, the
+// position of the following line, and whether a line was present (false
+// only when pos is at or past the end). The returned line aliases data,
+// has any trailing \r removed, and honors escaped newlines exactly like
+// SplitVartextLines.
+//
+//etlvirt:hotpath
+func NextVartextLine(data string, pos int) (line string, next int, ok bool) {
+	if pos >= len(data) {
+		return "", pos, false
+	}
+	start := pos
+	for i := pos; i < len(data); i++ {
 		if data[i] != '\n' {
 			continue
 		}
@@ -112,14 +201,7 @@ func SplitVartextLines(data []byte) []string {
 		if bs%2 == 1 {
 			continue
 		}
-		line := data[start:i]
-		line = bytes.TrimSuffix(line, []byte{'\r'})
-		lines = append(lines, string(line))
-		start = i + 1
+		return strings.TrimSuffix(data[start:i], "\r"), i + 1, true
 	}
-	if start < len(data) {
-		line := bytes.TrimSuffix(data[start:], []byte{'\r'})
-		lines = append(lines, string(line))
-	}
-	return lines
+	return strings.TrimSuffix(data[start:], "\r"), len(data), true
 }
