@@ -1,6 +1,7 @@
 package etlvirt_test
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -17,6 +18,9 @@ import (
 	"etlvirt/internal/etlclient"
 	"etlvirt/internal/etlscript"
 	"etlvirt/internal/faultinject"
+	"etlvirt/internal/ltype"
+	"etlvirt/internal/stream"
+	"etlvirt/internal/wire"
 )
 
 // TestChaosDifferentialOracle is the differential chaos test: one unmodified
@@ -177,5 +181,298 @@ insert into PROD.CUSTOMER values (
 		if strings.Join(got, "\n") != strings.Join(want, "\n") {
 			t.Errorf("diverged under seed %d for %q:\n edw:  %v\n virt: %v", seed, q, want, got)
 		}
+	}
+}
+
+// TestChaosCDCResume is the CDC differential chaos test: an interleaved
+// insert/update/delete delta stream runs through the virtualizer's streaming
+// path while the object store and CDW transport inject faults, and the
+// client is killed twice mid-stream and resumes from the durable watermark —
+// deliberately replaying everything from delta 1 each time, so the server's
+// replay drop and error-table idempotence are both exercised. The oracle is
+// tuple-at-a-time application on a fault-free warehouse: the streamed target
+// table and error table must match it byte for byte.
+//
+// The fault seed comes from ETLVIRT_FAULT_SEED (the CI chaos matrix).
+func TestChaosCDCResume(t *testing.T) {
+	seed := int64(1)
+	if s := os.Getenv("ETLVIRT_FAULT_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("ETLVIRT_FAULT_SEED=%q: %v", s, err)
+		}
+		seed = v
+	}
+
+	const ddl = `CREATE TABLE PROD.CUSTOMER (
+	CUST_ID VARCHAR(5) NOT NULL,
+	CUST_NAME VARCHAR(50),
+	JOIN_DATE DATE,
+	PRIMARY KEY (CUST_ID))`
+	const applySQL = `insert into PROD.CUSTOMER values (
+	trim(:CUST_ID), trim(:CUST_NAME),
+	cast(:JOIN_DATE as DATE format 'YYYY-MM-DD') )`
+
+	// Deterministic interleaved delta stream over a 40-key space: first
+	// image of a key inserts, later images update, every 13th delta deletes,
+	// and every 23rd carries a date that fails the apply-time cast.
+	type cdcDelta struct {
+		op       stream.Op
+		id, name string
+		date     string
+	}
+	const total = 160
+	deltas := make([]cdcDelta, 0, total)
+	live := map[string]bool{}
+	for i := 1; i <= total; i++ {
+		id := fmt.Sprintf("%d", 1+(i*7)%40)
+		date := fmt.Sprintf("2023-%02d-%02d", 1+i%12, 1+i%28)
+		if i%23 == 11 {
+			date = "bad-date"
+		}
+		if i%13 == 0 && live[id] {
+			deltas = append(deltas, cdcDelta{op: stream.OpDelete, id: id})
+			live[id] = false
+			continue
+		}
+		op := stream.OpUpdate
+		if !live[id] {
+			op = stream.OpInsert
+		}
+		deltas = append(deltas, cdcDelta{op: op, id: id, name: fmt.Sprintf("Name %d", i), date: date})
+		if date != "bad-date" {
+			live[id] = true
+		}
+	}
+
+	// Reference: apply each delta tuple-at-a-time on a fault-free engine,
+	// recording apply errors exactly as the stream's error table does.
+	refEng := cdw.NewEngine(cloudstore.NewMemStore(), cdw.Options{})
+	if _, err := refEng.ExecSQL(ddl); err != nil {
+		t.Fatal(err)
+	}
+	var refET []string
+	for i, d := range deltas {
+		seq := i + 1
+		var err error
+		switch d.op {
+		case stream.OpDelete:
+			_, err = refEng.ExecSQL(fmt.Sprintf(
+				"DELETE FROM PROD.CUSTOMER WHERE CUST_ID = '%s'", d.id))
+		default:
+			var res *cdw.Result
+			res, err = refEng.ExecSQL(fmt.Sprintf(
+				"SELECT count(*) FROM PROD.CUSTOMER WHERE CUST_ID = '%s'", d.id))
+			if err != nil {
+				t.Fatalf("ref probe seq %d: %v", seq, err)
+			}
+			if res.Rows[0][0].I > 0 {
+				_, err = refEng.ExecSQL(fmt.Sprintf(
+					"UPDATE PROD.CUSTOMER SET CUST_NAME = '%s', JOIN_DATE = to_date('%s', 'YYYY-MM-DD') WHERE CUST_ID = '%s'",
+					d.name, d.date, d.id))
+			} else {
+				_, err = refEng.ExecSQL(fmt.Sprintf(
+					"INSERT INTO PROD.CUSTOMER VALUES ('%s', '%s', to_date('%s', 'YYYY-MM-DD'))",
+					d.id, d.name, d.date))
+			}
+		}
+		if err != nil {
+			var ce *cdw.Error
+			if !errors.As(err, &ce) {
+				t.Fatalf("ref apply seq %d: %v", seq, err)
+			}
+			refET = append(refET, fmt.Sprintf("%d|%d|%d", seq, seq, ce.Code))
+		}
+	}
+
+	// Virtualized stack with faults on both infrastructure seams.
+	inj := faultinject.New(seed)
+	inj.SetRule(faultinject.OpStorePut,
+		faultinject.Rule{Rate: 0.15, Every: 5, Class: faultinject.ClassTimeout})
+	inj.SetRule("cdw.query",
+		faultinject.Rule{Rate: 0.02, Every: 30, Class: faultinject.ClassReset})
+	store := cloudstore.NewMemStore()
+	cdwEng := cdw.NewEngine(store, cdw.Options{})
+	cdwSrv := cdwnet.NewServer(cdwEng)
+	cdwAddr, err := cdwSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cdwSrv.Close() })
+	node := core.NewNode(core.Config{
+		CDWAddr:           cdwAddr,
+		UploadParallelism: 1,
+		FileSizeThreshold: 2 << 10,
+		FaultInjector:     inj,
+		RetryMaxAttempts:  8,
+		RetryBaseDelay:    time.Millisecond,
+		RetryMaxDelay:     5 * time.Millisecond,
+	}, store)
+	nodeAddr, err := node.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+	if _, err := cdwEng.ExecSQL(ddl); err != nil {
+		t.Fatal(err)
+	}
+
+	layout := &ltype.Layout{Name: "CustLayout", Fields: []ltype.Field{
+		{Name: "CUST_ID", Type: ltype.VarChar(5)},
+		{Name: "CUST_NAME", Type: ltype.VarChar(50)},
+		{Name: "JOIN_DATE", Type: ltype.VarChar(10)},
+	}}
+	dial := func() *wire.Conn {
+		c, err := wire.Dial(nodeAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Send(0, &wire.Logon{User: "u", Password: "p"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Expect(wire.KindLogonOK); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	begin := func(c *wire.Conn) *wire.StreamOK {
+		if err := c.Send(0, &wire.BeginStream{
+			Name: "chaos_cdc", Table: "PROD.CUSTOMER", ErrTableET: "PROD.CUSTOMER_ET",
+			Layout: layout, Format: wire.FormatVartext, Delim: '|', SQL: applySQL,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		m, err := c.Expect(wire.KindStreamOK)
+		if err != nil {
+			t.Fatalf("begin stream: %v", err)
+		}
+		return m.(*wire.StreamOK)
+	}
+	// sendRange frames deltas[lo..hi] (1-based, inclusive) in frames of 16
+	// and returns the last ack.
+	sendRange := func(c *wire.Conn, id uint64, lo, hi int) *wire.DeltaAck {
+		var last *wire.DeltaAck
+		for f := lo; f <= hi; f += 16 {
+			end := f + 15
+			if end > hi {
+				end = hi
+			}
+			var payload []byte
+			for s := f; s <= end; s++ {
+				d := deltas[s-1]
+				rec := fmt.Sprintf("%s|%s|%s\n", d.id, d.name, d.date)
+				payload = stream.AppendDelta(payload, d.op, []byte(rec))
+			}
+			if err := c.Send(0, &wire.DeltaFrame{
+				StreamID: id, FirstSeq: uint64(f), Count: uint32(end - f + 1), Payload: payload,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			m, err := c.Expect(wire.KindDeltaAck)
+			if err != nil {
+				t.Fatalf("frame at seq %d: %v", f, err)
+			}
+			last = m.(*wire.DeltaAck)
+		}
+		return last
+	}
+	waitIdle := func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			busy := false
+			for _, j := range node.ActiveJobs() {
+				if j.Kind == "stream" {
+					busy = true
+				}
+			}
+			if !busy {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("stream jobs still active after kill")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Phase 1: half the stream, then kill the connection mid-batch.
+	c := dial()
+	ok := begin(c)
+	if ok.ResumeSeq != 0 {
+		t.Fatalf("fresh stream resumes at %d", ok.ResumeSeq)
+	}
+	sendRange(c, ok.StreamID, 1, total/2)
+	c.Close()
+	waitIdle()
+
+	// Phase 2: resume, full replay from delta 1 — the ack must show the
+	// durable watermark, not re-application — then kill again.
+	c = dial()
+	ok = begin(c)
+	w1 := ok.ResumeSeq
+	if w1 == 0 || w1 > uint64(total/2) {
+		t.Fatalf("phase-2 resume watermark %d, want in (0, %d]", w1, total/2)
+	}
+	ack := sendRange(c, ok.StreamID, 1, 3*total/4)
+	if ack.CommittedSeq < w1 {
+		t.Fatalf("replay regressed the watermark: %d < %d", ack.CommittedSeq, w1)
+	}
+	c.Close()
+	waitIdle()
+
+	// Phase 3: resume again, replay everything, finish cleanly.
+	c = dial()
+	ok = begin(c)
+	w2 := ok.ResumeSeq
+	if w2 < w1 {
+		t.Fatalf("watermark moved backwards across resume: %d < %d", w2, w1)
+	}
+	sendRange(c, ok.StreamID, 1, total)
+	if err := c.Send(0, &wire.EndStream{StreamID: ok.StreamID}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Expect(wire.KindStreamDone)
+	if err != nil {
+		t.Fatalf("end stream: %v", err)
+	}
+	done := m.(*wire.StreamDone)
+	c.Close()
+	if done.Watermark != total {
+		t.Errorf("final watermark %d, want %d", done.Watermark, total)
+	}
+	if done.Replayed != w2 {
+		t.Errorf("phase-3 replays %d, want %d (deltas at or below its resume watermark)", done.Replayed, w2)
+	}
+	if inj.Injected() == 0 {
+		t.Fatal("no faults were injected; the chaos run tested nothing")
+	}
+
+	// Differential check: streamed state must match the tuple-at-a-time
+	// oracle byte for byte, with no delta double-applied across the resumes.
+	state := func(eng *cdw.Engine, sql string) []string {
+		res, err := eng.ExecSQL(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		var out []string
+		for _, row := range res.Rows {
+			var parts []string
+			for _, d := range row {
+				parts = append(parts, d.Render())
+			}
+			out = append(out, strings.Join(parts, "|"))
+		}
+		sort.Strings(out)
+		return out
+	}
+	const targetQ = "SELECT CUST_ID, CUST_NAME, JOIN_DATE FROM PROD.CUSTOMER"
+	got, want := state(cdwEng, targetQ), state(refEng, targetQ)
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("target diverged under seed %d:\n ref:  %v\n virt: %v", seed, want, got)
+	}
+	gotET := state(cdwEng, "SELECT SEQNO, SEQNO_END, ERRCODE FROM PROD.CUSTOMER_ET")
+	sort.Strings(refET)
+	if strings.Join(gotET, "\n") != strings.Join(refET, "\n") {
+		t.Errorf("error table diverged under seed %d:\n ref:  %v\n virt: %v", seed, refET, gotET)
 	}
 }

@@ -25,6 +25,7 @@ func main() {
 	addr := flag.String("addr", "", "server address; overrides the script's .logon host")
 	sessions := flag.Int("sessions", 0, "override the script's parallel session count")
 	chunk := flag.Int("chunk", 0, "records per data chunk (0 = default)")
+	streamLatency := flag.Int("stream-latency-target", 0, "override stream blocks' commit latency target in ms (0 = script value)")
 	analyze := flag.Bool("analyze", false, "run the workload pre-flight analysis on a SQL file instead of executing a job")
 	flag.Parse()
 
@@ -57,9 +58,10 @@ func main() {
 		log.Fatalf("etlrun: %v", err)
 	}
 	res, err := etlclient.Run(script, etlclient.Options{
-		Addr:         *addr,
-		Sessions:     *sessions,
-		ChunkRecords: *chunk,
+		Addr:            *addr,
+		Sessions:        *sessions,
+		ChunkRecords:    *chunk,
+		StreamLatencyMS: *streamLatency,
 	})
 	if err != nil {
 		log.Fatalf("etlrun: %v", err)
@@ -72,6 +74,12 @@ func main() {
 	}
 	for _, er := range res.Exports {
 		fmt.Printf("export %s: rows=%d total=%v\n", er.Outfile, er.Rows, er.Total)
+	}
+	for _, sr := range res.Streams {
+		fmt.Printf("stream %s -> %s: sent=%d skipped=%d frames=%d watermark=%d inserted=%d updated=%d deleted=%d errET=%d replayed=%d\n",
+			sr.Name, sr.Table, sr.DeltasSent, sr.Skipped, sr.Frames, sr.Watermark,
+			sr.Inserted, sr.Updated, sr.Deleted, sr.ErrorsET, sr.Replayed)
+		fmt.Printf("  final frame hint=%d total=%v\n", sr.FinalHint, sr.Total)
 	}
 }
 

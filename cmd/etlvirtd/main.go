@@ -48,6 +48,9 @@ func main() {
 	retryBudget := flag.Int64("retry-budget", 0, "total retries allowed node-wide (0 = unlimited)")
 	putTimeout := flag.Duration("put-timeout", 0, "per-put object-store deadline (0 = none)")
 	cdwTimeout := flag.Duration("cdw-timeout", 0, "per-round-trip CDW deadline (0 = none)")
+	streamLatency := flag.Duration("stream-latency-target", 0, "end-to-end commit latency target for CDC micro-batches (0 = 2s)")
+	streamMinBatch := flag.Int("stream-min-batch", 0, "micro-batch size floor in deltas (0 = 16)")
+	streamMaxBatch := flag.Int("stream-max-batch", 0, "micro-batch size ceiling in deltas (0 = 8192)")
 	flag.Parse()
 
 	if *storeDir == "" {
@@ -60,25 +63,28 @@ func main() {
 	}
 
 	cfg := core.Config{
-		CDWAddr:           *cdwAddr,
-		Credits:           *credits,
-		MemBudget:         *memBudget,
-		Converters:        *converters,
-		FileWriters:       *writers,
-		FileSizeThreshold: *fileSize,
-		Gzip:              *gz,
-		MaxErrors:         *maxErrors,
-		MaxRetries:        *maxRetries,
-		ReportLogSize:     *reportLog,
-		TraceRetention:    *traceRetain,
-		TraceSpansPerJob:  *traceSpans,
-		RetryMaxAttempts:  *retryMax,
-		RetryBaseDelay:    *retryBase,
-		RetryMaxDelay:     *retryCap,
-		RetryBudget:       *retryBudget,
-		PutTimeout:        *putTimeout,
-		CDWTimeout:        *cdwTimeout,
-		Logger:            slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		CDWAddr:             *cdwAddr,
+		Credits:             *credits,
+		MemBudget:           *memBudget,
+		Converters:          *converters,
+		FileWriters:         *writers,
+		FileSizeThreshold:   *fileSize,
+		Gzip:                *gz,
+		MaxErrors:           *maxErrors,
+		MaxRetries:          *maxRetries,
+		ReportLogSize:       *reportLog,
+		TraceRetention:      *traceRetain,
+		TraceSpansPerJob:    *traceSpans,
+		RetryMaxAttempts:    *retryMax,
+		RetryBaseDelay:      *retryBase,
+		RetryMaxDelay:       *retryCap,
+		RetryBudget:         *retryBudget,
+		PutTimeout:          *putTimeout,
+		CDWTimeout:          *cdwTimeout,
+		StreamLatencyTarget: *streamLatency,
+		StreamMinBatch:      *streamMinBatch,
+		StreamMaxBatch:      *streamMaxBatch,
+		Logger:              slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	}
 	if *faultSpec != "" {
 		inj, err := faultinject.Parse(*faultSpec, *faultSeed)

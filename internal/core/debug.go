@@ -41,6 +41,13 @@ type ActiveJob struct {
 	// export progress
 	RowsExported   int64 `json:"rows_exported,omitempty"`
 	BatchesFetched int64 `json:"batches_fetched,omitempty"`
+
+	// streaming progress
+	Deltas    int64 `json:"deltas_received,omitempty"`
+	Replayed  int64 `json:"deltas_replayed,omitempty"`
+	Batches   int64 `json:"batches_committed,omitempty"`
+	Watermark int64 `json:"watermark,omitempty"`
+	BatchHint int64 `json:"batch_hint,omitempty"`
 }
 
 // ActiveJobs snapshots every running import and export job.
@@ -54,10 +61,14 @@ func (n *Node) ActiveJobs() []ActiveJob {
 	for _, j := range n.exports {
 		exports = append(exports, j)
 	}
+	streams := make([]*streamJob, 0, len(n.streams))
+	for _, j := range n.streams {
+		streams = append(streams, j)
+	}
 	n.mu.Unlock()
 
 	now := time.Now()
-	out := make([]ActiveJob, 0, len(imports)+len(exports))
+	out := make([]ActiveJob, 0, len(imports)+len(exports)+len(streams))
 	for _, j := range imports {
 		phase := "acquisition"
 		if j.acqDone.Load() {
@@ -92,6 +103,23 @@ func (n *Node) ActiveJobs() []ActiveJob {
 			ElapsedMS:      now.Sub(j.started).Milliseconds(),
 			RowsExported:   j.rowsOut.Load(),
 			BatchesFetched: j.batches.Load(),
+		})
+	}
+	for _, j := range streams {
+		out = append(out, ActiveJob{
+			JobID:       j.id,
+			Kind:        "stream",
+			Target:      j.targets,
+			Phase:       "streaming",
+			StartedAt:   j.started,
+			ElapsedMS:   now.Sub(j.started).Milliseconds(),
+			ErrorsET:    j.errsET.Load(),
+			CreditsHeld: j.heldCreds.Load(),
+			Deltas:      j.deltas.Load(),
+			Replayed:    j.replayed.Load(),
+			Batches:     j.batches.Load(),
+			Watermark:   j.wmLive.Load(),
+			BatchHint:   j.hintLive.Load(),
 		})
 	}
 	// stable order for consumers

@@ -459,7 +459,7 @@ func (j *importJob) finishAcquisition() (*wire.AcquireDone, error) {
 	j.mu.Lock()
 	dataErrs := j.dataErrors
 	j.mu.Unlock()
-	if err := j.recordDataErrors(j.etName, dataErrs); err != nil {
+	if err := recordDataErrors(j.node, j.etName, dataErrs); err != nil {
 		return nil, err
 	}
 	j.watch.acqTo = time.Now()
@@ -570,8 +570,9 @@ func errorRow(lo, hi int64, code int, field, msg string) []sqlparse.Expr {
 	}
 }
 
-// recordError inserts one entry into an error table.
-func (j *importJob) recordError(table sqlparse.TableName, lo, hi int64, code int, field, msg string) error {
+// recordError inserts one entry into an error table. Shared by the discrete
+// import path and the streaming path.
+func recordError(n *Node, table sqlparse.TableName, lo, hi int64, code int, field, msg string) error {
 	ins := &sqlparse.InsertStmt{
 		Table: table,
 		Rows:  [][]sqlparse.Expr{errorRow(lo, hi, code, field, msg)},
@@ -580,30 +581,30 @@ func (j *importJob) recordError(table sqlparse.TableName, lo, hi int64, code int
 	if err != nil {
 		return err
 	}
-	_, err = j.node.pool.Exec(sql)
+	_, err = n.pool.Exec(sql)
 	return err
 }
 
 // recordDataErrors inserts acquisition data errors into an error table in
 // multi-row batches of errInsertBatch, one round trip per batch.
-func (j *importJob) recordDataErrors(table sqlparse.TableName, errs []convert.DataError) error {
+func recordDataErrors(n *Node, table sqlparse.TableName, errs []convert.DataError) error {
 	for len(errs) > 0 {
-		n := len(errs)
-		if n > errInsertBatch {
-			n = errInsertBatch
+		take := len(errs)
+		if take > errInsertBatch {
+			take = errInsertBatch
 		}
 		ins := &sqlparse.InsertStmt{Table: table}
-		for _, de := range errs[:n] {
+		for _, de := range errs[:take] {
 			ins.Rows = append(ins.Rows, errorRow(de.Row, de.Row, de.Code, de.Field, de.Msg))
 		}
 		sql, err := sqlparse.Print(ins, sqlparse.DialectCDW)
 		if err != nil {
 			return err
 		}
-		if _, err := j.node.pool.Exec(sql); err != nil {
+		if _, err := n.pool.Exec(sql); err != nil {
 			return err
 		}
-		errs = errs[n:]
+		errs = errs[take:]
 	}
 	return nil
 }
@@ -630,7 +631,7 @@ func (j *importJob) applyDML(m *wire.ApplyDML) (*wire.ApplyResult, error) {
 			return nil, fmt.Errorf("describing target: %w", err)
 		}
 		if len(meta.PrimaryKey) > 0 {
-			keyExprs, keyCols := j.keyExprs(dml, meta)
+			keyExprs, keyCols := keyExprsFor(dml, meta)
 			if len(keyExprs) > 0 {
 				if intraQ, targetQ, err = j.tr.DupCheckQueries(dml, keyCols, keyExprs); err != nil {
 					return nil, err
@@ -749,7 +750,7 @@ func (j *importJob) applyDML(m *wire.ApplyDML) (*wire.ApplyResult, error) {
 		if table.Name == "" {
 			return nil // job declared no error table; drop silently like the legacy tools
 		}
-		return j.recordError(table, lo, hi, c.Code, c.Field, msg)
+		return recordError(j.node, table, lo, hi, c.Code, c.Field, msg)
 	}
 
 	cfg := errhandle.Config{
@@ -885,8 +886,9 @@ func (j *importJob) stagedTupleSuffix(seq int64) string {
 	return ", tuple: " + strings.Join(parts, "|")
 }
 
-// keyExprs resolves the insert expressions feeding the target's primary key.
-func (j *importJob) keyExprs(dml *sqlxlate.DML, meta *cdwnet.TableMeta) ([]sqlparse.Expr, []string) {
+// keyExprsFor resolves the insert expressions feeding the target's primary
+// key. Shared by the discrete import path and the streaming path.
+func keyExprsFor(dml *sqlxlate.DML, meta *cdwnet.TableMeta) ([]sqlparse.Expr, []string) {
 	var exprs []sqlparse.Expr
 	var cols []string
 	for _, pk := range meta.PrimaryKey {

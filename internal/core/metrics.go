@@ -37,6 +37,14 @@ type nodeMetrics struct {
 	rowsExported, exportBatches, exportChunks *obs.Counter
 	exportBatchLat                            *obs.Histogram
 
+	// streaming (continuous micro-batch CDC ingestion)
+	streamsOpened, streamsAborted           *obs.Counter
+	streamDeltas, streamReplays             *obs.Counter
+	streamBatches                           *obs.Counter
+	streamGrows, streamShrinks, streamHolds *obs.Counter
+	streamBatchRows                         *obs.Histogram
+	streamCommitLat                         *obs.Histogram
+
 	// CDW round trips (all Beta traffic incl. staging DDL and probes)
 	cdwRequests, cdwErrors *obs.Counter
 	cdwReqLat              *obs.Histogram
@@ -110,6 +118,24 @@ func newNodeMetrics(n *Node) *nodeMetrics {
 	m.exportChunks = r.Counter("etlvirt_export_chunks_total", "Export chunks encoded for legacy clients.")
 	m.exportBatchLat = r.Histogram("etlvirt_export_batch_seconds",
 		"Per-batch TDFCursor fetch latency.", nil)
+
+	m.streamsOpened = r.Counter("etlvirt_stream_sessions_opened_total", "Streaming sessions opened (fresh or resumed).")
+	m.streamsAborted = r.Counter("etlvirt_stream_sessions_aborted_total", "Streaming sessions aborted by client disconnect or a poisoned frame.")
+	m.streamDeltas = r.Counter("etlvirt_stream_deltas_total", "CDC delta records received on streaming sessions.")
+	m.streamReplays = r.Counter("etlvirt_stream_replays_total", "Delta records dropped as replays at or below the committed watermark.")
+	m.streamBatches = r.Counter("etlvirt_stream_batches_total", "Streaming micro-batches committed.")
+	m.streamGrows = r.Counter("etlvirt_stream_ctrl_grow_total", "Adaptive controller decisions growing the micro-batch.")
+	m.streamShrinks = r.Counter("etlvirt_stream_ctrl_shrink_total", "Adaptive controller decisions shrinking the micro-batch.")
+	m.streamHolds = r.Counter("etlvirt_stream_ctrl_hold_total", "Adaptive controller decisions holding the micro-batch size.")
+	m.streamBatchRows = r.Histogram("etlvirt_stream_batch_rows",
+		"Records per committed streaming micro-batch.", obs.SizeBuckets)
+	m.streamCommitLat = r.Histogram("etlvirt_stream_commit_seconds",
+		"End-to-end micro-batch commit latency (first buffered delta to watermark advance).", nil)
+	r.GaugeFunc("etlvirt_stream_sessions_active", "Streaming sessions currently open.", func() float64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return float64(len(n.streams))
+	})
 
 	m.cdwRequests = r.Counter("etlvirt_cdw_requests_total", "Round trips to the CDW (all Beta traffic).")
 	m.cdwErrors = r.Counter("etlvirt_cdw_errors_total", "CDW round trips that returned an error.")

@@ -84,6 +84,15 @@ type Config struct {
 	MaxErrors  int
 	MaxRetries int
 
+	// StreamLatencyTarget is the end-to-end micro-batch commit latency the
+	// streaming controller steers toward for streams that do not set their
+	// own. Zero defaults to 2s (inside stream.Config).
+	StreamLatencyTarget time.Duration
+	// StreamMinBatch/StreamMaxBatch clamp the adaptive records-per-micro-batch
+	// hint. Zeros select the stream.Config defaults (16 and 8192).
+	StreamMinBatch int
+	StreamMaxBatch int
+
 	// ReportLogSize bounds the in-memory log of completed job reports; the
 	// oldest reports are evicted beyond it and counted in the
 	// etlvirt_reports_dropped gauge. Zero defaults to 1024.
@@ -188,6 +197,7 @@ type Node struct {
 	conns    map[net.Conn]struct{}
 	imports  map[uint64]*importJob
 	exports  map[uint64]*exportJob
+	streams  map[uint64]*streamJob
 	debugSrv *http.Server
 	closed   bool
 
@@ -231,6 +241,7 @@ func NewNode(cfg Config, store cloudstore.Store) *Node {
 		conns:   make(map[net.Conn]struct{}),
 		imports: make(map[uint64]*importJob),
 		exports: make(map[uint64]*exportJob),
+		streams: make(map[uint64]*streamJob),
 		tracer:  obs.NewTracer(cfg.TraceRetention, cfg.TraceSpansPerJob),
 		inj:     cfg.FaultInjector,
 	}

@@ -38,6 +38,7 @@ func (n *Node) serveConn(nc net.Conn) {
 	// tables or uploaded objects.
 	ownedImports := make(map[uint64]bool)
 	ownedExports := make(map[uint64]bool)
+	ownedStreams := make(map[uint64]bool)
 	defer func() {
 		for id := range ownedImports {
 			if job, ok := n.importJob(id); ok {
@@ -47,6 +48,14 @@ func (n *Node) serveConn(nc net.Conn) {
 		for id := range ownedExports {
 			if job, ok := n.exportJob(id); ok {
 				job.finish()
+			}
+		}
+		// A dropped streaming connection aborts its stream: buffered deltas
+		// are discarded and their credits returned; checkpoint and error
+		// tables stay so the stream's next incarnation resumes.
+		for id := range ownedStreams {
+			if job, ok := n.streamJob(id); ok {
+				job.abort()
 			}
 		}
 	}()
@@ -217,6 +226,68 @@ func (n *Node) serveConn(nc net.Conn) {
 				return
 			}
 
+		case *wire.BeginStream:
+			job, err := n.newStreamJob(msg)
+			if err != nil {
+				if e := c.Send(session, &wire.Failure{Code: 3010, Message: err.Error()}); e != nil {
+					return
+				}
+				continue
+			}
+			ownedStreams[job.id] = true
+			if err := c.Send(session, &wire.StreamOK{
+				StreamID:  job.id,
+				ResumeSeq: uint64(job.watermark),
+				BatchHint: uint32(job.ctrl.Hint().BatchRows),
+			}); err != nil {
+				return
+			}
+
+		case *wire.DeltaFrame:
+			job, ok := n.streamJob(msg.StreamID)
+			if !ok {
+				if e := c.Send(session, &wire.Failure{Code: 3005, Message: jobErr(msg.StreamID)}); e != nil {
+					return
+				}
+				continue
+			}
+			ack, err := job.handleFrame(msg)
+			if err != nil {
+				// A failed frame poisons the stream: abort so the client's
+				// reconnect resumes from the durable watermark.
+				job.abort()
+				delete(ownedStreams, msg.StreamID)
+				if e := c.Send(session, &wire.Failure{Code: 3011, Message: err.Error()}); e != nil {
+					return
+				}
+				continue
+			}
+			if err := c.Send(session, ack); err != nil {
+				return
+			}
+
+		case *wire.EndStream:
+			job, ok := n.streamJob(msg.StreamID)
+			if !ok {
+				if e := c.Send(session, &wire.Failure{Code: 3005, Message: jobErr(msg.StreamID)}); e != nil {
+					return
+				}
+				continue
+			}
+			done, err := job.finishStream()
+			if err != nil {
+				job.abort()
+				delete(ownedStreams, msg.StreamID)
+				if e := c.Send(session, &wire.Failure{Code: 3011, Message: err.Error()}); e != nil {
+					return
+				}
+				continue
+			}
+			delete(ownedStreams, msg.StreamID)
+			if err := c.Send(session, done); err != nil {
+				return
+			}
+
 		default:
 			if e := c.Send(session, &wire.Failure{Code: 3003,
 				Message: fmt.Sprintf("unexpected message %s", m.Kind())}); e != nil {
@@ -237,6 +308,13 @@ func (n *Node) exportJob(id uint64) (*exportJob, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	j, ok := n.exports[id]
+	return j, ok
+}
+
+func (n *Node) streamJob(id uint64) (*streamJob, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	j, ok := n.streams[id]
 	return j, ok
 }
 

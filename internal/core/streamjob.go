@@ -1,0 +1,769 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"etlvirt/internal/cdw"
+	"etlvirt/internal/convert"
+	"etlvirt/internal/credit"
+	"etlvirt/internal/errhandle"
+	"etlvirt/internal/obs"
+	"etlvirt/internal/retrier"
+	"etlvirt/internal/sqlparse"
+	"etlvirt/internal/sqlxlate"
+	"etlvirt/internal/stream"
+	"etlvirt/internal/wire"
+)
+
+// opRun is a maximal run of consecutive same-class deltas inside one
+// micro-batch: either upsert images (insert/update) or delete images. Runs
+// are applied in delta-sequence order, which reproduces the tuple-at-a-time
+// ordering of a legacy CDC apply with set-oriented statements: within an
+// upsert run the CDW's UPDATE ... FROM applies matching images in staged
+// (__seq) order so the last image of a key wins, and class boundaries order
+// deletes against upserts of the same key.
+type opRun struct {
+	del    bool  // delete run; otherwise an upsert (insert/update) run
+	lo, hi int64 // inclusive delta-sequence range
+}
+
+// errStreamDupRange forces an adaptive split: the guarded INSERT half of an
+// upsert run is only correct when each key appears at most once in the
+// range — two images of an unseen key would both pass the NOT EXISTS guard
+// in one set-oriented statement. The intra-range duplicate probe raises this
+// sentinel so errhandle halves the range; a singleton can never carry a
+// duplicate, so the split always terminates without recording an error.
+var errStreamDupRange = errors.New("duplicate key images in upsert range")
+
+// streamJob is one long-lived streaming session: it stays open after logon,
+// ingests continuous CDC deltas as adaptively sized micro-batches, and
+// checkpoints a durable watermark per committed batch so a killed stream
+// resumes without double-applying replayed deltas.
+//
+// Unlike importJob's parallel pipeline, a stream is serviced entirely by its
+// session goroutine: the legacy protocol is strictly request/response, so
+// delayed DeltaAcks while a batch commits are the stream's backpressure, on
+// top of the per-frame credits bounding buffered delta memory.
+type streamJob struct {
+	id   uint64
+	node *Node
+	req  *wire.BeginStream
+
+	upsStage sqlparse.TableName // staged insert/update images
+	delStage sqlparse.TableName // staged delete images
+	ckpt     sqlparse.TableName // durable watermark table (shared, one row per stream)
+	etName   sqlparse.TableName
+	tr       *sqlxlate.Translator
+	conv     *convert.Converter
+	sd       *sqlxlate.StreamDML
+	intraDup *sqlxlate.RangeStmt // duplicate-key probe over the upsert stage
+	ctrl     *stream.Controller
+	keyPfx   string
+	targets  string
+	started  time.Time
+
+	// watermark is the highest delta sequence durably applied to the CDW,
+	// mirroring the checkpoint row. Deltas at or below it are replays.
+	watermark int64
+
+	// Current micro-batch accumulation. Only the session goroutine touches
+	// these; a stream has exactly one connection.
+	credits          credit.Batch
+	upsCSV, delCSV   []byte
+	upsRows, delRows int
+	upsFiles         int // spool objects rotated out for this batch
+	delFiles         int
+	runs             []opRun
+	dataErrs         []convert.DataError
+	batchLo, batchHi int64 // fresh delta range buffered; batchLo == 0 means empty
+	batchBytes       int
+	batchStart       time.Time
+	batchNo          int64
+
+	// Whole-stream counters; atomics because /jobs/active reads them from
+	// debug-server goroutines while the stream runs. wmLive/hintLive mirror
+	// the session-goroutine-owned watermark and controller hint for the same
+	// reason.
+	deltas    atomic.Int64
+	replayed  atomic.Int64
+	batches   atomic.Int64
+	inserted  atomic.Int64
+	updated   atomic.Int64
+	deleted   atomic.Int64
+	errsET    atomic.Int64
+	heldBytes atomic.Int64
+	heldCreds atomic.Int64
+	wmLive    atomic.Int64
+	hintLive  atomic.Int64
+
+	finishSeq sync.Once
+	trace     *obs.JobTrace
+}
+
+// newStreamJob opens (or resumes) a stream. The stream's name is its durable
+// identity: the checkpoint table keeps one watermark row per name, so a
+// re-opened stream resumes from where its last incarnation committed. Only a
+// fresh stream (no checkpoint row yet) recreates the error table — a resumed
+// one must keep the entries of already-committed batches.
+func (n *Node) newStreamJob(m *wire.BeginStream) (*streamJob, error) {
+	if m.Layout == nil {
+		return nil, fmt.Errorf("stream request carries no layout")
+	}
+	if m.Name == "" {
+		return nil, fmt.Errorf("stream request carries no name")
+	}
+	conv, err := convert.NewConverter(m.Layout, m.Format, m.Delim, n.cfg.ConvertOpts)
+	if err != nil {
+		return nil, err
+	}
+	id := n.nextJob.Add(1)
+	j := &streamJob{
+		id:       id,
+		node:     n,
+		req:      m,
+		conv:     conv,
+		upsStage: sqlparse.TableName{Schema: n.cfg.StagingSchema, Name: fmt.Sprintf("stream_%d_ups", id)},
+		delStage: sqlparse.TableName{Schema: n.cfg.StagingSchema, Name: fmt.Sprintf("stream_%d_del", id)},
+		ckpt:     sqlparse.TableName{Schema: n.cfg.StagingSchema, Name: "stream_checkpoints"},
+		etName:   parseQualifiedName(m.ErrTableET),
+		keyPfx:   fmt.Sprintf("%sstream%d/", n.cfg.UploadPrefix, id),
+		started:  time.Now(),
+	}
+	j.tr = &sqlxlate.Translator{
+		Stage:      j.upsStage,
+		StageAlias: "s",
+		Layout:     m.Layout,
+		SchemaMap:  n.cfg.SchemaMap,
+	}
+
+	// Translate once as a plain insert DML to resolve the CDW target name and
+	// the expressions feeding it, then derive the streaming triple.
+	dml, err := j.tr.TranslateDML(m.SQL)
+	if err != nil {
+		return nil, fmt.Errorf("cross-compiling stream apply DML: %w", err)
+	}
+	if dml.Kind != sqlxlate.DMLInsert {
+		return nil, fmt.Errorf("stream apply DML must be an INSERT")
+	}
+	j.targets = dml.Target.String()
+	meta, err := n.pool.Describe(dml.Target.String())
+	if err != nil {
+		return nil, fmt.Errorf("describing stream target: %w", err)
+	}
+	if len(meta.PrimaryKey) == 0 {
+		return nil, fmt.Errorf("stream target %s has no primary key; CDC deltas need one to identify rows", j.targets)
+	}
+	targetCols := make([]string, len(meta.Columns))
+	for i, c := range meta.Columns {
+		targetCols[i] = c.Name
+	}
+	j.sd, err = j.tr.TranslateStreamDML(m.SQL, j.delStage, targetCols, meta.PrimaryKey)
+	if err != nil {
+		return nil, err
+	}
+	keyExprs, keyCols := keyExprsFor(dml, meta)
+	if len(keyCols) == len(meta.PrimaryKey) {
+		if j.intraDup, _, err = j.tr.DupCheckQueries(dml, keyCols, keyExprs); err != nil {
+			return nil, err
+		}
+	}
+
+	// Durable checkpoint: create the table if needed, then read or seed this
+	// stream's watermark row.
+	ckptDDL, err := sqlxlate.CheckpointTableDDL(j.ckpt)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := n.pool.Exec(ckptDDL); err != nil {
+		return nil, fmt.Errorf("preparing checkpoint table: %w", err)
+	}
+	selSQL, err := j.ckptSelect()
+	if err != nil {
+		return nil, err
+	}
+	_, rows, err := n.pool.QueryAll(selSQL)
+	if err != nil {
+		return nil, fmt.Errorf("reading stream checkpoint: %w", err)
+	}
+	if len(rows) == 0 {
+		// Fresh stream: seed the watermark and start the error table clean.
+		ins := &sqlparse.InsertStmt{Table: j.ckpt, Rows: [][]sqlparse.Expr{{
+			&sqlparse.Literal{Kind: sqlparse.LitString, Str: m.Name},
+			&sqlparse.Literal{Kind: sqlparse.LitInt, Int: 0},
+		}}}
+		insSQL, err := sqlparse.Print(ins, sqlparse.DialectCDW)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := n.pool.Exec(insSQL); err != nil {
+			return nil, fmt.Errorf("seeding stream checkpoint: %w", err)
+		}
+		if j.etName.Name != "" {
+			etDDL, err := sqlxlate.ErrorTableDDL(j.etName)
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range []string{dropIfExists(j.etName), etDDL} {
+				if _, err := n.pool.Exec(s); err != nil {
+					return nil, fmt.Errorf("preparing stream error table: %w", err)
+				}
+			}
+		}
+	} else {
+		j.watermark = rows[0][0].I
+	}
+
+	target := n.cfg.StreamLatencyTarget
+	if m.LatencyTargetMS > 0 {
+		target = time.Duration(m.LatencyTargetMS) * time.Millisecond
+	}
+	j.ctrl = stream.NewController(stream.Config{
+		Target:   target,
+		MinBatch: n.cfg.StreamMinBatch,
+		MaxBatch: n.cfg.StreamMaxBatch,
+	})
+
+	j.wmLive.Store(j.watermark)
+	j.hintLive.Store(int64(j.ctrl.Hint().BatchRows))
+	n.nm.streamsOpened.Inc()
+	j.trace = n.tracer.Start(id, "stream "+m.Name)
+	n.mu.Lock()
+	n.streams[id] = j
+	n.mu.Unlock()
+	n.log.Info("stream opened", "stream", j.id, "name", m.Name, "target", j.targets,
+		"watermark", j.watermark, "latency_target", j.ctrl.Target())
+	return j, nil
+}
+
+// ckptSelect builds the watermark lookup for this stream's name.
+func (j *streamJob) ckptSelect() (string, error) {
+	sel := &sqlparse.SelectStmt{
+		Items: []sqlparse.SelectItem{{Expr: &sqlparse.ColRef{Name: "WATERMARK"}}},
+		From:  []sqlparse.TableExpr{&sqlparse.TableRef{Table: j.ckpt}},
+		Where: &sqlparse.BinaryExpr{Op: "=",
+			L: &sqlparse.ColRef{Name: "STREAM_NAME"},
+			R: &sqlparse.Literal{Kind: sqlparse.LitString, Str: j.req.Name}},
+	}
+	return sqlparse.Print(sel, sqlparse.DialectCDW)
+}
+
+// ckptUpdate builds the watermark advance to hi.
+func (j *streamJob) ckptUpdate(hi int64) (string, error) {
+	upd := &sqlparse.UpdateStmt{
+		Table: j.ckpt,
+		Set: []sqlparse.Assignment{{Column: "WATERMARK",
+			Value: &sqlparse.Literal{Kind: sqlparse.LitInt, Int: hi}}},
+		Where: &sqlparse.BinaryExpr{Op: "=",
+			L: &sqlparse.ColRef{Name: "STREAM_NAME"},
+			R: &sqlparse.Literal{Kind: sqlparse.LitString, Str: j.req.Name}},
+	}
+	return sqlparse.Print(upd, sqlparse.DialectCDW)
+}
+
+// handleFrame ingests one delta frame on the session goroutine: replayed
+// deltas (at or below the watermark) are dropped but acknowledged, fresh
+// ones are converted into the batch's CSV spool, and when the buffered batch
+// reaches the controller's cut-point it commits synchronously — the delayed
+// ack is the stream's backpressure.
+func (j *streamJob) handleFrame(m *wire.DeltaFrame) (*wire.DeltaAck, error) {
+	nm := j.node.nm
+	// One credit per frame bounds buffered delta memory; it is parked in the
+	// batch and released when the batch commits or the stream aborts.
+	cr, err := j.node.credits.Acquire(j.node.ctx, int64(len(m.Payload)))
+	if err != nil {
+		return nil, err
+	}
+	j.credits.Add(cr)
+	j.heldBytes.Add(int64(len(m.Payload)))
+	j.heldCreds.Add(1)
+
+	hint := j.ctrl.Hint()
+	rest := m.Payload
+	parsed := 0
+	for len(rest) > 0 {
+		op, rec, r, err := stream.NextDelta(rest, j.req.Format)
+		if err != nil {
+			return nil, fmt.Errorf("delta frame %d: %w", m.FirstSeq, err)
+		}
+		seq := int64(m.FirstSeq) + int64(parsed)
+		parsed++
+		rest = r
+		j.deltas.Add(1)
+		nm.streamDeltas.Inc()
+		if seq <= j.watermark {
+			// Replay of an already-committed delta (client resume overlap or a
+			// re-sent frame): dropping it here is what makes checkpoint resume
+			// exactly-once at the data level.
+			j.replayed.Add(1)
+			nm.streamReplays.Inc()
+			continue
+		}
+		if j.batchLo == 0 {
+			j.batchLo = seq
+			j.batchStart = time.Now()
+		}
+		j.batchHi = seq
+		j.batchBytes += len(rec)
+		if err := j.bufferDelta(op, rec, seq, hint.SpoolBytes); err != nil {
+			return nil, err
+		}
+	}
+	if parsed != int(m.Count) {
+		return nil, fmt.Errorf("delta frame %d declares %d deltas, carries %d", m.FirstSeq, m.Count, parsed)
+	}
+	if j.batchLo == 0 {
+		// Nothing buffered (all replays): no memory is held, return the
+		// frame's credit instead of parking it until some future commit.
+		j.credits.ReleaseAll()
+		j.heldBytes.Store(0)
+		j.heldCreds.Store(0)
+	}
+
+	// Cut the batch when it reaches the controller's row target, or when
+	// spool rotation has already produced the COPY fan-in it wants.
+	if j.upsRows+j.delRows >= hint.BatchRows || j.upsFiles+j.delFiles >= hint.CopyFiles {
+		if err := j.commitBatch(); err != nil {
+			return nil, err
+		}
+	}
+	return &wire.DeltaAck{
+		StreamID:     j.id,
+		Seq:          m.FirstSeq,
+		CommittedSeq: uint64(j.watermark),
+		BatchHint:    uint32(j.ctrl.Hint().BatchRows),
+	}, nil
+}
+
+// bufferDelta converts one fresh delta into the batch spool and extends the
+// op-run structure. Conversion failures become data errors recorded at the
+// batch commit, exactly like acquisition-phase rejects of a discrete import.
+func (j *streamJob) bufferDelta(op stream.Op, rec []byte, seq int64, spoolBytes int) error {
+	dst := &j.upsCSV
+	if op == stream.OpDelete {
+		dst = &j.delCSV
+	}
+	if *dst == nil {
+		*dst = getBuf(spoolBytes + spoolBytes/8)
+	}
+	// Converting per record with firstRow=seq stages the delta under its
+	// global sequence — the __seq the MERGE triple ranges over and the SEQNO
+	// error tables report.
+	res, err := j.conv.ConvertInto(*dst, rec, seq)
+	if err != nil {
+		return err
+	}
+	*dst = res.CSV
+	if len(res.Errors) > 0 {
+		j.dataErrs = append(j.dataErrs, res.Errors...)
+		j.node.nm.dataErrors.Add(int64(len(res.Errors)))
+		return nil
+	}
+	if op == stream.OpDelete {
+		j.delRows++
+	} else {
+		j.upsRows++
+	}
+	del := op == stream.OpDelete
+	if n := len(j.runs); n > 0 && j.runs[n-1].del == del {
+		j.runs[n-1].hi = seq
+	} else {
+		j.runs = append(j.runs, opRun{del: del, lo: seq, hi: seq})
+	}
+	// Rotate the spool once it crosses the controller's threshold so one
+	// oversized batch never buffers unbounded CSV.
+	if len(*dst) >= spoolBytes {
+		kind := "ups"
+		files := &j.upsFiles
+		if op == stream.OpDelete {
+			kind = "del"
+			files = &j.delFiles
+		}
+		if err := j.uploadSpool(kind, *dst, *files); err != nil {
+			return err
+		}
+		*files++
+		*dst = (*dst)[:0]
+	}
+	return nil
+}
+
+// uploadSpool puts one rotated spool object under the batch's prefix. Puts
+// are idempotent (same key, same bytes), so transient store failures retry
+// whole-object.
+func (j *streamJob) uploadSpool(kind string, csv []byte, fileNo int) error {
+	key := fmt.Sprintf("%sb%d/%s/%06d", j.keyPfx, j.batchNo, kind, fileNo)
+	upStart := time.Now()
+	var n int64
+	err := j.node.retry.Do(j.node.ctx, "upload", func() error {
+		var uerr error
+		n, uerr = j.node.loader.UploadBytes(csv, key)
+		return uerr
+	})
+	nm := j.node.nm
+	nm.uploadLat.ObserveDuration(time.Since(upStart))
+	j.trace.Span("upload", "stream", upStart, 0, n, err)
+	if err != nil {
+		return fmt.Errorf("uploading stream spool %s: %w", key, err)
+	}
+	nm.filesUploaded.Inc()
+	nm.bytesUploaded.Add(n)
+	return nil
+}
+
+// copyStage recreates a staging table and COPYs the batch's spool objects
+// into it. Recreate-then-COPY on every attempt is the batch's recovery
+// point: a replayed batch after a crash (and an engine-side COPY failure
+// mid-batch) both rebuild identical staging state from the durable objects.
+func (j *streamJob) copyStage(stage sqlparse.TableName, prefix string, want int64) error {
+	ddl, err := sqlxlate.StagingDDL(stage, j.req.Layout)
+	if err != nil {
+		return err
+	}
+	copyStmt := &sqlparse.CopyStmt{
+		Table:   stage,
+		From:    "store://" + prefix,
+		Options: map[string]string{"format": "csv", "order": sqlxlate.SeqColumn},
+	}
+	copySQL, err := sqlparse.Print(copyStmt, sqlparse.DialectCDW)
+	if err != nil {
+		return err
+	}
+	nm := j.node.nm
+	attempt := 0
+	r := *j.node.retry // shares Budget/observers; only Retryable differs
+	r.Retryable = func(err error) bool {
+		if retrier.IsTransient(err) {
+			return true
+		}
+		var ce *cdw.Error
+		return errors.As(err, &ce) && ce.Code == cdw.CodeCopyFailed
+	}
+	return r.Do(j.node.ctx, "stream_copy", func() error { //nolint:retrysafe // each attempt recreates the staging table first
+		attempt++
+		if attempt > 1 {
+			nm.copyRecoveries.Inc()
+		}
+		if _, err := j.node.pool.Exec(dropIfExists(stage)); err != nil {
+			return err
+		}
+		if _, err := j.node.pool.Exec(ddl); err != nil {
+			return err
+		}
+		if want == 0 {
+			return nil
+		}
+		copyStart := time.Now()
+		staged, err := j.node.pool.Exec(copySQL)
+		nm.copyStatements.Inc()
+		j.trace.Span("copy", "stream", copyStart, staged, 0, err)
+		if err != nil {
+			return err
+		}
+		if staged != want {
+			return fmt.Errorf("stream staging %s holds %d rows, want %d", stage.Name, staged, want)
+		}
+		return nil
+	})
+}
+
+// commitBatch drives one micro-batch through stage -> apply -> checkpoint.
+// The order makes the whole batch replay-idempotent: staging tables are
+// rebuilt from scratch, error-table rows above the watermark are wiped
+// before re-recording, the MERGE triple is idempotent per staged range, and
+// the watermark only advances after everything else is durable — so a crash
+// anywhere in between replays the batch to the same end state.
+func (j *streamJob) commitBatch() error {
+	if j.batchLo == 0 {
+		return nil
+	}
+	nm := j.node.nm
+	lo, hi := j.batchLo, j.batchHi
+	rows := j.upsRows + j.delRows
+	commitStart := j.batchStart
+
+	// Flush spool remainders for both halves.
+	if len(j.upsCSV) > 0 {
+		if err := j.uploadSpool("ups", j.upsCSV, j.upsFiles); err != nil {
+			return err
+		}
+		j.upsFiles++
+		j.upsCSV = j.upsCSV[:0]
+	}
+	if len(j.delCSV) > 0 {
+		if err := j.uploadSpool("del", j.delCSV, j.delFiles); err != nil {
+			return err
+		}
+		j.delFiles++
+		j.delCSV = j.delCSV[:0]
+	}
+
+	if err := j.copyStage(j.upsStage, fmt.Sprintf("%sb%d/ups/", j.keyPfx, j.batchNo), int64(j.upsRows)); err != nil {
+		return err
+	}
+	if err := j.copyStage(j.delStage, fmt.Sprintf("%sb%d/del/", j.keyPfx, j.batchNo), int64(j.delRows)); err != nil {
+		return err
+	}
+
+	// Idempotent error recording: a crashed attempt may have recorded rows
+	// for sequences the watermark never covered; wipe them before this
+	// attempt re-records.
+	if j.etName.Name != "" {
+		del := fmt.Sprintf("DELETE FROM %s WHERE SEQNO_END > %d", j.etName.String(), j.watermark)
+		if _, err := j.node.pool.Exec(del); err != nil {
+			return fmt.Errorf("clearing uncommitted error rows: %w", err)
+		}
+	}
+	if j.etName.Name != "" && len(j.dataErrs) > 0 {
+		if err := recordDataErrors(j.node, j.etName, j.dataErrs); err != nil {
+			return err
+		}
+	}
+	j.errsET.Add(int64(len(j.dataErrs)))
+	for range j.dataErrs {
+		nm.errorsET.Inc()
+	}
+
+	if err := j.applyRuns(); err != nil {
+		return err
+	}
+
+	// Durable watermark advance: the last write of the commit. Everything
+	// before this line is idempotent under replay; after it, the batch's
+	// deltas are dropped as replays.
+	updSQL, err := j.ckptUpdate(hi)
+	if err != nil {
+		return err
+	}
+	if _, err := j.node.pool.Exec(updSQL); err != nil {
+		return fmt.Errorf("advancing stream watermark: %w", err)
+	}
+	j.watermark = hi
+
+	// The batch's memory and objects are reclaimable now.
+	j.credits.ReleaseAll()
+	j.heldBytes.Store(0)
+	j.heldCreds.Store(0)
+	if keys, err := j.node.store.List(fmt.Sprintf("%sb%d/", j.keyPfx, j.batchNo)); err == nil {
+		for _, k := range keys {
+			_ = j.node.store.Delete(k)
+		}
+	}
+
+	lat := time.Since(commitStart)
+	d := j.ctrl.Observe(rows, j.batchBytes, lat)
+	j.wmLive.Store(hi)
+	j.hintLive.Store(int64(d.BatchRows))
+	j.batches.Add(1)
+	nm.streamBatches.Inc()
+	nm.streamBatchRows.Observe(float64(rows))
+	nm.streamCommitLat.ObserveDuration(lat)
+	switch d.Action {
+	case stream.ActionGrow:
+		nm.streamGrows.Inc()
+	case stream.ActionShrink:
+		nm.streamShrinks.Inc()
+	default:
+		nm.streamHolds.Inc()
+	}
+	j.trace.Span("stream_commit", "stream", commitStart, int64(rows), int64(j.batchBytes), nil)
+	j.node.log.Debug("stream micro-batch committed", "stream", j.id, "lo", lo, "hi", hi,
+		"rows", rows, "latency", lat, "action", d.Action.String(), "next_batch", d.BatchRows)
+
+	j.batchLo, j.batchHi = 0, 0
+	j.upsRows, j.delRows = 0, 0
+	j.upsFiles, j.delFiles = 0, 0
+	j.batchBytes = 0
+	j.runs = j.runs[:0]
+	j.dataErrs = j.dataErrs[:0]
+	j.batchNo++
+	return nil
+}
+
+// applyRuns applies the batch's op runs in sequence order under the adaptive
+// error handler: a delete run ranges the DELETE over the delete stage, an
+// upsert run probes for duplicate key images (splitting until ranges are
+// duplicate-free) then runs the UPDATE and guarded INSERT halves.
+func (j *streamJob) applyRuns() error {
+	if len(j.runs) == 0 {
+		return nil
+	}
+	nm := j.node.nm
+	var cur opRun
+	apply := func(ctx context.Context, lo, hi int64) (int64, error) {
+		if cur.del {
+			sql, err := j.sd.Delete.SQL(lo, hi)
+			if err != nil {
+				return 0, err
+			}
+			n, err := j.node.pool.Exec(sql)
+			if err != nil {
+				return 0, err
+			}
+			j.deleted.Add(n)
+			nm.rowsDeleted.Add(n)
+			return n, nil
+		}
+		if lo < hi && j.intraDup != nil {
+			sql, err := j.intraDup.SQL(lo, hi)
+			if err != nil {
+				return 0, err
+			}
+			_, dups, err := j.node.pool.QueryAll(sql)
+			if err != nil {
+				return 0, err
+			}
+			if len(dups) == 1 && dups[0][0].I > 0 {
+				return 0, errStreamDupRange
+			}
+		}
+		var a1 int64
+		if j.sd.Update != nil {
+			sql, err := j.sd.Update.SQL(lo, hi)
+			if err != nil {
+				return 0, err
+			}
+			if a1, err = j.node.pool.Exec(sql); err != nil {
+				return 0, err
+			}
+		}
+		sql, err := j.sd.Insert.SQL(lo, hi)
+		if err != nil {
+			return 0, err
+		}
+		a2, err := j.node.pool.Exec(sql)
+		if err != nil {
+			return 0, err
+		}
+		j.updated.Add(a1)
+		j.inserted.Add(a2)
+		nm.rowsUpdated.Add(a1)
+		nm.rowsInserted.Add(a2)
+		return a1 + a2, nil
+	}
+
+	classify := func(err error) errhandle.Classified {
+		if errors.Is(err, errStreamDupRange) {
+			// Not a data error: just force the split toward duplicate-free
+			// ranges. Never reaches a singleton, so never recorded.
+			return errhandle.Classified{Msg: err.Error()}
+		}
+		var ex *retrier.Exhausted
+		if errors.As(err, &ex) {
+			return errhandle.Classified{Fatal: true, Msg: err.Error()}
+		}
+		ce, ok := err.(*cdw.Error)
+		if !ok {
+			return errhandle.Classified{Fatal: true, Msg: err.Error()}
+		}
+		switch ce.Code {
+		case cdw.CodeNoSuchObject, cdw.CodeNoSuchColumn, cdw.CodeSyntax,
+			cdw.CodeUnsupported, cdw.CodeCopyFailed, cdw.CodeInternal:
+			return errhandle.Classified{Fatal: true, Code: ce.Code, Msg: ce.Msg}
+		default:
+			return errhandle.Classified{Code: ce.Code, Field: ce.Field, Msg: ce.Msg}
+		}
+	}
+
+	record := func(lo, hi int64, c errhandle.Classified) error {
+		msg := c.Msg
+		if c.Code == errhandle.CodeMaxErrors {
+			msg = fmt.Sprintf("Max number of errors reached during stream apply on %s, row numbers: (%d, %d)", j.targets, lo, hi)
+		} else {
+			msg = fmt.Sprintf("%s during stream apply on %s, row number: %d", c.Msg, j.targets, lo)
+		}
+		j.errsET.Add(1)
+		nm.errorsET.Inc()
+		if j.etName.Name == "" {
+			return nil // stream declared no error table; drop like the legacy tools
+		}
+		return recordError(j.node, j.etName, lo, hi, c.Code, c.Field, msg)
+	}
+
+	cfg := errhandle.Config{
+		MaxErrors:  int(j.req.MaxErrors),
+		MaxRetries: j.node.cfg.MaxRetries,
+		Observe: func(depth int, lo, hi int64, d time.Duration, err error) {
+			nm.dmlStatements.Inc()
+			nm.dmlLat.ObserveDuration(d)
+			if err != nil {
+				nm.splitDepth.Observe(float64(depth))
+			}
+			j.trace.Add(obs.Span{Stage: "dml", Worker: "stream",
+				Start: time.Now().Add(-d), Dur: d, Rows: hi - lo + 1, Depth: depth,
+				Err: errString(err)})
+		},
+	}
+	if cfg.MaxErrors == 0 {
+		cfg.MaxErrors = j.node.cfg.MaxErrors
+	}
+	h := errhandle.New(cfg, apply, classify, record)
+	for _, run := range j.runs {
+		cur = run
+		if err := h.Run(j.node.ctx, run.lo, run.hi); err != nil {
+			return err
+		}
+	}
+	st := h.Stats()
+	nm.adaptiveSplits.Add(st.Splits)
+	nm.blockErrors.Add(st.BlockErrors)
+	return nil
+}
+
+// finishStream commits any buffered tail and closes the stream. The
+// checkpoint row and error table survive — they are the stream's durable
+// identity for the next incarnation.
+func (j *streamJob) finishStream() (*wire.StreamDone, error) {
+	if err := j.commitBatch(); err != nil {
+		return nil, err
+	}
+	done := &wire.StreamDone{
+		StreamID:  j.id,
+		Watermark: uint64(j.watermark),
+		Inserted:  uint64(j.inserted.Load()),
+		Updated:   uint64(j.updated.Load()),
+		Deleted:   uint64(j.deleted.Load()),
+		ErrorsET:  uint64(j.errsET.Load()),
+		Replayed:  uint64(j.replayed.Load()),
+	}
+	j.finish()
+	return done, nil
+}
+
+// abort tears down a stream whose client went away mid-batch: buffered
+// deltas are discarded (the client replays them on resume) and their credits
+// returned so a dead stream can never leak pool capacity.
+func (j *streamJob) abort() {
+	j.credits.ReleaseAll()
+	j.heldBytes.Store(0)
+	j.heldCreds.Store(0)
+	j.node.nm.streamsAborted.Inc()
+	j.node.log.Warn("stream aborted by client disconnect", "stream", j.id,
+		"name", j.req.Name, "watermark", j.watermark)
+	j.finish()
+}
+
+// finish removes the stream's transient state: staging tables, uploaded
+// batch objects, registry entry. Checkpoint and error tables stay.
+func (j *streamJob) finish() {
+	j.finishSeq.Do(func() {
+		_, _ = j.node.pool.Exec(dropIfExists(j.upsStage))
+		_, _ = j.node.pool.Exec(dropIfExists(j.delStage))
+		if keys, err := j.node.store.List(j.keyPfx); err == nil {
+			for _, k := range keys {
+				_ = j.node.store.Delete(k)
+			}
+		}
+		putBuf(j.upsCSV)
+		putBuf(j.delCSV)
+		j.upsCSV, j.delCSV = nil, nil
+		j.node.tracer.Finish(j.id)
+		j.node.mu.Lock()
+		delete(j.node.streams, j.id)
+		j.node.mu.Unlock()
+	})
+}

@@ -1,0 +1,47 @@
+package credit
+
+// Batch aggregates credits whose lifetime ends together. A streaming
+// micro-batch acquires one credit per delta frame as frames arrive, but the
+// frames' memory is only reclaimable once the whole batch commits to the
+// CDW — so the stream job parks each credit in a Batch and releases them
+// all at the commit (or abort) boundary with one call. ReleaseAll is
+// idempotent, which makes defer-based cleanup on abort paths safe alongside
+// the explicit release on the commit path, while each underlying Credit is
+// still released exactly once (Credit.Release panics on double release).
+//
+// A Batch is not safe for concurrent use; the stream job serializes frame
+// intake and batch commits on one goroutine.
+type Batch struct {
+	credits []*Credit
+}
+
+// Add parks a credit in the batch. Nil credits are ignored so callers can
+// pass through optional acquisitions unconditionally.
+func (b *Batch) Add(c *Credit) {
+	if c != nil {
+		b.credits = append(b.credits, c)
+	}
+}
+
+// Len reports the number of parked credits.
+func (b *Batch) Len() int { return len(b.credits) }
+
+// Bytes reports the total bytes charged to the parked credits.
+func (b *Batch) Bytes() int64 {
+	var n int64
+	for _, c := range b.credits {
+		n += c.bytes
+	}
+	return n
+}
+
+// ReleaseAll releases every parked credit and empties the batch. Calling it
+// again (or on an empty batch) is a no-op.
+func (b *Batch) ReleaseAll() {
+	for _, c := range b.credits {
+		c.Release()
+	}
+	// Keep the backing array for the next micro-batch; the stream job
+	// reuses one Batch for the life of the stream.
+	b.credits = b.credits[:0]
+}

@@ -1,0 +1,74 @@
+package credit
+
+import (
+	"context"
+	"testing"
+)
+
+func TestBatchReleaseAll(t *testing.T) {
+	m := NewManager(4, 0)
+	var b Batch
+	for i := 0; i < 3; i++ {
+		c, err := m.Acquire(context.Background(), 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Add(c)
+	}
+	if b.Len() != 3 || b.Bytes() != 300 {
+		t.Fatalf("batch = %d credits / %d bytes, want 3 / 300", b.Len(), b.Bytes())
+	}
+	if st := m.Stats(); st.Available != 1 || st.InFlight != 300 {
+		t.Fatalf("pool before release: %+v", st)
+	}
+	b.ReleaseAll()
+	if st := m.Stats(); st.Available != 4 || st.InFlight != 0 {
+		t.Fatalf("pool after release: %+v", st)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("batch not emptied: %d", b.Len())
+	}
+}
+
+func TestBatchReleaseAllIdempotent(t *testing.T) {
+	m := NewManager(2, 0)
+	var b Batch
+	c, err := m.Acquire(context.Background(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Add(c)
+	b.ReleaseAll()
+	// Second release must be a no-op, not a Credit double-release panic.
+	b.ReleaseAll()
+	if st := m.Stats(); st.Available != 2 || st.InFlight != 0 {
+		t.Fatalf("pool after double release: %+v", st)
+	}
+}
+
+func TestBatchIgnoresNil(t *testing.T) {
+	var b Batch
+	b.Add(nil)
+	if b.Len() != 0 {
+		t.Fatalf("nil credit parked")
+	}
+	b.ReleaseAll() // empty batch must be safe
+}
+
+func TestBatchReuseAcrossCommits(t *testing.T) {
+	m := NewManager(2, 0)
+	var b Batch
+	for commit := 0; commit < 5; commit++ {
+		for i := 0; i < 2; i++ {
+			c, err := m.Acquire(context.Background(), 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Add(c)
+		}
+		b.ReleaseAll()
+	}
+	if st := m.Stats(); st.Available != 2 || st.InFlight != 0 {
+		t.Fatalf("pool leaked across reuse: %+v", st)
+	}
+}

@@ -34,6 +34,10 @@ type Options struct {
 	// Sessions overrides the per-block session count. Zero keeps the
 	// script's value (default 1).
 	Sessions int
+	// StreamLatencyMS overrides the per-block micro-batch commit latency
+	// target for stream blocks. Zero keeps the script's value (0 = server
+	// default).
+	StreamLatencyMS int
 	// ReadFile loads input files; nil uses os.ReadFile. Benchmarks inject
 	// generated data here.
 	ReadFile func(name string) ([]byte, error)
@@ -84,6 +88,7 @@ type ExportResult struct {
 type Result struct {
 	Imports []ImportResult
 	Exports []ExportResult
+	Streams []StreamResult
 }
 
 // Run executes a script.
@@ -117,6 +122,12 @@ func Run(script *etlscript.Script, opts Options) (*Result, error) {
 				return res, err
 			}
 			res.Exports = append(res.Exports, *er)
+		case step.Stream != nil:
+			sr, err := runStream(ctl, script, step.Stream, opts)
+			if err != nil {
+				return res, err
+			}
+			res.Streams = append(res.Streams, *sr)
 		case step.SQL != "":
 			if err := runAdhoc(ctl, step.SQL); err != nil {
 				return res, err

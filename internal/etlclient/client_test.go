@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"etlvirt/internal/ltype"
+	"etlvirt/internal/stream"
 	"etlvirt/internal/wire"
 )
 
@@ -114,5 +115,68 @@ func TestOptionsDefaults(t *testing.T) {
 	o := Options{}.withDefaults()
 	if o.ChunkRecords != 500 || o.ReadFile == nil || o.WriteFile == nil {
 		t.Errorf("defaults: %+v", o)
+	}
+}
+
+func TestSplitDeltasVartext(t *testing.T) {
+	data := []byte("I|100|Alice\nU|100|Alicia\nD|200|\nD\nI|300|Carol")
+	ds, err := splitDeltas(data, wire.FormatVartext, '|')
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		op  stream.Op
+		rec string
+	}{
+		{stream.OpInsert, "100|Alice\n"},
+		{stream.OpUpdate, "100|Alicia\n"},
+		{stream.OpDelete, "200|\n"},
+		{stream.OpDelete, "\n"}, // op-only line: empty record
+		{stream.OpInsert, "300|Carol\n"},
+	}
+	if len(ds) != len(want) {
+		t.Fatalf("deltas: %d, want %d", len(ds), len(want))
+	}
+	for i, w := range want {
+		if ds[i].op != w.op || string(ds[i].record) != w.rec {
+			t.Errorf("delta %d: op=%c rec=%q, want op=%c rec=%q", i, ds[i].op, ds[i].record, w.op, w.rec)
+		}
+	}
+}
+
+func TestSplitDeltasVartextErrors(t *testing.T) {
+	if _, err := splitDeltas([]byte("X|1|a\n"), wire.FormatVartext, '|'); err == nil {
+		t.Error("bad op marker accepted")
+	}
+	if _, err := splitDeltas([]byte("I,1,a\n"), wire.FormatVartext, '|'); err == nil {
+		t.Error("wrong delimiter after op accepted")
+	}
+	ds, err := splitDeltas(nil, wire.FormatVartext, '|')
+	if err != nil || len(ds) != 0 {
+		t.Errorf("empty input: %v %v", ds, err)
+	}
+}
+
+func TestSplitDeltasIndicator(t *testing.T) {
+	layout := &ltype.Layout{Name: "L", Fields: []ltype.Field{
+		{Name: "A", Type: ltype.VarChar(10)},
+	}}
+	rec, err := ltype.EncodeRecord(nil, layout, ltype.Record{ltype.StringValue(ltype.KindVarChar, "hi")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data []byte
+	data = stream.AppendDelta(data, stream.OpInsert, rec)
+	data = stream.AppendDelta(data, stream.OpDelete, rec)
+	ds, err := splitDeltas(data, wire.FormatIndicator, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 || ds[0].op != stream.OpInsert || ds[1].op != stream.OpDelete ||
+		string(ds[0].record) != string(rec) {
+		t.Errorf("deltas: %+v", ds)
+	}
+	if _, err := splitDeltas(data[:len(data)-2], wire.FormatIndicator, 0); err == nil {
+		t.Error("truncated input accepted")
 	}
 }

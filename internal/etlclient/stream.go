@@ -1,0 +1,217 @@
+package etlclient
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"etlvirt/internal/etlscript"
+	"etlvirt/internal/ltype"
+	"etlvirt/internal/stream"
+	"etlvirt/internal/wire"
+)
+
+// StreamResult reports one executed stream block.
+type StreamResult struct {
+	Name       string
+	Table      string
+	DeltasSent int64 // deltas transmitted (after client-side resume skip)
+	Skipped    int64 // deltas dropped client-side, at or below the resume watermark
+	Frames     int64 // delta frames sent
+	Watermark  int64 // final durable commit watermark
+	Replayed   int64 // deltas the server discarded as already applied
+	Inserted   int64
+	Updated    int64
+	Deleted    int64
+	ErrorsET   int64
+	FinalHint  int64 // controller's last frame-size hint, shows adaptation
+	Total      time.Duration
+}
+
+// delta is one parsed CDC record from a delta input file.
+type delta struct {
+	op     stream.Op
+	record []byte // format framing intact (trailing newline / length prefix)
+}
+
+// splitDeltas parses the on-disk delta-file encoding. A vartext delta file
+// carries one delta per line, the op marker as its first field:
+//
+//	I|100|Alice
+//	U|100|Alicia
+//	D|200|
+//
+// An op-only line (no delimiter) is a delta with an empty record. An
+// indicator delta file uses the wire framing directly: op marker byte, then
+// the length-prefixed record.
+func splitDeltas(data []byte, format wire.DataFormat, delim byte) ([]delta, error) {
+	var out []delta
+	switch format {
+	case wire.FormatVartext:
+		for i, line := range ltype.SplitVartextLines(data) {
+			if len(line) == 0 {
+				continue
+			}
+			op := stream.Op(line[0])
+			if !op.Valid() {
+				return nil, fmt.Errorf("etlclient: delta line %d: bad op marker %q", i+1, line[0])
+			}
+			var rec []byte
+			if len(line) > 1 {
+				if line[1] != delim {
+					return nil, fmt.Errorf("etlclient: delta line %d: expected %q after op marker", i+1, delim)
+				}
+				rec = append(rec, line[2:]...)
+			}
+			rec = append(rec, '\n')
+			out = append(out, delta{op: op, record: rec})
+		}
+		return out, nil
+	case wire.FormatIndicator:
+		rest := data
+		for len(rest) > 0 {
+			op, rec, r, err := stream.NextDelta(rest, format)
+			if err != nil {
+				return nil, fmt.Errorf("etlclient: delta record %d: %w", len(out)+1, err)
+			}
+			out = append(out, delta{op: op, record: rec})
+			rest = r
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("etlclient: unknown format %d", format)
+	}
+}
+
+// runStream executes one stream block on the control connection. Streaming
+// is strictly request/response: each frame waits for its DeltaAck, and the
+// server's synchronous micro-batch commit is the natural backpressure. The
+// frame size follows the server controller's live BatchHint, so the client
+// visibly adapts to the observed commit latency.
+func runStream(ctl *wire.Conn, script *etlscript.Script, blk *etlscript.StreamBlock, opts Options) (*StreamResult, error) {
+	start := time.Now()
+	if len(blk.Streams) == 0 {
+		return nil, fmt.Errorf("etlclient: stream block has no .stream command")
+	}
+	// Multiple .stream commands feed one stream in file order; they must
+	// agree on layout, format and apply label (one converter, one apply DML).
+	cmd := blk.Streams[0]
+	for _, other := range blk.Streams[1:] {
+		if !strings.EqualFold(other.LayoutName, cmd.LayoutName) ||
+			other.Format != cmd.Format || other.Delim != cmd.Delim ||
+			!strings.EqualFold(other.ApplyLabel, cmd.ApplyLabel) {
+			return nil, fmt.Errorf("etlclient: .stream commands in one block must share layout, format and apply label")
+		}
+	}
+	layout, err := script.Layout(cmd.LayoutName)
+	if err != nil {
+		return nil, err
+	}
+	var deltas []delta
+	for _, c := range blk.Streams {
+		data, err := opts.ReadFile(c.Infile)
+		if err != nil {
+			return nil, fmt.Errorf("etlclient: reading %s: %w", c.Infile, err)
+		}
+		ds, err := splitDeltas(data, c.Format, c.Delim)
+		if err != nil {
+			return nil, fmt.Errorf("etlclient: %s: %w", c.Infile, err)
+		}
+		deltas = append(deltas, ds...)
+	}
+
+	latency := uint32(blk.LatencyMS)
+	if opts.StreamLatencyMS > 0 {
+		latency = uint32(opts.StreamLatencyMS)
+	}
+	begin := &wire.BeginStream{
+		Name:            blk.Name,
+		Table:           blk.Table,
+		ErrTableET:      blk.ErrTableET,
+		Layout:          layout,
+		Format:          cmd.Format,
+		Delim:           cmd.Delim,
+		SQL:             blk.DMLs[strings.ToLower(cmd.ApplyLabel)],
+		LatencyTargetMS: latency,
+		MaxErrors:       uint32(blk.MaxErrors),
+	}
+	if err := ctl.Send(0, begin); err != nil {
+		return nil, err
+	}
+	m, err := ctl.Expect(wire.KindStreamOK)
+	if err != nil {
+		return nil, fmt.Errorf("etlclient: begin stream: %w", err)
+	}
+	ok := m.(*wire.StreamOK)
+	res := &StreamResult{Name: blk.Name, Table: blk.Table}
+
+	// Client-side resume: deltas at or below the durable watermark were
+	// already applied by an earlier run of this stream; skip them rather
+	// than shipping them for the server to discard. Delta sequence is the
+	// 1-based position in the concatenated input.
+	next := 0
+	if ok.ResumeSeq > 0 {
+		next = int(ok.ResumeSeq)
+		if next > len(deltas) {
+			next = len(deltas)
+		}
+		res.Skipped = int64(next)
+	}
+
+	hint := int(ok.BatchHint)
+	if hint <= 0 {
+		hint = 64
+	}
+	var payload []byte
+	for next < len(deltas) {
+		n := hint
+		if rem := len(deltas) - next; n > rem {
+			n = rem
+		}
+		payload = payload[:0]
+		for _, d := range deltas[next : next+n] {
+			payload = stream.AppendDelta(payload, d.op, d.record)
+		}
+		frame := &wire.DeltaFrame{
+			StreamID: ok.StreamID,
+			FirstSeq: uint64(next + 1),
+			Count:    uint32(n),
+			Payload:  payload,
+		}
+		if err := ctl.Send(0, frame); err != nil {
+			return nil, err
+		}
+		am, err := ctl.Expect(wire.KindDeltaAck)
+		if err != nil {
+			return nil, fmt.Errorf("etlclient: stream %s frame at seq %d: %w", blk.Name, frame.FirstSeq, err)
+		}
+		ack := am.(*wire.DeltaAck)
+		if ack.Seq != frame.FirstSeq {
+			return nil, fmt.Errorf("etlclient: ack for frame %d, sent %d", ack.Seq, frame.FirstSeq)
+		}
+		if h := int(ack.BatchHint); h > 0 {
+			hint = h
+		}
+		res.DeltasSent += int64(n)
+		res.Frames++
+		next += n
+	}
+	res.FinalHint = int64(hint)
+
+	if err := ctl.Send(0, &wire.EndStream{StreamID: ok.StreamID}); err != nil {
+		return nil, err
+	}
+	m, err = ctl.Expect(wire.KindStreamDone)
+	if err != nil {
+		return nil, fmt.Errorf("etlclient: end stream %s: %w", blk.Name, err)
+	}
+	done := m.(*wire.StreamDone)
+	res.Watermark = int64(done.Watermark)
+	res.Replayed = int64(done.Replayed)
+	res.Inserted = int64(done.Inserted)
+	res.Updated = int64(done.Updated)
+	res.Deleted = int64(done.Deleted)
+	res.ErrorsET = int64(done.ErrorsET)
+	res.Total = time.Since(start)
+	return res, nil
+}

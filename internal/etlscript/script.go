@@ -19,8 +19,19 @@
 //	.begin export outfile FILE [format vartext 'D'] [sessions N];
 //	<SELECT statement>;
 //	.end export;
+//	.begin stream name NAME tables TARGET
+//	    [errortables ET] [latency MS] [maxerrors N];
+//	.dml label LABEL;
+//	<INSERT statement>;                    -- the apply DML for LABEL
+//	.stream infile FILE format vartext 'D' layout NAME apply LABEL;
+//	.end stream;
 //	.run SQL;                              -- ad-hoc request outside blocks
 //	.logoff;
+//
+// A stream block is the continuous-ingestion counterpart of an import block:
+// the delta file carries CDC records, each line (or indicator record)
+// prefixed with an op marker (I/U/D), and the client keeps the session open,
+// feeding deltas as adaptively sized frames until the file is exhausted.
 package etlscript
 
 import (
@@ -69,10 +80,31 @@ type ExportBlock struct {
 	Query    string
 }
 
+// StreamCmd is one .stream command inside a stream block.
+type StreamCmd struct {
+	Infile     string
+	Format     wire.DataFormat
+	Delim      byte
+	LayoutName string
+	ApplyLabel string
+}
+
+// StreamBlock is a .begin stream ... .end stream block.
+type StreamBlock struct {
+	Name       string // durable stream identity for checkpoint/resume
+	Table      string
+	ErrTableET string
+	LatencyMS  int // micro-batch commit latency target; 0 = server default
+	MaxErrors  int
+	DMLs       map[string]string // label -> apply SQL
+	Streams    []StreamCmd
+}
+
 // Step is one executable unit of a script, in order.
 type Step struct {
 	Import *ImportBlock
 	Export *ExportBlock
+	Stream *StreamBlock
 	SQL    string // ad-hoc .run statement
 }
 
@@ -175,6 +207,7 @@ type parser struct {
 	curLayout *ltype.Layout
 	curImport *ImportBlock
 	curExport *ExportBlock
+	curStream *StreamBlock
 	dmlLabel  string // set between ".dml label X" and its SQL statement
 	sawLogon  bool
 }
@@ -201,6 +234,8 @@ func (p *parser) statement(st string) error {
 		return p.dml(fields)
 	case ".import":
 		return p.importCmd(fields)
+	case ".stream":
+		return p.streamCmd(fields)
 	case ".end":
 		return p.end(fields)
 	case ".run":
@@ -208,7 +243,7 @@ func (p *parser) statement(st string) error {
 		if sql == "" {
 			return fmt.Errorf("etlscript: .run requires a SQL statement")
 		}
-		if p.curImport != nil || p.curExport != nil {
+		if p.curImport != nil || p.curExport != nil || p.curStream != nil {
 			return fmt.Errorf("etlscript: .run not allowed inside a job block")
 		}
 		p.script.Steps = append(p.script.Steps, Step{SQL: sql})
@@ -318,7 +353,7 @@ func (p *parser) begin(fields []string) error {
 	if len(fields) < 2 {
 		return fmt.Errorf("etlscript: .begin expects import or export")
 	}
-	if p.curImport != nil || p.curExport != nil {
+	if p.curImport != nil || p.curExport != nil || p.curStream != nil {
 		return fmt.Errorf("etlscript: nested .begin")
 	}
 	switch strings.ToLower(fields[1]) {
@@ -326,9 +361,64 @@ func (p *parser) begin(fields []string) error {
 		return p.beginImport(fields[2:])
 	case "export":
 		return p.beginExport(fields[2:])
+	case "stream":
+		return p.beginStream(fields[2:])
 	default:
 		return fmt.Errorf("etlscript: .begin %q not recognized", fields[1])
 	}
+}
+
+func (p *parser) beginStream(args []string) error {
+	blk := &StreamBlock{DMLs: make(map[string]string)}
+	i := 0
+	for i < len(args) {
+		switch strings.ToLower(args[i]) {
+		case "name":
+			if i+1 >= len(args) {
+				return fmt.Errorf("etlscript: name requires a value")
+			}
+			blk.Name = args[i+1]
+			i += 2
+		case "tables":
+			if i+1 >= len(args) {
+				return fmt.Errorf("etlscript: tables requires a name")
+			}
+			blk.Table = args[i+1]
+			i += 2
+		case "errortables":
+			// A stream has one error table (ET); CDC apply surfaces key
+			// collisions as updates, so there is no UV table.
+			if i+1 >= len(args) {
+				return fmt.Errorf("etlscript: errortables requires a name")
+			}
+			blk.ErrTableET = args[i+1]
+			i += 2
+		case "latency":
+			n, err := argInt(args, i, "latency")
+			if err != nil {
+				return err
+			}
+			blk.LatencyMS = n
+			i += 2
+		case "maxerrors":
+			n, err := argInt(args, i, "maxerrors")
+			if err != nil {
+				return err
+			}
+			blk.MaxErrors = n
+			i += 2
+		default:
+			return fmt.Errorf("etlscript: unknown .begin stream option %q", args[i])
+		}
+	}
+	if blk.Name == "" {
+		return fmt.Errorf("etlscript: .begin stream requires name (the durable checkpoint identity)")
+	}
+	if blk.Table == "" {
+		return fmt.Errorf("etlscript: .begin stream requires tables")
+	}
+	p.curStream = blk
+	return nil
 }
 
 func (p *parser) beginImport(args []string) error {
@@ -447,8 +537,9 @@ func argInt(args []string, i int, name string) (int, error) {
 }
 
 func (p *parser) dml(fields []string) error {
-	if p.curImport == nil {
-		return fmt.Errorf("etlscript: .dml outside an import block")
+	dmls := p.blockDMLs()
+	if dmls == nil {
+		return fmt.Errorf("etlscript: .dml outside an import or stream block")
 	}
 	if len(fields) != 3 || strings.ToLower(fields[1]) != "label" {
 		return fmt.Errorf("etlscript: .dml expects 'label NAME'")
@@ -457,17 +548,29 @@ func (p *parser) dml(fields []string) error {
 		return fmt.Errorf("etlscript: .dml label %s has no SQL", p.dmlLabel)
 	}
 	label := fields[2]
-	if _, dup := p.curImport.DMLs[strings.ToLower(label)]; dup {
+	if _, dup := dmls[strings.ToLower(label)]; dup {
 		return fmt.Errorf("etlscript: duplicate DML label %q", label)
 	}
 	p.dmlLabel = label
 	return nil
 }
 
+// blockDMLs is the label->SQL map of the open import or stream block, nil
+// when neither is open.
+func (p *parser) blockDMLs() map[string]string {
+	switch {
+	case p.curImport != nil:
+		return p.curImport.DMLs
+	case p.curStream != nil:
+		return p.curStream.DMLs
+	}
+	return nil
+}
+
 func (p *parser) bareSQL(st string) error {
 	switch {
 	case p.dmlLabel != "":
-		p.curImport.DMLs[strings.ToLower(p.dmlLabel)] = st
+		p.blockDMLs()[strings.ToLower(p.dmlLabel)] = st
 		p.dmlLabel = ""
 		return nil
 	case p.curExport != nil:
@@ -550,9 +653,70 @@ func isImportKeyword(s string) bool {
 	return false
 }
 
+func (p *parser) streamCmd(fields []string) error {
+	if p.curStream == nil {
+		return fmt.Errorf("etlscript: .stream outside a stream block")
+	}
+	cmd := StreamCmd{Format: wire.FormatVartext, Delim: '|'}
+	i := 1
+	for i < len(fields) {
+		switch strings.ToLower(fields[i]) {
+		case "infile":
+			if i+1 >= len(fields) {
+				return fmt.Errorf("etlscript: infile requires a name")
+			}
+			cmd.Infile = fields[i+1]
+			i += 2
+		case "format":
+			if i+1 >= len(fields) {
+				return fmt.Errorf("etlscript: format requires a value")
+			}
+			switch strings.ToLower(fields[i+1]) {
+			case "vartext":
+				cmd.Format = wire.FormatVartext
+				i += 2
+				if i < len(fields) && len(fields[i]) == 1 && !isImportKeyword(fields[i]) {
+					cmd.Delim = fields[i][0]
+					i++
+				}
+			case "indicator":
+				cmd.Format = wire.FormatIndicator
+				i += 2
+			default:
+				return fmt.Errorf("etlscript: unknown format %q", fields[i+1])
+			}
+		case "layout":
+			if i+1 >= len(fields) {
+				return fmt.Errorf("etlscript: layout requires a name")
+			}
+			cmd.LayoutName = fields[i+1]
+			i += 2
+		case "apply":
+			if i+1 >= len(fields) {
+				return fmt.Errorf("etlscript: apply requires a label")
+			}
+			cmd.ApplyLabel = fields[i+1]
+			i += 2
+		default:
+			return fmt.Errorf("etlscript: unknown .stream option %q", fields[i])
+		}
+	}
+	if cmd.Infile == "" || cmd.LayoutName == "" || cmd.ApplyLabel == "" {
+		return fmt.Errorf("etlscript: .stream requires infile, layout and apply")
+	}
+	if _, ok := p.script.Layouts[strings.ToLower(cmd.LayoutName)]; !ok {
+		return fmt.Errorf("etlscript: .stream references undefined layout %q", cmd.LayoutName)
+	}
+	if _, ok := p.curStream.DMLs[strings.ToLower(cmd.ApplyLabel)]; !ok {
+		return fmt.Errorf("etlscript: .stream references undefined DML label %q", cmd.ApplyLabel)
+	}
+	p.curStream.Streams = append(p.curStream.Streams, cmd)
+	return nil
+}
+
 func (p *parser) end(fields []string) error {
 	if len(fields) != 2 {
-		return fmt.Errorf("etlscript: .end expects load or export")
+		return fmt.Errorf("etlscript: .end expects load, export or stream")
 	}
 	switch strings.ToLower(fields[1]) {
 	case "load":
@@ -578,6 +742,19 @@ func (p *parser) end(fields []string) error {
 		p.script.Steps = append(p.script.Steps, Step{Export: p.curExport})
 		p.curExport = nil
 		return nil
+	case "stream":
+		if p.curStream == nil {
+			return fmt.Errorf("etlscript: .end stream without .begin stream")
+		}
+		if p.dmlLabel != "" {
+			return fmt.Errorf("etlscript: .dml label %s has no SQL", p.dmlLabel)
+		}
+		if len(p.curStream.Streams) == 0 {
+			return fmt.Errorf("etlscript: stream block has no .stream command")
+		}
+		p.script.Steps = append(p.script.Steps, Step{Stream: p.curStream})
+		p.curStream = nil
+		return nil
 	default:
 		return fmt.Errorf("etlscript: .end %q not recognized", fields[1])
 	}
@@ -589,6 +766,9 @@ func (p *parser) finish() error {
 	}
 	if p.curExport != nil {
 		return fmt.Errorf("etlscript: export block not closed with .end export")
+	}
+	if p.curStream != nil {
+		return fmt.Errorf("etlscript: stream block not closed with .end stream")
 	}
 	if !p.sawLogon {
 		return fmt.Errorf("etlscript: script has no .logon")

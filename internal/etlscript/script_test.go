@@ -192,6 +192,66 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+func TestParseStreamBlock(t *testing.T) {
+	s, err := Parse(`
+.logon h/u,p;
+.layout CustLayout;
+.field CUST_ID varchar(5);
+.field CUST_NAME varchar(50);
+.begin stream name cdc_cust tables PROD.CUSTOMER
+	errortables PROD.CUSTOMER_ET latency 500 maxerrors 25;
+.dml label Apply;
+insert into PROD.CUSTOMER values (:CUST_ID, :CUST_NAME);
+.stream infile deltas.txt format vartext '|' layout CustLayout apply Apply;
+.end stream;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Steps) != 1 || s.Steps[0].Stream == nil {
+		t.Fatalf("steps: %+v", s.Steps)
+	}
+	blk := s.Steps[0].Stream
+	if blk.Name != "cdc_cust" || blk.Table != "PROD.CUSTOMER" ||
+		blk.ErrTableET != "PROD.CUSTOMER_ET" || blk.LatencyMS != 500 || blk.MaxErrors != 25 {
+		t.Errorf("block: %+v", blk)
+	}
+	if sql, ok := blk.DMLs["apply"]; !ok || !strings.HasPrefix(sql, "insert") {
+		t.Errorf("dml: %q", sql)
+	}
+	if len(blk.Streams) != 1 {
+		t.Fatalf("streams: %+v", blk.Streams)
+	}
+	cmd := blk.Streams[0]
+	if cmd.Infile != "deltas.txt" || cmd.Format != wire.FormatVartext || cmd.Delim != '|' ||
+		cmd.LayoutName != "CustLayout" || cmd.ApplyLabel != "Apply" {
+		t.Errorf("stream cmd: %+v", cmd)
+	}
+}
+
+func TestParseStreamErrors(t *testing.T) {
+	bad := []struct {
+		name, src string
+	}{
+		{"stream without name", ".logon h/u,p;\n.begin stream tables T;"},
+		{"stream without tables", ".logon h/u,p;\n.begin stream name s;"},
+		{"unclosed stream", ".logon h/u,p;\n.begin stream name s tables T;"},
+		{"empty stream block", ".logon h/u,p;\n.begin stream name s tables T;\n.dml label X;\nINSERT INTO T VALUES (1);\n.end stream;"},
+		{"stream cmd outside block", ".logon h/u,p;\n.stream infile f layout L apply X;"},
+		{"stream undefined layout", ".logon h/u,p;\n.begin stream name s tables T;\n.dml label X;\nINSERT INTO T VALUES (1);\n.stream infile f layout NOPE apply X;\n.end stream;"},
+		{"stream undefined label", ".logon h/u,p;\n.layout L;\n.field A varchar(5);\n.begin stream name s tables T;\n.stream infile f layout L apply X;\n.end stream;"},
+		{"end stream without begin", ".logon h/u,p;\n.end stream;"},
+		{"nested begin in stream", ".logon h/u,p;\n.begin stream name s tables T;\n.begin import tables T;"},
+		{"run inside stream", ".logon h/u,p;\n.begin stream name s tables T;\n.run SELECT 1;"},
+		{"bad latency", ".logon h/u,p;\n.begin stream name s tables T latency soon;"},
+	}
+	for _, c := range bad {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
 func TestVartextDelimiterNotConfusedWithKeyword(t *testing.T) {
 	// single-char layout name must not be eaten as delimiter
 	s, err := Parse(`

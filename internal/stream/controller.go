@@ -1,0 +1,269 @@
+package stream
+
+import "time"
+
+// Config tunes the adaptive controller. Zero values select defaults.
+type Config struct {
+	// Target is the end-to-end micro-batch commit latency the controller
+	// steers toward. Zero defaults to 2s.
+	Target time.Duration
+	// MinBatch/MaxBatch clamp the records-per-micro-batch hint. Zeros
+	// default to 16 and 8192.
+	MinBatch int
+	MaxBatch int
+	// InitialBatch seeds the hint before any observation. Zero defaults to
+	// 64 (clamped into [MinBatch, MaxBatch]).
+	InitialBatch int
+	// Alpha is the EWMA smoothing factor for observed latency and record
+	// width, in (0, 1]. Larger reacts faster, smaller damps noise harder.
+	// Zero defaults to 0.3.
+	Alpha float64
+	// Deadband is the fractional hysteresis band around Target inside which
+	// the controller holds instead of chasing noise. Zero defaults to 0.15
+	// (i.e. hold while smoothed latency is within ±15% of target).
+	Deadband float64
+	// MinSpoolBytes/MaxSpoolBytes clamp the staging-file rotation threshold
+	// derived from the batch hint. Zeros default to 64 KiB and 4 MiB.
+	MinSpoolBytes int
+	MaxSpoolBytes int
+	// MaxCopyFiles caps staged files folded into one COPY statement. Zero
+	// defaults to 4.
+	MaxCopyFiles int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Target <= 0 {
+		c.Target = 2 * time.Second
+	}
+	if c.MinBatch <= 0 {
+		c.MinBatch = 16
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8192
+	}
+	if c.MaxBatch < c.MinBatch {
+		c.MaxBatch = c.MinBatch
+	}
+	if c.InitialBatch <= 0 {
+		c.InitialBatch = 64
+	}
+	if c.InitialBatch < c.MinBatch {
+		c.InitialBatch = c.MinBatch
+	}
+	if c.InitialBatch > c.MaxBatch {
+		c.InitialBatch = c.MaxBatch
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.3
+	}
+	if c.Deadband <= 0 {
+		c.Deadband = 0.15
+	}
+	if c.MinSpoolBytes <= 0 {
+		c.MinSpoolBytes = 64 << 10
+	}
+	if c.MaxSpoolBytes <= 0 {
+		c.MaxSpoolBytes = 4 << 20
+	}
+	if c.MaxSpoolBytes < c.MinSpoolBytes {
+		c.MaxSpoolBytes = c.MinSpoolBytes
+	}
+	if c.MaxCopyFiles <= 0 {
+		c.MaxCopyFiles = 4
+	}
+	return c
+}
+
+// Action classifies a controller decision.
+type Action uint8
+
+// Controller decisions: hold the current batch size, grow it, or shrink it.
+const (
+	ActionHold Action = iota
+	ActionGrow
+	ActionShrink
+)
+
+// String returns the metric-label spelling of the action.
+func (a Action) String() string {
+	switch a {
+	case ActionGrow:
+		return "grow"
+	case ActionShrink:
+		return "shrink"
+	default:
+		return "hold"
+	}
+}
+
+// Decision is the controller's current preferred micro-batch geometry.
+type Decision struct {
+	Action     Action
+	BatchRows  int // preferred records per micro-batch (the client frame hint)
+	SpoolBytes int // staging-file rotation threshold for the batch
+	CopyFiles  int // max staged files folded into one COPY statement
+}
+
+// Stats counts controller decisions since construction.
+type Stats struct {
+	Grows   uint64
+	Shrinks uint64
+	Holds   uint64
+}
+
+// Controller is the adaptive micro-batch sizer. It is a pure unit: it never
+// reads the clock — the caller measures each batch's commit latency and
+// feeds it to Observe, which returns the geometry for the next batch. It is
+// not safe for concurrent use; the streaming job serializes batch commits.
+//
+// The control law is a damped multiplicative-adjust loop: smoothed latency
+// outside the deadband moves the batch size by the ratio target/latency,
+// clamped to [1/2, 3/2] per step so a single outlier cannot collapse or
+// explode the batch, then clamped to [MinBatch, MaxBatch]. Commit latency
+// grows monotonically with batch size (fixed per-batch overhead plus
+// per-row cost), so the ratio step contracts toward the fixed point where
+// latency sits inside the band, and the deadband stops it from oscillating
+// around the target on noisy measurements.
+type Controller struct {
+	cfg Config
+
+	batch       int
+	ewmaSec     float64 // smoothed commit latency, seconds
+	bytesPerRow float64 // smoothed record width
+	seeded      bool
+
+	stats Stats
+}
+
+// NewController builds a controller steering toward cfg.Target.
+func NewController(cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	return &Controller{cfg: cfg, batch: cfg.InitialBatch}
+}
+
+// Target reports the configured latency target after defaulting.
+func (c *Controller) Target() time.Duration { return c.cfg.Target }
+
+// Stats returns decision counts since construction.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Hint returns the current geometry without recording an observation.
+func (c *Controller) Hint() Decision {
+	return Decision{
+		Action:     ActionHold,
+		BatchRows:  c.batch,
+		SpoolBytes: c.spoolBytes(),
+		CopyFiles:  c.copyFiles(),
+	}
+}
+
+// Observe records one committed micro-batch (rows records, bytes of raw
+// payload, end-to-end commit latency) and returns the geometry for the next
+// batch.
+func (c *Controller) Observe(rows, bytes int, latency time.Duration) Decision {
+	if rows <= 0 || latency <= 0 {
+		d := c.Hint()
+		c.stats.Holds++
+		return d
+	}
+	obs := latency.Seconds()
+	width := float64(bytes) / float64(rows)
+	if !c.seeded {
+		c.ewmaSec = obs
+		c.bytesPerRow = width
+		c.seeded = true
+	} else {
+		c.ewmaSec += c.cfg.Alpha * (obs - c.ewmaSec)
+		if bytes > 0 {
+			c.bytesPerRow += c.cfg.Alpha * (width - c.bytesPerRow)
+		}
+	}
+
+	target := c.cfg.Target.Seconds()
+	action := ActionHold
+	switch {
+	case c.ewmaSec > target*(1+c.cfg.Deadband):
+		action = ActionShrink
+	case c.ewmaSec < target*(1-c.cfg.Deadband):
+		action = ActionGrow
+	}
+	if action != ActionHold {
+		ratio := target / c.ewmaSec
+		if ratio < 0.5 {
+			ratio = 0.5
+		}
+		if ratio > 1.5 {
+			ratio = 1.5
+		}
+		next := int(float64(c.batch) * ratio)
+		// Guarantee progress: a ratio step on a tiny batch can truncate to
+		// the same value and stall short of the target.
+		if action == ActionGrow && next <= c.batch {
+			next = c.batch + 1
+		}
+		if action == ActionShrink && next >= c.batch {
+			next = c.batch - 1
+		}
+		if next < c.cfg.MinBatch {
+			next = c.cfg.MinBatch
+		}
+		if next > c.cfg.MaxBatch {
+			next = c.cfg.MaxBatch
+		}
+		if next == c.batch {
+			action = ActionHold // pinned at a clamp
+		}
+		c.batch = next
+	}
+	switch action {
+	case ActionGrow:
+		c.stats.Grows++
+	case ActionShrink:
+		c.stats.Shrinks++
+	default:
+		c.stats.Holds++
+	}
+	return Decision{
+		Action:     action,
+		BatchRows:  c.batch,
+		SpoolBytes: c.spoolBytes(),
+		CopyFiles:  c.copyFiles(),
+	}
+}
+
+// spoolBytes derives the staging-file rotation threshold: enough for one
+// micro-batch in a single file when records are narrow, clamped so wide
+// records still rotate before unbounded buffering.
+func (c *Controller) spoolBytes() int {
+	width := c.bytesPerRow
+	if width <= 0 {
+		width = 128 // prior before any observation
+	}
+	spool := int(width * float64(c.batch))
+	if spool < c.cfg.MinSpoolBytes {
+		spool = c.cfg.MinSpoolBytes
+	}
+	if spool > c.cfg.MaxSpoolBytes {
+		spool = c.cfg.MaxSpoolBytes
+	}
+	return spool
+}
+
+// copyFiles scales the files-per-COPY batch linearly with where the batch
+// hint sits in [MinBatch, MaxBatch]: small latency-bound batches commit one
+// file at a time, large throughput-bound batches amortize COPY overhead
+// across several staged files.
+func (c *Controller) copyFiles() int {
+	span := c.cfg.MaxBatch - c.cfg.MinBatch
+	if span <= 0 || c.cfg.MaxCopyFiles <= 1 {
+		return 1
+	}
+	files := 1 + (c.batch-c.cfg.MinBatch)*(c.cfg.MaxCopyFiles-1)/span
+	if files < 1 {
+		files = 1
+	}
+	if files > c.cfg.MaxCopyFiles {
+		files = c.cfg.MaxCopyFiles
+	}
+	return files
+}

@@ -56,6 +56,12 @@ const (
 	KindExportChunkRq Kind = 24 // client -> server: request chunk N
 	KindExportChunk   Kind = 25 // server -> client: chunk N payload
 	KindEndExport     Kind = 26 // client -> server: finish export job
+	KindBeginStream   Kind = 27 // client -> server: open a continuous CDC stream
+	KindStreamOK      Kind = 28 // server -> client: stream open, resume watermark attached
+	KindDeltaFrame    Kind = 29 // client -> server: micro-batch of CDC delta records
+	KindDeltaAck      Kind = 30 // server -> client: delta frame accepted, commit watermark
+	KindEndStream     Kind = 31 // client -> server: flush and close the stream
+	KindStreamDone    Kind = 32 // server -> client: stream closed, final counters
 )
 
 // String returns a diagnostic name for the kind.
@@ -66,7 +72,8 @@ func (k Kind) String() string {
 		"LoadOK", "AttachLoad", "AttachOK", "DataChunk", "ChunkAck",
 		"EndAcquire", "AcquireDone", "ApplyDML", "ApplyResult", "EndLoad",
 		"LoadDone", "BeginExport", "ExportOK", "ExportChunkRq", "ExportChunk",
-		"EndExport",
+		"EndExport", "BeginStream", "StreamOK", "DeltaFrame", "DeltaAck",
+		"EndStream", "StreamDone",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -135,7 +142,7 @@ func parseHeader(hdr []byte) (Frame, int, error) {
 		return Frame{}, 0, fmt.Errorf("wire: bad protocol version %d", hdr[0])
 	}
 	k := Kind(hdr[1])
-	if k == KindInvalid || k > KindEndExport {
+	if k == KindInvalid || k > KindStreamDone {
 		return Frame{}, 0, fmt.Errorf("wire: invalid frame kind %d", hdr[1])
 	}
 	bodyLen := int(binary.BigEndian.Uint32(hdr[8:]))

@@ -561,6 +561,192 @@ func (m *EndExport) decode(r *bodyReader) error {
 	return r.done()
 }
 
+// BeginStream opens a long-lived CDC streaming session on the control
+// session. Name identifies the stream across reconnects: the server keeps a
+// per-name commit watermark in the CDW so a resumed stream can discard
+// already-applied deltas.
+type BeginStream struct {
+	Name            string // durable stream identity, used for checkpoint/resume
+	Table           string // target table, possibly qualified
+	ErrTableET      string // transformation-error table
+	Layout          *ltype.Layout
+	Format          DataFormat
+	Delim           byte   // vartext delimiter
+	SQL             string // INSERT-shaped apply DML; update/delete halves are derived
+	LatencyTargetMS uint32 // 0 means server default
+	MaxErrors       uint32 // 0 means server default
+}
+
+// Kind implements Message.
+func (*BeginStream) Kind() Kind { return KindBeginStream }
+
+func (m *BeginStream) encode(w *bodyWriter) error {
+	for _, s := range []string{m.Name, m.Table, m.ErrTableET} {
+		if err := w.str(s); err != nil {
+			return err
+		}
+	}
+	if err := writeLayout(w, m.Layout); err != nil {
+		return err
+	}
+	w.u8(uint8(m.Format))
+	w.u8(m.Delim)
+	if err := w.str(m.SQL); err != nil {
+		return err
+	}
+	w.u32(m.LatencyTargetMS)
+	w.u32(m.MaxErrors)
+	return nil
+}
+
+func (m *BeginStream) decode(r *bodyReader) error {
+	m.Name, m.Table, m.ErrTableET = r.str(), r.str(), r.str()
+	m.Layout = readLayout(r)
+	m.Format = DataFormat(r.u8())
+	m.Delim = r.u8()
+	m.SQL = r.str()
+	m.LatencyTargetMS = r.u32()
+	m.MaxErrors = r.u32()
+	return r.done()
+}
+
+// StreamOK confirms a stream. ResumeSeq is the persisted commit watermark for
+// the stream name: every delta with sequence <= ResumeSeq has already been
+// applied, so a resuming client may skip ahead. BatchHint is the controller's
+// initial preferred frame size in records.
+type StreamOK struct {
+	StreamID  uint64
+	ResumeSeq uint64
+	BatchHint uint32
+}
+
+// Kind implements Message.
+func (*StreamOK) Kind() Kind { return KindStreamOK }
+
+func (m *StreamOK) encode(w *bodyWriter) error {
+	w.u64(m.StreamID)
+	w.u64(m.ResumeSeq)
+	w.u32(m.BatchHint)
+	return nil
+}
+
+func (m *StreamOK) decode(r *bodyReader) error {
+	m.StreamID = r.u64()
+	m.ResumeSeq = r.u64()
+	m.BatchHint = r.u32()
+	return r.done()
+}
+
+// DeltaFrame carries Count CDC delta records. Each record is a one-byte op
+// marker ('I', 'U', or 'D') followed by a full-row image in the stream's data
+// format. FirstSeq is the global sequence number of the first record; the
+// frame covers [FirstSeq, FirstSeq+Count).
+type DeltaFrame struct {
+	StreamID uint64
+	FirstSeq uint64
+	Count    uint32
+	Payload  []byte
+}
+
+// Kind implements Message.
+func (*DeltaFrame) Kind() Kind { return KindDeltaFrame }
+
+func (m *DeltaFrame) encode(w *bodyWriter) error {
+	w.u64(m.StreamID)
+	w.u64(m.FirstSeq)
+	w.u32(m.Count)
+	return w.bytes(m.Payload)
+}
+
+func (m *DeltaFrame) decode(r *bodyReader) error {
+	m.StreamID = r.u64()
+	m.FirstSeq = r.u64()
+	m.Count = r.u32()
+	m.Payload = r.bytes()
+	return r.done()
+}
+
+// DeltaAck acknowledges a delta frame. Like ChunkAck the stream protocol is
+// synchronous: the server delays the ack while backpressured, which throttles
+// the client. CommittedSeq piggybacks the current durable watermark and
+// BatchHint the controller's live preferred frame size, so the client adapts
+// without extra round trips.
+type DeltaAck struct {
+	StreamID     uint64
+	Seq          uint64 // FirstSeq of the frame being acknowledged
+	CommittedSeq uint64 // highest delta sequence durably applied to the CDW
+	BatchHint    uint32 // controller's current preferred records per frame
+}
+
+// Kind implements Message.
+func (*DeltaAck) Kind() Kind { return KindDeltaAck }
+
+func (m *DeltaAck) encode(w *bodyWriter) error {
+	w.u64(m.StreamID)
+	w.u64(m.Seq)
+	w.u64(m.CommittedSeq)
+	w.u32(m.BatchHint)
+	return nil
+}
+
+func (m *DeltaAck) decode(r *bodyReader) error {
+	m.StreamID = r.u64()
+	m.Seq = r.u64()
+	m.CommittedSeq = r.u64()
+	m.BatchHint = r.u32()
+	return r.done()
+}
+
+// EndStream flushes any buffered deltas, commits, and closes the stream.
+type EndStream struct {
+	StreamID uint64
+}
+
+// Kind implements Message.
+func (*EndStream) Kind() Kind { return KindEndStream }
+
+func (m *EndStream) encode(w *bodyWriter) error { w.u64(m.StreamID); return nil }
+func (m *EndStream) decode(r *bodyReader) error {
+	m.StreamID = r.u64()
+	return r.done()
+}
+
+// StreamDone reports the final state of a closed stream.
+type StreamDone struct {
+	StreamID  uint64
+	Watermark uint64 // final durable commit watermark
+	Inserted  uint64
+	Updated   uint64
+	Deleted   uint64
+	ErrorsET  uint64 // rows recorded in the transformation-error table
+	Replayed  uint64 // deltas discarded as already applied (<= resume watermark)
+}
+
+// Kind implements Message.
+func (*StreamDone) Kind() Kind { return KindStreamDone }
+
+func (m *StreamDone) encode(w *bodyWriter) error {
+	w.u64(m.StreamID)
+	w.u64(m.Watermark)
+	w.u64(m.Inserted)
+	w.u64(m.Updated)
+	w.u64(m.Deleted)
+	w.u64(m.ErrorsET)
+	w.u64(m.Replayed)
+	return nil
+}
+
+func (m *StreamDone) decode(r *bodyReader) error {
+	m.StreamID = r.u64()
+	m.Watermark = r.u64()
+	m.Inserted = r.u64()
+	m.Updated = r.u64()
+	m.Deleted = r.u64()
+	m.ErrorsET = r.u64()
+	m.Replayed = r.u64()
+	return r.done()
+}
+
 // Encode builds a frame for msg on the given session.
 func Encode(session uint32, msg Message) (Frame, error) {
 	var w bodyWriter
@@ -637,6 +823,18 @@ func newMessage(k Kind) Message {
 		return &ExportChunk{}
 	case KindEndExport:
 		return &EndExport{}
+	case KindBeginStream:
+		return &BeginStream{}
+	case KindStreamOK:
+		return &StreamOK{}
+	case KindDeltaFrame:
+		return &DeltaFrame{}
+	case KindDeltaAck:
+		return &DeltaAck{}
+	case KindEndStream:
+		return &EndStream{}
+	case KindStreamDone:
+		return &StreamDone{}
 	default:
 		return nil
 	}

@@ -53,6 +53,16 @@ func allMessages() []Message {
 		&ExportChunkRq{JobID: 11, Seq: 3},
 		&ExportChunk{JobID: 11, Seq: 3, Count: 10, EOF: true, Payload: []byte("data")},
 		&EndExport{JobID: 11},
+		&BeginStream{
+			Name: "orders-cdc", Table: "PROD.ORDERS", ErrTableET: "PROD.ORDERS_ET",
+			Layout: testLayout(), Format: FormatVartext, Delim: '|',
+			SQL: "insert into orders values (:a)", LatencyTargetMS: 2000, MaxErrors: 25,
+		},
+		&StreamOK{StreamID: 13, ResumeSeq: 400, BatchHint: 64},
+		&DeltaFrame{StreamID: 13, FirstSeq: 401, Count: 2, Payload: []byte("I|a|b\nD|c|d\n")},
+		&DeltaAck{StreamID: 13, Seq: 401, CommittedSeq: 400, BatchHint: 128},
+		&EndStream{StreamID: 13},
+		&StreamDone{StreamID: 13, Watermark: 402, Inserted: 1, Updated: 0, Deleted: 1, ErrorsET: 2, Replayed: 3},
 	}
 }
 
