@@ -23,7 +23,16 @@ func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (7-11); 0 = all")
 	scale := flag.Int("scale", 0, "simulation rows per paper-million (0 = default)")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations instead of the figures")
+	traceOut := flag.String("trace-out", "", "run one traced Figure 7 import and write its Chrome trace JSON here instead of the figures")
 	flag.Parse()
+
+	if *traceOut != "" {
+		data, err := bench.Fig7Trace(*scale)
+		check(err)
+		check(os.WriteFile(*traceOut, data, 0o644))
+		fmt.Printf("wrote Chrome trace (%d bytes) to %s\n", len(data), *traceOut)
+		return
+	}
 
 	if *ablations {
 		rows, err := bench.AblationSyncAck(*scale)

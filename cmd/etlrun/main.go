@@ -26,6 +26,7 @@ func main() {
 	sessions := flag.Int("sessions", 0, "override the script's parallel session count")
 	chunk := flag.Int("chunk", 0, "records per data chunk (0 = default)")
 	streamLatency := flag.Int("stream-latency-target", 0, "override stream blocks' commit latency target in ms (0 = script value)")
+	trace := flag.Bool("trace", false, "originate a distributed trace for the run and print its trace ID")
 	analyze := flag.Bool("analyze", false, "run the workload pre-flight analysis on a SQL file instead of executing a job")
 	flag.Parse()
 
@@ -62,9 +63,13 @@ func main() {
 		Sessions:        *sessions,
 		ChunkRecords:    *chunk,
 		StreamLatencyMS: *streamLatency,
+		Trace:           *trace,
 	})
 	if err != nil {
 		log.Fatalf("etlrun: %v", err)
+	}
+	if res.TraceID != "" {
+		fmt.Printf("trace %s (fetch /traces/%s on the server's debug listener)\n", res.TraceID, res.TraceID)
 	}
 	for _, ir := range res.Imports {
 		fmt.Printf("import %s: sent=%d staged=%d inserted=%d updated=%d deleted=%d errET=%d errUV=%d\n",

@@ -40,6 +40,8 @@ func main() {
 	reportLog := flag.Int("report-log", 0, "completed job reports kept in memory (0 = 1024)")
 	traceRetain := flag.Int("trace-retain", 0, "finished job traces kept for /jobs/{id}/trace (0 = 64)")
 	traceSpans := flag.Int("trace-spans", 0, "span cap per job trace (0 = 8192)")
+	eventLog := flag.Int("event-log", 0, "structured events kept in the /events ring buffer (0 = 1024)")
+	eventFile := flag.String("event-file", "", "optional file to mirror the structured event log to as JSONL")
 	faultSpec := flag.String("fault-spec", "", "fault-injection spec, e.g. 'store.put:rate=0.1,class=timeout;cdw.exec:every=50' (empty = off)")
 	faultSeed := flag.Int64("fault-seed", 1, "deterministic seed for -fault-spec schedules")
 	retryMax := flag.Int("retry-max", 0, "attempts per retried operation incl. the first (0 = 4)")
@@ -75,6 +77,7 @@ func main() {
 		ReportLogSize:       *reportLog,
 		TraceRetention:      *traceRetain,
 		TraceSpansPerJob:    *traceSpans,
+		EventLogSize:        *eventLog,
 		RetryMaxAttempts:    *retryMax,
 		RetryBaseDelay:      *retryBase,
 		RetryMaxDelay:       *retryCap,
@@ -93,6 +96,14 @@ func main() {
 		}
 		cfg.FaultInjector = inj
 		log.Printf("etlvirtd: fault injection armed (seed %d): %s", *faultSeed, *faultSpec)
+	}
+	if *eventFile != "" {
+		f, err := os.OpenFile(*eventFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("etlvirtd: -event-file: %v", err)
+		}
+		defer f.Close()
+		cfg.EventSink = f
 	}
 	if *schemaMap != "" {
 		cfg.SchemaMap = map[string]string{}

@@ -18,9 +18,12 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
+	"strings"
 	"time"
 
 	"etlvirt"
+	"etlvirt/internal/obs"
 )
 
 const script = `
@@ -65,6 +68,7 @@ func runOnce(stack *etlvirt.Stack, deltas []byte) etlvirt.RunResult {
 	res, err := etlvirt.RunScriptSource(script, etlvirt.RunOptions{
 		Addr:     stack.NodeAddr,
 		ReadFile: func(string) ([]byte, error) { return deltas, nil },
+		Trace:    true,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -89,7 +93,8 @@ func main() {
 
 	deltas := genDeltas(3000)
 	start := time.Now()
-	sr := runOnce(stack, deltas).Streams[0]
+	run := runOnce(stack, deltas)
+	sr := run.Streams[0]
 	fmt.Printf("stream %s -> %s\n", sr.Name, sr.Table)
 	fmt.Printf("  %d deltas in %d frames over %v (%.0f deltas/s)\n",
 		sr.DeltasSent, sr.Frames, time.Since(start).Round(time.Millisecond),
@@ -98,6 +103,21 @@ func main() {
 		sr.Inserted, sr.Updated, sr.Deleted, sr.ErrorsET, sr.Watermark)
 	fmt.Printf("  controller: frame hint adapted to %d deltas/frame (75ms latency target)\n",
 		sr.FinalHint)
+	if tid, err := obs.ParseTraceID(run.TraceID); err == nil {
+		if snap, ok := stack.Node.Tracer().TraceByID(tid); ok {
+			procs := map[string]bool{}
+			for _, sp := range snap.Spans {
+				procs[sp.Proc] = true
+			}
+			names := make([]string, 0, len(procs))
+			for p := range procs {
+				names = append(names, p)
+			}
+			sort.Strings(names)
+			fmt.Printf("  trace %s: %d spans across %s (GET /traces/%s?format=chrome for the timeline)\n",
+				run.TraceID, len(snap.Spans), strings.Join(names, "+"), run.TraceID)
+		}
+	}
 
 	rows, err := stack.ExecCDW("SELECT count(*) FROM PROD.ACCOUNT")
 	if err != nil {

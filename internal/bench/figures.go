@@ -43,6 +43,30 @@ func Fig7(scale int) ([]Fig7Row, error) {
 	return out, nil
 }
 
+// Fig7Trace runs one Figure 7-shaped import with distributed tracing
+// enabled and returns the stitched cross-process Chrome trace — the
+// artifact CI attaches to bench-smoke runs so a regression's timeline is
+// one download away.
+func Fig7Trace(scale int) ([]byte, error) {
+	if scale <= 0 {
+		scale = RowsPerPaperMillion
+	}
+	cfg := RunConfig{
+		Workload: Workload{Rows: scale, RowBytes: 500, Seed: 7},
+		Sessions: 2, ChunkRecords: 500,
+		Node:  core.Config{Gzip: true},
+		Trace: true,
+	}
+	p, err := RunImport(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fig7 trace run: %w", err)
+	}
+	if len(p.ChromeTrace) == 0 {
+		return nil, fmt.Errorf("fig7 trace run produced no trace")
+	}
+	return p.ChromeTrace, nil
+}
+
 // FormatFig7 renders the Figure 7 series.
 func FormatFig7(rows []Fig7Row) string {
 	var sb strings.Builder

@@ -12,6 +12,7 @@ import (
 	"etlvirt/internal/etlclient"
 	"etlvirt/internal/etlscript"
 	"etlvirt/internal/ltype"
+	"etlvirt/internal/obs"
 	"etlvirt/internal/sqlparse"
 )
 
@@ -26,6 +27,9 @@ type RunConfig struct {
 	ScriptExtra  string // appended to .begin import (maxerrors etc.)
 	// UplinkBytesPerSec throttles uploads to the object store.
 	UplinkBytesPerSec int64
+	// Trace runs the client with distributed tracing enabled and captures
+	// the stitched cross-process Chrome trace in PhaseTimes.ChromeTrace.
+	Trace bool
 }
 
 // PhaseTimes is the measured outcome of one run, phase-split as in Figure 7.
@@ -48,6 +52,10 @@ type PhaseTimes struct {
 	// phase split. Each run assembles a fresh stack, so the snapshot is the
 	// run's own delta.
 	Stages []StageSummary
+
+	// ChromeTrace is the run's stitched distributed trace in Chrome
+	// trace_event JSON, present when RunConfig.Trace was set.
+	ChromeTrace []byte
 }
 
 // StageSummary condenses one stage histogram for benchmark reports.
@@ -130,9 +138,25 @@ func RunImport(cfg RunConfig) (PhaseTimes, error) {
 		Addr:         nodeAddr,
 		ChunkRecords: cfg.ChunkRecords,
 		ReadFile:     func(string) ([]byte, error) { return data, nil },
+		Trace:        cfg.Trace,
 	}
-	if _, err := etlclient.Run(script, opts); err != nil {
+	clientRes, err := etlclient.Run(script, opts)
+	if err != nil {
 		return PhaseTimes{}, err
+	}
+	var chromeTrace []byte
+	if cfg.Trace && clientRes.TraceID != "" {
+		tid, err := obs.ParseTraceID(clientRes.TraceID)
+		if err != nil {
+			return PhaseTimes{}, err
+		}
+		snap, ok := node.Tracer().TraceByID(tid)
+		if !ok {
+			return PhaseTimes{}, fmt.Errorf("bench: traced run left no trace %s on the node", clientRes.TraceID)
+		}
+		if chromeTrace, err = snap.ChromeTrace(); err != nil {
+			return PhaseTimes{}, err
+		}
 	}
 
 	reports := node.Reports()
@@ -153,6 +177,7 @@ func RunImport(cfg RunConfig) (PhaseTimes, error) {
 		ApplyStmts:  r.ApplyStmts,
 		Files:       r.FilesWritten,
 		Stages:      stageSummaries(node),
+		ChromeTrace: chromeTrace,
 	}, nil
 }
 

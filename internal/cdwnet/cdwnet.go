@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"etlvirt/internal/cdw"
+	"etlvirt/internal/obs"
 	"etlvirt/internal/retrier"
 	"etlvirt/internal/sqlparse"
 )
@@ -33,6 +34,17 @@ type request struct {
 	// Describe, when non-empty, requests table metadata ("schema.name" or
 	// "name") instead of executing SQL.
 	Describe string
+	// Distributed trace context propagated from the virtualizer: the trace
+	// this request belongs to and the span it is parented under. Zero TraceID
+	// means untraced.
+	TraceID uint64
+	SpanID  uint64
+	Sampled bool
+}
+
+// trace reassembles the request's trace context.
+func (r *request) trace() obs.TraceContext {
+	return obs.TraceContext{TraceID: r.TraceID, SpanID: r.SpanID, Sampled: r.Sampled}
 }
 
 type colInfo struct {
@@ -58,6 +70,9 @@ type responseHeader struct {
 	Activity int64
 	HasRows  bool
 	Meta     *TableMeta
+	// EngineNanos is the server-side engine latency for this request, so the
+	// client can split a round trip into network and engine time.
+	EngineNanos int64
 }
 
 type rowBatch struct {
@@ -74,6 +89,37 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	done     chan struct{}
 	observer func(op string, d time.Duration, errCode int)
+	events   *obs.EventLog
+}
+
+// SetEventLog records one event per served request (type "cdw_request") into
+// ev, carrying the propagated trace ID so engine-side activity can be joined
+// to the distributed trace. Nil disables recording.
+func (s *Server) SetEventLog(ev *obs.EventLog) {
+	s.mu.Lock()
+	s.events = ev
+	s.mu.Unlock()
+}
+
+func (s *Server) event(op string, tc obs.TraceContext, d time.Duration, errCode int) {
+	s.mu.Lock()
+	ev := s.events
+	s.mu.Unlock()
+	if ev == nil {
+		return
+	}
+	e := obs.Event{
+		Type: "cdw_request",
+		Msg:  op,
+		Attrs: map[string]any{
+			"dur_ns":   d.Nanoseconds(),
+			"err_code": errCode,
+		},
+	}
+	if tc.Valid() {
+		e.TraceID = obs.FormatTraceID(tc.TraceID)
+	}
+	ev.Add(e)
 }
 
 // SetObserver installs a callback invoked once per served request with the
@@ -164,10 +210,12 @@ func (s *Server) serveConn(conn net.Conn) {
 				return
 			}
 			s.observe("describe", start, 0)
+			s.event("describe", req.trace(), time.Since(start), 0)
 			continue
 		}
 		start := time.Now()
 		res, err := s.eng.ExecSQL(req.SQL)
+		engineDur := time.Since(start)
 		var hdr responseHeader
 		if err != nil {
 			ee := cdw.AsError(err)
@@ -179,7 +227,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			hdr.HasRows = len(res.Columns) > 0
 		}
+		hdr.EngineNanos = engineDur.Nanoseconds()
 		s.observe("exec", start, hdr.ErrCode)
+		s.event("exec", req.trace(), engineDur, hdr.ErrCode)
 		if err := enc.Encode(&hdr); err != nil {
 			return
 		}
@@ -210,6 +260,7 @@ func (s *Server) serveConn(conn net.Conn) {
 
 func (s *Server) serveDescribe(enc *gob.Encoder, name string) error {
 	tn := parseTableName(name)
+	start := time.Now()
 	meta, err := s.eng.Describe(tn)
 	var hdr responseHeader
 	if err != nil {
@@ -227,6 +278,7 @@ func (s *Server) serveDescribe(enc *gob.Encoder, name string) error {
 		}
 		hdr.Meta = m
 	}
+	hdr.EngineNanos = time.Since(start).Nanoseconds()
 	return enc.Encode(&hdr)
 }
 
@@ -270,6 +322,10 @@ type Client struct {
 	// the operation kind ("query", "describe", "fetch"); a non-nil return
 	// is surfaced as a transport failure before anything hits the wire.
 	faultHook func(op string) error
+
+	// lastEngineNS is the engine latency reported by the most recent
+	// response header, splitting a round trip into network and engine time.
+	lastEngineNS int64
 }
 
 // Dial connects to a CDW server.
@@ -349,9 +405,18 @@ func remoteError(hdr *responseHeader) error {
 	return &cdw.Error{Code: hdr.ErrCode, Msg: hdr.ErrMsg, Field: hdr.ErrField, Row: hdr.ErrRow}
 }
 
+// EngineNanos reports the server-side engine latency of the most recent
+// round trip, 0 when unknown.
+func (c *Client) EngineNanos() int64 { return c.lastEngineNS }
+
 // Exec runs a statement and drains any rows, returning the activity count.
 func (c *Client) Exec(sql string) (int64, error) {
-	cur, err := c.Query(sql, 0)
+	return c.ExecT(sql, obs.TraceContext{})
+}
+
+// ExecT is Exec with a trace context propagated to the server.
+func (c *Client) ExecT(sql string, tc obs.TraceContext) (int64, error) {
+	cur, err := c.QueryT(sql, 0, tc)
 	if err != nil {
 		return 0, err
 	}
@@ -369,7 +434,12 @@ func (c *Client) Exec(sql string) (int64, error) {
 
 // QueryAll runs a query and materializes all rows.
 func (c *Client) QueryAll(sql string) ([]ResultCol, [][]cdw.Datum, error) {
-	cur, err := c.Query(sql, 0)
+	return c.QueryAllT(sql, obs.TraceContext{})
+}
+
+// QueryAllT is QueryAll with a trace context propagated to the server.
+func (c *Client) QueryAllT(sql string, tc obs.TraceContext) ([]ResultCol, [][]cdw.Datum, error) {
+	cur, err := c.QueryT(sql, 0, tc)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -411,6 +481,7 @@ func (c *Client) Describe(table string) (*TableMeta, error) {
 		c.broken = true
 		return nil, fmt.Errorf("cdwnet: recv: %w", err)
 	}
+	c.lastEngineNS = hdr.EngineNanos
 	if err := remoteError(&hdr); err != nil {
 		return nil, err
 	}
@@ -429,6 +500,11 @@ type Cursor struct {
 // Query sends sql and returns a cursor over its result. fetchSize <= 0 uses
 // the default.
 func (c *Client) Query(sql string, fetchSize int) (*Cursor, error) {
+	return c.QueryT(sql, fetchSize, obs.TraceContext{})
+}
+
+// QueryT is Query with a trace context propagated to the server.
+func (c *Client) QueryT(sql string, fetchSize int, tc obs.TraceContext) (*Cursor, error) {
 	if c.cursorOpen {
 		return nil, errors.New("cdwnet: previous cursor still open")
 	}
@@ -436,7 +512,8 @@ func (c *Client) Query(sql string, fetchSize int) (*Cursor, error) {
 		return nil, err
 	}
 	c.armDeadline()
-	if err := c.enc.Encode(&request{SQL: sql, FetchSize: fetchSize}); err != nil {
+	req := request{SQL: sql, FetchSize: fetchSize, TraceID: tc.TraceID, SpanID: tc.SpanID, Sampled: tc.Sampled}
+	if err := c.enc.Encode(&req); err != nil {
 		c.broken = true
 		return nil, fmt.Errorf("cdwnet: send: %w", err)
 	}
@@ -445,6 +522,7 @@ func (c *Client) Query(sql string, fetchSize int) (*Cursor, error) {
 		c.broken = true
 		return nil, fmt.Errorf("cdwnet: recv: %w", err)
 	}
+	c.lastEngineNS = hdr.EngineNanos
 	if err := remoteError(&hdr); err != nil {
 		return nil, err
 	}
@@ -522,8 +600,9 @@ type Pool struct {
 	faultHook func(op string) error
 	retry     *retrier.Retrier
 
-	obsMu    sync.Mutex
-	observer func(op string, d time.Duration, err error)
+	obsMu     sync.Mutex
+	observer  func(op string, d time.Duration, err error)
+	traceHook func(op string, tc obs.TraceContext, start time.Time, d time.Duration, engineNS int64, err error)
 }
 
 // SetTimeout bounds each network operation on pooled connections; zero
@@ -604,6 +683,29 @@ func (p *Pool) observe(op string, start time.Time, err error) {
 	p.obsMu.Unlock()
 	if fn != nil {
 		fn(op, time.Since(start), err)
+	}
+}
+
+// SetTraceHook installs a callback invoked once per traced round trip (ExecT,
+// QueryAllT called with a valid context) with the operation kind, the trace
+// context it ran under, its wall-clock window, the server-reported engine
+// latency, and the resulting error. The virtualizer turns these into child
+// spans of the calling job.
+func (p *Pool) SetTraceHook(fn func(op string, tc obs.TraceContext, start time.Time, d time.Duration, engineNS int64, err error)) {
+	p.obsMu.Lock()
+	p.traceHook = fn
+	p.obsMu.Unlock()
+}
+
+func (p *Pool) traceObserve(op string, tc obs.TraceContext, start time.Time, engineNS int64, err error) {
+	if !tc.Valid() {
+		return
+	}
+	p.obsMu.Lock()
+	fn := p.traceHook
+	p.obsMu.Unlock()
+	if fn != nil {
+		fn(op, tc, start, time.Since(start), engineNS, err)
 	}
 }
 
@@ -719,14 +821,23 @@ func (p *Pool) roundTrip(op string, idempotent bool, fn func(c *Client) error) e
 
 // Exec borrows a connection and runs a statement.
 func (p *Pool) Exec(sql string) (int64, error) {
+	return p.ExecT(sql, obs.TraceContext{})
+}
+
+// ExecT is Exec with a trace context propagated to the CDW server and
+// reported to the pool's trace hook.
+func (p *Pool) ExecT(sql string, tc obs.TraceContext) (int64, error) {
 	start := time.Now()
 	var n int64
+	var engineNS int64
 	err := p.roundTrip("exec", false, func(c *Client) error {
 		var cerr error
-		n, cerr = c.Exec(sql)
+		n, cerr = c.ExecT(sql, tc)
+		engineNS = c.EngineNanos()
 		return cerr
 	})
 	p.observe("exec", start, err)
+	p.traceObserve("exec", tc, start, engineNS, err)
 	if err != nil {
 		return 0, err
 	}
@@ -751,15 +862,24 @@ func (p *Pool) Describe(table string) (*TableMeta, error) {
 
 // QueryAll borrows a connection and materializes a query result.
 func (p *Pool) QueryAll(sql string) ([]ResultCol, [][]cdw.Datum, error) {
+	return p.QueryAllT(sql, obs.TraceContext{})
+}
+
+// QueryAllT is QueryAll with a trace context propagated to the CDW server and
+// reported to the pool's trace hook.
+func (p *Pool) QueryAllT(sql string, tc obs.TraceContext) ([]ResultCol, [][]cdw.Datum, error) {
 	start := time.Now()
 	var cols []ResultCol
 	var rows [][]cdw.Datum
+	var engineNS int64
 	err := p.roundTrip("query", true, func(c *Client) error {
 		var cerr error
-		cols, rows, cerr = c.QueryAll(sql)
+		cols, rows, cerr = c.QueryAllT(sql, tc)
+		engineNS = c.EngineNanos()
 		return cerr
 	})
 	p.observe("query", start, err)
+	p.traceObserve("query", tc, start, engineNS, err)
 	if err != nil {
 		return nil, nil, err
 	}

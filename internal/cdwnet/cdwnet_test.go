@@ -10,6 +10,7 @@ import (
 
 	"etlvirt/internal/cdw"
 	"etlvirt/internal/cloudstore"
+	"etlvirt/internal/obs"
 	"etlvirt/internal/retrier"
 )
 
@@ -524,5 +525,81 @@ func TestNotSentClassification(t *testing.T) {
 		t.Fatal("dial to dead address should fail")
 	} else if !NotSent(err) {
 		t.Errorf("dial failure not tagged NotSent: %v", err)
+	}
+}
+
+func TestTracePropagationAndEngineNanos(t *testing.T) {
+	eng := cdw.NewEngine(cloudstore.NewMemStore(), cdw.Options{})
+	srv := NewServer(eng)
+	ev := obs.NewEventLog(16)
+	srv.SetEventLog(ev)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	p := NewPool(addr, 1)
+	defer p.Close()
+
+	type hookCall struct {
+		op       string
+		tc       obs.TraceContext
+		engineNS int64
+	}
+	var mu sync.Mutex
+	var calls []hookCall
+	p.SetTraceHook(func(op string, tc obs.TraceContext, _ time.Time, _ time.Duration, engineNS int64, err error) {
+		mu.Lock()
+		calls = append(calls, hookCall{op, tc, engineNS})
+		mu.Unlock()
+	})
+
+	tc := obs.TraceContext{TraceID: 0xBEEF, SpanID: 0x12, Sampled: true}
+	if _, err := p.ExecT("CREATE TABLE tt (a BIGINT)", tc); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.QueryAllT("SELECT a FROM tt", tc); err != nil {
+		t.Fatal(err)
+	}
+	// Untraced calls must not reach the trace hook.
+	if _, err := p.Exec("INSERT INTO tt VALUES (7)"); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(calls) != 2 {
+		t.Fatalf("trace hook fired %d times, want 2", len(calls))
+	}
+	if calls[0].op != "exec" || calls[1].op != "query" {
+		t.Errorf("ops: %q, %q", calls[0].op, calls[1].op)
+	}
+	for i, c := range calls {
+		if c.tc != tc {
+			t.Errorf("call %d context %+v, want %+v", i, c.tc, tc)
+		}
+		if c.engineNS <= 0 {
+			t.Errorf("call %d engineNS %d, want > 0", i, c.engineNS)
+		}
+	}
+
+	// The server event log saw all three requests; the traced ones carry
+	// the propagated trace ID.
+	events := ev.Events(0)
+	if len(events) != 3 {
+		t.Fatalf("server recorded %d events, want 3", len(events))
+	}
+	want := obs.FormatTraceID(tc.TraceID)
+	if events[0].TraceID != want || events[1].TraceID != want {
+		t.Errorf("traced events carry %q/%q, want %q", events[0].TraceID, events[1].TraceID, want)
+	}
+	if events[2].TraceID != "" {
+		t.Errorf("untraced event carries trace ID %q", events[2].TraceID)
+	}
+	for _, e := range events {
+		if e.Type != "cdw_request" {
+			t.Errorf("event type %q", e.Type)
+		}
 	}
 }

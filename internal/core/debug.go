@@ -50,6 +50,90 @@ type ActiveJob struct {
 	BatchHint int64 `json:"batch_hint,omitempty"`
 }
 
+// StreamStatus is one stream's row in the /streams debug view: watermark
+// progress, live lag, and the controller's latest latency attribution.
+type StreamStatus struct {
+	StreamID  uint64 `json:"stream_id"`
+	Name      string `json:"name"`
+	Target    string `json:"target"`
+	TraceID   string `json:"trace_id,omitempty"`
+	Watermark int64  `json:"watermark"`
+	Batches   int64  `json:"batches_committed"`
+	BatchHint int64  `json:"batch_hint"`
+
+	// LagSeconds is the age of the oldest buffered, not-yet-committed delta
+	// (0 when everything received has been applied) — the live value behind
+	// the etlvirt_stream_watermark_lag_seconds gauge.
+	LagSeconds float64 `json:"lag_seconds"`
+
+	// SLO status: the controller's latency target versus the last commit.
+	SLOTargetMS  int64 `json:"slo_target_ms"`
+	LastCommitMS int64 `json:"last_commit_ms,omitempty"`
+	LastRows     int   `json:"last_batch_rows,omitempty"`
+	SLOOk        bool  `json:"slo_ok"`
+
+	// Latency attribution from the controller's per-stage EWMAs.
+	LastAction    string           `json:"last_action,omitempty"`
+	DominantStage string           `json:"dominant_stage,omitempty"`
+	StageEWMAMS   map[string]int64 `json:"stage_ewma_ms,omitempty"`
+}
+
+// status snapshots the stream for /streams. Safe from debug goroutines.
+func (j *streamJob) status(now time.Time) StreamStatus {
+	s := StreamStatus{
+		StreamID:    j.id,
+		Name:        j.req.Name,
+		Target:      j.targets,
+		TraceID:     j.traceID(),
+		Watermark:   j.wmLive.Load(),
+		Batches:     j.batches.Load(),
+		BatchHint:   j.hintLive.Load(),
+		SLOTargetMS: j.ctrl.Target().Milliseconds(),
+		SLOOk:       true,
+	}
+	if ns := j.oldestLiveNs.Load(); ns != 0 {
+		s.LagSeconds = now.Sub(time.Unix(0, ns)).Seconds()
+	}
+	j.statMu.Lock()
+	st := j.lastStat
+	j.statMu.Unlock()
+	if st.latency > 0 {
+		s.LastCommitMS = st.latency.Milliseconds()
+		s.LastRows = st.rows
+		s.LastAction = st.action
+		s.DominantStage = st.dominant
+		s.SLOOk = st.latency <= j.ctrl.Target()
+		if len(st.stages) > 0 {
+			s.StageEWMAMS = make(map[string]int64, len(st.stages))
+			for name, d := range st.stages {
+				s.StageEWMAMS[name] = d.Milliseconds()
+			}
+		}
+	}
+	return s
+}
+
+// StreamStatuses snapshots every open stream, ordered by stream ID.
+func (n *Node) StreamStatuses() []StreamStatus {
+	n.mu.Lock()
+	streams := make([]*streamJob, 0, len(n.streams))
+	for _, j := range n.streams {
+		streams = append(streams, j)
+	}
+	n.mu.Unlock()
+	now := time.Now()
+	out := make([]StreamStatus, 0, len(streams))
+	for _, j := range streams {
+		out = append(out, j.status(now))
+	}
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].StreamID < out[k-1].StreamID; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
 // ActiveJobs snapshots every running import and export job.
 func (n *Node) ActiveJobs() []ActiveJob {
 	n.mu.Lock()
@@ -139,6 +223,12 @@ func (n *Node) ActiveJobs() []ActiveJob {
 //	/jobs/active       JSON array of running jobs with live progress
 //	/jobs/{id}/trace   per-job span timeline; ?format=chrome emits
 //	                   Chrome trace_event JSON for chrome://tracing
+//	/traces/{traceid}  distributed trace stitched across every job (and
+//	                   process) sharing the 16-hex trace ID; ?format=chrome
+//	                   as above
+//	/streams           JSON array of open streams with live watermark lag
+//	                   and per-stage latency attribution
+//	/events            structured event log (JSONL); ?since=seq resumes
 //	/debug/pprof/      runtime profiling
 //
 // It returns the bound address. Calling ServeDebug again replaces the
@@ -186,6 +276,35 @@ func (n *Node) ServeDebug(addr string) (string, error) {
 		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write(body)
 	})
+	mux.HandleFunc("/traces/{traceid}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := obs.ParseTraceID(r.PathValue("traceid"))
+		if err != nil {
+			http.Error(w, "bad trace id", http.StatusBadRequest)
+			return
+		}
+		snap, ok := n.tracer.TraceByID(id)
+		if !ok {
+			http.Error(w, "no such trace", http.StatusNotFound)
+			return
+		}
+		var body []byte
+		if r.URL.Query().Get("format") == "chrome" {
+			body, err = snap.ChromeTrace()
+		} else {
+			body, err = snap.JSON()
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+	})
+	mux.HandleFunc("/streams", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(n.StreamStatuses())
+	})
+	mux.Handle("/events", obs.EventsHandler(n.events))
 	obs.AttachPprof(mux)
 	srv := &http.Server{Handler: mux}
 	// Bounded by the listener: node Close() (or a replacing DebugListen)

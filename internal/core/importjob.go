@@ -104,7 +104,7 @@ type importJob struct {
 	report JobReport
 }
 
-func (n *Node) newImportJob(m *wire.BeginLoad) (*importJob, error) {
+func (n *Node) newImportJob(m *wire.BeginLoad, tc obs.TraceContext) (*importJob, error) {
 	if m.Layout == nil {
 		return nil, fmt.Errorf("load request carries no layout")
 	}
@@ -127,7 +127,11 @@ func (n *Node) newImportJob(m *wire.BeginLoad) (*importJob, error) {
 	}
 	j.watch.start = time.Now()
 	n.nm.jobsStarted.Inc()
-	j.trace = n.tracer.Start(id, "import "+j.targets)
+	j.trace = n.tracer.StartCtx(id, "import "+j.targets, tc)
+	n.events.Add(obs.Event{
+		Type: "job_start", Job: id, TraceID: j.traceID(),
+		Msg: "import " + j.targets,
+	})
 	setupStart := time.Now()
 	j.tr = &sqlxlate.Translator{
 		Stage:      j.stage,
@@ -155,7 +159,11 @@ func (n *Node) newImportJob(m *wire.BeginLoad) (*importJob, error) {
 		stmts = append(stmts, dropIfExists(et), etDDL)
 	}
 	for _, s := range stmts {
-		if _, err := n.pool.Exec(s); err != nil {
+		if _, err := n.pool.ExecT(s, j.trace.ChildContext()); err != nil {
+			n.events.Add(obs.Event{
+				Type: "job_fail", Job: id, TraceID: j.traceID(),
+				Msg: "preparing job tables", Attrs: map[string]any{"err": err.Error()},
+			})
 			n.tracer.Finish(id)
 			return nil, fmt.Errorf("preparing job tables: %w", err)
 		}
@@ -228,6 +236,15 @@ func (j *importJob) failed() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.failure
+}
+
+// traceID renders the job's distributed trace ID for event records.
+func (j *importJob) traceID() string {
+	tc := j.trace.Context()
+	if !tc.Valid() {
+		return ""
+	}
+	return obs.FormatTraceID(tc.TraceID)
 }
 
 // handleChunk is called by a session goroutine: the chunk has already been
@@ -459,7 +476,7 @@ func (j *importJob) finishAcquisition() (*wire.AcquireDone, error) {
 	j.mu.Lock()
 	dataErrs := j.dataErrors
 	j.mu.Unlock()
-	if err := recordDataErrors(j.node, j.etName, dataErrs); err != nil {
+	if err := recordDataErrors(j.node, j.etName, j.trace.ChildContext(), dataErrs); err != nil {
 		return nil, err
 	}
 	j.watch.acqTo = time.Now()
@@ -495,21 +512,21 @@ func (j *importJob) copyWithRecovery(copySQL string) (int64, error) {
 			// recovery point: wipe any partial staging state before re-COPY
 			recStart := time.Now()
 			nm.copyRecoveries.Inc()
-			if _, err := j.node.pool.Exec(dropIfExists(j.stage)); err != nil {
+			if _, err := j.node.pool.ExecT(dropIfExists(j.stage), j.trace.ChildContext()); err != nil {
 				return err
 			}
 			ddl, err := sqlxlate.StagingDDL(j.stage, j.req.Layout)
 			if err != nil {
 				return err
 			}
-			if _, err := j.node.pool.Exec(ddl); err != nil {
+			if _, err := j.node.pool.ExecT(ddl, j.trace.ChildContext()); err != nil {
 				return err
 			}
 			j.trace.Span("copy_retry", "stage", recStart, 0, 0, nil)
 		}
 		copyStart := time.Now()
 		var err error
-		staged, err = j.node.pool.Exec(copySQL)
+		staged, err = j.node.pool.ExecT(copySQL, j.trace.ChildContext())
 		nm.copyStatements.Inc()
 		j.trace.Span("copy", "stage", copyStart, staged, j.upBytes.Load(), err)
 		return err
@@ -571,8 +588,9 @@ func errorRow(lo, hi int64, code int, field, msg string) []sqlparse.Expr {
 }
 
 // recordError inserts one entry into an error table. Shared by the discrete
-// import path and the streaming path.
-func recordError(n *Node, table sqlparse.TableName, lo, hi int64, code int, field, msg string) error {
+// import path and the streaming path. tc ties the insert's CDW round trip to
+// the owning job's trace; a zero context records untraced.
+func recordError(n *Node, table sqlparse.TableName, tc obs.TraceContext, lo, hi int64, code int, field, msg string) error {
 	ins := &sqlparse.InsertStmt{
 		Table: table,
 		Rows:  [][]sqlparse.Expr{errorRow(lo, hi, code, field, msg)},
@@ -581,13 +599,13 @@ func recordError(n *Node, table sqlparse.TableName, lo, hi int64, code int, fiel
 	if err != nil {
 		return err
 	}
-	_, err = n.pool.Exec(sql)
+	_, err = n.pool.ExecT(sql, tc)
 	return err
 }
 
 // recordDataErrors inserts acquisition data errors into an error table in
 // multi-row batches of errInsertBatch, one round trip per batch.
-func recordDataErrors(n *Node, table sqlparse.TableName, errs []convert.DataError) error {
+func recordDataErrors(n *Node, table sqlparse.TableName, tc obs.TraceContext, errs []convert.DataError) error {
 	for len(errs) > 0 {
 		take := len(errs)
 		if take > errInsertBatch {
@@ -601,7 +619,7 @@ func recordDataErrors(n *Node, table sqlparse.TableName, errs []convert.DataErro
 		if err != nil {
 			return err
 		}
-		if _, err := n.pool.Exec(sql); err != nil {
+		if _, err := n.pool.ExecT(sql, tc); err != nil {
 			return err
 		}
 		errs = errs[take:]
@@ -650,7 +668,7 @@ func (j *importJob) applyDML(m *wire.ApplyDML) (*wire.ApplyResult, error) {
 			if err != nil {
 				return 0, err
 			}
-			_, rows, err := j.node.pool.QueryAll(sql)
+			_, rows, err := j.node.pool.QueryAllT(sql, j.trace.ChildContext())
 			if err != nil {
 				return 0, err
 			}
@@ -673,7 +691,7 @@ func (j *importJob) applyDML(m *wire.ApplyDML) (*wire.ApplyResult, error) {
 		if err != nil {
 			return 0, err
 		}
-		a1, err := j.node.pool.Exec(sql)
+		a1, err := j.node.pool.ExecT(sql, j.trace.ChildContext())
 		if err != nil {
 			return 0, err
 		}
@@ -687,7 +705,7 @@ func (j *importJob) applyDML(m *wire.ApplyDML) (*wire.ApplyResult, error) {
 		if err != nil {
 			return 0, err
 		}
-		a2, err := j.node.pool.Exec(sql2)
+		a2, err := j.node.pool.ExecT(sql2, j.trace.ChildContext())
 		if err != nil {
 			return 0, err
 		}
@@ -750,7 +768,7 @@ func (j *importJob) applyDML(m *wire.ApplyDML) (*wire.ApplyResult, error) {
 		if table.Name == "" {
 			return nil // job declared no error table; drop silently like the legacy tools
 		}
-		return recordError(j.node, table, lo, hi, c.Code, c.Field, msg)
+		return recordError(j.node, table, j.trace.ChildContext(), lo, hi, c.Code, c.Field, msg)
 	}
 
 	cfg := errhandle.Config{
@@ -840,7 +858,7 @@ func (j *importJob) probeRow(dml *sqlxlate.DML, seq int64) error {
 	}
 	sql := fmt.Sprintf("SELECT %s FROM %s s WHERE s.%s = %d",
 		strings.Join(items, ", "), j.stage.String(), sqlxlate.SeqColumn, seq)
-	if _, _, err := j.node.pool.QueryAll(sql); err != nil {
+	if _, _, err := j.node.pool.QueryAllT(sql, j.trace.ChildContext()); err != nil {
 		if _, ok := err.(*cdw.Error); ok {
 			return err
 		}
@@ -860,7 +878,7 @@ func (j *importJob) probeField(dml *sqlxlate.DML, seq int64) string {
 		}
 		sql := fmt.Sprintf("SELECT %s FROM %s s WHERE s.%s = %d",
 			txt, j.stage.String(), sqlxlate.SeqColumn, seq)
-		if _, _, err := j.node.pool.QueryAll(sql); err != nil {
+		if _, _, err := j.node.pool.QueryAllT(sql, j.trace.ChildContext()); err != nil {
 			if fields := sqlxlate.StageFields(e, "s"); len(fields) > 0 {
 				return fields[0]
 			}
@@ -875,7 +893,7 @@ func (j *importJob) probeField(dml *sqlxlate.DML, seq int64) string {
 func (j *importJob) stagedTupleSuffix(seq int64) string {
 	sel := fmt.Sprintf("SELECT * FROM %s WHERE %s = %d",
 		j.stage.String(), sqlxlate.SeqColumn, seq)
-	_, rows, err := j.node.pool.QueryAll(sel)
+	_, rows, err := j.node.pool.QueryAllT(sel, j.trace.ChildContext())
 	if err != nil || len(rows) != 1 {
 		return ""
 	}
@@ -917,7 +935,7 @@ func keyExprsFor(dml *sqlxlate.DML, meta *cdwnet.TableMeta) ([]sqlparse.Expr, []
 // report.
 func (j *importJob) finish() *JobReport {
 	j.finishSeq.Do(func() {
-		_, _ = j.node.pool.Exec(dropIfExists(j.stage))
+		_, _ = j.node.pool.ExecT(dropIfExists(j.stage), j.trace.ChildContext())
 		if keys, err := j.node.store.List(j.keyPfx); err == nil {
 			for _, k := range keys {
 				_ = j.node.store.Delete(k)
@@ -937,9 +955,19 @@ func (j *importJob) finish() *JobReport {
 		}
 		j.watch.fill(&j.report, time.Now())
 		j.node.reports.add(j.report)
-		if !j.aborted.Load() {
+		evType := "job_finish"
+		if j.aborted.Load() {
+			evType = "job_abort"
+		} else {
 			j.node.nm.jobsCompleted.Inc()
 		}
+		j.node.events.Add(obs.Event{
+			Type: evType, Job: j.id, TraceID: j.traceID(), Msg: "import " + j.targets,
+			Attrs: map[string]any{
+				"rows_staged": j.rowsConv.Load(),
+				"data_errors": len(j.dataErrors),
+			},
+		})
 		j.node.tracer.Finish(j.id)
 		j.node.mu.Lock()
 		delete(j.node.imports, j.id)

@@ -45,6 +45,15 @@ type nodeMetrics struct {
 	streamBatchRows                         *obs.Histogram
 	streamCommitLat                         *obs.Histogram
 
+	// streaming per-stage latency attribution (frame ingest plus the five
+	// commit-path stages the controller's EWMA breakdown tracks)
+	streamStageFrame  *obs.Histogram
+	streamStageSpool  *obs.Histogram
+	streamStageUpload *obs.Histogram
+	streamStageCopy   *obs.Histogram
+	streamStageApply  *obs.Histogram
+	streamStageCkpt   *obs.Histogram
+
 	// CDW round trips (all Beta traffic incl. staging DDL and probes)
 	cdwRequests, cdwErrors *obs.Counter
 	cdwReqLat              *obs.Histogram
@@ -131,11 +140,43 @@ func newNodeMetrics(n *Node) *nodeMetrics {
 		"Records per committed streaming micro-batch.", obs.SizeBuckets)
 	m.streamCommitLat = r.Histogram("etlvirt_stream_commit_seconds",
 		"End-to-end micro-batch commit latency (first buffered delta to watermark advance).", nil)
+	m.streamStageFrame = r.Histogram("etlvirt_stream_frame_recv_seconds",
+		"Per-frame delta ingest latency (parse, replay filter, spool hand-off).", nil)
+	m.streamStageSpool = r.Histogram("etlvirt_stream_spool_seconds",
+		"Per-batch delta conversion and spool-append time.", nil)
+	m.streamStageUpload = r.Histogram("etlvirt_stream_upload_seconds",
+		"Per-batch spool rotation and object-store upload time.", nil)
+	m.streamStageCopy = r.Histogram("etlvirt_stream_copy_seconds",
+		"Per-batch staging COPY time (recreate + COPY, both halves).", nil)
+	m.streamStageApply = r.Histogram("etlvirt_stream_apply_seconds",
+		"Per-batch DML application time (error bookkeeping + MERGE triple).", nil)
+	m.streamStageCkpt = r.Histogram("etlvirt_stream_checkpoint_seconds",
+		"Per-batch watermark checkpoint write time.", nil)
 	r.GaugeFunc("etlvirt_stream_sessions_active", "Streaming sessions currently open.", func() float64 {
 		n.mu.Lock()
 		defer n.mu.Unlock()
 		return float64(len(n.streams))
 	})
+	r.LabeledGaugeFunc("etlvirt_stream_watermark_lag_seconds",
+		"Age of the oldest buffered, not-yet-committed delta per stream; 0 when fully applied.",
+		"stream", func() []obs.LabeledValue {
+			n.mu.Lock()
+			streams := make([]*streamJob, 0, len(n.streams))
+			for _, j := range n.streams {
+				streams = append(streams, j)
+			}
+			n.mu.Unlock()
+			now := time.Now()
+			out := make([]obs.LabeledValue, 0, len(streams))
+			for _, j := range streams {
+				lag := 0.0
+				if ns := j.oldestLiveNs.Load(); ns != 0 {
+					lag = now.Sub(time.Unix(0, ns)).Seconds()
+				}
+				out = append(out, obs.LabeledValue{Label: j.req.Name, Value: lag})
+			}
+			return out
+		})
 
 	m.cdwRequests = r.Counter("etlvirt_cdw_requests_total", "Round trips to the CDW (all Beta traffic).")
 	m.cdwErrors = r.Counter("etlvirt_cdw_errors_total", "CDW round trips that returned an error.")
@@ -178,6 +219,22 @@ func newNodeMetrics(n *Node) *nodeMetrics {
 	r.GaugeFunc("etlvirt_reports_dropped", "Completed job reports evicted from the bounded report log.",
 		func() float64 { return float64(n.reports.droppedCount()) })
 
+	// Observability self-telemetry: trace retention and event-log pressure.
+	r.CounterFunc("etlvirt_trace_jobs_started_total", "Job traces opened by the tracer.",
+		func() int64 { return n.tracer.Started() })
+	r.CounterFunc("etlvirt_trace_evicted_total", "Finished job traces evicted by the retention bound.",
+		func() int64 { return n.tracer.Evicted() })
+	r.CounterFunc("etlvirt_trace_spans_dropped_total", "Spans dropped by per-job span caps.",
+		func() int64 { return n.tracer.DroppedSpans() })
+	r.GaugeFunc("etlvirt_trace_retained", "Finished job traces currently retained.",
+		func() float64 { return float64(n.tracer.Retained()) })
+	r.CounterFunc("etlvirt_events_recorded_total", "Structured events recorded in the event ring.",
+		func() int64 { return n.events.Recorded() })
+	r.CounterFunc("etlvirt_events_dropped_total", "Events overwritten in the ring before being drained.",
+		func() int64 { return n.events.Dropped() })
+	r.CounterFunc("etlvirt_events_sampled_total", "Events skipped by per-type sampling.",
+		func() int64 { return n.events.Sampled() })
+
 	obs.RegisterRuntimeMetrics(r)
 
 	// stage observers
@@ -194,10 +251,16 @@ func newNodeMetrics(n *Node) *nodeMetrics {
 	n.retry.Observe = func(op string, retry int, delay time.Duration, err error) {
 		m.retryAttempts.Inc()
 		m.retryBackoff.ObserveDuration(delay)
+		n.events.Add(obs.Event{Type: "retry", Msg: op, Attrs: map[string]any{
+			"retry": retry, "delay_ms": delay.Milliseconds(), "err": err.Error(),
+		}})
 		n.log.Warn("retrying after transient failure", "op", op, "retry", retry, "delay", delay, "err", err)
 	}
 	n.retry.OnExhausted = func(op string, attempts int, err error) {
 		m.retryExhausted.Inc()
+		n.events.Add(obs.Event{Type: "retry_exhausted", Msg: op, Attrs: map[string]any{
+			"attempts": attempts, "err": err.Error(),
+		}})
 		n.log.Error("retries exhausted", "op", op, "attempts", attempts, "err", err)
 	}
 	if ts, ok := n.store.(*cloudstore.ThrottledStore); ok && ts.Link != nil {

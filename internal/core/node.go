@@ -11,6 +11,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -103,6 +104,13 @@ type Config struct {
 	// TraceSpansPerJob caps the spans recorded per job timeline; spans past
 	// the cap are dropped and counted. Zero defaults to 8192.
 	TraceSpansPerJob int
+	// EventLogSize bounds the in-memory ring of structured events drained at
+	// /events; once full the oldest entry is overwritten and counted as
+	// dropped. Zero defaults to 1024.
+	EventLogSize int
+	// EventSink, when non-nil, receives every recorded event as one JSON
+	// line in addition to the ring (typically an event-log file).
+	EventSink io.Writer
 
 	// RetryMaxAttempts caps attempts (including the first) for each retried
 	// operation: CDW round trips, uploads, COPY recovery, export opens.
@@ -207,6 +215,7 @@ type Node struct {
 	reports reportLog
 	nm      *nodeMetrics
 	tracer  *obs.Tracer
+	events  *obs.EventLog
 
 	retry  *retrier.Retrier
 	budget *retrier.Budget
@@ -243,8 +252,16 @@ func NewNode(cfg Config, store cloudstore.Store) *Node {
 		exports: make(map[uint64]*exportJob),
 		streams: make(map[uint64]*streamJob),
 		tracer:  obs.NewTracer(cfg.TraceRetention, cfg.TraceSpansPerJob),
+		events:  obs.NewEventLog(cfg.EventLogSize),
 		inj:     cfg.FaultInjector,
 	}
+	n.tracer.SetProc("etlvirtd")
+	if cfg.EventSink != nil {
+		n.events.SetSink(cfg.EventSink)
+	}
+	// Per-batch controller decisions dominate the event rate on busy streams;
+	// sample them so rare lifecycle and fault events are not washed out.
+	n.events.SetSample("ctrl_decision", 4)
 	n.ctx, n.ctxCancel = context.WithCancel(context.Background())
 	n.budget = retrier.NewBudget(cfg.RetryBudget)
 	n.retry = &retrier.Retrier{
@@ -263,7 +280,48 @@ func NewNode(cfg Config, store cloudstore.Store) *Node {
 	if n.inj != nil {
 		inj := n.inj
 		n.pool.SetFaultHook(func(op string) error { return inj.Fault("cdw." + op) })
+		inj.SetOnInject(func(op string, ferr *faultinject.Error) {
+			n.events.Add(obs.Event{Type: "fault", Msg: op, Attrs: map[string]any{
+				"class": string(ferr.Class),
+			}})
+		})
 	}
+	// Every traced CDW round trip becomes two spans on the owning job's
+	// timeline: the virtualizer-side round trip parented under the caller's
+	// span, and a cdwd-side engine span nested inside it, so the stitched
+	// timeline splits wire time from engine time across processes.
+	n.pool.SetTraceHook(func(op string, tc obs.TraceContext, start time.Time, d time.Duration, engineNS int64, err error) {
+		jobs := n.tracer.JobsByTrace(tc.TraceID)
+		if len(jobs) == 0 {
+			return
+		}
+		// Several jobs can share one client trace; bucket the span under the
+		// job whose root span the caller parented it to, falling back to the
+		// first participant.
+		jt := jobs[0]
+		for _, cand := range jobs {
+			if cand.ChildContext().SpanID == tc.SpanID {
+				jt = cand
+				break
+			}
+		}
+		rt := obs.Span{ID: obs.NewSpanID(), Parent: tc.SpanID, Stage: "cdw_" + op, Worker: "cdw", Start: start, Dur: d}
+		if err != nil {
+			rt.Err = err.Error()
+		}
+		jt.Add(rt)
+		if engineNS > 0 && engineNS <= d.Nanoseconds() {
+			// Engine time sits somewhere inside the round trip; center it so
+			// the nested span renders inside its parent without claiming
+			// per-direction wire asymmetry we cannot measure.
+			jt.Add(obs.Span{
+				ID: obs.NewSpanID(), Parent: rt.ID, Proc: "cdwd",
+				Stage: "engine", Worker: "engine",
+				Start: start.Add((d - time.Duration(engineNS)) / 2),
+				Dur:   time.Duration(engineNS),
+			})
+		}
+	})
 	n.reports.setCap(cfg.ReportLogSize)
 	n.nm = newNodeMetrics(n)
 	return n
@@ -282,6 +340,10 @@ func (n *Node) Metrics() *obs.Registry { return n.nm.reg }
 
 // Tracer exposes the node's per-job span tracer.
 func (n *Node) Tracer() *obs.Tracer { return n.tracer }
+
+// Events exposes the node's structured event log — the same ring /events
+// drains.
+func (n *Node) Events() *obs.EventLog { return n.events }
 
 // Listen binds addr and starts the Alpha accept loop, returning the bound
 // address.

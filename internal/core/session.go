@@ -61,7 +61,7 @@ func (n *Node) serveConn(nc net.Conn) {
 	}()
 
 	for {
-		m, _, err := c.Recv()
+		m, _, tc, err := c.RecvT()
 		if err != nil {
 			return
 		}
@@ -75,7 +75,7 @@ func (n *Node) serveConn(nc net.Conn) {
 			}
 
 		case *wire.BeginLoad:
-			job, err := n.newImportJob(msg)
+			job, err := n.newImportJob(msg, tc)
 			if err != nil {
 				if e := c.Send(session, &wire.Failure{Code: 3004, Message: err.Error()}); e != nil {
 					return
@@ -227,7 +227,7 @@ func (n *Node) serveConn(nc net.Conn) {
 			}
 
 		case *wire.BeginStream:
-			job, err := n.newStreamJob(msg)
+			job, err := n.newStreamJob(msg, tc)
 			if err != nil {
 				if e := c.Send(session, &wire.Failure{Code: 3010, Message: err.Error()}); e != nil {
 					return
@@ -288,6 +288,14 @@ func (n *Node) serveConn(nc net.Conn) {
 				return
 			}
 
+		case *wire.TraceSpans:
+			// Client-side spans for one of this trace's jobs: fold them into
+			// the job's timeline so /traces/{id} stitches both processes.
+			added := n.foldTraceSpans(msg)
+			if err := c.Send(session, &wire.TraceAck{JobID: msg.JobID, Added: added}); err != nil {
+				return
+			}
+
 		default:
 			if e := c.Send(session, &wire.Failure{Code: 3003,
 				Message: fmt.Sprintf("unexpected message %s", m.Kind())}); e != nil {
@@ -320,4 +328,23 @@ func (n *Node) streamJob(id uint64) (*streamJob, bool) {
 
 func jobErr(id uint64) string {
 	return fmt.Sprintf("no such job %d", id)
+}
+
+// foldTraceSpans merges client-recorded spans into a job's trace timeline.
+// The job may be live or already finished-and-retained; spans past the
+// trace's span cap are dropped there and not counted as added.
+func (n *Node) foldTraceSpans(m *wire.TraceSpans) uint32 {
+	t, ok := n.tracer.Get(m.JobID)
+	if !ok {
+		return 0
+	}
+	before := t.Snapshot().Dropped
+	for _, s := range m.Spans {
+		if s.Proc == "" {
+			s.Proc = "etlclient" // defensive: never inherit the server's proc
+		}
+		t.AddRemote(s)
+	}
+	dropped := t.Snapshot().Dropped - before
+	return uint32(len(m.Spans)) - uint32(dropped)
 }

@@ -85,6 +85,24 @@ type streamJob struct {
 	batchStart       time.Time
 	batchNo          int64
 
+	// Per-stage time accumulated across the current micro-batch, fed to the
+	// controller and the per-stage histograms at commit so every grow/shrink
+	// decision is attributable to the stage driving it. frameAcc is the
+	// session-side frame ingest time, reported separately (it overlaps the
+	// spool stage rather than extending the commit path).
+	stageAcc stream.Stages
+	frameAcc time.Duration
+
+	// oldestLiveNs is the arrival time (UnixNano) of the oldest buffered,
+	// not-yet-committed delta; 0 when the batch is empty. The per-stream
+	// watermark-lag gauge reads it from debug-server goroutines.
+	oldestLiveNs atomic.Int64
+
+	// lastStat is the most recent commit's controller view for /streams;
+	// statMu guards it against debug-server readers.
+	statMu   sync.Mutex
+	lastStat streamCommitStat
+
 	// Whole-stream counters; atomics because /jobs/active reads them from
 	// debug-server goroutines while the stream runs. wmLive/hintLive mirror
 	// the session-goroutine-owned watermark and controller hint for the same
@@ -105,12 +123,31 @@ type streamJob struct {
 	trace     *obs.JobTrace
 }
 
+// streamCommitStat is the last committed micro-batch's controller view,
+// snapshotted for the /streams debug endpoint.
+type streamCommitStat struct {
+	rows     int
+	latency  time.Duration
+	action   string
+	dominant string
+	stages   map[string]time.Duration
+}
+
+// traceID renders the stream's distributed trace ID for event records.
+func (j *streamJob) traceID() string {
+	tc := j.trace.Context()
+	if !tc.Valid() {
+		return ""
+	}
+	return obs.FormatTraceID(tc.TraceID)
+}
+
 // newStreamJob opens (or resumes) a stream. The stream's name is its durable
 // identity: the checkpoint table keeps one watermark row per name, so a
 // re-opened stream resumes from where its last incarnation committed. Only a
 // fresh stream (no checkpoint row yet) recreates the error table — a resumed
 // one must keep the entries of already-committed batches.
-func (n *Node) newStreamJob(m *wire.BeginStream) (*streamJob, error) {
+func (n *Node) newStreamJob(m *wire.BeginStream, tc obs.TraceContext) (*streamJob, error) {
 	if m.Layout == nil {
 		return nil, fmt.Errorf("stream request carries no layout")
 	}
@@ -231,7 +268,15 @@ func (n *Node) newStreamJob(m *wire.BeginStream) (*streamJob, error) {
 	j.wmLive.Store(j.watermark)
 	j.hintLive.Store(int64(j.ctrl.Hint().BatchRows))
 	n.nm.streamsOpened.Inc()
-	j.trace = n.tracer.Start(id, "stream "+m.Name)
+	j.trace = n.tracer.StartCtx(id, "stream "+m.Name, tc)
+	n.events.Add(obs.Event{
+		Type: "stream_open", Job: id, TraceID: j.traceID(), Msg: m.Name,
+		Attrs: map[string]any{
+			"target":    j.targets,
+			"watermark": j.watermark,
+			"slo_ms":    j.ctrl.Target().Milliseconds(),
+		},
+	})
 	n.mu.Lock()
 	n.streams[id] = j
 	n.mu.Unlock()
@@ -272,6 +317,7 @@ func (j *streamJob) ckptUpdate(hi int64) (string, error) {
 // ack is the stream's backpressure.
 func (j *streamJob) handleFrame(m *wire.DeltaFrame) (*wire.DeltaAck, error) {
 	nm := j.node.nm
+	frameStart := time.Now()
 	// One credit per frame bounds buffered delta memory; it is parked in the
 	// batch and released when the batch commits or the stream aborts.
 	cr, err := j.node.credits.Acquire(j.node.ctx, int64(len(m.Payload)))
@@ -306,6 +352,7 @@ func (j *streamJob) handleFrame(m *wire.DeltaFrame) (*wire.DeltaAck, error) {
 		if j.batchLo == 0 {
 			j.batchLo = seq
 			j.batchStart = time.Now()
+			j.oldestLiveNs.Store(j.batchStart.UnixNano())
 		}
 		j.batchHi = seq
 		j.batchBytes += len(rec)
@@ -323,6 +370,9 @@ func (j *streamJob) handleFrame(m *wire.DeltaFrame) (*wire.DeltaAck, error) {
 		j.heldBytes.Store(0)
 		j.heldCreds.Store(0)
 	}
+	frameDur := time.Since(frameStart)
+	j.frameAcc += frameDur
+	nm.streamStageFrame.ObserveEx(frameDur.Seconds(), j.trace.Context().TraceID)
 
 	// Cut the batch when it reaches the controller's row target, or when
 	// spool rotation has already produced the COPY fan-in it wants.
@@ -353,7 +403,9 @@ func (j *streamJob) bufferDelta(op stream.Op, rec []byte, seq int64, spoolBytes 
 	// Converting per record with firstRow=seq stages the delta under its
 	// global sequence — the __seq the MERGE triple ranges over and the SEQNO
 	// error tables report.
+	spoolStart := time.Now()
 	res, err := j.conv.ConvertInto(*dst, rec, seq)
+	j.stageAcc.Spool += time.Since(spoolStart)
 	if err != nil {
 		return err
 	}
@@ -405,6 +457,7 @@ func (j *streamJob) uploadSpool(kind string, csv []byte, fileNo int) error {
 		return uerr
 	})
 	nm := j.node.nm
+	j.stageAcc.Upload += time.Since(upStart)
 	nm.uploadLat.ObserveDuration(time.Since(upStart))
 	j.trace.Span("upload", "stream", upStart, 0, n, err)
 	if err != nil {
@@ -443,22 +496,24 @@ func (j *streamJob) copyStage(stage sqlparse.TableName, prefix string, want int6
 		var ce *cdw.Error
 		return errors.As(err, &ce) && ce.Code == cdw.CodeCopyFailed
 	}
+	stageStart := time.Now()
+	defer func() { j.stageAcc.Copy += time.Since(stageStart) }()
 	return r.Do(j.node.ctx, "stream_copy", func() error { //nolint:retrysafe // each attempt recreates the staging table first
 		attempt++
 		if attempt > 1 {
 			nm.copyRecoveries.Inc()
 		}
-		if _, err := j.node.pool.Exec(dropIfExists(stage)); err != nil {
+		if _, err := j.node.pool.ExecT(dropIfExists(stage), j.trace.ChildContext()); err != nil {
 			return err
 		}
-		if _, err := j.node.pool.Exec(ddl); err != nil {
+		if _, err := j.node.pool.ExecT(ddl, j.trace.ChildContext()); err != nil {
 			return err
 		}
 		if want == 0 {
 			return nil
 		}
 		copyStart := time.Now()
-		staged, err := j.node.pool.Exec(copySQL)
+		staged, err := j.node.pool.ExecT(copySQL, j.trace.ChildContext())
 		nm.copyStatements.Inc()
 		j.trace.Span("copy", "stream", copyStart, staged, 0, err)
 		if err != nil {
@@ -512,14 +567,15 @@ func (j *streamJob) commitBatch() error {
 	// Idempotent error recording: a crashed attempt may have recorded rows
 	// for sequences the watermark never covered; wipe them before this
 	// attempt re-records.
+	applyStart := time.Now()
 	if j.etName.Name != "" {
 		del := fmt.Sprintf("DELETE FROM %s WHERE SEQNO_END > %d", j.etName.String(), j.watermark)
-		if _, err := j.node.pool.Exec(del); err != nil {
+		if _, err := j.node.pool.ExecT(del, j.trace.ChildContext()); err != nil {
 			return fmt.Errorf("clearing uncommitted error rows: %w", err)
 		}
 	}
 	if j.etName.Name != "" && len(j.dataErrs) > 0 {
-		if err := recordDataErrors(j.node, j.etName, j.dataErrs); err != nil {
+		if err := recordDataErrors(j.node, j.etName, j.trace.ChildContext(), j.dataErrs); err != nil {
 			return err
 		}
 	}
@@ -531,18 +587,23 @@ func (j *streamJob) commitBatch() error {
 	if err := j.applyRuns(); err != nil {
 		return err
 	}
+	j.stageAcc.Apply += time.Since(applyStart)
+	j.trace.Span("apply", "stream", applyStart, int64(rows), 0, nil)
 
 	// Durable watermark advance: the last write of the commit. Everything
 	// before this line is idempotent under replay; after it, the batch's
 	// deltas are dropped as replays.
+	ckptStart := time.Now()
 	updSQL, err := j.ckptUpdate(hi)
 	if err != nil {
 		return err
 	}
-	if _, err := j.node.pool.Exec(updSQL); err != nil {
+	if _, err := j.node.pool.ExecT(updSQL, j.trace.ChildContext()); err != nil {
 		return fmt.Errorf("advancing stream watermark: %w", err)
 	}
 	j.watermark = hi
+	j.stageAcc.Checkpoint += time.Since(ckptStart)
+	j.trace.Span("checkpoint", "stream", ckptStart, 0, 0, nil)
 
 	// The batch's memory and objects are reclaimable now.
 	j.credits.ReleaseAll()
@@ -555,13 +616,20 @@ func (j *streamJob) commitBatch() error {
 	}
 
 	lat := time.Since(commitStart)
-	d := j.ctrl.Observe(rows, j.batchBytes, lat)
+	st := j.stageAcc
+	d := j.ctrl.ObserveStages(rows, j.batchBytes, lat, st)
 	j.wmLive.Store(hi)
 	j.hintLive.Store(int64(d.BatchRows))
 	j.batches.Add(1)
+	traceID := j.trace.Context().TraceID
 	nm.streamBatches.Inc()
 	nm.streamBatchRows.Observe(float64(rows))
-	nm.streamCommitLat.ObserveDuration(lat)
+	nm.streamCommitLat.ObserveEx(lat.Seconds(), traceID)
+	nm.streamStageSpool.ObserveEx(st.Spool.Seconds(), traceID)
+	nm.streamStageUpload.ObserveEx(st.Upload.Seconds(), traceID)
+	nm.streamStageCopy.ObserveEx(st.Copy.Seconds(), traceID)
+	nm.streamStageApply.ObserveEx(st.Apply.Seconds(), traceID)
+	nm.streamStageCkpt.ObserveEx(st.Checkpoint.Seconds(), traceID)
 	switch d.Action {
 	case stream.ActionGrow:
 		nm.streamGrows.Inc()
@@ -570,9 +638,38 @@ func (j *streamJob) commitBatch() error {
 	default:
 		nm.streamHolds.Inc()
 	}
+	// The spool stage interleaves with frame ingest across the whole batch
+	// window; anchoring both synthetic spans at the batch start renders them
+	// as the concurrent activity they are.
+	j.trace.Add(obs.Span{Stage: "frame_recv", Worker: "session", Start: commitStart, Dur: j.frameAcc, Rows: int64(rows), Bytes: int64(j.batchBytes)})
+	j.trace.Add(obs.Span{Stage: "spool", Worker: "session", Start: commitStart, Dur: st.Spool, Rows: int64(rows)})
 	j.trace.Span("stream_commit", "stream", commitStart, int64(rows), int64(j.batchBytes), nil)
+	j.statMu.Lock()
+	j.lastStat = streamCommitStat{
+		rows:     rows,
+		latency:  lat,
+		action:   d.Action.String(),
+		dominant: d.Dominant,
+		stages:   j.ctrl.StageEWMA(),
+	}
+	j.statMu.Unlock()
+	j.node.events.Add(obs.Event{
+		Type: "batch_commit", Job: j.id, TraceID: j.traceID(), Msg: j.req.Name,
+		Attrs: map[string]any{
+			"lo": lo, "hi": hi, "rows": rows, "bytes": j.batchBytes,
+			"latency_ms": lat.Milliseconds(), "dominant": d.Dominant,
+		},
+	})
+	j.node.events.Add(obs.Event{
+		Type: "ctrl_decision", Job: j.id, TraceID: j.traceID(), Msg: d.Action.String(),
+		Attrs: map[string]any{
+			"batch_rows": d.BatchRows, "spool_bytes": d.SpoolBytes,
+			"copy_files": d.CopyFiles, "dominant": d.Dominant,
+		},
+	})
 	j.node.log.Debug("stream micro-batch committed", "stream", j.id, "lo", lo, "hi", hi,
-		"rows", rows, "latency", lat, "action", d.Action.String(), "next_batch", d.BatchRows)
+		"rows", rows, "latency", lat, "action", d.Action.String(), "next_batch", d.BatchRows,
+		"dominant", d.Dominant)
 
 	j.batchLo, j.batchHi = 0, 0
 	j.upsRows, j.delRows = 0, 0
@@ -580,6 +677,9 @@ func (j *streamJob) commitBatch() error {
 	j.batchBytes = 0
 	j.runs = j.runs[:0]
 	j.dataErrs = j.dataErrs[:0]
+	j.stageAcc = stream.Stages{}
+	j.frameAcc = 0
+	j.oldestLiveNs.Store(0)
 	j.batchNo++
 	return nil
 }
@@ -600,7 +700,7 @@ func (j *streamJob) applyRuns() error {
 			if err != nil {
 				return 0, err
 			}
-			n, err := j.node.pool.Exec(sql)
+			n, err := j.node.pool.ExecT(sql, j.trace.ChildContext())
 			if err != nil {
 				return 0, err
 			}
@@ -613,7 +713,7 @@ func (j *streamJob) applyRuns() error {
 			if err != nil {
 				return 0, err
 			}
-			_, dups, err := j.node.pool.QueryAll(sql)
+			_, dups, err := j.node.pool.QueryAllT(sql, j.trace.ChildContext())
 			if err != nil {
 				return 0, err
 			}
@@ -627,7 +727,7 @@ func (j *streamJob) applyRuns() error {
 			if err != nil {
 				return 0, err
 			}
-			if a1, err = j.node.pool.Exec(sql); err != nil {
+			if a1, err = j.node.pool.ExecT(sql, j.trace.ChildContext()); err != nil {
 				return 0, err
 			}
 		}
@@ -635,7 +735,7 @@ func (j *streamJob) applyRuns() error {
 		if err != nil {
 			return 0, err
 		}
-		a2, err := j.node.pool.Exec(sql)
+		a2, err := j.node.pool.ExecT(sql, j.trace.ChildContext())
 		if err != nil {
 			return 0, err
 		}
@@ -681,7 +781,7 @@ func (j *streamJob) applyRuns() error {
 		if j.etName.Name == "" {
 			return nil // stream declared no error table; drop like the legacy tools
 		}
-		return recordError(j.node, j.etName, lo, hi, c.Code, c.Field, msg)
+		return recordError(j.node, j.etName, j.trace.ChildContext(), lo, hi, c.Code, c.Field, msg)
 	}
 
 	cfg := errhandle.Config{
@@ -730,6 +830,14 @@ func (j *streamJob) finishStream() (*wire.StreamDone, error) {
 		ErrorsET:  uint64(j.errsET.Load()),
 		Replayed:  uint64(j.replayed.Load()),
 	}
+	j.node.events.Add(obs.Event{
+		Type: "stream_finish", Job: j.id, TraceID: j.traceID(), Msg: j.req.Name,
+		Attrs: map[string]any{
+			"watermark": j.watermark,
+			"batches":   j.batches.Load(),
+			"replayed":  j.replayed.Load(),
+		},
+	})
 	j.finish()
 	return done, nil
 }
@@ -741,7 +849,12 @@ func (j *streamJob) abort() {
 	j.credits.ReleaseAll()
 	j.heldBytes.Store(0)
 	j.heldCreds.Store(0)
+	j.oldestLiveNs.Store(0)
 	j.node.nm.streamsAborted.Inc()
+	j.node.events.Add(obs.Event{
+		Type: "stream_abort", Job: j.id, TraceID: j.traceID(), Msg: j.req.Name,
+		Attrs: map[string]any{"watermark": j.watermark},
+	})
 	j.node.log.Warn("stream aborted by client disconnect", "stream", j.id,
 		"name", j.req.Name, "watermark", j.watermark)
 	j.finish()
@@ -751,8 +864,8 @@ func (j *streamJob) abort() {
 // batch objects, registry entry. Checkpoint and error tables stay.
 func (j *streamJob) finish() {
 	j.finishSeq.Do(func() {
-		_, _ = j.node.pool.Exec(dropIfExists(j.upsStage))
-		_, _ = j.node.pool.Exec(dropIfExists(j.delStage))
+		_, _ = j.node.pool.ExecT(dropIfExists(j.upsStage), j.trace.ChildContext())
+		_, _ = j.node.pool.ExecT(dropIfExists(j.delStage), j.trace.ChildContext())
 		if keys, err := j.node.store.List(j.keyPfx); err == nil {
 			for _, k := range keys {
 				_ = j.node.store.Delete(k)

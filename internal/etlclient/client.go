@@ -12,6 +12,7 @@ package etlclient
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 	"strings"
@@ -21,6 +22,7 @@ import (
 
 	"etlvirt/internal/etlscript"
 	"etlvirt/internal/ltype"
+	"etlvirt/internal/obs"
 	"etlvirt/internal/wire"
 )
 
@@ -43,6 +45,13 @@ type Options struct {
 	ReadFile func(name string) ([]byte, error)
 	// WriteFile stores export output; nil uses os.WriteFile.
 	WriteFile func(name string, data []byte) error
+	// Trace enables client-side distributed tracing: the run mints one
+	// trace ID, every import and stream job propagates it on its Begin
+	// message so the server continues the trace, and the client ships its
+	// local spans to the server before tearing the job down. Legacy servers
+	// without tracing support still execute the job; only the span fold is
+	// skipped.
+	Trace bool
 }
 
 func (o Options) withDefaults() Options {
@@ -89,6 +98,11 @@ type Result struct {
 	Imports []ImportResult
 	Exports []ExportResult
 	Streams []StreamResult
+
+	// TraceID is the run's distributed trace ID (16 hex digits) when
+	// Options.Trace is set; fetch /traces/{TraceID} on the server's debug
+	// listener for the stitched cross-process timeline.
+	TraceID string
 }
 
 // Run executes a script.
@@ -107,11 +121,16 @@ func Run(script *etlscript.Script, opts Options) (*Result, error) {
 		ctl.Close()
 	}()
 
+	var traceID uint64
 	res := &Result{}
+	if opts.Trace {
+		traceID = obs.NewTraceID()
+		res.TraceID = obs.FormatTraceID(traceID)
+	}
 	for _, step := range script.Steps {
 		switch {
 		case step.Import != nil:
-			ir, err := runImport(ctl, addr, script, step.Import, opts)
+			ir, err := runImport(ctl, addr, script, step.Import, opts, traceID)
 			if err != nil {
 				return res, err
 			}
@@ -123,7 +142,7 @@ func Run(script *etlscript.Script, opts Options) (*Result, error) {
 			}
 			res.Exports = append(res.Exports, *er)
 		case step.Stream != nil:
-			sr, err := runStream(ctl, script, step.Stream, opts)
+			sr, err := runStream(ctl, script, step.Stream, opts, traceID)
 			if err != nil {
 				return res, err
 			}
@@ -247,6 +266,75 @@ func Exec(addr string, lg etlscript.Logon, sql string) (int64, error) {
 	return int64(m.(*wire.StmtSuccess).ActivityCount), nil
 }
 
+// clientTrace is the client half of one job's distributed trace: local
+// spans accumulate in a JobTrace, the root span's context rides the job's
+// Begin message so the server's per-job trace parents under it, and ship
+// folds the client spans into the server timeline at job end. A nil
+// clientTrace (tracing off) makes every method a no-op.
+type clientTrace struct {
+	jt   *obs.JobTrace
+	root uint64
+}
+
+func newClientTrace(traceID uint64, label string) *clientTrace {
+	if traceID == 0 {
+		return nil
+	}
+	root := obs.NewSpanID()
+	tc := obs.TraceContext{TraceID: traceID, SpanID: root, Sampled: true}
+	return &clientTrace{jt: obs.NewJobTrace(label, 0, "etlclient", tc), root: root}
+}
+
+// ctx is the context to propagate on the job's Begin message.
+func (t *clientTrace) ctx() obs.TraceContext {
+	if t == nil {
+		return obs.TraceContext{}
+	}
+	return t.jt.Context()
+}
+
+// span records a completed client-side stage, parented under the client
+// root span. Safe from concurrent session goroutines.
+func (t *clientTrace) span(stage, worker string, start time.Time, rows, bytes int64, err error) {
+	if t == nil {
+		return
+	}
+	s := obs.Span{Parent: t.root, Stage: stage, Worker: worker,
+		Start: start, Dur: time.Since(start), Rows: rows, Bytes: bytes}
+	if err != nil {
+		s.Err = err.Error()
+	}
+	t.jt.Add(s)
+}
+
+// ship closes the client root span and sends the collected spans to the
+// server, which folds them into the job's timeline and acks. A legacy
+// server that predates tracing answers with a Failure; the job still
+// succeeded, so the spans are dropped and the run continues.
+func (t *clientTrace) ship(ctl *wire.Conn, jobID uint64) error {
+	if t == nil {
+		return nil
+	}
+	snap := t.jt.Snapshot()
+	spans := make([]obs.Span, 0, len(snap.Spans)+1)
+	spans = append(spans, obs.Span{
+		ID: t.root, Proc: "etlclient", Stage: "client", Worker: "job",
+		Start: t.jt.Begin, Dur: time.Since(t.jt.Begin),
+	})
+	spans = append(spans, snap.Spans...)
+	if err := ctl.Send(0, &wire.TraceSpans{JobID: jobID, Spans: spans}); err != nil {
+		return err
+	}
+	if _, err := ctl.Expect(wire.KindTraceAck); err != nil {
+		var f *wire.Failure
+		if errors.As(err, &f) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
 // chunk is one pre-split data chunk.
 type chunk struct {
 	seq      uint64
@@ -314,7 +402,7 @@ func splitInput(data []byte, format wire.DataFormat, chunkRecords int) ([]chunk,
 	}
 }
 
-func runImport(ctl *wire.Conn, addr string, script *etlscript.Script, blk *etlscript.ImportBlock, opts Options) (*ImportResult, error) {
+func runImport(ctl *wire.Conn, addr string, script *etlscript.Script, blk *etlscript.ImportBlock, opts Options, traceID uint64) (*ImportResult, error) {
 	start := time.Now()
 	if len(blk.Imports) == 0 {
 		return nil, fmt.Errorf("etlclient: import block has no .import command")
@@ -362,6 +450,8 @@ func runImport(ctl *wire.Conn, addr string, script *etlscript.Script, blk *etlsc
 		totalRows += fileRows
 	}
 
+	tr := newClientTrace(traceID, "import "+blk.Table)
+
 	// (1) create the job
 	begin := &wire.BeginLoad{
 		Table:      blk.Table,
@@ -374,7 +464,7 @@ func runImport(ctl *wire.Conn, addr string, script *etlscript.Script, blk *etlsc
 		MaxErrors:  uint32(blk.MaxErrors),
 		MaxRetries: uint32(blk.MaxRetries),
 	}
-	if err := ctl.Send(0, begin); err != nil {
+	if err := ctl.SendT(0, begin, tr.ctx()); err != nil {
 		return nil, err
 	}
 	m, err := ctl.Expect(wire.KindLoadOK)
@@ -409,6 +499,11 @@ func runImport(ctl *wire.Conn, addr string, script *etlscript.Script, blk *etlsc
 				errs <- err
 				return
 			}
+			sessStart := time.Now()
+			var sentRows, sentBytes int64
+			defer func() {
+				tr.span("send_chunks", fmt.Sprintf("session-%d", sessionSeq), sessStart, sentRows, sentBytes, nil)
+			}()
 			for {
 				i := next.Add(1) - 1
 				if i >= int64(len(chunks)) {
@@ -432,6 +527,8 @@ func runImport(ctl *wire.Conn, addr string, script *etlscript.Script, blk *etlsc
 					errs <- fmt.Errorf("etlclient: ack for chunk %d, sent %d", ack.(*wire.ChunkAck).Seq, ck.seq)
 					return
 				}
+				sentRows += int64(ck.count)
+				sentBytes += int64(len(ck.payload))
 			}
 		}(s)
 	}
@@ -442,6 +539,7 @@ func runImport(ctl *wire.Conn, addr string, script *etlscript.Script, blk *etlsc
 	}
 
 	// (3) finish acquisition
+	waitStart := time.Now()
 	if err := ctl.Send(0, &wire.EndAcquire{JobID: jobID}); err != nil {
 		return nil, err
 	}
@@ -451,6 +549,7 @@ func runImport(ctl *wire.Conn, addr string, script *etlscript.Script, blk *etlsc
 	}
 	done := m.(*wire.AcquireDone)
 	acqDur := time.Since(acqStart)
+	tr.span("acquire_wait", "control", waitStart, int64(done.RowsStaged), 0, nil)
 
 	// (4) application phase
 	res := &ImportResult{
@@ -477,8 +576,12 @@ func runImport(ctl *wire.Conn, addr string, script *etlscript.Script, blk *etlsc
 	res.ErrorsET = int64(ar.ErrorsET) + int64(done.DataErrors)
 	res.ErrorsUV = int64(ar.ErrorsUV)
 	res.Application = time.Since(appStart)
+	tr.span("apply_wait", "control", appStart, res.Inserted+res.Updated+res.Deleted, 0, nil)
 
 	// (5) tear the job down
+	if err := tr.ship(ctl, jobID); err != nil {
+		return nil, err
+	}
 	if err := ctl.Send(0, &wire.EndLoad{JobID: jobID}); err != nil {
 		return nil, err
 	}

@@ -88,7 +88,7 @@ func splitDeltas(data []byte, format wire.DataFormat, delim byte) ([]delta, erro
 // server's synchronous micro-batch commit is the natural backpressure. The
 // frame size follows the server controller's live BatchHint, so the client
 // visibly adapts to the observed commit latency.
-func runStream(ctl *wire.Conn, script *etlscript.Script, blk *etlscript.StreamBlock, opts Options) (*StreamResult, error) {
+func runStream(ctl *wire.Conn, script *etlscript.Script, blk *etlscript.StreamBlock, opts Options, traceID uint64) (*StreamResult, error) {
 	start := time.Now()
 	if len(blk.Streams) == 0 {
 		return nil, fmt.Errorf("etlclient: stream block has no .stream command")
@@ -135,7 +135,8 @@ func runStream(ctl *wire.Conn, script *etlscript.Script, blk *etlscript.StreamBl
 		LatencyTargetMS: latency,
 		MaxErrors:       uint32(blk.MaxErrors),
 	}
-	if err := ctl.Send(0, begin); err != nil {
+	tr := newClientTrace(traceID, "stream "+blk.Name)
+	if err := ctl.SendT(0, begin, tr.ctx()); err != nil {
 		return nil, err
 	}
 	m, err := ctl.Expect(wire.KindStreamOK)
@@ -178,6 +179,7 @@ func runStream(ctl *wire.Conn, script *etlscript.Script, blk *etlscript.StreamBl
 			Count:    uint32(n),
 			Payload:  payload,
 		}
+		frameStart := time.Now()
 		if err := ctl.Send(0, frame); err != nil {
 			return nil, err
 		}
@@ -192,12 +194,16 @@ func runStream(ctl *wire.Conn, script *etlscript.Script, blk *etlscript.StreamBl
 		if h := int(ack.BatchHint); h > 0 {
 			hint = h
 		}
+		tr.span("frame", "stream", frameStart, int64(n), int64(len(payload)), nil)
 		res.DeltasSent += int64(n)
 		res.Frames++
 		next += n
 	}
 	res.FinalHint = int64(hint)
 
+	if err := tr.ship(ctl, ok.StreamID); err != nil {
+		return nil, err
+	}
 	if err := ctl.Send(0, &wire.EndStream{StreamID: ok.StreamID}); err != nil {
 		return nil, err
 	}

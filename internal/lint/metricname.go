@@ -10,27 +10,31 @@ import (
 // etlvirt_ namespace, lowercase snake case.
 var metricNameRE = regexp.MustCompile(`^etlvirt_[a-z0-9_]+$`)
 
-// registryMethods are the obs.Registry registration entry points and the
-// index of their name argument.
+// registryMethods are the obs.Registry registration entry points; every one
+// takes the metric name as its first argument and the help text as its
+// second.
 var registryMethods = map[string]bool{
 	"Counter": true, "CounterFunc": true,
-	"Gauge": true, "GaugeFunc": true,
+	"Gauge": true, "GaugeFunc": true, "LabeledGaugeFunc": true,
 	"Histogram": true,
 }
 
 // newMetricname builds the metricname analyzer: obs.Registry registrations
-// must use a literal, namespaced, unique metric name.
+// must use a literal, namespaced, unique metric name and a non-empty literal
+// help string.
 //
-// Invariant (PR 2): the registry panics at runtime on duplicate names and
-// the Prometheus exposition relies on one flat etlvirt_ namespace for
-// dashboard queries. A computed name defeats both greppability and this
-// static duplicate check; a name outside the namespace collides with
-// foreign exporters on shared scrape endpoints.
+// Invariant (PR 2, extended PR 7): the registry panics at runtime on
+// duplicate names and the Prometheus exposition relies on one flat etlvirt_
+// namespace for dashboard queries. A computed name defeats both greppability
+// and this static duplicate check; a name outside the namespace collides
+// with foreign exporters on shared scrape endpoints. An empty help string
+// ships a blank # HELP line, which is how metrics become unexplainable six
+// months later.
 func newMetricname() *Analyzer {
 	seen := make(map[string]token.Position) // cross-package duplicate table
 	return &Analyzer{
 		Name: "metricname",
-		Doc:  "obs metric names must be literal etlvirt_[a-z0-9_]+ strings, unique across the tree",
+		Doc:  "obs metric names must be literal etlvirt_[a-z0-9_]+ strings with non-empty help, unique across the tree",
 		Run: func(p *Pass) {
 			runMetricname(p, seen)
 		},
@@ -61,6 +65,15 @@ func runMetricname(p *Pass, seen map[string]token.Position) {
 		if !metricNameRE.MatchString(name) {
 			p.Report(call.Args[0], "metric name %q does not match ^etlvirt_[a-z0-9_]+$", name)
 			return true
+		}
+		if len(call.Args) >= 2 {
+			help, helpLit := stringLiteral(call.Args[1])
+			switch {
+			case !helpLit:
+				p.Report(call.Args[1], "help for metric %q must be a string literal", name)
+			case help == "":
+				p.Report(call.Args[1], "metric %q has an empty help string; say what the metric measures", name)
+			}
 		}
 		if prev, dup := seen[name]; dup {
 			p.Report(call.Args[0], "duplicate metric name %q (also registered at %s); the registry panics on the second registration", name, prev)

@@ -11,9 +11,19 @@ func register(r *obs.Registry, dynamic string) {
 	r.Histogram("etlvirt_fixture_wait_seconds", "Wait.", nil)
 	r.CounterFunc("etlvirt_fixture_funcs_total", "Funcs.", func() int64 { return 0 })
 	r.GaugeFunc("etlvirt_fixture_live", "Live.", func() float64 { return 0 })
+	r.LabeledGaugeFunc("etlvirt_fixture_lag_seconds", "Lag.", "stream", func() []obs.LabeledValue { return nil })
 
 	// violating: outside the etlvirt_ namespace.
 	r.Counter("rows_total", "Rows.") // want "does not match"
+
+	// violating: labeled registrations are registrations too.
+	r.LabeledGaugeFunc("fixture_lag", "Lag.", "stream", func() []obs.LabeledValue { return nil }) // want "does not match"
+
+	// violating: an empty help string ships a blank HELP line.
+	r.Counter("etlvirt_fixture_blank_total", "") // want "empty help string"
+
+	// violating: computed help defeats the static non-empty check.
+	r.Gauge("etlvirt_fixture_computed", dynamic) // want "help for metric .* must be a string literal"
 
 	// violating: uppercase breaks the snake-case convention.
 	r.Gauge("etlvirt_Depth", "Depth.") // want "does not match"

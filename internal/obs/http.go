@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -18,11 +19,34 @@ func AttachPprof(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
-// MetricsHandler serves r in Prometheus text exposition format.
+// MetricsHandler serves r in Prometheus text exposition format. Passing
+// ?exemplars=1 switches to the OpenMetrics-style variant that annotates
+// histogram buckets with their exemplar trace IDs.
 func MetricsHandler(r *Registry) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if req.URL.Query().Get("exemplars") == "1" {
+			_ = r.WritePrometheusExemplars(w)
+			return
+		}
 		_ = r.WritePrometheus(w)
+	})
+}
+
+// EventsHandler drains ev as JSON lines, optionally from ?since=seq onward.
+func EventsHandler(ev *EventLog) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var since uint64
+		if s := req.URL.Query().Get("since"); s != "" {
+			n, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			since = n
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = ev.WriteJSONL(w, since)
 	})
 }
 
@@ -30,11 +54,19 @@ func MetricsHandler(r *Registry) http.Handler {
 // for r — the standalone debug surface used by daemons without a virtualizer
 // node (cdwd, edwd, etlrun).
 func Handler(r *Registry) http.Handler {
+	return DebugMux(r, nil)
+}
+
+// DebugMux is Handler plus an /events endpoint draining ev (when non-nil).
+func DebugMux(r *Registry, ev *EventLog) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		_, _ = w.Write([]byte("ok\n"))
 	})
 	mux.Handle("/metrics", MetricsHandler(r))
+	if ev != nil {
+		mux.Handle("/events", EventsHandler(ev))
+	}
 	AttachPprof(mux)
 	return mux
 }

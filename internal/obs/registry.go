@@ -55,12 +55,24 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // Histogram is a fixed-bucket latency/size histogram. Buckets are cumulative
 // upper bounds, exposed Prometheus-style as name_bucket{le="..."} series plus
-// name_sum and name_count.
+// name_sum and name_count. Observations made through ObserveEx additionally
+// remember the most recent exemplar per bucket — a (value, trace ID) pair
+// linking the bucket to one concrete distributed trace that landed in it.
 type Histogram struct {
 	bounds []float64
 	counts []atomic.Int64 // len(bounds)+1; last is +Inf
 	sum    atomic.Uint64  // float64 bits
 	count  atomic.Int64
+
+	exMu sync.Mutex
+	exs  []Exemplar // lazily sized to len(bounds)+1 on first ObserveEx
+}
+
+// Exemplar links one histogram bucket to a concrete traced observation.
+type Exemplar struct {
+	Value   float64
+	TraceID uint64
+	Time    time.Time
 }
 
 // Observe records one value.
@@ -79,6 +91,36 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveEx records one value and, when traceID is non-zero, remembers it as
+// the containing bucket's exemplar.
+func (h *Histogram) ObserveEx(v float64, traceID uint64) {
+	h.Observe(v)
+	if traceID == 0 {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exMu.Lock()
+	if h.exs == nil {
+		h.exs = make([]Exemplar, len(h.bounds)+1)
+	}
+	h.exs[i] = Exemplar{Value: v, TraceID: traceID, Time: time.Now()}
+	h.exMu.Unlock()
+}
+
+// Exemplars copies the per-bucket exemplars (len(Bounds)+1 entries; zero
+// TraceID means the bucket has none). Returns nil when no exemplar was ever
+// recorded.
+func (h *Histogram) Exemplars() []Exemplar {
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	if h.exs == nil {
+		return nil
+	}
+	out := make([]Exemplar, len(h.exs))
+	copy(out, h.exs)
+	return out
+}
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
@@ -103,6 +145,13 @@ var SizeBuckets = []float64{
 	1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20,
 }
 
+// LabeledValue is one series of a labeled gauge family: the label value and
+// the gauge reading.
+type LabeledValue struct {
+	Label string
+	Value float64
+}
+
 // metric is one registered series with its exposition metadata.
 type metric struct {
 	name string
@@ -114,6 +163,9 @@ type metric struct {
 	counterFunc func() int64
 	gaugeFunc   func() float64
 	hist        *Histogram
+
+	labelKey    string
+	labeledFunc func() []LabeledValue
 }
 
 // Registry holds named metrics and renders them in Prometheus text format.
@@ -165,6 +217,14 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.register(&metric{name: name, help: help, typ: "gauge", gaugeFunc: fn})
 }
 
+// LabeledGaugeFunc registers a gauge family keyed by one label (e.g. the
+// stream name): fn is read at exposition time and each entry renders as
+// name{labelKey="label"} value, sorted by label so the exposition stays
+// byte-stable.
+func (r *Registry) LabeledGaugeFunc(name, help, labelKey string, fn func() []LabeledValue) {
+	r.register(&metric{name: name, help: help, typ: "gauge", labelKey: labelKey, labeledFunc: fn})
+}
+
 // Histogram registers and returns a histogram with the given cumulative
 // upper bounds (ascending; +Inf is implicit). Nil buckets default to
 // DurationBuckets.
@@ -194,6 +254,22 @@ func formatFloat(v float64) string {
 // exposition is byte-stable regardless of registration order — scrape
 // diffing and the exposition regression tests rely on it.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writeProm(w, false)
+}
+
+// WritePrometheusExemplars renders the same exposition with OpenMetrics-style
+// exemplar annotations on histogram buckets that have one:
+//
+//	name_bucket{le="0.1"} 7 # {trace_id="00ab..."} 0.04 1700000000.000
+//
+// Classic Prometheus text parsers reject mid-line '#', which is why the
+// default exposition leaves exemplars out and this variant is opt-in
+// (GET /metrics?exemplars=1).
+func (r *Registry) WritePrometheusExemplars(w io.Writer) error {
+	return r.writeProm(w, true)
+}
+
+func (r *Registry) writeProm(w io.Writer, exemplars bool) error {
 	r.mu.RLock()
 	metrics := make([]*metric, len(r.metrics))
 	copy(metrics, r.metrics)
@@ -213,21 +289,44 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(&sb, "%s %d\n", m.name, m.gauge.Value())
 		case m.gaugeFunc != nil:
 			fmt.Fprintf(&sb, "%s %s\n", m.name, formatFloat(m.gaugeFunc()))
+		case m.labeledFunc != nil:
+			vals := m.labeledFunc()
+			sort.Slice(vals, func(i, j int) bool { return vals[i].Label < vals[j].Label })
+			for _, lv := range vals {
+				fmt.Fprintf(&sb, "%s{%s=%q} %s\n", m.name, m.labelKey, lv.Label, formatFloat(lv.Value))
+			}
 		case m.hist != nil:
 			h := m.hist
+			var exs []Exemplar
+			if exemplars {
+				exs = h.Exemplars()
+			}
 			cum := int64(0)
 			for i, b := range h.bounds {
 				cum += h.counts[i].Load()
-				fmt.Fprintf(&sb, "%s_bucket{le=\"%s\"} %d\n", m.name, formatFloat(b), cum)
+				fmt.Fprintf(&sb, "%s_bucket{le=\"%s\"} %d", m.name, formatFloat(b), cum)
+				writeExemplar(&sb, exs, i)
+				sb.WriteByte('\n')
 			}
 			cum += h.counts[len(h.bounds)].Load()
-			fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
+			fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d", m.name, cum)
+			writeExemplar(&sb, exs, len(h.bounds))
+			sb.WriteByte('\n')
 			fmt.Fprintf(&sb, "%s_sum %s\n", m.name, formatFloat(h.Sum()))
 			fmt.Fprintf(&sb, "%s_count %d\n", m.name, cum)
 		}
 	}
 	_, err := io.WriteString(w, sb.String())
 	return err
+}
+
+func writeExemplar(sb *strings.Builder, exs []Exemplar, i int) {
+	if i >= len(exs) || exs[i].TraceID == 0 {
+		return
+	}
+	fmt.Fprintf(sb, " # {trace_id=%q} %s %.3f",
+		FormatTraceID(exs[i].TraceID), formatFloat(exs[i].Value),
+		float64(exs[i].Time.UnixNano())/1e9)
 }
 
 // HistSnapshot is a point-in-time copy of one histogram, suitable for

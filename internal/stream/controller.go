@@ -102,6 +102,31 @@ type Decision struct {
 	BatchRows  int // preferred records per micro-batch (the client frame hint)
 	SpoolBytes int // staging-file rotation threshold for the batch
 	CopyFiles  int // max staged files folded into one COPY statement
+	// Dominant names the pipeline stage with the largest smoothed share of
+	// commit latency ("spool", "upload", "copy", "apply", "checkpoint"), so a
+	// grow/shrink decision is attributable to the stage driving it. Empty
+	// until a stage breakdown has been observed.
+	Dominant string
+}
+
+// Stages splits one micro-batch's commit latency into its pipeline stages,
+// as measured by the streaming job. Zero fields are unobserved.
+type Stages struct {
+	Spool      time.Duration // delta decode + staging-file append
+	Upload     time.Duration // staging-file rotation and object-store upload
+	Copy       time.Duration // COPY of staged files into the work table
+	Apply      time.Duration // merge/DML application to the target table
+	Checkpoint time.Duration // watermark checkpoint write
+}
+
+// stageNames index the controller's per-stage EWMA array.
+var stageNames = [...]string{"spool", "upload", "copy", "apply", "checkpoint"}
+
+func (s Stages) seconds() [len(stageNames)]float64 {
+	return [len(stageNames)]float64{
+		s.Spool.Seconds(), s.Upload.Seconds(), s.Copy.Seconds(),
+		s.Apply.Seconds(), s.Checkpoint.Seconds(),
+	}
 }
 
 // Stats counts controller decisions since construction.
@@ -132,6 +157,9 @@ type Controller struct {
 	bytesPerRow float64 // smoothed record width
 	seeded      bool
 
+	stageSec    [len(stageNames)]float64 // smoothed per-stage latency, seconds
+	stageSeeded bool
+
 	stats Stats
 }
 
@@ -161,8 +189,54 @@ func (c *Controller) Hint() Decision {
 // payload, end-to-end commit latency) and returns the geometry for the next
 // batch.
 func (c *Controller) Observe(rows, bytes int, latency time.Duration) Decision {
+	return c.ObserveStages(rows, bytes, latency, Stages{})
+}
+
+// StageEWMA returns the smoothed per-stage latency breakdown, keyed by stage
+// name. Nil until a stage breakdown has been observed.
+func (c *Controller) StageEWMA() map[string]time.Duration {
+	if !c.stageSeeded {
+		return nil
+	}
+	out := make(map[string]time.Duration, len(stageNames))
+	for i, name := range stageNames {
+		out[name] = time.Duration(c.stageSec[i] * float64(time.Second))
+	}
+	return out
+}
+
+// dominant names the stage with the largest smoothed latency share.
+func (c *Controller) dominant() string {
+	if !c.stageSeeded {
+		return ""
+	}
+	best, bestSec := "", 0.0
+	for i, name := range stageNames {
+		if c.stageSec[i] > bestSec {
+			best, bestSec = name, c.stageSec[i]
+		}
+	}
+	return best
+}
+
+// ObserveStages is Observe with a per-stage latency breakdown attached, so
+// the decision reports which stage dominates the commit path. A zero Stages
+// leaves the attribution state untouched.
+func (c *Controller) ObserveStages(rows, bytes int, latency time.Duration, st Stages) Decision {
+	if st != (Stages{}) {
+		sec := st.seconds()
+		if !c.stageSeeded {
+			c.stageSec = sec
+			c.stageSeeded = true
+		} else {
+			for i := range sec {
+				c.stageSec[i] += c.cfg.Alpha * (sec[i] - c.stageSec[i])
+			}
+		}
+	}
 	if rows <= 0 || latency <= 0 {
 		d := c.Hint()
+		d.Dominant = c.dominant()
 		c.stats.Holds++
 		return d
 	}
@@ -228,6 +302,7 @@ func (c *Controller) Observe(rows, bytes int, latency time.Duration) Decision {
 		BatchRows:  c.batch,
 		SpoolBytes: c.spoolBytes(),
 		CopyFiles:  c.copyFiles(),
+		Dominant:   c.dominant(),
 	}
 }
 

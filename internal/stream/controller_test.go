@@ -200,3 +200,56 @@ func TestControllerObserveAllocFree(t *testing.T) {
 		t.Errorf("Observe allocates %.1f per call pair, want 0", allocs)
 	}
 }
+
+func TestObserveStagesAttribution(t *testing.T) {
+	c := NewController(Config{Target: 2 * time.Second})
+	// Before any stage breakdown: no attribution.
+	d := c.Observe(100, 10000, 500*time.Millisecond)
+	if d.Dominant != "" {
+		t.Errorf("dominant %q before any stage observation", d.Dominant)
+	}
+	if c.StageEWMA() != nil {
+		t.Error("StageEWMA non-nil before any stage observation")
+	}
+	// COPY dominates this batch.
+	d = c.ObserveStages(100, 10000, 500*time.Millisecond, Stages{
+		Spool:  10 * time.Millisecond,
+		Upload: 50 * time.Millisecond,
+		Copy:   300 * time.Millisecond,
+		Apply:  100 * time.Millisecond,
+	})
+	if d.Dominant != "copy" {
+		t.Errorf("dominant %q, want copy", d.Dominant)
+	}
+	ew := c.StageEWMA()
+	if ew == nil || ew["copy"] != 300*time.Millisecond {
+		t.Errorf("stage EWMA seed: %v", ew)
+	}
+	// Shift the bottleneck to apply; EWMA needs a few batches to cross over.
+	for i := 0; i < 20; i++ {
+		d = c.ObserveStages(100, 10000, 500*time.Millisecond, Stages{
+			Spool: 10 * time.Millisecond,
+			Copy:  50 * time.Millisecond,
+			Apply: 400 * time.Millisecond,
+		})
+	}
+	if d.Dominant != "apply" {
+		t.Errorf("dominant %q after shift, want apply", d.Dominant)
+	}
+	// A zero Stages observation keeps the last attribution.
+	d = c.Observe(100, 10000, 500*time.Millisecond)
+	if d.Dominant != "apply" {
+		t.Errorf("dominant %q after plain Observe, want apply", d.Dominant)
+	}
+}
+
+func TestObserveStagesZeroRowsStillAttributes(t *testing.T) {
+	c := NewController(Config{})
+	d := c.ObserveStages(0, 0, 0, Stages{Checkpoint: time.Millisecond})
+	if d.Dominant != "checkpoint" {
+		t.Errorf("dominant %q, want checkpoint", d.Dominant)
+	}
+	if d.Action != ActionHold {
+		t.Errorf("action %v, want hold", d.Action)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"io"
 	"net"
 	"sync"
+
+	"etlvirt/internal/obs"
 )
 
 // Conn wraps a byte stream with DWP message framing. Reads and writes are
@@ -42,10 +44,17 @@ func Dial(addr string) (*Conn, error) {
 
 // Send encodes and writes one message, then flushes.
 func (c *Conn) Send(session uint32, msg Message) error {
+	return c.SendT(session, msg, obs.TraceContext{})
+}
+
+// SendT is Send with a trace context attached to the frame. A zero context
+// sends a plain untraced frame.
+func (c *Conn) SendT(session uint32, msg Message, tc obs.TraceContext) error {
 	f, err := Encode(session, msg)
 	if err != nil {
 		return err
 	}
+	f.Trace = tc
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	if err := WriteFrame(c.bw, f); err != nil {
@@ -56,17 +65,24 @@ func (c *Conn) Send(session uint32, msg Message) error {
 
 // Recv reads and decodes the next message, returning it with its session id.
 func (c *Conn) Recv() (Message, uint32, error) {
+	m, session, _, err := c.RecvT()
+	return m, session, err
+}
+
+// RecvT is Recv plus the trace context carried by the frame, if any (zero
+// TraceID otherwise).
+func (c *Conn) RecvT() (Message, uint32, obs.TraceContext, error) {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
 	f, err := ReadFrame(c.br)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, obs.TraceContext{}, err
 	}
 	m, err := Decode(f)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, obs.TraceContext{}, err
 	}
-	return m, f.Session, nil
+	return m, f.Session, f.Trace, nil
 }
 
 // Expect reads the next message and asserts its kind. A Failure message is

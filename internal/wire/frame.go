@@ -12,6 +12,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"etlvirt/internal/obs"
 )
 
 // Version is the DWP protocol version this implementation speaks.
@@ -62,7 +64,18 @@ const (
 	KindDeltaAck      Kind = 30 // server -> client: delta frame accepted, commit watermark
 	KindEndStream     Kind = 31 // client -> server: flush and close the stream
 	KindStreamDone    Kind = 32 // server -> client: stream closed, final counters
+	KindTraceSpans    Kind = 33 // client -> server: fold client-side trace spans into a job's timeline
+	KindTraceAck      Kind = 34 // server -> client: spans folded
 )
+
+// kindMax is the highest assigned frame kind; parseHeader rejects anything
+// above it.
+const kindMax = KindTraceAck
+
+// flagTrace marks a frame that carries a trace-context extension: a 17-byte
+// obs.TraceContext encoding between the header and the body. All other flag
+// bits remain reserved and must be zero.
+const flagTrace uint16 = 0x0001
 
 // String returns a diagnostic name for the kind.
 func (k Kind) String() string {
@@ -73,7 +86,7 @@ func (k Kind) String() string {
 		"EndAcquire", "AcquireDone", "ApplyDML", "ApplyResult", "EndLoad",
 		"LoadDone", "BeginExport", "ExportOK", "ExportChunkRq", "ExportChunk",
 		"EndExport", "BeginStream", "StreamOK", "DeltaFrame", "DeltaAck",
-		"EndStream", "StreamDone",
+		"EndStream", "StreamDone", "TraceSpans", "TraceAck",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -81,11 +94,13 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
-// Frame is one protocol frame: a kind, the session it belongs to, and the
+// Frame is one protocol frame: a kind, the session it belongs to, an
+// optional trace context propagated across the process boundary, and the
 // encoded message body.
 type Frame struct {
 	Kind    Kind
 	Session uint32
+	Trace   obs.TraceContext // zero TraceID = frame carries no trace context
 	Body    []byte
 }
 
@@ -93,24 +108,37 @@ type Frame struct {
 //
 //	offset 0: version  uint8
 //	offset 1: kind     uint8
-//	offset 2: flags    uint16 BE (reserved, zero)
+//	offset 2: flags    uint16 BE (bit 0: trace-context extension follows; rest reserved, zero)
 //	offset 4: session  uint32 BE
 //	offset 8: bodyLen  uint32 BE
+//
+// When flag bit 0 is set, a 17-byte trace-context extension (trace ID u64
+// BE, parent span ID u64 BE, flags u8) sits between the header and the body.
+// bodyLen never includes the extension, so pre-tracing peers and new peers
+// agree on the body framing of untraced frames.
 
 // AppendFrame appends the encoded frame to dst and returns the result.
 func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 	if len(f.Body) > MaxBodySize {
 		return dst, fmt.Errorf("wire: frame body %d exceeds max %d", len(f.Body), MaxBodySize)
 	}
-	dst = append(dst, Version, byte(f.Kind), 0, 0)
+	var flags uint16
+	if f.Trace.Valid() {
+		flags |= flagTrace
+	}
+	dst = append(dst, Version, byte(f.Kind))
+	dst = binary.BigEndian.AppendUint16(dst, flags)
 	dst = binary.BigEndian.AppendUint32(dst, f.Session)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(f.Body)))
+	if f.Trace.Valid() {
+		dst = f.Trace.AppendWire(dst)
+	}
 	return append(dst, f.Body...), nil
 }
 
 // WriteFrame writes one frame to w.
 func WriteFrame(w io.Writer, f Frame) error {
-	buf, err := AppendFrame(make([]byte, 0, HeaderSize+len(f.Body)), f)
+	buf, err := AppendFrame(make([]byte, 0, HeaderSize+obs.TraceContextWireSize+len(f.Body)), f)
 	if err != nil {
 		return err
 	}
@@ -124,9 +152,18 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Frame{}, err
 	}
-	f, bodyLen, err := parseHeader(hdr[:])
+	f, bodyLen, hasTrace, err := parseHeader(hdr[:])
 	if err != nil {
 		return Frame{}, err
+	}
+	if hasTrace {
+		var ext [obs.TraceContextWireSize]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			return Frame{}, fmt.Errorf("wire: truncated trace context: %w", err)
+		}
+		if f.Trace, err = obs.DecodeTraceContext(ext[:]); err != nil {
+			return Frame{}, fmt.Errorf("wire: %w", err)
+		}
 	}
 	if bodyLen > 0 {
 		f.Body = make([]byte, bodyLen)
@@ -137,19 +174,23 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	return f, nil
 }
 
-func parseHeader(hdr []byte) (Frame, int, error) {
+func parseHeader(hdr []byte) (Frame, int, bool, error) {
 	if hdr[0] != Version {
-		return Frame{}, 0, fmt.Errorf("wire: bad protocol version %d", hdr[0])
+		return Frame{}, 0, false, fmt.Errorf("wire: bad protocol version %d", hdr[0])
 	}
 	k := Kind(hdr[1])
-	if k == KindInvalid || k > KindStreamDone {
-		return Frame{}, 0, fmt.Errorf("wire: invalid frame kind %d", hdr[1])
+	if k == KindInvalid || k > kindMax {
+		return Frame{}, 0, false, fmt.Errorf("wire: invalid frame kind %d", hdr[1])
+	}
+	flags := binary.BigEndian.Uint16(hdr[2:])
+	if flags&^flagTrace != 0 {
+		return Frame{}, 0, false, fmt.Errorf("wire: reserved header flags 0x%04x set", flags)
 	}
 	bodyLen := int(binary.BigEndian.Uint32(hdr[8:]))
 	if bodyLen > MaxBodySize {
-		return Frame{}, 0, fmt.Errorf("wire: frame body %d exceeds max %d", bodyLen, MaxBodySize)
+		return Frame{}, 0, false, fmt.Errorf("wire: frame body %d exceeds max %d", bodyLen, MaxBodySize)
 	}
-	return Frame{Kind: k, Session: binary.BigEndian.Uint32(hdr[4:])}, bodyLen, nil
+	return Frame{Kind: k, Session: binary.BigEndian.Uint32(hdr[4:])}, bodyLen, flags&flagTrace != 0, nil
 }
 
 // Coalescer reassembles complete frames from an arbitrary sequence of byte
@@ -158,10 +199,11 @@ func parseHeader(hdr []byte) (Frame, int, error) {
 // paper's Coalescer process, which "forms complete TCP messages from the raw
 // bytes received over the wire".
 type Coalescer struct {
-	buf     []byte
-	pending Frame
-	need    int  // body bytes still needed; 0 when waiting for a header
-	inBody  bool // true when a header has been parsed and body bytes are owed
+	buf      []byte
+	pending  Frame
+	need     int  // body bytes still needed; 0 when waiting for a header
+	inBody   bool // true when a header has been parsed and body bytes are owed
+	hasTrace bool // true when the pending frame owes a trace-context extension
 }
 
 // Push feeds raw bytes to the coalescer and returns any frames completed by
@@ -174,17 +216,32 @@ func (c *Coalescer) Push(data []byte) ([]Frame, error) {
 			if len(c.buf) < HeaderSize {
 				return out, nil
 			}
-			f, bodyLen, err := parseHeader(c.buf[:HeaderSize])
+			f, bodyLen, hasTrace, err := parseHeader(c.buf[:HeaderSize])
 			if err != nil {
 				return out, err
 			}
 			c.buf = c.buf[HeaderSize:]
 			c.pending = f
 			c.need = bodyLen
+			c.hasTrace = hasTrace
 			c.inBody = true
 		}
-		if len(c.buf) < c.need {
+		// The trace-context extension travels with the body bytes: wait for
+		// both, then split the extension off the front.
+		need := c.need
+		if c.hasTrace {
+			need += obs.TraceContextWireSize
+		}
+		if len(c.buf) < need {
 			return out, nil
+		}
+		if c.hasTrace {
+			tc, err := obs.DecodeTraceContext(c.buf[:obs.TraceContextWireSize])
+			if err != nil {
+				return out, fmt.Errorf("wire: %w", err)
+			}
+			c.pending.Trace = tc
+			c.buf = c.buf[obs.TraceContextWireSize:]
 		}
 		if c.need > 0 {
 			c.pending.Body = make([]byte, c.need)
@@ -195,6 +252,7 @@ func (c *Coalescer) Push(data []byte) ([]Frame, error) {
 		c.pending = Frame{}
 		c.need = 0
 		c.inBody = false
+		c.hasTrace = false
 		// Reclaim the buffer if it has been fully consumed to avoid unbounded
 		// growth of the backing array across pushes.
 		if len(c.buf) == 0 {

@@ -17,7 +17,7 @@ func FuzzCoalescer(f *testing.F) {
 			return
 		}
 		for _, fr := range frames {
-			if fr.Kind == KindInvalid || fr.Kind > KindStreamDone {
+			if fr.Kind == KindInvalid || fr.Kind > kindMax {
 				t.Fatalf("coalescer emitted invalid kind %d", fr.Kind)
 			}
 		}
@@ -37,7 +37,7 @@ func FuzzDecode(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, kind uint8, body []byte) {
 		k := Kind(kind)
-		if k == KindInvalid || k > KindStreamDone {
+		if k == KindInvalid || k > kindMax {
 			return
 		}
 		_, _ = Decode(Frame{Kind: k, Body: body})

@@ -2,8 +2,10 @@ package wire
 
 import (
 	"fmt"
+	"time"
 
 	"etlvirt/internal/ltype"
+	"etlvirt/internal/obs"
 )
 
 // Message is a decoded frame body. Each concrete message type corresponds to
@@ -747,6 +749,89 @@ func (m *StreamDone) decode(r *bodyReader) error {
 	return r.done()
 }
 
+// TraceSpans ships client-side trace spans to the server so the virtualizer
+// can fold them into the job's distributed timeline before the job is
+// evicted. JobID names the server-side job (or stream) the spans belong to.
+type TraceSpans struct {
+	JobID uint64
+	Spans []obs.Span
+}
+
+// Kind implements Message.
+func (*TraceSpans) Kind() Kind { return KindTraceSpans }
+
+func (m *TraceSpans) encode(w *bodyWriter) error {
+	w.u64(m.JobID)
+	w.u32(uint32(len(m.Spans)))
+	for _, s := range m.Spans {
+		w.u64(s.ID)
+		w.u64(s.Parent)
+		for _, str := range []string{s.Proc, s.Stage, s.Worker} {
+			if err := w.str(str); err != nil {
+				return err
+			}
+		}
+		w.u64(uint64(s.Start.UnixNano()))
+		w.u64(uint64(s.Dur))
+		w.u64(uint64(s.Rows))
+		w.u64(uint64(s.Bytes))
+		w.u32(uint32(s.Depth))
+		if err := w.str(s.Err); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *TraceSpans) decode(r *bodyReader) error {
+	m.JobID = r.u64()
+	n := r.u32()
+	if n == 0 {
+		return r.done()
+	}
+	// Each span is at least 49 encoded bytes; bound the allocation by what the
+	// body could actually hold.
+	if max := uint32(len(r.b) / 49); n > max {
+		n = max + 1 // let the reader run dry and report the short body
+	}
+	m.Spans = make([]obs.Span, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var s obs.Span
+		s.ID = r.u64()
+		s.Parent = r.u64()
+		s.Proc, s.Stage, s.Worker = r.str(), r.str(), r.str()
+		s.Start = time.Unix(0, int64(r.u64()))
+		s.Dur = time.Duration(r.u64())
+		s.Rows = int64(r.u64())
+		s.Bytes = int64(r.u64())
+		s.Depth = int(r.u32())
+		s.Err = r.str()
+		m.Spans = append(m.Spans, s)
+	}
+	return r.done()
+}
+
+// TraceAck confirms the spans were folded into the job's timeline.
+type TraceAck struct {
+	JobID uint64
+	Added uint32 // spans accepted (the rest hit the trace's span cap)
+}
+
+// Kind implements Message.
+func (*TraceAck) Kind() Kind { return KindTraceAck }
+
+func (m *TraceAck) encode(w *bodyWriter) error {
+	w.u64(m.JobID)
+	w.u32(m.Added)
+	return nil
+}
+
+func (m *TraceAck) decode(r *bodyReader) error {
+	m.JobID = r.u64()
+	m.Added = r.u32()
+	return r.done()
+}
+
 // Encode builds a frame for msg on the given session.
 func Encode(session uint32, msg Message) (Frame, error) {
 	var w bodyWriter
@@ -835,6 +920,10 @@ func newMessage(k Kind) Message {
 		return &EndStream{}
 	case KindStreamDone:
 		return &StreamDone{}
+	case KindTraceSpans:
+		return &TraceSpans{}
+	case KindTraceAck:
+		return &TraceAck{}
 	default:
 		return nil
 	}

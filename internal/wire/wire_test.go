@@ -2,14 +2,17 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"net"
 	"reflect"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"etlvirt/internal/ltype"
+	"etlvirt/internal/obs"
 )
 
 func testLayout() *ltype.Layout {
@@ -63,6 +66,19 @@ func allMessages() []Message {
 		&DeltaAck{StreamID: 13, Seq: 401, CommittedSeq: 400, BatchHint: 128},
 		&EndStream{StreamID: 13},
 		&StreamDone{StreamID: 13, Watermark: 402, Inserted: 1, Updated: 0, Deleted: 1, ErrorsET: 2, Replayed: 3},
+		&TraceSpans{JobID: 9, Spans: []obs.Span{
+			{
+				ID: 0xA1, Parent: 0xA0, Proc: "etlclient", Stage: "send_chunk",
+				Worker: "sess-1", Start: time.Unix(0, 1700000000000000000),
+				Dur: 250 * time.Millisecond, Rows: 100, Bytes: 4096,
+			},
+			{
+				ID: 0xA2, Parent: 0xA0, Proc: "etlclient", Stage: "read_source",
+				Start: time.Unix(0, 1700000000100000000), Dur: time.Millisecond,
+				Depth: 2, Err: "short read",
+			},
+		}},
+		&TraceAck{JobID: 9, Added: 2},
 	}
 }
 
@@ -258,6 +274,127 @@ func TestCoalescerByteAtATime(t *testing.T) {
 	}
 	if m.(*RunSQL).SQL != "SELECT * FROM t" {
 		t.Errorf("unexpected SQL %q", m.(*RunSQL).SQL)
+	}
+}
+
+func TestFrameTraceContextRoundTrip(t *testing.T) {
+	tc := obs.TraceContext{TraceID: 0xDEADBEEF01, SpanID: 0x42, Sampled: true}
+	var buf bytes.Buffer
+	frames := []Frame{
+		{Kind: KindBeginLoad, Session: 1, Trace: tc, Body: []byte("abc")},
+		{Kind: KindLogoff, Session: 2}, // untraced in between
+		{Kind: KindDeltaFrame, Session: 3, Trace: obs.TraceContext{TraceID: 7}, Body: []byte("x")},
+	}
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The trace extension must not perturb the body framing: an untraced
+	// frame's total size is header+body exactly.
+	wire := buf.Bytes()
+	for i, want := range frames {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Trace != want.Trace {
+			t.Errorf("frame %d trace: got %+v want %+v", i, got.Trace, want.Trace)
+		}
+		if !bytes.Equal(got.Body, want.Body) {
+			t.Errorf("frame %d body mismatch", i)
+		}
+	}
+	// Byte-at-a-time through the coalescer: the 17-byte extension must
+	// survive arbitrary segmentation.
+	var c Coalescer
+	var out []Frame
+	for _, b := range wire {
+		got, err := c.Push([]byte{b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, got...)
+	}
+	if len(out) != len(frames) {
+		t.Fatalf("coalescer emitted %d frames, want %d", len(out), len(frames))
+	}
+	for i, want := range frames {
+		if out[i].Trace != want.Trace || !bytes.Equal(out[i].Body, want.Body) {
+			t.Errorf("coalesced frame %d mismatch: %+v", i, out[i])
+		}
+	}
+	if c.Buffered() != 0 {
+		t.Errorf("coalescer holds %d leftover bytes", c.Buffered())
+	}
+}
+
+func TestFrameReservedFlagsRejected(t *testing.T) {
+	enc, err := AppendFrame(nil, Frame{Kind: KindLogoff, Session: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Set a reserved flag bit (bit 1) in the header.
+	binary.BigEndian.PutUint16(enc[2:], 0x0002)
+	if _, err := ReadFrame(bytes.NewReader(enc)); err == nil {
+		t.Error("reserved header flag accepted")
+	}
+	var c Coalescer
+	if _, err := c.Push(enc); err == nil {
+		t.Error("coalescer accepted reserved header flag")
+	}
+}
+
+func TestFrameTruncatedTraceContext(t *testing.T) {
+	tc := obs.TraceContext{TraceID: 5, SpanID: 6, Sampled: true}
+	enc, err := AppendFrame(nil, Frame{Kind: KindRunSQL, Session: 1, Trace: tc, Body: []byte("SELECT 1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut inside the 17-byte extension.
+	if _, err := ReadFrame(bytes.NewReader(enc[:HeaderSize+5])); err == nil {
+		t.Error("truncated trace context accepted")
+	}
+	// Corrupt the extension's reserved flag bits.
+	enc[HeaderSize+16] |= 0x80
+	if _, err := ReadFrame(bytes.NewReader(enc)); err == nil {
+		t.Error("reserved trace-context flag accepted")
+	}
+	var c Coalescer
+	if _, err := c.Push(enc); err == nil {
+		t.Error("coalescer accepted reserved trace-context flag")
+	}
+}
+
+func TestConnSendTRecvT(t *testing.T) {
+	c1, c2 := net.Pipe()
+	server, client := NewConn(c1), NewConn(c2)
+	defer server.Close()
+	defer client.Close()
+	tc := obs.TraceContext{TraceID: 0xABCD, SpanID: 0x11, Sampled: true}
+	go func() {
+		_ = client.SendT(3, &BeginLoad{Table: "t", Layout: testLayout(), Sessions: 1}, tc)
+		_ = client.Send(3, &EndLoad{JobID: 1})
+	}()
+	m, sess, got, err := server.RecvT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.(*BeginLoad); !ok || sess != 3 {
+		t.Fatalf("unexpected message %#v sess %d", m, sess)
+	}
+	if got != tc {
+		t.Errorf("trace context: got %+v want %+v", got, tc)
+	}
+	m, _, got, err = server.RecvT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.(*EndLoad); !ok {
+		t.Fatalf("unexpected message %#v", m)
+	}
+	if got.Valid() {
+		t.Errorf("untraced frame carried context %+v", got)
 	}
 }
 
