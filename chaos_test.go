@@ -3,23 +3,17 @@ package etlvirt_test
 import (
 	"errors"
 	"fmt"
-	"os"
 	"sort"
-	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"etlvirt/internal/cdw"
-	"etlvirt/internal/cdwnet"
 	"etlvirt/internal/cloudstore"
-	"etlvirt/internal/core"
-	"etlvirt/internal/edw"
-	"etlvirt/internal/etlclient"
-	"etlvirt/internal/etlscript"
-	"etlvirt/internal/faultinject"
 	"etlvirt/internal/ltype"
+	"etlvirt/internal/scrub"
 	"etlvirt/internal/stream"
+	"etlvirt/internal/testhost"
 	"etlvirt/internal/wire"
 )
 
@@ -29,19 +23,13 @@ import (
 // and network transport are riddled with injected faults. The virtualized
 // run must retry its way to the exact same target table and error-table rows
 // the legacy engine produces — resilience must be invisible at the data
-// level.
+// level. The comparison is the scrub subsystem's differential report, so the
+// chaos oracle and the post-load scrub can never drift apart.
 //
 // The fault seed comes from ETLVIRT_FAULT_SEED (the CI chaos matrix), so a
 // failure reproduces locally with the same seed.
 func TestChaosDifferentialOracle(t *testing.T) {
-	seed := int64(1)
-	if s := os.Getenv("ETLVIRT_FAULT_SEED"); s != "" {
-		v, err := strconv.ParseInt(s, 10, 64)
-		if err != nil {
-			t.Fatalf("ETLVIRT_FAULT_SEED=%q: %v", s, err)
-		}
-		seed = v
-	}
+	seed := testhost.FaultSeed(t, 1)
 
 	const script = `
 .logon host/user,pass;
@@ -80,72 +68,13 @@ insert into PROD.CUSTOMER values (
 		}
 		fmt.Fprintf(&sb, "%d|Name %d|%s\n", i, i, date)
 	}
-	input := sb.String()
+	files := map[string][]byte{"input.txt": []byte(sb.String())}
 
-	runOnce := func(addr string) *etlclient.Result {
-		s, err := etlscript.Parse(script)
-		if err != nil {
-			t.Fatal(err)
-		}
-		res, err := etlclient.Run(s, etlclient.Options{
-			Addr:         addr,
-			ChunkRecords: 16,
-			ReadFile:     func(string) ([]byte, error) { return []byte(input), nil },
-		})
-		if err != nil {
-			t.Fatalf("script run failed: %v", err)
-		}
-		return res
-	}
+	p := testhost.StartPair(t, testhost.Options{Seed: seed, DDL: []string{ddl}})
+	edwRes, _ := p.Run(t, p.EDWAddr, script, files)
+	virtRes, _ := p.Run(t, p.NodeAddr, script, files)
 
-	// reference run on the legacy EDW
-	edwSrv := edw.NewServer()
-	edwAddr, err := edwSrv.Listen("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { edwSrv.Close() })
-	if _, err := edwSrv.Engine().ExecSQL(ddl); err != nil {
-		t.Fatal(err)
-	}
-	edwRes := runOnce(edwAddr)
-
-	// virtualized run with fault injection on both infrastructure seams:
-	// the virtualizer's store traffic and its CDW transport
-	inj := faultinject.New(seed)
-	inj.SetRule(faultinject.OpStorePut,
-		faultinject.Rule{Rate: 0.15, Every: 5, Class: faultinject.ClassTimeout})
-	inj.SetRule("cdw.query",
-		faultinject.Rule{Rate: 0.02, Every: 30, Class: faultinject.ClassReset})
-
-	store := cloudstore.NewMemStore()
-	cdwEng := cdw.NewEngine(store, cdw.Options{})
-	cdwSrv := cdwnet.NewServer(cdwEng)
-	cdwAddr, err := cdwSrv.Listen("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { cdwSrv.Close() })
-	node := core.NewNode(core.Config{
-		CDWAddr:           cdwAddr,
-		UploadParallelism: 1, // deterministic store.put order for the seed
-		FileSizeThreshold: 2 << 10,
-		FaultInjector:     inj,
-		RetryMaxAttempts:  8,
-		RetryBaseDelay:    time.Millisecond,
-		RetryMaxDelay:     5 * time.Millisecond,
-	}, store)
-	nodeAddr, err := node.Listen("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { node.Close() })
-	if _, err := cdwEng.ExecSQL(ddl); err != nil {
-		t.Fatal(err)
-	}
-	virtRes := runOnce(nodeAddr)
-
-	if inj.Injected() == 0 {
+	if p.Injector.Injected() == 0 {
 		t.Fatal("no faults were injected; the chaos run tested nothing")
 	}
 
@@ -155,32 +84,13 @@ insert into PROD.CUSTOMER values (
 		t.Errorf("outcomes differ (seed %d):\n edw:  %+v\n virt: %+v", seed, l, v)
 	}
 
-	// table state must be byte-identical
-	state := func(eng *cdw.Engine, sql string) []string {
-		res, err := eng.ExecSQL(sql)
-		if err != nil {
-			t.Fatalf("%s: %v", sql, err)
-		}
-		var out []string
-		for _, row := range res.Rows {
-			var parts []string
-			for _, d := range row {
-				parts = append(parts, d.Render())
-			}
-			out = append(out, strings.Join(parts, "|"))
-		}
-		sort.Strings(out)
-		return out
-	}
-	for _, q := range []string{
-		"SELECT CUST_ID, CUST_NAME, JOIN_DATE FROM PROD.CUSTOMER",
-		"SELECT SEQNO, SEQNO_END, ERRCODE FROM PROD.CUSTOMER_ET",
-		"SELECT SEQNO, SEQNO_END, ERRCODE FROM PROD.CUSTOMER_UV",
-	} {
-		got, want := state(cdwEng, q), state(edwSrv.Engine(), q)
-		if strings.Join(got, "\n") != strings.Join(want, "\n") {
-			t.Errorf("diverged under seed %d for %q:\n edw:  %v\n virt: %v", seed, q, want, got)
-		}
+	// Data-level comparison: the differential scrub must come back clean.
+	rep := p.Scrub(t, scrub.Options{Tables: []scrub.Table{{
+		Name:      "PROD.CUSTOMER",
+		ErrTables: []string{"PROD.CUSTOMER_ET", "PROD.CUSTOMER_UV"},
+	}}})
+	if !rep.OK {
+		t.Errorf("scrub diverged under seed %d:\n%s", seed, rep.Diff())
 	}
 }
 
@@ -195,14 +105,7 @@ insert into PROD.CUSTOMER values (
 //
 // The fault seed comes from ETLVIRT_FAULT_SEED (the CI chaos matrix).
 func TestChaosCDCResume(t *testing.T) {
-	seed := int64(1)
-	if s := os.Getenv("ETLVIRT_FAULT_SEED"); s != "" {
-		v, err := strconv.ParseInt(s, 10, 64)
-		if err != nil {
-			t.Fatalf("ETLVIRT_FAULT_SEED=%q: %v", s, err)
-		}
-		seed = v
-	}
+	seed := testhost.FaultSeed(t, 1)
 
 	const ddl = `CREATE TABLE PROD.CUSTOMER (
 	CUST_ID VARCHAR(5) NOT NULL,
@@ -286,36 +189,7 @@ func TestChaosCDCResume(t *testing.T) {
 	}
 
 	// Virtualized stack with faults on both infrastructure seams.
-	inj := faultinject.New(seed)
-	inj.SetRule(faultinject.OpStorePut,
-		faultinject.Rule{Rate: 0.15, Every: 5, Class: faultinject.ClassTimeout})
-	inj.SetRule("cdw.query",
-		faultinject.Rule{Rate: 0.02, Every: 30, Class: faultinject.ClassReset})
-	store := cloudstore.NewMemStore()
-	cdwEng := cdw.NewEngine(store, cdw.Options{})
-	cdwSrv := cdwnet.NewServer(cdwEng)
-	cdwAddr, err := cdwSrv.Listen("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { cdwSrv.Close() })
-	node := core.NewNode(core.Config{
-		CDWAddr:           cdwAddr,
-		UploadParallelism: 1,
-		FileSizeThreshold: 2 << 10,
-		FaultInjector:     inj,
-		RetryMaxAttempts:  8,
-		RetryBaseDelay:    time.Millisecond,
-		RetryMaxDelay:     5 * time.Millisecond,
-	}, store)
-	nodeAddr, err := node.Listen("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { node.Close() })
-	if _, err := cdwEng.ExecSQL(ddl); err != nil {
-		t.Fatal(err)
-	}
+	p := testhost.StartPair(t, testhost.Options{Seed: seed, DDL: []string{ddl}})
 
 	layout := &ltype.Layout{Name: "CustLayout", Fields: []ltype.Field{
 		{Name: "CUST_ID", Type: ltype.VarChar(5)},
@@ -323,7 +197,7 @@ func TestChaosCDCResume(t *testing.T) {
 		{Name: "JOIN_DATE", Type: ltype.VarChar(10)},
 	}}
 	dial := func() *wire.Conn {
-		c, err := wire.Dial(nodeAddr)
+		c, err := wire.Dial(p.NodeAddr)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -380,7 +254,7 @@ func TestChaosCDCResume(t *testing.T) {
 		deadline := time.Now().Add(10 * time.Second)
 		for {
 			busy := false
-			for _, j := range node.ActiveJobs() {
+			for _, j := range p.Node.ActiveJobs() {
 				if j.Kind == "stream" {
 					busy = true
 				}
@@ -443,34 +317,18 @@ func TestChaosCDCResume(t *testing.T) {
 	if done.Replayed != w2 {
 		t.Errorf("phase-3 replays %d, want %d (deltas at or below its resume watermark)", done.Replayed, w2)
 	}
-	if inj.Injected() == 0 {
+	if p.Injector.Injected() == 0 {
 		t.Fatal("no faults were injected; the chaos run tested nothing")
 	}
 
 	// Differential check: streamed state must match the tuple-at-a-time
 	// oracle byte for byte, with no delta double-applied across the resumes.
-	state := func(eng *cdw.Engine, sql string) []string {
-		res, err := eng.ExecSQL(sql)
-		if err != nil {
-			t.Fatalf("%s: %v", sql, err)
-		}
-		var out []string
-		for _, row := range res.Rows {
-			var parts []string
-			for _, d := range row {
-				parts = append(parts, d.Render())
-			}
-			out = append(out, strings.Join(parts, "|"))
-		}
-		sort.Strings(out)
-		return out
-	}
 	const targetQ = "SELECT CUST_ID, CUST_NAME, JOIN_DATE FROM PROD.CUSTOMER"
-	got, want := state(cdwEng, targetQ), state(refEng, targetQ)
+	got, want := testhost.State(t, p.CDWEng, targetQ), testhost.State(t, refEng, targetQ)
 	if strings.Join(got, "\n") != strings.Join(want, "\n") {
 		t.Errorf("target diverged under seed %d:\n ref:  %v\n virt: %v", seed, want, got)
 	}
-	gotET := state(cdwEng, "SELECT SEQNO, SEQNO_END, ERRCODE FROM PROD.CUSTOMER_ET")
+	gotET := testhost.State(t, p.CDWEng, "SELECT SEQNO, SEQNO_END, ERRCODE FROM PROD.CUSTOMER_ET")
 	sort.Strings(refET)
 	if strings.Join(gotET, "\n") != strings.Join(refET, "\n") {
 		t.Errorf("error table diverged under seed %d:\n ref:  %v\n virt: %v", seed, refET, gotET)

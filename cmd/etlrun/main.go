@@ -8,6 +8,13 @@
 //
 //	etlrun [-addr host:port] [-sessions N] [-chunk N] job.etl
 //	etlrun -analyze workload.sql
+//	etlrun -addr host:port -scrub refhost:port job.etl
+//
+// With -scrub, after the job completes etlrun runs the differential
+// data-quality scrub: every table the script loads (and its error-table
+// companions) is verified against the reference server layer by layer —
+// schema, row counts, per-column checksums, null counts, error-table
+// reconciliation. Divergence prints an attributed diff and exits nonzero.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 
 	"etlvirt/internal/etlclient"
 	"etlvirt/internal/etlscript"
+	"etlvirt/internal/scrub"
 	"etlvirt/internal/sqlxlate"
 )
 
@@ -28,6 +36,7 @@ func main() {
 	streamLatency := flag.Int("stream-latency-target", 0, "override stream blocks' commit latency target in ms (0 = script value)")
 	trace := flag.Bool("trace", false, "originate a distributed trace for the run and print its trace ID")
 	analyze := flag.Bool("analyze", false, "run the workload pre-flight analysis on a SQL file instead of executing a job")
+	scrubRef := flag.String("scrub", "", "after the run, differentially scrub the script's tables against this reference server")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -85,6 +94,28 @@ func main() {
 			sr.Name, sr.Table, sr.DeltasSent, sr.Skipped, sr.Frames, sr.Watermark,
 			sr.Inserted, sr.Updated, sr.Deleted, sr.ErrorsET, sr.Replayed)
 		fmt.Printf("  final frame hint=%d total=%v\n", sr.FinalHint, sr.Total)
+	}
+
+	if *scrubRef != "" {
+		subjectAddr := *addr
+		if subjectAddr == "" {
+			subjectAddr = script.Logon.Host
+		}
+		tables := scrub.ScriptTables(script)
+		if len(tables) == 0 {
+			log.Fatalf("etlrun: -scrub: the script loads no tables to verify")
+		}
+		rep, err := scrub.Run(
+			&scrub.WireSource{Addr: *scrubRef, Logon: script.Logon},
+			&scrub.WireSource{Addr: subjectAddr, Logon: script.Logon},
+			scrub.Options{Tables: tables})
+		if err != nil {
+			log.Fatalf("etlrun: scrub: %v", err)
+		}
+		fmt.Print(rep.Diff())
+		if !rep.OK {
+			os.Exit(1)
+		}
 	}
 }
 

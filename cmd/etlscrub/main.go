@@ -1,0 +1,95 @@
+// Command etlscrub runs the differential data-quality scrub between two
+// servers speaking the legacy wire protocol — canonically the reference EDW
+// and the virtualizer — and reports, layer by layer, whether they hold
+// identical data. It needs nothing beyond a logon on each side: every check
+// is a pushed-down aggregate query, so only tiny result rows travel.
+//
+// Usage:
+//
+//	etlscrub -ref host:port -subject host:port [flags] TABLE[:ET[,UV]] ...
+//
+// Each positional argument names one target table, optionally followed by
+// its error-table companions after a colon, e.g.
+//
+//	etlscrub -ref :8401 -subject :8402 PROD.CUSTOMER:PROD.CUSTOMER_ET,PROD.CUSTOMER_UV
+//
+// -expect loads a workload manifest (the JSON array of expected outcomes a
+// generated scenario emits) and additionally checks the reference side
+// against it, catching the case where both engines agree on a wrong answer.
+//
+// Exit status: 0 clean, 1 diverged, 2 usage or transport error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"etlvirt/internal/etlscript"
+	"etlvirt/internal/scrub"
+)
+
+func main() {
+	ref := flag.String("ref", "", "reference server address (ground truth)")
+	subject := flag.String("subject", "", "subject server address (side under verification)")
+	user := flag.String("user", "etl", "logon user for both sides")
+	pass := flag.String("pass", "etl", "logon password for both sides")
+	expectPath := flag.String("expect", "", "workload manifest JSON (array of expected outcomes) to check the reference against")
+	asJSON := flag.Bool("json", false, "emit the full report as JSON instead of the human diff")
+	flag.Parse()
+
+	if *ref == "" || *subject == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: etlscrub -ref host:port -subject host:port [flags] TABLE[:ET[,UV]] ...")
+		os.Exit(2)
+	}
+
+	opts := scrub.Options{}
+	for _, arg := range flag.Args() {
+		tbl := scrub.Table{Name: arg}
+		if name, errs, ok := strings.Cut(arg, ":"); ok {
+			tbl = scrub.Table{Name: name}
+			for _, e := range strings.Split(errs, ",") {
+				if e = strings.TrimSpace(e); e != "" {
+					tbl.ErrTables = append(tbl.ErrTables, e)
+				}
+			}
+		}
+		opts.Tables = append(opts.Tables, tbl)
+	}
+	if *expectPath != "" {
+		data, err := os.ReadFile(*expectPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "etlscrub: %v\n", err)
+			os.Exit(2)
+		}
+		if err := json.Unmarshal(data, &opts.Expect); err != nil {
+			fmt.Fprintf(os.Stderr, "etlscrub: parsing %s: %v\n", *expectPath, err)
+			os.Exit(2)
+		}
+	}
+
+	lg := etlscript.Logon{User: *user, Password: *pass}
+	rep, err := scrub.Run(
+		&scrub.WireSource{Addr: *ref, Logon: lg},
+		&scrub.WireSource{Addr: *subject, Logon: lg},
+		opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "etlscrub: %v\n", err)
+		os.Exit(2)
+	}
+	if *asJSON {
+		out, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "etlscrub: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(out))
+	} else {
+		fmt.Print(rep.Diff())
+	}
+	if !rep.OK {
+		os.Exit(1)
+	}
+}

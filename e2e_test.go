@@ -2,16 +2,15 @@ package etlvirt_test
 
 import (
 	"fmt"
-	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
-	"time"
 
 	"etlvirt/internal/etlclient"
 	"etlvirt/internal/etlscript"
+	"etlvirt/internal/testhost"
 )
 
 // TestBinariesEndToEnd builds the real binaries and runs the full
@@ -34,8 +33,8 @@ func TestBinariesEndToEnd(t *testing.T) {
 	}
 
 	storeDir := filepath.Join(dir, "store")
-	cdwAddr := freeAddr(t)
-	nodeAddr := freeAddr(t)
+	cdwAddr := testhost.FreeAddr(t)
+	nodeAddr := testhost.FreeAddr(t)
 
 	ddl := filepath.Join(dir, "init.sql")
 	if err := os.WriteFile(ddl, []byte(`CREATE TABLE PROD.CUSTOMER (
@@ -46,15 +45,15 @@ func TestBinariesEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	cdwd := startProc(t, filepath.Join(bin, "cdwd"),
+	cdwd := testhost.StartProc(t, filepath.Join(bin, "cdwd"),
 		"-listen", cdwAddr, "-store", storeDir, "-init", ddl)
 	defer cdwd.Process.Kill()
-	waitListening(t, cdwAddr)
+	testhost.WaitListening(t, cdwAddr)
 
-	etlvirtd := startProc(t, filepath.Join(bin, "etlvirtd"),
+	etlvirtd := testhost.StartProc(t, filepath.Join(bin, "etlvirtd"),
 		"-listen", nodeAddr, "-cdw", cdwAddr, "-store", storeDir)
 	defer etlvirtd.Process.Kill()
-	waitListening(t, nodeAddr)
+	testhost.WaitListening(t, nodeAddr)
 
 	// job script + input on disk, exactly as an operator would run it
 	input := filepath.Join(dir, "input.txt")
@@ -81,7 +80,20 @@ insert into PROD.CUSTOMER values (
 		t.Fatal(err)
 	}
 
-	run := exec.Command(filepath.Join(bin, "etlrun"), "-addr", nodeAddr, script)
+	// A reference EDW runs the same job first, so the virtualized run can be
+	// differentially scrubbed against it in the same invocation.
+	edwAddr := testhost.FreeAddr(t)
+	edwd := testhost.StartProc(t, filepath.Join(bin, "edwd"),
+		"-listen", edwAddr, "-init", ddl)
+	defer edwd.Process.Kill()
+	testhost.WaitListening(t, edwAddr)
+	run := exec.Command(filepath.Join(bin, "etlrun"), "-addr", edwAddr, script)
+	if out, err := run.CombinedOutput(); err != nil {
+		t.Fatalf("etlrun against edwd: %v\n%s", err, out)
+	}
+
+	run = exec.Command(filepath.Join(bin, "etlrun"),
+		"-addr", nodeAddr, "-scrub", edwAddr, script)
 	out, err := run.CombinedOutput()
 	if err != nil {
 		t.Fatalf("etlrun: %v\n%s", err, out)
@@ -89,6 +101,9 @@ insert into PROD.CUSTOMER values (
 	text := string(out)
 	if !strings.Contains(text, "inserted=2") || !strings.Contains(text, "errET=1") {
 		t.Errorf("etlrun output:\n%s", text)
+	}
+	if !strings.Contains(text, "scrub CLEAN") {
+		t.Errorf("etlrun -scrub output:\n%s", text)
 	}
 
 	// verify through the legacy protocol that the data landed
@@ -101,40 +116,17 @@ insert into PROD.CUSTOMER values (
 	if len(rows) != 2 || rows[0][0].S != "123" || rows[1][0].S != "157" {
 		t.Errorf("rows: %v", rows)
 	}
-}
 
-func startProc(t *testing.T, path string, args ...string) *exec.Cmd {
-	t.Helper()
-	cmd := exec.Command(path, args...)
-	cmd.Stdout = os.Stderr
-	cmd.Stderr = os.Stderr
-	if err := cmd.Start(); err != nil {
-		t.Fatalf("starting %s: %v", path, err)
-	}
-	return cmd
-}
-
-func freeAddr(t *testing.T) string {
-	t.Helper()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	// The dedicated scrub binary verifies the same pair with an explicit
+	// table list — the operator entry point that needs no job script.
+	run = exec.Command(filepath.Join(bin, "etlscrub"),
+		"-ref", edwAddr, "-subject", nodeAddr,
+		"PROD.CUSTOMER:PROD.CUSTOMER_ET,PROD.CUSTOMER_UV")
+	out, err = run.CombinedOutput()
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("etlscrub: %v\n%s", err, out)
 	}
-	addr := ln.Addr().String()
-	ln.Close()
-	return addr
-}
-
-func waitListening(t *testing.T, addr string) {
-	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
-		if err == nil {
-			conn.Close()
-			return
-		}
-		time.Sleep(50 * time.Millisecond)
+	if !strings.Contains(string(out), "scrub CLEAN") {
+		t.Errorf("etlscrub output:\n%s", out)
 	}
-	t.Fatalf("server on %s never came up", addr)
 }

@@ -1,0 +1,84 @@
+package cdw
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHash64Scalar pins the properties scrub relies on: determinism, NULL
+// propagation, sensitivity to value changes, and representation-insensitive
+// equality (DECIMAL scale, integer vs float of equal value hash alike only
+// when their canonical group keys agree).
+func TestHash64Scalar(t *testing.T) {
+	e := newTestEngine(t)
+	a := evalScalar(t, e, "hash64('Smith')")
+	b := evalScalar(t, e, "hash64('Smith')")
+	if a.Kind != KInt || a.I != b.I {
+		t.Fatalf("hash64 not deterministic: %+v vs %+v", a, b)
+	}
+	if c := evalScalar(t, e, "hash64('Smith ')"); c.I == a.I {
+		t.Errorf("hash64 ignored a trailing space: %d", c.I)
+	}
+	if d := evalScalar(t, e, "hash64(NULL)"); !d.IsNull() {
+		t.Errorf("hash64(NULL) = %+v, want NULL", d)
+	}
+	// DECIMAL values equal after scale normalization must hash equally —
+	// GroupKey canonicalization is what makes cross-representation
+	// checksums comparable.
+	x := evalScalar(t, e, "hash64(cast(1.50 as decimal(9,2)))")
+	y := evalScalar(t, e, "hash64(cast(1.5 as decimal(5,1)))")
+	if x.I != y.I {
+		t.Errorf("hash64 decimal scale-sensitive: %d vs %d", x.I, y.I)
+	}
+	if _, err := e.ExecSQL("SELECT hash64(1, 2)"); err == nil {
+		t.Error("hash64 with two arguments accepted")
+	}
+}
+
+// TestXorAggChecksum pins the aggregate's order insensitivity, NULL handling
+// and empty-input semantics.
+func TestXorAggChecksum(t *testing.T) {
+	e := newTestEngine(t)
+	mustExec(t, e, "CREATE TABLE t (id INTEGER, name VARCHAR(10))")
+	mustExec(t, e, "INSERT INTO t VALUES (1, 'a')")
+	mustExec(t, e, "INSERT INTO t VALUES (2, 'b')")
+	mustExec(t, e, "INSERT INTO t VALUES (3, NULL)")
+
+	mustExec(t, e, "CREATE TABLE r (id INTEGER, name VARCHAR(10))")
+	mustExec(t, e, "INSERT INTO r VALUES (3, NULL)")
+	mustExec(t, e, "INSERT INTO r VALUES (2, 'b')")
+	mustExec(t, e, "INSERT INTO r VALUES (1, 'a')")
+
+	sum := func(table string) string {
+		rows := q(t, e, "SELECT COUNT(*), COUNT(name), XOR_AGG(HASH64(name)) FROM "+table)
+		var parts []string
+		for _, d := range rows[0] {
+			parts = append(parts, d.Render())
+		}
+		return strings.Join(parts, "|")
+	}
+	if sum("t") != sum("r") {
+		t.Errorf("order-sensitive checksum: %q vs %q", sum("t"), sum("r"))
+	}
+
+	// A single-cell difference must move the column checksum.
+	mustExec(t, e, "UPDATE r SET name = 'B' WHERE id = 2")
+	if sum("t") == sum("r") {
+		t.Error("checksum blind to a single-cell mutation")
+	}
+
+	// Empty input yields NULL, like SUM; all-NULL column likewise.
+	rows := q(t, e, "SELECT XOR_AGG(HASH64(name)) FROM t WHERE id > 99")
+	if !rows[0][0].IsNull() {
+		t.Errorf("empty XOR_AGG = %+v, want NULL", rows[0][0])
+	}
+	rows = q(t, e, "SELECT XOR_AGG(HASH64(name)) FROM t WHERE name IS NULL")
+	if !rows[0][0].IsNull() {
+		t.Errorf("all-NULL XOR_AGG = %+v, want NULL", rows[0][0])
+	}
+
+	// Non-integer input is a type error, not silent coercion.
+	if _, err := e.ExecSQL("SELECT XOR_AGG(name) FROM t"); err == nil {
+		t.Error("XOR_AGG over strings accepted")
+	}
+}

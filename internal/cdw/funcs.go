@@ -13,10 +13,26 @@ import (
 // isAggregate reports whether the function name is an aggregate.
 func isAggregate(name string) bool {
 	switch name {
-	case "COUNT", "SUM", "MIN", "MAX", "AVG":
+	case "COUNT", "SUM", "MIN", "MAX", "AVG", "XOR_AGG":
 		return true
 	}
 	return false
+}
+
+// hash64 is FNV-1a 64 over the datum's canonical group key, so equal values
+// hash equally regardless of representation (DECIMAL scale, padded CHAR).
+// It backs the HASH64 scalar used by the scrub layer's column checksums.
+func hash64(d Datum) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range []byte(d.GroupKey()) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return int64(h)
 }
 
 // evalFunc evaluates a scalar function call.
@@ -402,6 +418,18 @@ func (e *Engine) evalFunc(ctx *evalCtx, v *sqlparse.FuncCall, f *frame) (Datum, 
 		return DateD(now.Year(), int(now.Month()), now.Day()), nil
 	case "CURRENT_TIMESTAMP", "NOW":
 		return TimestampD(e.now().UnixMicro()), nil
+
+	case "HASH64":
+		// Order-insensitive checksum primitive for the scrub layer: a
+		// deterministic 64-bit hash of the value's canonical form. NULL
+		// hashes to NULL so COUNT(col) still distinguishes null patterns.
+		if err := want(1); err != nil {
+			return Datum{}, err
+		}
+		if args[0].IsNull() {
+			return Null(), nil
+		}
+		return IntD(hash64(args[0])), nil
 
 	default:
 		return Datum{}, errf(CodeUnsupported, "unknown function %s", v.Name)

@@ -843,6 +843,23 @@ func (e *Engine) computeAggregate(ctx *evalCtx, call *sqlparse.FuncCall, src *ro
 			return FloatD(sumF), nil
 		}
 		return FloatD(sumF / float64(len(vals))), nil
+	case "XOR_AGG":
+		// Commutative fold for order-insensitive checksums: XOR of the
+		// integer values (typically HASH64 results). Like SUM, an empty
+		// input yields NULL rather than a zero that could masquerade as a
+		// real checksum.
+		if len(vals) == 0 {
+			return Null(), nil
+		}
+		var acc int64
+		for _, v := range vals {
+			n, err := toInt(v)
+			if err != nil {
+				return Datum{}, errf(CodeTypeMismatch, "XOR_AGG requires integers, got %s", v.Kind)
+			}
+			acc ^= n
+		}
+		return IntD(acc), nil
 	default:
 		return Datum{}, errf(CodeUnsupported, "unknown aggregate %s", call.Name)
 	}

@@ -257,7 +257,7 @@ func (j *exportJob) finish() {
 		ExportedRows: rows,
 		Other:        time.Since(j.started),
 	}
-	j.node.reports.add(r)
+	j.node.record(r)
 	j.node.nm.exportsCompleted.Inc()
 	j.node.tracer.Finish(j.id)
 	j.node.mu.Lock()

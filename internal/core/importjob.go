@@ -954,7 +954,7 @@ func (j *importJob) finish() *JobReport {
 			j.watch.acqFrom = time.Unix(0, ns)
 		}
 		j.watch.fill(&j.report, time.Now())
-		j.node.reports.add(j.report)
+		j.node.record(j.report)
 		evType := "job_finish"
 		if j.aborted.Load() {
 			evType = "job_abort"

@@ -134,6 +134,12 @@ type Config struct {
 	// chaos-testing surface. Nil injects nothing.
 	FaultInjector *faultinject.Injector
 
+	// OnJobDone, when non-nil, observes every finished job report (imports
+	// and exports) as it is recorded — the hook the differential scrub and
+	// workload harnesses use to collect per-job outcomes without polling.
+	// It runs on the job's goroutine and must not block.
+	OnJobDone func(JobReport)
+
 	// SyncAcquisition is the ablation of §5's design discussion: when set,
 	// a chunk is only acknowledged after it has been converted and written,
 	// synchronizing the pipeline instead of relying on the CreditManager.

@@ -66,6 +66,15 @@ func (l *reportLog) setCap(n int) {
 	l.cap = n
 }
 
+// record stores a finished job's report and feeds the OnJobDone observer
+// hook, the collection point both import and export completion paths share.
+func (n *Node) record(r JobReport) {
+	n.reports.add(r)
+	if n.cfg.OnJobDone != nil {
+		n.cfg.OnJobDone(r)
+	}
+}
+
 func (l *reportLog) add(r JobReport) {
 	l.mu.Lock()
 	defer l.mu.Unlock()

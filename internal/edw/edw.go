@@ -43,6 +43,8 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	jobs   map[uint64]*loadJob
 	exps   map[uint64]*exportJob
+	strms  map[uint64]*streamSess
+	marks  map[string]int64 // durable per-stream-name commit watermark
 	closed bool
 
 	nextJob     atomic.Uint64
@@ -62,6 +64,8 @@ func NewServer() *Server {
 		conns: make(map[net.Conn]struct{}),
 		jobs:  make(map[uint64]*loadJob),
 		exps:  make(map[uint64]*exportJob),
+		strms: make(map[uint64]*streamSess),
+		marks: make(map[string]int64),
 	}
 }
 
@@ -201,6 +205,12 @@ func (s *Server) serveConn(nc net.Conn) {
 				_, _ = s.eng.Exec(&sqlparse.DropTableStmt{Table: j.stage, IfExists: true})
 			}
 			replyErr = c.Send(session, &wire.LoadDone{JobID: msg.JobID})
+		case *wire.BeginStream:
+			replyErr = s.handleBeginStream(c, session, msg)
+		case *wire.DeltaFrame:
+			replyErr = s.handleDeltaFrame(c, session, msg)
+		case *wire.EndStream:
+			replyErr = s.handleEndStream(c, session, msg)
 		case *wire.BeginExport:
 			replyErr = s.handleBeginExport(c, session, msg)
 		case *wire.ExportChunkRq:

@@ -1,0 +1,75 @@
+package scrub
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Finding is one verified discrepancy, attributed to its validation layer,
+// table and (when column-granular) column.
+type Finding struct {
+	Layer  string `json:"layer"`
+	Table  string `json:"table"`
+	Column string `json:"column,omitempty"`
+	Ref    string `json:"ref"`
+	Got    string `json:"got"`
+	Detail string `json:"detail"`
+}
+
+// TableReport is the scrub outcome for one target table and its error-table
+// companions.
+type TableReport struct {
+	Table    string    `json:"table"`
+	Rows     int64     `json:"rows"` // reference row count, -1 if unknown
+	Checks   int       `json:"checks"`
+	Findings []Finding `json:"findings,omitempty"`
+}
+
+func (t *TableReport) finding(layer, table, column, ref, got, detail string) {
+	t.Findings = append(t.Findings, Finding{
+		Layer: layer, Table: table, Column: column, Ref: ref, Got: got, Detail: detail,
+	})
+}
+
+// Report is the full outcome of one differential scrub run.
+type Report struct {
+	Ref      string        `json:"ref"`
+	Subject  string        `json:"subject"`
+	Tables   []TableReport `json:"tables"`
+	Checks   int           `json:"checks"`
+	Findings []Finding     `json:"findings,omitempty"`
+	OK       bool          `json:"ok"`
+}
+
+// JSON renders the report as indented JSON for machine consumption.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Diff renders the human-readable report: one summary line, then one line
+// per table, then one attributed line per finding.
+func (r *Report) Diff() string {
+	var sb strings.Builder
+	verdict := "CLEAN"
+	if !r.OK {
+		verdict = "DIVERGED"
+	}
+	fmt.Fprintf(&sb, "scrub %s: ref=%s subject=%s tables=%d checks=%d findings=%d\n",
+		verdict, r.Ref, r.Subject, len(r.Tables), r.Checks, len(r.Findings))
+	for _, t := range r.Tables {
+		status := "ok"
+		if len(t.Findings) > 0 {
+			status = fmt.Sprintf("%d finding(s)", len(t.Findings))
+		}
+		fmt.Fprintf(&sb, "  %-32s rows=%-8d checks=%-4d %s\n", t.Table, t.Rows, t.Checks, status)
+	}
+	for _, f := range r.Findings {
+		loc := f.Table
+		if f.Column != "" {
+			loc += "." + f.Column
+		}
+		fmt.Fprintf(&sb, "  [%s] %s: %s (ref=%s got=%s)\n", f.Layer, loc, f.Detail, f.Ref, f.Got)
+	}
+	return sb.String()
+}

@@ -1,0 +1,428 @@
+// Package scrub implements the post-load differential data-quality scrub:
+// after the same workload runs against two warehouses — canonically the
+// legacy EDW (ground truth) and the virtualized CDW path — scrub verifies
+// layer by layer that they hold identical data. The layers, following the
+// multi-layer ELT validation model:
+//
+//  1. schema     — both sides expose the same columns for each table
+//  2. rowcount   — COUNT(*) agrees
+//  3. nulls      — per-column non-null counts agree
+//  4. checksum   — per-column order-insensitive content checksums agree
+//     (XOR_AGG(HASH64(col)), pushed down so only aggregates travel)
+//  5. errortable — ET/UV companion tables reconcile the same way
+//  6. expected   — counts match the workload manifest's predicted outcomes,
+//     catching the case where both engines agree on a wrong answer
+//  7. domain     — declared domain predicates hold (violation count is zero)
+//
+// Everything is computed by the warehouses themselves via pushed-down
+// aggregate queries; scrub only compares the tiny result rows, so it works
+// identically against an in-process engine or over the legacy wire protocol.
+package scrub
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"etlvirt/internal/cdw"
+	"etlvirt/internal/etlclient"
+	"etlvirt/internal/etlscript"
+	"etlvirt/internal/sqlxlate"
+	"etlvirt/internal/wire"
+)
+
+// ErrNoTable is returned by Source implementations when the probed table
+// does not exist on that side.
+var ErrNoTable = errors.New("scrub: no such table")
+
+// Source is one side of a differential scrub: a warehouse that answers
+// pushed-down verification queries. Rows come back rendered as strings —
+// scrub compares, it never computes over the values.
+type Source interface {
+	// Label names the side in reports ("edw", "virt", an address...).
+	Label() string
+	// Columns returns the table's column names in definition order, or
+	// ErrNoTable.
+	Columns(table string) ([]string, error)
+	// QueryAll executes one SELECT and returns all rows rendered.
+	QueryAll(sql string) ([][]string, error)
+}
+
+// EngineSource adapts an in-process cdw.Engine (used by both the reference
+// EDW and the CDW) as a scrub Source.
+type EngineSource struct {
+	Name   string
+	Engine *cdw.Engine
+}
+
+// Label implements Source.
+func (s *EngineSource) Label() string { return s.Name }
+
+// Columns implements Source via the zero-row probe.
+func (s *EngineSource) Columns(table string) ([]string, error) {
+	probe, err := sqlxlate.ProbeQuery(table)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Engine.ExecSQL(probe)
+	if err != nil {
+		var ce *cdw.Error
+		if errors.As(err, &ce) && ce.Code == cdw.CodeNoSuchObject {
+			return nil, ErrNoTable
+		}
+		return nil, err
+	}
+	cols := make([]string, len(res.Columns))
+	for i, c := range res.Columns {
+		cols[i] = c.Name
+	}
+	return cols, nil
+}
+
+// QueryAll implements Source.
+func (s *EngineSource) QueryAll(sql string) ([][]string, error) {
+	res, err := s.Engine.ExecSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]string, len(res.Rows))
+	for i, row := range res.Rows {
+		r := make([]string, len(row))
+		for j, d := range row {
+			r[j] = d.Render()
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// WireSource scrubs a server through the legacy wire protocol — the same
+// path an operator's etlrun -scrub uses, requiring no access beyond a logon.
+type WireSource struct {
+	Addr  string
+	Logon etlscript.Logon
+}
+
+// Label implements Source.
+func (s *WireSource) Label() string { return s.Addr }
+
+// Columns implements Source: the zero-row probe's RecordHeader carries the
+// layout even when no rows follow.
+func (s *WireSource) Columns(table string) ([]string, error) {
+	probe, err := sqlxlate.ProbeQuery(table)
+	if err != nil {
+		return nil, err
+	}
+	layout, _, err := etlclient.QueryRows(s.Addr, s.Logon, probe)
+	if err != nil {
+		var f *wire.Failure
+		if errors.As(err, &f) && f.Code == cdw.CodeNoSuchObject {
+			return nil, ErrNoTable
+		}
+		return nil, err
+	}
+	if layout == nil {
+		return nil, fmt.Errorf("scrub: probe of %s returned no header", table)
+	}
+	cols := make([]string, len(layout.Fields))
+	for i, f := range layout.Fields {
+		cols[i] = f.Name
+	}
+	return cols, nil
+}
+
+// QueryAll implements Source.
+func (s *WireSource) QueryAll(sql string) ([][]string, error) {
+	_, rows, err := etlclient.QueryRows(s.Addr, s.Logon, sql)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]string, len(rows))
+	for i, rec := range rows {
+		r := make([]string, len(rec))
+		for j, v := range rec {
+			r[j] = v.Text()
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// Table is one scrub target: a table plus its error-table companions.
+type Table struct {
+	Name      string
+	ErrTables []string // ET/UV companions, reconciled as layer "errortable"
+}
+
+// ScriptTables derives the scrub targets from a parsed legacy job script:
+// every import and stream block's target table with its error-table
+// companions, deduplicated in first-appearance order. It is how `etlrun
+// -scrub` knows what to verify without any extra operator input.
+func ScriptTables(s *etlscript.Script) []Table {
+	var out []Table
+	idx := map[string]int{}
+	add := func(name string, errs ...string) {
+		if name == "" {
+			return
+		}
+		key := strings.ToUpper(name)
+		i, ok := idx[key]
+		if !ok {
+			idx[key] = len(out)
+			out = append(out, Table{Name: name})
+			i = len(out) - 1
+		}
+		for _, e := range errs {
+			if e == "" {
+				continue
+			}
+			dup := false
+			for _, have := range out[i].ErrTables {
+				if strings.EqualFold(have, e) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out[i].ErrTables = append(out[i].ErrTables, e)
+			}
+		}
+	}
+	for _, st := range s.Steps {
+		switch {
+		case st.Import != nil:
+			add(st.Import.Table, st.Import.ErrTableET, st.Import.ErrTableUV)
+		case st.Stream != nil:
+			add(st.Stream.Table, st.Stream.ErrTableET)
+		}
+	}
+	return out
+}
+
+// Expectation is the workload manifest's predicted outcome for one table;
+// scrub checks the reference side against it (layer "expected").
+type Expectation struct {
+	Table string `json:"table"`
+	// Rows is the expected target row count; -1 skips the check.
+	Rows int64 `json:"rows"`
+	// ErrRows maps error-table name to its expected row count.
+	ErrRows map[string]int64 `json:"err_rows,omitempty"`
+	// Domains are predicates every row must satisfy (layer "domain").
+	Domains []string `json:"domains,omitempty"`
+}
+
+// Options configures a scrub run.
+type Options struct {
+	Tables []Table
+	Expect []Expectation
+	// Observer, when set, receives lifecycle notifications (metrics + event
+	// log wiring); see Metrics.
+	Observer Observer
+}
+
+// Observer receives scrub lifecycle callbacks.
+type Observer interface {
+	ScrubStart(ref, subject string, tables int)
+	ScrubTable(table string, findings int)
+	ScrubDone(r *Report)
+}
+
+// Run executes a differential scrub of subject against ref.
+func Run(ref, subject Source, opts Options) (*Report, error) {
+	r := &Report{Ref: ref.Label(), Subject: subject.Label()}
+	if opts.Observer != nil {
+		opts.Observer.ScrubStart(r.Ref, r.Subject, len(opts.Tables))
+	}
+	expect := map[string]*Expectation{}
+	for i := range opts.Expect {
+		expect[strings.ToUpper(opts.Expect[i].Table)] = &opts.Expect[i]
+	}
+	for _, tbl := range opts.Tables {
+		tr, err := scrubTable(ref, subject, tbl, expect[strings.ToUpper(tbl.Name)])
+		if err != nil {
+			return r, fmt.Errorf("scrub: table %s: %w", tbl.Name, err)
+		}
+		r.Tables = append(r.Tables, *tr)
+		r.Checks += tr.Checks
+		r.Findings = append(r.Findings, tr.Findings...)
+		if opts.Observer != nil {
+			opts.Observer.ScrubTable(tbl.Name, len(tr.Findings))
+		}
+	}
+	r.OK = len(r.Findings) == 0
+	if opts.Observer != nil {
+		opts.Observer.ScrubDone(r)
+	}
+	return r, nil
+}
+
+// scrubTable runs every layer for one table and its error-table companions.
+func scrubTable(ref, subject Source, tbl Table, exp *Expectation) (*TableReport, error) {
+	tr := &TableReport{Table: tbl.Name}
+
+	refRows, err := checksumLayers(ref, subject, tbl.Name, "", tr)
+	if err != nil {
+		return nil, err
+	}
+
+	// Layer: errortable — companions reconcile with the same machinery,
+	// attributed under the parent table.
+	for _, et := range tbl.ErrTables {
+		etRows, err := checksumLayers(ref, subject, et, et, tr)
+		if err != nil {
+			return nil, err
+		}
+		if exp != nil && exp.ErrRows != nil {
+			want, ok := exp.ErrRows[strings.ToUpper(et)]
+			if ok && want >= 0 && etRows >= 0 && etRows != want {
+				tr.finding("expected", et, "",
+					fmt.Sprintf("%d", want), fmt.Sprintf("%d", etRows),
+					"error-table rows diverge from the workload manifest")
+			}
+			tr.Checks++
+		}
+	}
+
+	// Layer: expected — the manifest's predicted target row count, checked
+	// against the reference so a bug shared by both engines still surfaces.
+	if exp != nil && exp.Rows >= 0 && refRows >= 0 {
+		tr.Checks++
+		if refRows != exp.Rows {
+			tr.finding("expected", tbl.Name, "",
+				fmt.Sprintf("%d", exp.Rows), fmt.Sprintf("%d", refRows),
+				"reference row count diverges from the workload manifest")
+		}
+	}
+
+	// Layer: domain — declared predicates must hold on both sides.
+	if exp != nil {
+		for _, pred := range exp.Domains {
+			q, err := sqlxlate.DomainAuditQuery(tbl.Name, pred)
+			if err != nil {
+				return nil, err
+			}
+			for _, side := range []Source{ref, subject} {
+				tr.Checks++
+				rows, err := side.QueryAll(q)
+				if err != nil {
+					return nil, fmt.Errorf("domain audit on %s: %w", side.Label(), err)
+				}
+				if n := rows[0][0]; n != "0" {
+					tr.finding("domain", tbl.Name, "", "0", n,
+						fmt.Sprintf("%s rows on %s violate %q", n, side.Label(), pred))
+				}
+			}
+		}
+	}
+	return tr, nil
+}
+
+// checksumLayers runs the schema, rowcount, nulls and checksum layers for one
+// physical table (target or error table) and returns the reference row count
+// (-1 when the table is missing on the reference side). et names the error
+// table when the table is a companion, relabelling its findings.
+func checksumLayers(ref, subject Source, table, et string, tr *TableReport) (int64, error) {
+	layer := func(name string) string {
+		if et != "" {
+			return "errortable/" + name
+		}
+		return name
+	}
+
+	refCols, refErr := ref.Columns(table)
+	subCols, subErr := subject.Columns(table)
+	tr.Checks++
+	switch {
+	case errors.Is(refErr, ErrNoTable) && errors.Is(subErr, ErrNoTable):
+		// Absent on both sides: vacuously consistent (e.g. a UV table for a
+		// job that never ran on either side).
+		return -1, nil
+	case errors.Is(refErr, ErrNoTable) || errors.Is(subErr, ErrNoTable):
+		missing, side := ref.Label(), "reference"
+		if errors.Is(subErr, ErrNoTable) {
+			missing, side = subject.Label(), "subject"
+		}
+		tr.finding(layer("schema"), table, "", "table present", "table missing",
+			fmt.Sprintf("%s exists on one side only (missing on %s %s)", table, side, missing))
+		return -1, nil
+	case refErr != nil:
+		return -1, refErr
+	case subErr != nil:
+		return -1, subErr
+	}
+	if !sameColumns(refCols, subCols) {
+		tr.finding(layer("schema"), table, "",
+			strings.Join(refCols, ","), strings.Join(subCols, ","),
+			"column sets differ")
+		return -1, nil
+	}
+	if et != "" {
+		// Error tables reconcile on the legacy-pinned identity columns only:
+		// ERRFIELD/ERRMSG wording is engine prose, not data, and the repo's
+		// differential oracle has always excluded it.
+		refCols = []string{"SEQNO", "SEQNO_END", "ERRCODE"}
+	}
+
+	q, err := sqlxlate.ChecksumQuery(table, refCols)
+	if err != nil {
+		return -1, err
+	}
+	refAgg, err := ref.QueryAll(q)
+	if err != nil {
+		return -1, fmt.Errorf("checksum on %s: %w", ref.Label(), err)
+	}
+	subAgg, err := subject.QueryAll(q)
+	if err != nil {
+		return -1, fmt.Errorf("checksum on %s: %w", subject.Label(), err)
+	}
+	rr, sr := refAgg[0], subAgg[0]
+
+	tr.Checks++
+	if rr[0] != sr[0] {
+		tr.finding(layer("rowcount"), table, "", rr[0], sr[0], "row counts differ")
+	}
+	var refRows int64 = -1
+	fmt.Sscanf(rr[0], "%d", &refRows)
+	if et == "" {
+		tr.Rows = refRows
+	}
+
+	for i, col := range refCols {
+		// Findings use the legacy upper-case spelling regardless of how the
+		// engine reports its result columns.
+		col = strings.ToUpper(col)
+		nulls, sum := 1+2*i, 2+2*i
+		tr.Checks++
+		if rr[nulls] != sr[nulls] {
+			tr.finding(layer("nulls"), table, col, rr[nulls], sr[nulls],
+				"non-null counts differ")
+		}
+		tr.Checks++
+		if rr[sum] != sr[sum] {
+			tr.finding(layer("checksum"), table, col, rr[sum], sr[sum],
+				"column content checksums differ")
+		}
+	}
+	return refRows, nil
+}
+
+func sameColumns(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]string(nil), a...)
+	bs := append([]string(nil), b...)
+	for i := range as {
+		as[i] = strings.ToUpper(as[i])
+		bs[i] = strings.ToUpper(bs[i])
+	}
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

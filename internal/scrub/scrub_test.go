@@ -1,0 +1,349 @@
+package scrub
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"etlvirt/internal/cdw"
+	"etlvirt/internal/cloudstore"
+	"etlvirt/internal/etlscript"
+	"etlvirt/internal/obs"
+)
+
+func newEngine(t *testing.T, ddl ...string) *cdw.Engine {
+	t.Helper()
+	e := cdw.NewEngine(cloudstore.NewMemStore(), cdw.Options{})
+	for _, s := range ddl {
+		if _, err := e.ExecSQL(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	return e
+}
+
+const custDDL = `CREATE TABLE PROD.CUSTOMER (
+	CUST_ID VARCHAR(5) NOT NULL,
+	CUST_NAME VARCHAR(50),
+	JOIN_DATE DATE,
+	PRIMARY KEY (CUST_ID))`
+
+func seedCustomers(t *testing.T, e *cdw.Engine, rows [][3]string) {
+	t.Helper()
+	for _, r := range rows {
+		date := "NULL"
+		if r[2] != "" {
+			date = "DATE '" + r[2] + "'"
+		}
+		sql := "INSERT INTO PROD.CUSTOMER VALUES ('" + r[0] + "', '" + r[1] + "', " + date + ")"
+		if _, err := e.ExecSQL(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+}
+
+var baseRows = [][3]string{
+	{"1", "Smith", "2022-01-01"},
+	{"2", "Brown", ""},
+	{"3", "Jones", "2022-03-15"},
+}
+
+func TestScrubCleanRun(t *testing.T) {
+	ref := newEngine(t, custDDL)
+	sub := newEngine(t, custDDL)
+	seedCustomers(t, ref, baseRows)
+	// Insert in a different order: the checksum layer must not care.
+	seedCustomers(t, sub, [][3]string{baseRows[2], baseRows[0], baseRows[1]})
+
+	r, err := Run(
+		&EngineSource{Name: "ref", Engine: ref},
+		&EngineSource{Name: "sub", Engine: sub},
+		Options{
+			Tables: []Table{{Name: "PROD.CUSTOMER", ErrTables: []string{"PROD.CUSTOMER_ET"}}},
+			Expect: []Expectation{{
+				Table:   "PROD.CUSTOMER",
+				Rows:    3,
+				Domains: []string{"CUST_ID <> ''"},
+			}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK || len(r.Findings) != 0 {
+		t.Fatalf("clean scrub reported findings:\n%s", r.Diff())
+	}
+	if r.Checks == 0 || r.Tables[0].Rows != 3 {
+		t.Errorf("report summary: %+v", r.Tables[0])
+	}
+	if !strings.Contains(r.Diff(), "CLEAN") {
+		t.Errorf("diff missing verdict:\n%s", r.Diff())
+	}
+}
+
+// TestScrubSingleCellAttribution pins the acceptance-criteria behaviour: a
+// one-cell mutation is detected and attributed to the right table and column,
+// without disturbing the rowcount or null layers.
+func TestScrubSingleCellAttribution(t *testing.T) {
+	ref := newEngine(t, custDDL)
+	sub := newEngine(t, custDDL)
+	seedCustomers(t, ref, baseRows)
+	seedCustomers(t, sub, baseRows)
+	if _, err := sub.ExecSQL("UPDATE PROD.CUSTOMER SET CUST_NAME = 'Smyth' WHERE CUST_ID = '1'"); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Run(
+		&EngineSource{Name: "ref", Engine: ref},
+		&EngineSource{Name: "sub", Engine: sub},
+		Options{Tables: []Table{{Name: "PROD.CUSTOMER"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OK || len(r.Findings) != 1 {
+		t.Fatalf("want exactly one finding, got:\n%s", r.Diff())
+	}
+	f := r.Findings[0]
+	if f.Layer != "checksum" || f.Table != "PROD.CUSTOMER" || f.Column != "CUST_NAME" {
+		t.Errorf("misattributed finding: %+v", f)
+	}
+}
+
+func TestScrubLayerFindings(t *testing.T) {
+	t.Run("rowcount", func(t *testing.T) {
+		ref := newEngine(t, custDDL)
+		sub := newEngine(t, custDDL)
+		seedCustomers(t, ref, baseRows)
+		seedCustomers(t, sub, baseRows[:2])
+		r, err := Run(&EngineSource{Name: "r", Engine: ref}, &EngineSource{Name: "s", Engine: sub},
+			Options{Tables: []Table{{Name: "PROD.CUSTOMER"}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.OK || r.Findings[0].Layer != "rowcount" {
+			t.Errorf("report:\n%s", r.Diff())
+		}
+	})
+	t.Run("nulls", func(t *testing.T) {
+		ref := newEngine(t, custDDL)
+		sub := newEngine(t, custDDL)
+		seedCustomers(t, ref, baseRows)
+		seedCustomers(t, sub, [][3]string{baseRows[0], {"2", "Brown", "2022-02-02"}, baseRows[2]})
+		r, err := Run(&EngineSource{Name: "r", Engine: ref}, &EngineSource{Name: "s", Engine: sub},
+			Options{Tables: []Table{{Name: "PROD.CUSTOMER"}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gotNulls bool
+		for _, f := range r.Findings {
+			if f.Layer == "nulls" && f.Column == "JOIN_DATE" {
+				gotNulls = true
+			}
+		}
+		if !gotNulls {
+			t.Errorf("null-pattern change not attributed:\n%s", r.Diff())
+		}
+	})
+	t.Run("schema", func(t *testing.T) {
+		ref := newEngine(t, custDDL)
+		sub := newEngine(t, `CREATE TABLE PROD.CUSTOMER (
+			CUST_ID VARCHAR(5) NOT NULL,
+			CUST_NAME VARCHAR(50),
+			PRIMARY KEY (CUST_ID))`)
+		r, err := Run(&EngineSource{Name: "r", Engine: ref}, &EngineSource{Name: "s", Engine: sub},
+			Options{Tables: []Table{{Name: "PROD.CUSTOMER"}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.OK || r.Findings[0].Layer != "schema" {
+			t.Errorf("report:\n%s", r.Diff())
+		}
+	})
+	t.Run("missing-table-one-side", func(t *testing.T) {
+		ref := newEngine(t, custDDL)
+		sub := newEngine(t)
+		r, err := Run(&EngineSource{Name: "r", Engine: ref}, &EngineSource{Name: "s", Engine: sub},
+			Options{Tables: []Table{{Name: "PROD.CUSTOMER"}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.OK || r.Findings[0].Layer != "schema" {
+			t.Errorf("report:\n%s", r.Diff())
+		}
+	})
+	t.Run("missing-table-both-sides-ok", func(t *testing.T) {
+		ref := newEngine(t, custDDL)
+		sub := newEngine(t, custDDL)
+		r, err := Run(&EngineSource{Name: "r", Engine: ref}, &EngineSource{Name: "s", Engine: sub},
+			Options{Tables: []Table{{Name: "PROD.CUSTOMER", ErrTables: []string{"PROD.CUSTOMER_UV"}}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.OK {
+			t.Errorf("absent-on-both error table flagged:\n%s", r.Diff())
+		}
+	})
+	t.Run("expected-manifest", func(t *testing.T) {
+		ref := newEngine(t, custDDL)
+		sub := newEngine(t, custDDL)
+		seedCustomers(t, ref, baseRows)
+		seedCustomers(t, sub, baseRows)
+		r, err := Run(&EngineSource{Name: "r", Engine: ref}, &EngineSource{Name: "s", Engine: sub},
+			Options{
+				Tables: []Table{{Name: "PROD.CUSTOMER"}},
+				Expect: []Expectation{{Table: "PROD.CUSTOMER", Rows: 7}},
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.OK || r.Findings[0].Layer != "expected" {
+			t.Errorf("report:\n%s", r.Diff())
+		}
+	})
+	t.Run("domain", func(t *testing.T) {
+		ref := newEngine(t, custDDL)
+		sub := newEngine(t, custDDL)
+		seedCustomers(t, ref, baseRows)
+		seedCustomers(t, sub, baseRows)
+		r, err := Run(&EngineSource{Name: "r", Engine: ref}, &EngineSource{Name: "s", Engine: sub},
+			Options{
+				Tables: []Table{{Name: "PROD.CUSTOMER"}},
+				Expect: []Expectation{{Table: "PROD.CUSTOMER", Rows: -1,
+					Domains: []string{"JOIN_DATE IS NOT NULL"}}},
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Row 2 has a NULL date on both sides: two domain findings.
+		var n int
+		for _, f := range r.Findings {
+			if f.Layer == "domain" {
+				n++
+			}
+		}
+		if n != 2 {
+			t.Errorf("want 2 domain findings (one per side), got:\n%s", r.Diff())
+		}
+	})
+	t.Run("bad-domain-predicate", func(t *testing.T) {
+		ref := newEngine(t, custDDL)
+		sub := newEngine(t, custDDL)
+		_, err := Run(&EngineSource{Name: "r", Engine: ref}, &EngineSource{Name: "s", Engine: sub},
+			Options{
+				Tables: []Table{{Name: "PROD.CUSTOMER"}},
+				Expect: []Expectation{{Table: "PROD.CUSTOMER", Rows: -1,
+					Domains: []string{"THIS IS NOT ((( SQL"}}},
+			})
+		if err == nil {
+			t.Error("malformed domain predicate accepted")
+		}
+	})
+}
+
+// TestScrubMetricsObserver wires the standard observer and checks the
+// etlvirt_scrub_* series and event types land.
+func TestScrubMetricsObserver(t *testing.T) {
+	ref := newEngine(t, custDDL)
+	sub := newEngine(t, custDDL)
+	seedCustomers(t, ref, baseRows)
+	seedCustomers(t, sub, baseRows[:2])
+
+	reg := obs.NewRegistry()
+	events := obs.NewEventLog(64)
+	m := NewMetrics(reg, events)
+
+	r, err := Run(&EngineSource{Name: "r", Engine: ref}, &EngineSource{Name: "s", Engine: sub},
+		Options{Tables: []Table{{Name: "PROD.CUSTOMER"}}, Observer: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OK {
+		t.Fatal("expected a diverged run")
+	}
+	if m.runs.Value() != 1 || m.diverged.Value() != 1 || m.clean.Value() != 0 {
+		t.Errorf("run counters: runs=%d diverged=%d clean=%d",
+			m.runs.Value(), m.diverged.Value(), m.clean.Value())
+	}
+	if m.findings.Value() == 0 || m.checks.Value() == 0 || m.tables.Value() != 1 {
+		t.Errorf("detail counters: findings=%d checks=%d tables=%d",
+			m.findings.Value(), m.checks.Value(), m.tables.Value())
+	}
+	types := map[string]bool{}
+	for _, e := range events.Events(0) {
+		types[e.Type] = true
+	}
+	for _, want := range []string{"scrub_start", "scrub_table_diverged", "scrub_diverged"} {
+		if !types[want] {
+			t.Errorf("missing event %s in %v", want, types)
+		}
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	ref := newEngine(t, custDDL)
+	sub := newEngine(t, custDDL)
+	seedCustomers(t, ref, baseRows)
+	seedCustomers(t, sub, baseRows)
+	if _, err := sub.ExecSQL("UPDATE PROD.CUSTOMER SET JOIN_DATE = NULL WHERE CUST_ID = '3'"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(&EngineSource{Name: "r", Engine: ref}, &EngineSource{Name: "s", Engine: sub},
+		Options{Tables: []Table{{Name: "PROD.CUSTOMER"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.OK != r.OK || len(back.Findings) != len(r.Findings) || back.Ref != "r" {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}
+
+func TestScriptTables(t *testing.T) {
+	src := `
+.logon host/user,pass;
+.layout L;
+.field A varchar(5);
+.begin import tables PROD.CUSTOMER
+	errortables PROD.CUSTOMER_ET PROD.CUSTOMER_UV;
+.dml label Ins;
+insert into PROD.CUSTOMER values (trim(:A));
+.import infile a.txt format vartext '|' layout L apply Ins;
+.end load;
+.begin export outfile out.txt format vartext '|';
+select A from PROD.CUSTOMER;
+.end export;
+.begin import tables PROD.CUSTOMER
+	errortables PROD.CUSTOMER_ET PROD.CUSTOMER_UV;
+.dml label Ins2;
+insert into PROD.CUSTOMER values (trim(:A));
+.import infile b.txt format vartext '|' layout L apply Ins2;
+.end load;
+.begin stream name s1 tables PROD.ACCOUNT errortables PROD.ACCOUNT_ET;
+.dml label Apply;
+insert into PROD.ACCOUNT values (trim(:A));
+.stream infile d.txt format vartext '|' layout L apply Apply;
+.end stream;
+`
+	s, err := etlscript.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ScriptTables(s)
+	if len(got) != 2 {
+		t.Fatalf("ScriptTables = %+v, want 2 deduplicated targets", got)
+	}
+	if got[0].Name != "PROD.CUSTOMER" ||
+		strings.Join(got[0].ErrTables, ",") != "PROD.CUSTOMER_ET,PROD.CUSTOMER_UV" {
+		t.Errorf("import target: %+v", got[0])
+	}
+	if got[1].Name != "PROD.ACCOUNT" ||
+		strings.Join(got[1].ErrTables, ",") != "PROD.ACCOUNT_ET" {
+		t.Errorf("stream target: %+v", got[1])
+	}
+}

@@ -1,0 +1,85 @@
+package sqlxlate
+
+import (
+	"fmt"
+	"strings"
+
+	"etlvirt/internal/sqlparse"
+)
+
+// This file builds the pushed-down verification queries used by the scrub
+// layer (internal/scrub). All state stays in the warehouse: each query is one
+// aggregate scan whose tiny result travels back for comparison, so a
+// differential scrub of two multi-million-row warehouses exchanges a few
+// hundred bytes per table.
+
+// ScrubTableName parses a possibly schema-qualified table spelling as it
+// appears in ETL scripts ("PROD.CUSTOMER") into a TableName.
+func ScrubTableName(name string) sqlparse.TableName {
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		return sqlparse.TableName{Schema: strings.TrimSpace(name[:i]), Name: strings.TrimSpace(name[i+1:])}
+	}
+	return sqlparse.TableName{Name: strings.TrimSpace(name)}
+}
+
+// ChecksumQuery builds the one-pass differential aggregate for a table:
+//
+//	SELECT COUNT(*), COUNT(c1), XOR_AGG(HASH64(c1)), COUNT(c2), ... FROM t
+//
+// COUNT(*) pins the row count, COUNT(col) the per-column null pattern, and
+// XOR_AGG(HASH64(col)) an order-insensitive content checksum — XOR is
+// commutative, so the two engines may store and scan rows in any order and
+// still agree. The query is built as an AST so identifiers needing quoting
+// survive both dialects.
+func ChecksumQuery(table string, cols []string) (string, error) {
+	if len(cols) == 0 {
+		return "", fmt.Errorf("sqlxlate: checksum query for %s needs columns", table)
+	}
+	items := []sqlparse.SelectItem{
+		{Expr: &sqlparse.FuncCall{Name: "COUNT", Args: []sqlparse.Expr{&sqlparse.Star{}}}},
+	}
+	for _, c := range cols {
+		col := &sqlparse.ColRef{Name: c}
+		items = append(items,
+			sqlparse.SelectItem{Expr: &sqlparse.FuncCall{Name: "COUNT", Args: []sqlparse.Expr{col}}},
+			sqlparse.SelectItem{Expr: &sqlparse.FuncCall{
+				Name: "XOR_AGG",
+				Args: []sqlparse.Expr{&sqlparse.FuncCall{Name: "HASH64", Args: []sqlparse.Expr{col}}},
+			}},
+		)
+	}
+	stmt := &sqlparse.SelectStmt{
+		Items: items,
+		From:  []sqlparse.TableExpr{&sqlparse.TableRef{Table: ScrubTableName(table)}},
+	}
+	return sqlparse.Print(stmt, sqlparse.DialectCDW)
+}
+
+// ProbeQuery builds the zero-row layout probe the scrub layer uses to
+// discover a table's columns through either engine: SELECT * FROM t WHERE
+// 1 = 0 returns only the record header.
+func ProbeQuery(table string) (string, error) {
+	stmt := &sqlparse.SelectStmt{
+		Items: []sqlparse.SelectItem{{Star: true}},
+		From:  []sqlparse.TableExpr{&sqlparse.TableRef{Table: ScrubTableName(table)}},
+		Where: &sqlparse.BinaryExpr{
+			Op: "=",
+			L:  &sqlparse.Literal{Kind: sqlparse.LitInt, Int: 1},
+			R:  &sqlparse.Literal{Kind: sqlparse.LitInt, Int: 0},
+		},
+	}
+	return sqlparse.Print(stmt, sqlparse.DialectCDW)
+}
+
+// DomainAuditQuery builds a constraint-violation counter: SELECT COUNT(*)
+// FROM t WHERE NOT (predicate). The predicate is parsed up front so a typo in
+// an expectation manifest fails the scrub loudly instead of auditing nothing.
+func DomainAuditQuery(table, predicate string) (string, error) {
+	probe := fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE NOT (%s)",
+		ScrubTableName(table).String(), predicate)
+	stmt, err := sqlparse.Parse(probe, sqlparse.DialectCDW)
+	if err != nil {
+		return "", fmt.Errorf("sqlxlate: domain predicate %q: %w", predicate, err)
+	}
+	return sqlparse.Print(stmt, sqlparse.DialectCDW)
+}

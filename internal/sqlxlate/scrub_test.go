@@ -1,0 +1,97 @@
+package sqlxlate
+
+import (
+	"strings"
+	"testing"
+
+	"etlvirt/internal/cdw"
+	"etlvirt/internal/cloudstore"
+	"etlvirt/internal/sqlparse"
+)
+
+func TestScrubTableName(t *testing.T) {
+	cases := []struct {
+		in           string
+		schema, name string
+	}{
+		{"PROD.CUSTOMER", "PROD", "CUSTOMER"},
+		{"CUSTOMER", "", "CUSTOMER"},
+		{" PROD . CUSTOMER ", "PROD", "CUSTOMER"},
+	}
+	for _, c := range cases {
+		got := ScrubTableName(c.in)
+		if got.Schema != c.schema || got.Name != c.name {
+			t.Errorf("ScrubTableName(%q) = %+v", c.in, got)
+		}
+	}
+}
+
+func TestChecksumQuery(t *testing.T) {
+	sql, err := ChecksumQuery("PROD.CUSTOMER", []string{"CUST_ID", "JOIN_DATE"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"COUNT(*)",
+		"COUNT(CUST_ID)", "XOR_AGG(HASH64(CUST_ID))",
+		"COUNT(JOIN_DATE)", "XOR_AGG(HASH64(JOIN_DATE))",
+		"FROM PROD.CUSTOMER",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("checksum query missing %q:\n%s", want, sql)
+		}
+	}
+	if _, err := sqlparse.Parse(sql, sqlparse.DialectCDW); err != nil {
+		t.Errorf("checksum query unparseable: %v\n%s", err, sql)
+	}
+	if _, err := ChecksumQuery("PROD.CUSTOMER", nil); err == nil {
+		t.Error("checksum query without columns accepted")
+	}
+}
+
+func TestProbeQuery(t *testing.T) {
+	sql, err := ProbeQuery("PROD.CUSTOMER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"SELECT *", "FROM PROD.CUSTOMER", "1 = 0"} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("probe query missing %q:\n%s", want, sql)
+		}
+	}
+	// The probe must really return zero rows but a full header.
+	e := cdw.NewEngine(cloudstore.NewMemStore(), cdw.Options{})
+	if _, err := e.ExecSQL(`CREATE TABLE PROD.CUSTOMER (
+		CUST_ID VARCHAR(5) NOT NULL, PRIMARY KEY (CUST_ID))`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ExecSQL(`INSERT INTO PROD.CUSTOMER VALUES ('1')`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.ExecSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 || len(res.Columns) != 1 {
+		t.Errorf("probe returned %d rows, %d columns", len(res.Rows), len(res.Columns))
+	}
+}
+
+func TestDomainAuditQuery(t *testing.T) {
+	sql, err := DomainAuditQuery("PROD.CUSTOMER", "CUST_ID <> ''")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"COUNT(*)", "FROM PROD.CUSTOMER", "NOT"} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("domain audit missing %q:\n%s", want, sql)
+		}
+	}
+	if _, err := sqlparse.Parse(sql, sqlparse.DialectCDW); err != nil {
+		t.Errorf("domain audit unparseable: %v\n%s", err, sql)
+	}
+	// A broken predicate must fail loudly at build time, not audit nothing.
+	if _, err := DomainAuditQuery("PROD.CUSTOMER", "CUST_ID >"); err == nil {
+		t.Error("malformed domain predicate accepted")
+	}
+}

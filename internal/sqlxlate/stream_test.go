@@ -218,3 +218,126 @@ func TestCheckpointTableDDL(t *testing.T) {
 		}
 	}
 }
+
+// TestTranslateStreamDMLEdgeCases covers the range and identifier corners
+// the replay and error-handling paths depend on: an empty run (hi < lo, the
+// shape a fully-replayed batch re-applies), a single-row range (the error
+// handler's bisection floor), an all-column primary key (nothing left to
+// update), and a target table whose name needs dialect quoting.
+func TestTranslateStreamDMLEdgeCases(t *testing.T) {
+	tr, delStage := streamTranslator()
+	sd, err := tr.TranslateStreamDML(streamApplySQL, delStage, customerCols, []string{"CUST_ID"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Empty run: renders legal SQL whose range matches nothing.
+	for _, rs := range []*RangeStmt{sd.Delete, sd.Update, sd.Insert} {
+		sql, err := rs.SQL(5, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(sql, "BETWEEN 5 AND 4") {
+			t.Errorf("empty run not rendered: %s", sql)
+		}
+		if _, err := sqlparse.Parse(sql, sqlparse.DialectCDW); err != nil {
+			t.Errorf("empty-run SQL unparseable: %v\n%s", err, sql)
+		}
+	}
+
+	// Single-row range: the bisection floor of sub-range re-application.
+	sql, err := sd.Insert.SQL(7, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "BETWEEN 7 AND 7") {
+		t.Errorf("single-row range not rendered: %s", sql)
+	}
+
+	// All columns in the key: there is nothing to SET, so Update is nil and
+	// the triple degrades to guarded Insert + Delete.
+	sdAll, err := tr.TranslateStreamDML(streamApplySQL, delStage, customerCols, customerCols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sdAll.Update != nil {
+		u, _ := sdAll.Update.SQL(1, 1)
+		t.Errorf("all-column key still builds an update:\n%s", u)
+	}
+	if sdAll.Insert == nil || sdAll.Delete == nil {
+		t.Error("all-column key lost the insert or delete half")
+	}
+
+	// A target whose name is a reserved word survives translation and prints
+	// quoted in the CDW dialect.
+	sdQ, err := tr.TranslateStreamDML(`insert into PROD."ORDER" values (
+		trim(:CUST_ID), trim(:CUST_NAME),
+		cast(:JOIN_DATE as DATE format 'YYYY-MM-DD') )`,
+		delStage, customerCols, []string{"CUST_ID"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rs := range []*RangeStmt{sdQ.Delete, sdQ.Update, sdQ.Insert} {
+		sql, err := rs.SQL(1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(sql, `PROD."ORDER"`) {
+			t.Errorf("quoted target lost its quoting:\n%s", sql)
+		}
+		if _, err := sqlparse.Parse(sql, sqlparse.DialectCDW); err != nil {
+			t.Errorf("quoted-target SQL unparseable: %v\n%s", err, sql)
+		}
+	}
+}
+
+// TestStreamDMLMaxLengthKeys stages key values at the layout's full declared
+// width and applies the triple on the real engine: padding or truncation
+// anywhere in the staging/apply chain would break the key match.
+func TestStreamDMLMaxLengthKeys(t *testing.T) {
+	e := cdw.NewEngine(cloudstore.NewMemStore(), cdw.Options{})
+	mustExecSQL := func(sql string) {
+		t.Helper()
+		if _, err := e.ExecSQL(sql); err != nil {
+			t.Fatalf("ExecSQL(%q): %v", sql, err)
+		}
+	}
+	mustExecSQL(`CREATE TABLE PROD.CUSTOMER (
+		CUST_ID VARCHAR(5) NOT NULL,
+		CUST_NAME VARCHAR(50),
+		JOIN_DATE DATE,
+		PRIMARY KEY (CUST_ID))`)
+	mustExecSQL(`INSERT INTO PROD.CUSTOMER VALUES ('AAAAA', 'Old', '2020-01-01'),
+		('BBBBB', 'Stays', '2020-01-02')`)
+
+	tr, delStage := streamTranslator()
+	for _, stage := range []sqlparse.TableName{tr.Stage, delStage} {
+		ddl, err := StagingDDL(stage, custLayout())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustExecSQL(ddl)
+	}
+	// Both images carry 5-character keys — the declared VARCHAR(5) maximum.
+	mustExecSQL(`INSERT INTO etl_stage.ups1 VALUES (1, 'AAAAA', 'New', '2024-05-01')`)
+	mustExecSQL(`INSERT INTO etl_stage.del1 VALUES (2, 'BBBBB', 'Stays', '2020-01-02')`)
+
+	sd, err := tr.TranslateStreamDML(streamApplySQL, delStage, customerCols, []string{"CUST_ID"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rs := range []*RangeStmt{sd.Delete, sd.Update, sd.Insert} {
+		sql, err := rs.SQL(1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustExecSQL(sql)
+	}
+	res, err := e.ExecSQL("SELECT CUST_ID, CUST_NAME FROM PROD.CUSTOMER ORDER BY CUST_ID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "AAAAA" || res.Rows[0][1].S != "New" {
+		t.Errorf("max-length key apply went wrong: %v", res.Rows)
+	}
+}

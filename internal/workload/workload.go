@@ -1,0 +1,467 @@
+// Package workload generates seeded, deterministic ETL scenarios that scale
+// the examples/retailnightly shape toward the paper's 127 dependency-ordered
+// batch groups. A scenario is a complete legacy job: CDW-dialect DDL, one
+// etlscript program whose blocks are the batch groups, the input files the
+// script references, and an expected-outcome manifest the scrub layer
+// (internal/scrub) consumes.
+//
+// Diversity is the point: the generator mixes vartext and indicator-mode
+// imports, an all-types import covering every ltype column kind, wide rows,
+// an ORDER BY-deterministic export, cross-table INSERT..SELECT summary
+// statements (the dependency edges), and a CDC stream whose arrivals are
+// skewed (hot keys drawn quadratically) and bursty (consecutive updates to
+// one hot key). Error rows — apply-time date-conversion failures (ET) and
+// duplicate primary keys (UV) — are injected at deterministic rates, and the
+// manifest predicts the exact target/ET/UV row counts each group must yield,
+// so a scrub catches not only divergence between two engines but agreement
+// on a wrong answer.
+//
+// Everything derives from Config.Seed via one PRNG: the same config always
+// generates byte-identical scripts, files and manifests.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"etlvirt/internal/ltype"
+	"etlvirt/internal/scrub"
+)
+
+// Config sizes a generated scenario.
+type Config struct {
+	// Groups is the number of dependency-ordered batch groups (default 32).
+	Groups int
+	// Seed drives every random choice (default 1).
+	Seed int64
+	// RowsPerGroup is the base import size per group (default 48); actual
+	// sizes vary deterministically around it.
+	RowsPerGroup int
+	// WideColumns is the column count of the wide-row group (default 20).
+	WideColumns int
+	// BadDateRate and DupKeyRate set the error-injection probabilities for
+	// apply-time date failures (ET) and duplicate primary keys (UV).
+	// Defaults: 0.06 and 0.05.
+	BadDateRate, DupKeyRate float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Groups <= 0 {
+		c.Groups = 32
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.RowsPerGroup <= 0 {
+		c.RowsPerGroup = 48
+	}
+	if c.WideColumns <= 0 {
+		c.WideColumns = 20
+	}
+	if c.BadDateRate == 0 {
+		c.BadDateRate = 0.06
+	}
+	if c.DupKeyRate == 0 {
+		c.DupKeyRate = 0.05
+	}
+	return c
+}
+
+// Group describes one batch group of the generated scenario.
+type Group struct {
+	Index     int    `json:"index"`
+	Kind      string `json:"kind"` // import | import-types | import-wide | export | stream | summary
+	Table     string `json:"table,omitempty"`
+	DependsOn []int  `json:"depends_on,omitempty"`
+}
+
+// ExportCheck names an export outfile and its expected row count; the test
+// harness compares the files produced by the two runs byte for byte (the
+// generated export query carries ORDER BY, so output order is pinned).
+type ExportCheck struct {
+	Outfile string `json:"outfile"`
+	Rows    int64  `json:"rows"`
+}
+
+// Scenario is one generated workload.
+type Scenario struct {
+	Cfg     Config              `json:"cfg"`
+	DDL     []string            `json:"ddl"`
+	Script  string              `json:"script"`
+	Files   map[string][]byte   `json:"-"`
+	Groups  []Group             `json:"groups"`
+	Tables  []scrub.Table       `json:"tables"`
+	Expect  []scrub.Expectation `json:"expect"`
+	Exports []ExportCheck       `json:"exports"`
+}
+
+var namePool = []string{
+	"Smith", "Jones", "Brown", "Garcia", "Miller", "Davis", "Wilson",
+	"Moore", "Taylor", "Lee", "Walker", "Hall", "Young", "King", "Wright",
+}
+
+// skewed draws an index in [0, n) with a quadratic bias toward 0 — the hot
+// end of a skewed key/value distribution.
+func skewed(rng *rand.Rand, n int) int {
+	r := rng.Float64()
+	return int(r * r * float64(n))
+}
+
+// Generate builds the scenario for cfg. The same cfg always returns the same
+// scenario, byte for byte.
+func Generate(cfg Config) (*Scenario, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sc := &Scenario{Cfg: cfg, Files: map[string][]byte{}}
+
+	var script strings.Builder
+	script.WriteString(".logon host/user,pass;\n")
+
+	// Special-role group indices. Group 0 is always a plain import so the
+	// export has a dependency target; the stream closes the scenario.
+	typesIdx, wideIdx, exportIdx, streamIdx := -1, -1, -1, -1
+	if cfg.Groups >= 2 {
+		typesIdx = 1
+	}
+	if cfg.Groups >= 3 {
+		streamIdx = cfg.Groups - 1
+	}
+	if cfg.Groups >= 4 {
+		exportIdx = cfg.Groups / 2
+	}
+	if cfg.Groups >= 6 {
+		wideIdx = cfg.Groups / 4
+		if wideIdx == typesIdx {
+			wideIdx++
+		}
+	}
+
+	summaryUsed := false
+	for g := 0; g < cfg.Groups; g++ {
+		switch g {
+		case typesIdx:
+			genTypesImport(sc, &script, rng, g)
+		case exportIdx:
+			genExport(sc, &script, rng, g)
+		case streamIdx:
+			genStream(sc, &script, rng, g)
+		case wideIdx:
+			genImport(sc, &script, rng, g, cfg.WideColumns, "import-wide")
+		default:
+			cols := 2 + rng.Intn(3)
+			genImport(sc, &script, rng, g, cols, "import")
+			// Dependency edges: every fourth plain import feeds the shared
+			// summary table through a cross-table INSERT..SELECT.
+			if g%4 == 3 {
+				summaryUsed = true
+				tbl := sc.Groups[len(sc.Groups)-1].Table
+				fmt.Fprintf(&script,
+					".run insert into WL.SUMMARY select %d, count(*) from %s;\n", g, tbl)
+				sc.Groups = append(sc.Groups, Group{
+					Index: g, Kind: "summary", Table: "WL.SUMMARY", DependsOn: []int{g},
+				})
+			}
+		}
+	}
+
+	if summaryUsed {
+		sc.DDL = append(sc.DDL, `CREATE TABLE WL.SUMMARY (
+	GRP INTEGER NOT NULL,
+	ROWCNT BIGINT,
+	PRIMARY KEY (GRP))`)
+		rows := int64(0)
+		for _, gr := range sc.Groups {
+			if gr.Kind == "summary" {
+				rows++
+			}
+		}
+		sc.Tables = append(sc.Tables, scrub.Table{Name: "WL.SUMMARY"})
+		sc.Expect = append(sc.Expect, scrub.Expectation{
+			Table: "WL.SUMMARY", Rows: rows,
+			Domains: []string{"ROWCNT >= 0"},
+		})
+	}
+
+	sc.Script = script.String()
+	return sc, nil
+}
+
+// genImport emits one vartext import group with dataCols payload columns and
+// a DATE column, injecting bad dates (ET) and duplicate keys (UV) at the
+// configured rates.
+func genImport(sc *Scenario, script *strings.Builder, rng *rand.Rand, g, dataCols int, kind string) {
+	cfg := sc.Cfg
+	table := fmt.Sprintf("WL.G%02d", g)
+	et, uv := table+"_ET", table+"_UV"
+	layout := fmt.Sprintf("LG%02d", g)
+	infile := fmt.Sprintf("g%02d.txt", g)
+	colLen := 24
+	if kind == "import-wide" {
+		colLen = 40
+	}
+
+	var ddl strings.Builder
+	fmt.Fprintf(&ddl, "CREATE TABLE %s (\n\tPK VARCHAR(8) NOT NULL", table)
+	for c := 1; c <= dataCols; c++ {
+		fmt.Fprintf(&ddl, ",\n\tC%d VARCHAR(%d)", c, colLen)
+	}
+	ddl.WriteString(",\n\tDT DATE,\n\tPRIMARY KEY (PK))")
+	sc.DDL = append(sc.DDL, ddl.String())
+
+	fmt.Fprintf(script, ".layout %s;\n.field PK varchar(8);\n", layout)
+	for c := 1; c <= dataCols; c++ {
+		fmt.Fprintf(script, ".field C%d varchar(%d);\n", c, colLen)
+	}
+	fmt.Fprintf(script, ".field DT varchar(10);\n")
+	fmt.Fprintf(script, ".begin import tables %s\n\terrortables %s %s;\n", table, et, uv)
+	fmt.Fprintf(script, ".dml label Apply%02d;\ninsert into %s values (\n\ttrim(:PK)", g, table)
+	for c := 1; c <= dataCols; c++ {
+		fmt.Fprintf(script, ", trim(:C%d)", c)
+	}
+	fmt.Fprintf(script, ",\n\tcast(:DT as DATE format 'YYYY-MM-DD') );\n")
+	fmt.Fprintf(script, ".import infile %s format vartext '|' layout %s apply Apply%02d;\n", infile, layout, g)
+	script.WriteString(".end load;\n")
+
+	n := cfg.RowsPerGroup + rng.Intn(cfg.RowsPerGroup/2+1)
+	var data strings.Builder
+	var landed []string // keys whose insert succeeded; dup candidates
+	var etRows, uvRows int64
+	for i := 1; i <= n; i++ {
+		pk := fmt.Sprintf("K%02d%04d", g, i)
+		date := fmt.Sprintf("20%02d-%02d-%02d", 22+rng.Intn(8), 1+rng.Intn(12), 1+rng.Intn(28))
+		bad := rng.Float64() < cfg.BadDateRate
+		dup := !bad && len(landed) > 0 && rng.Float64() < cfg.DupKeyRate
+		if dup {
+			// Duplicate a key that actually landed, so the second insert is
+			// guaranteed to be a uniqueness violation, not a retried insert
+			// of a key whose first image failed on a bad date.
+			pk = landed[skewed(rng, len(landed))]
+			uvRows++
+		} else if bad {
+			date = "not-a-date"
+			etRows++
+		} else {
+			landed = append(landed, pk)
+		}
+		data.WriteString(pk)
+		for c := 1; c <= dataCols; c++ {
+			fmt.Fprintf(&data, "|%s %d", namePool[skewed(rng, len(namePool))], i)
+		}
+		data.WriteString("|" + date + "\n")
+	}
+	sc.Files[infile] = []byte(data.String())
+
+	sc.Groups = append(sc.Groups, Group{Index: g, Kind: kind, Table: table})
+	sc.Tables = append(sc.Tables, scrub.Table{Name: table, ErrTables: []string{et, uv}})
+	sc.Expect = append(sc.Expect, scrub.Expectation{
+		Table: table,
+		Rows:  int64(len(landed)),
+		ErrRows: map[string]int64{
+			strings.ToUpper(et): etRows,
+			strings.ToUpper(uv): uvRows,
+		},
+		Domains: []string{"PK <> ''", "DT >= DATE '2000-01-01'"},
+	})
+}
+
+// genTypesImport emits the indicator-mode import whose layout exercises every
+// ltype column kind, including NULLs in every nullable column.
+func genTypesImport(sc *Scenario, script *strings.Builder, rng *rand.Rand, g int) {
+	table := "WL.TYPES"
+	et, uv := table+"_ET", table+"_UV"
+	infile := fmt.Sprintf("g%02d.dat", g)
+
+	layout := &ltype.Layout{Name: "LTYPES", Fields: []ltype.Field{
+		{Name: "PK", Type: ltype.Simple(ltype.KindInteger)},
+		{Name: "F_BI", Type: ltype.Simple(ltype.KindByteInt)},
+		{Name: "F_SI", Type: ltype.Simple(ltype.KindSmallInt)},
+		{Name: "F_BG", Type: ltype.Simple(ltype.KindBigInt)},
+		{Name: "F_FL", Type: ltype.Simple(ltype.KindFloat)},
+		{Name: "F_DC", Type: ltype.Decimal(12, 2)},
+		{Name: "F_CH", Type: ltype.Char(8)},
+		{Name: "F_VC", Type: ltype.VarChar(20)},
+		{Name: "F_DT", Type: ltype.Simple(ltype.KindDate)},
+		{Name: "F_TM", Type: ltype.Simple(ltype.KindTime)},
+		{Name: "F_TS", Type: ltype.Simple(ltype.KindTimestamp)},
+		{Name: "F_B", Type: ltype.Type{Kind: ltype.KindByte, Length: 4}},
+		{Name: "F_VB", Type: ltype.Type{Kind: ltype.KindVarByte, Length: 8}},
+	}}
+
+	// Binary layout fields stage as hex text (sqlxlate.StagingDDL) and the CDW
+	// has no hex-decode, so the target columns carry the hex form as VARCHAR.
+	sc.DDL = append(sc.DDL, `CREATE TABLE WL.TYPES (
+	PK INTEGER NOT NULL,
+	F_BI SMALLINT,
+	F_SI SMALLINT,
+	F_BG BIGINT,
+	F_FL FLOAT,
+	F_DC DECIMAL(12,2),
+	F_CH CHAR(8),
+	F_VC VARCHAR(20),
+	F_DT DATE,
+	F_TM TIME,
+	F_TS TIMESTAMP,
+	F_B VARCHAR(8),
+	F_VB VARCHAR(16),
+	PRIMARY KEY (PK))`)
+
+	fmt.Fprintf(script, ".layout %s;\n", layout.Name)
+	for _, f := range layout.Fields {
+		fmt.Fprintf(script, ".field %s %s;\n", f.Name, strings.ToLower(f.Type.String()))
+	}
+	fmt.Fprintf(script, ".begin import tables %s\n\terrortables %s %s;\n", table, et, uv)
+	fmt.Fprintf(script, ".dml label ApplyTypes;\ninsert into %s values (", table)
+	for i, f := range layout.Fields {
+		if i > 0 {
+			script.WriteString(", ")
+		}
+		script.WriteString(":" + f.Name)
+	}
+	script.WriteString(" );\n")
+	fmt.Fprintf(script, ".import infile %s format indicator layout %s apply ApplyTypes;\n", infile, layout.Name)
+	script.WriteString(".end load;\n")
+
+	n := sc.Cfg.RowsPerGroup
+	var data []byte
+	for i := 1; i <= n; i++ {
+		rec := ltype.Record{
+			ltype.IntValue(ltype.KindInteger, int64(i)),
+			ltype.IntValue(ltype.KindByteInt, int64(rng.Intn(200)-100)),
+			ltype.IntValue(ltype.KindSmallInt, int64(rng.Intn(20000)-10000)),
+			ltype.IntValue(ltype.KindBigInt, rng.Int63n(1<<40)),
+			ltype.FloatValue(float64(rng.Intn(1_000_000)) / 64),
+			ltype.IntValue(ltype.KindDecimal, rng.Int63n(10_000_000)-5_000_000),
+			ltype.StringValue(ltype.KindChar, fmt.Sprintf("CH%05d", rng.Intn(100000))),
+			ltype.StringValue(ltype.KindVarChar, namePool[skewed(rng, len(namePool))]),
+			ltype.DateValue(2022+rng.Intn(8), 1+rng.Intn(12), 1+rng.Intn(28)),
+			ltype.IntValue(ltype.KindTime, int64(rng.Intn(86400))),
+			ltype.StringValue(ltype.KindTimestamp,
+				fmt.Sprintf("20%02d-%02d-%02d %02d:%02d:%02d",
+					22+rng.Intn(8), 1+rng.Intn(12), 1+rng.Intn(28),
+					rng.Intn(24), rng.Intn(60), rng.Intn(60))),
+			ltype.BytesValue(ltype.KindByte, []byte{
+				byte(rng.Intn(96) + 32), byte(rng.Intn(96) + 32),
+				byte(rng.Intn(96) + 32), byte(rng.Intn(96) + 32)}),
+			ltype.BytesValue(ltype.KindVarByte, []byte(fmt.Sprintf("%d", rng.Intn(100000000)))),
+		}
+		// Every nullable field goes NULL at a deterministic rate, so the
+		// scrub null layer has a real pattern to verify per column.
+		for j := 1; j < len(rec); j++ {
+			if rng.Float64() < 0.1 {
+				rec[j] = ltype.NullValue(layout.Fields[j].Type.Kind)
+			}
+		}
+		var err error
+		data, err = ltype.EncodeRecord(data, layout, rec)
+		if err != nil {
+			panic(fmt.Sprintf("workload: encoding types record: %v", err))
+		}
+	}
+	sc.Files[infile] = data
+
+	sc.Groups = append(sc.Groups, Group{Index: g, Kind: "import-types", Table: table})
+	sc.Tables = append(sc.Tables, scrub.Table{Name: table, ErrTables: []string{et, uv}})
+	sc.Expect = append(sc.Expect, scrub.Expectation{
+		Table: table, Rows: int64(n),
+		ErrRows: map[string]int64{strings.ToUpper(et): 0, strings.ToUpper(uv): 0},
+		Domains: []string{"PK > 0"},
+	})
+}
+
+// genExport emits the export group: a deterministic ORDER BY dump of group
+// 0's table, so two runs must produce byte-identical outfiles.
+func genExport(sc *Scenario, script *strings.Builder, rng *rand.Rand, g int) {
+	_ = rng
+	src := "WL.G00"
+	outfile := fmt.Sprintf("g%02d_export.out", g)
+	fmt.Fprintf(script, ".begin export outfile %s format vartext '|';\n", outfile)
+	fmt.Fprintf(script, "select PK, DT from %s order by PK;\n", src)
+	script.WriteString(".end export;\n")
+
+	var rows int64 = -1
+	for _, e := range sc.Expect {
+		if e.Table == src {
+			rows = e.Rows
+		}
+	}
+	sc.Groups = append(sc.Groups, Group{Index: g, Kind: "export", Table: src, DependsOn: []int{0}})
+	sc.Exports = append(sc.Exports, ExportCheck{Outfile: outfile, Rows: rows})
+}
+
+// genStream emits the CDC stream group: skewed, bursty insert/update/delete
+// deltas over a hot-key space, with apply-time date failures feeding the
+// stream's error table.
+func genStream(sc *Scenario, script *strings.Builder, rng *rand.Rand, g int) {
+	cfg := sc.Cfg
+	table := "WL.STR"
+	et := table + "_ET"
+	infile := fmt.Sprintf("g%02d_deltas.txt", g)
+
+	sc.DDL = append(sc.DDL, `CREATE TABLE WL.STR (
+	ID VARCHAR(6) NOT NULL,
+	NAME VARCHAR(60),
+	DT DATE,
+	PRIMARY KEY (ID))`)
+
+	fmt.Fprintf(script, ".layout LSTR;\n.field ID varchar(6);\n.field NAME varchar(60);\n.field DT varchar(10);\n")
+	fmt.Fprintf(script, ".begin stream name wl_cdc tables %s\n\terrortables %s latency 50;\n", table, et)
+	fmt.Fprintf(script, ".dml label ApplyStr;\ninsert into %s values (\n", table)
+	script.WriteString("\ttrim(:ID), trim(:NAME),\n\tcast(:DT as DATE format 'YYYY-MM-DD') );\n")
+	fmt.Fprintf(script, ".stream infile %s format vartext '|' layout LSTR apply ApplyStr;\n", infile)
+	script.WriteString(".end stream;\n")
+
+	keys := 8 * cfg.Groups // key space scales with the scenario
+	total := 4*cfg.RowsPerGroup + rng.Intn(cfg.RowsPerGroup)
+	live := map[string]bool{}
+	var data strings.Builder
+	var etRows int64
+	burst := 0
+	burstKey := ""
+	for i := 1; i <= total; i++ {
+		var id string
+		if burst > 0 {
+			// Bursty arrivals: several consecutive images of one hot key.
+			id, burst = burstKey, burst-1
+		} else {
+			id = fmt.Sprintf("S%04d", 1+skewed(rng, keys))
+			if rng.Float64() < 0.15 {
+				burst, burstKey = 2+rng.Intn(3), id
+			}
+		}
+		if live[id] && rng.Float64() < 0.12 {
+			fmt.Fprintf(&data, "D|%s||\n", id)
+			delete(live, id)
+			continue
+		}
+		date := fmt.Sprintf("20%02d-%02d-%02d", 24+rng.Intn(6), 1+rng.Intn(12), 1+rng.Intn(28))
+		bad := rng.Float64() < cfg.BadDateRate
+		if bad {
+			date = "bad-date"
+			etRows++
+		}
+		op := "U"
+		if !live[id] {
+			op = "I"
+		}
+		fmt.Fprintf(&data, "%s|%s|%s %d|%s\n", op, id, namePool[skewed(rng, len(namePool))], i, date)
+		// A failed insert leaves the key absent; a failed update leaves the
+		// previous image live. Mirrors tuple-at-a-time legacy semantics.
+		if !bad {
+			live[id] = true
+		} else if op == "U" {
+			// stays live with old values
+		} else {
+			delete(live, id)
+		}
+	}
+	sc.Files[infile] = []byte(data.String())
+
+	sc.Groups = append(sc.Groups, Group{Index: g, Kind: "stream", Table: table})
+	sc.Tables = append(sc.Tables, scrub.Table{Name: table, ErrTables: []string{et}})
+	sc.Expect = append(sc.Expect, scrub.Expectation{
+		Table: table, Rows: int64(len(live)),
+		ErrRows: map[string]int64{strings.ToUpper(et): etRows},
+		Domains: []string{"ID <> ''"},
+	})
+}

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"etlvirt/internal/etlscript"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Groups: 32, Seed: 7}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if a.Script != b.Script {
+		t.Error("same seed produced different scripts")
+	}
+	if len(a.Files) != len(b.Files) {
+		t.Fatalf("file count differs: %d vs %d", len(a.Files), len(b.Files))
+	}
+	for name, data := range a.Files {
+		if !bytes.Equal(data, b.Files[name]) {
+			t.Errorf("file %s differs between runs", name)
+		}
+	}
+	c, err := Generate(Config{Groups: 32, Seed: 8})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if c.Script == a.Script {
+		t.Error("different seeds produced identical scripts")
+	}
+}
+
+func TestGenerateScriptParses(t *testing.T) {
+	for _, groups := range []int{4, 32} {
+		sc, err := Generate(Config{Groups: groups, Seed: 3})
+		if err != nil {
+			t.Fatalf("Generate(%d): %v", groups, err)
+		}
+		if _, err := etlscript.Parse(sc.Script); err != nil {
+			t.Fatalf("Generate(%d) script does not parse: %v\n%s", groups, err, sc.Script)
+		}
+		// Every referenced infile must be present in Files.
+		for _, line := range strings.Split(sc.Script, "\n") {
+			line = strings.TrimSpace(line)
+			if !strings.HasPrefix(line, ".import") && !strings.HasPrefix(line, ".stream") {
+				continue
+			}
+			f := strings.Fields(line)
+			if len(f) < 3 || f[1] != "infile" {
+				t.Fatalf("unexpected import statement shape: %q", line)
+			}
+			if _, ok := sc.Files[f[2]]; !ok {
+				t.Errorf("script references %s but Files lacks it", f[2])
+			}
+		}
+	}
+}
+
+func TestGenerateScenarioMix(t *testing.T) {
+	sc, err := Generate(Config{Groups: 32, Seed: 1})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	kinds := map[string]int{}
+	for _, g := range sc.Groups {
+		kinds[g.Kind]++
+	}
+	if kinds["export"] != 1 || kinds["stream"] != 1 || kinds["import-types"] != 1 || kinds["import-wide"] != 1 {
+		t.Errorf("missing special groups: %v", kinds)
+	}
+	if kinds["import"] < 20 {
+		t.Errorf("too few plain imports: %v", kinds)
+	}
+	if kinds["summary"] == 0 {
+		t.Errorf("no summary groups: %v", kinds)
+	}
+	// Every scrub table must carry a manifest expectation, and vice versa.
+	expect := map[string]bool{}
+	for _, e := range sc.Expect {
+		expect[e.Table] = true
+	}
+	for _, tb := range sc.Tables {
+		if !expect[tb.Name] {
+			t.Errorf("table %s has no expectation", tb.Name)
+		}
+	}
+	if len(sc.Expect) != len(sc.Tables) {
+		t.Errorf("expectations (%d) != tables (%d)", len(sc.Expect), len(sc.Tables))
+	}
+	if len(sc.Exports) != 1 || sc.Exports[0].Rows <= 0 {
+		t.Errorf("export check malformed: %+v", sc.Exports)
+	}
+	// Error injection must actually fire somewhere in a 32-group scenario.
+	var et, uv int64
+	for _, e := range sc.Expect {
+		for name, n := range e.ErrRows {
+			if strings.HasSuffix(name, "_ET") {
+				et += n
+			} else {
+				uv += n
+			}
+		}
+	}
+	if et == 0 || uv == 0 {
+		t.Errorf("no injected errors: et=%d uv=%d", et, uv)
+	}
+}

@@ -1,0 +1,117 @@
+package etlvirt_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"etlvirt/internal/scrub"
+	"etlvirt/internal/testhost"
+	"etlvirt/internal/workload"
+)
+
+// TestScrubDifferential is the scenario-diversity differential test: a
+// seeded generated workload — dependency-ordered batch groups mixing vartext
+// and indicator imports, every legacy column type, wide rows, injected
+// conversion errors and duplicate keys, an ORDER BY export and a skewed,
+// bursty CDC stream — runs natively on the reference EDW and through the
+// fault-injected virtualizer, and the differential scrub must come back all
+// green: row counts, per-column checksums, null counts, error-table
+// reconciliation and the generator's expected-outcome manifest. Then a
+// single cell is mutated on the virtualized side and the scrub must find
+// exactly that divergence, attributed to the right table and column.
+//
+// ETLVIRT_SCRUB_GROUPS sizes the scenario (CI smoke uses 4, nightly 32);
+// ETLVIRT_FAULT_SEED picks the chaos seed for the virtualized side.
+func TestScrubDifferential(t *testing.T) {
+	groups := 32
+	if s := os.Getenv("ETLVIRT_SCRUB_GROUPS"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("ETLVIRT_SCRUB_GROUPS=%q: %v", s, err)
+		}
+		groups = v
+	}
+	seed := testhost.FaultSeed(t, 1)
+
+	sc, err := workload.Generate(workload.Config{Groups: groups, Seed: 7})
+	if err != nil {
+		t.Fatalf("generating workload: %v", err)
+	}
+	t.Logf("scenario: %d groups, %d tables, %d input files, script %d bytes",
+		len(sc.Groups), len(sc.Tables), len(sc.Files), len(sc.Script))
+
+	p := testhost.StartPair(t, testhost.Options{Seed: seed, DDL: sc.DDL})
+	edwRes, edwExp := p.Run(t, p.EDWAddr, sc.Script, sc.Files)
+	virtRes, virtExp := p.Run(t, p.NodeAddr, sc.Script, sc.Files)
+	if p.Injector.Injected() == 0 {
+		t.Error("no faults were injected; the virtualized side ran unchallenged")
+	}
+
+	// Job-level outcomes must agree before the data-level scrub runs.
+	if len(edwRes.Imports) != len(virtRes.Imports) {
+		t.Fatalf("import count differs: edw %d, virt %d", len(edwRes.Imports), len(virtRes.Imports))
+	}
+	for i, l := range edwRes.Imports {
+		v := virtRes.Imports[i]
+		if l.Inserted != v.Inserted || l.ErrorsET != v.ErrorsET || l.ErrorsUV != v.ErrorsUV {
+			t.Errorf("import %d outcome differs (seed %d):\n edw:  %+v\n virt: %+v", i, seed, l, v)
+		}
+	}
+
+	// Export outfiles must be byte-identical across paths and carry the
+	// manifest's row count (the generated query is ORDER BY-deterministic).
+	for _, exp := range sc.Exports {
+		e, v := edwExp[exp.Outfile], virtExp[exp.Outfile]
+		if e == nil || v == nil {
+			t.Fatalf("export %s missing: edw %d bytes, virt %d bytes", exp.Outfile, len(e), len(v))
+		}
+		if !bytes.Equal(e, v) {
+			t.Errorf("export %s differs between paths (%d vs %d bytes)", exp.Outfile, len(e), len(v))
+		}
+		if rows := int64(bytes.Count(e, []byte("\n"))); rows != exp.Rows {
+			t.Errorf("export %s carries %d rows, manifest expects %d", exp.Outfile, rows, exp.Rows)
+		}
+	}
+
+	// The differential scrub across every table, error table, and the
+	// generator's expected-outcome manifest.
+	rep := p.Scrub(t, scrub.Options{Tables: sc.Tables, Expect: sc.Expect})
+	if !rep.OK {
+		t.Fatalf("scrub diverged under seed %d:\n%s", seed, rep.Diff())
+	}
+	if rep.Checks == 0 || len(rep.Tables) != len(sc.Tables) {
+		t.Fatalf("scrub did not cover the scenario: %s", rep.Diff())
+	}
+	t.Logf("clean scrub: %d tables, %d checks", len(rep.Tables), rep.Checks)
+
+	// Mutate one cell on the virtualized side; the scrub must detect exactly
+	// this divergence and attribute it to the table and column.
+	res, err := p.CDWEng.ExecSQL("SELECT MIN(PK) FROM WL.G00")
+	if err != nil || len(res.Rows) == 0 || res.Rows[0][0].IsNull() {
+		t.Fatalf("picking a mutation row: %v", err)
+	}
+	pk := res.Rows[0][0].Render()
+	if _, err := p.CDWEng.ExecSQL(fmt.Sprintf(
+		"UPDATE WL.G00 SET C1 = 'tampered' WHERE PK = '%s'", pk)); err != nil {
+		t.Fatalf("mutating cell: %v", err)
+	}
+	rep2 := p.Scrub(t, scrub.Options{Tables: sc.Tables, Expect: sc.Expect})
+	if rep2.OK {
+		t.Fatal("scrub missed an injected single-cell mutation")
+	}
+	var hit int
+	for _, f := range rep2.Findings {
+		if f.Table == "WL.G00" && f.Column == "C1" && f.Layer == "checksum" {
+			hit++
+		} else {
+			t.Errorf("spurious finding alongside the mutation: %+v", f)
+		}
+	}
+	if hit != 1 {
+		t.Errorf("mutation attribution: want exactly one WL.G00.C1 checksum finding, got %d:\n%s",
+			hit, rep2.Diff())
+	}
+}
