@@ -1,4 +1,4 @@
-// Command etlvirtlint runs the project's static-analysis suite: six
+// Command etlvirtlint runs the project's static-analysis suite: twelve
 // dependency-free analyzers that enforce the pipeline's cross-cutting
 // correctness invariants (see internal/lint and DESIGN.md "Static
 // invariants").
@@ -11,10 +11,18 @@
 //	etlvirtlint -json ./internal/core
 //	etlvirtlint -disable=goroleak ./...
 //	etlvirtlint -enable=ctxbg,endian ./...
+//	etlvirtlint -tier syntactic ./...
+//	etlvirtlint -tier dataflow -cache .lintcache -v ./...
 //
 // Packages default to ./... relative to the module root containing the
 // working directory. The exit status is 1 when any finding survives
 // //nolint filtering, 2 on usage or load errors.
+//
+// -tier splits the suite by cost: "syntactic" selects the single-pass AST
+// analyzers, "dataflow" the CFG/worklist ones; "all" (the default) runs
+// both. -cache enables the per-package incremental cache for analyzers
+// whose results depend only on their package and its module-internal
+// dependency sources; -v reports hit/miss counts on stderr.
 package main
 
 import (
@@ -41,6 +49,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
 	disable := fs.String("disable", "", "comma-separated analyzers to skip")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	tier := fs.String("tier", "all", "analyzer tier to run: all, syntactic, or dataflow")
+	cacheDir := fs.String("cache", "", "directory for the per-package incremental result cache")
+	verbose := fs.Bool("v", false, "report cache hit/miss statistics on stderr")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: etlvirtlint [flags] [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
@@ -60,6 +71,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	analyzers, err := selectAnalyzers(analyzers, *enable, *disable)
+	if err != nil {
+		fmt.Fprintln(stderr, "etlvirtlint:", err)
+		return 2
+	}
+	analyzers, err = selectTier(analyzers, *tier)
 	if err != nil {
 		fmt.Fprintln(stderr, "etlvirtlint:", err)
 		return 2
@@ -86,8 +102,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	runner := &lint.Runner{Analyzers: analyzers}
-	res := runner.Run(pkgs)
+	var res lint.Result
+	if *cacheDir != "" {
+		cache, err := lint.NewCache(*cacheDir, loader)
+		if err != nil {
+			fmt.Fprintln(stderr, "etlvirtlint:", err)
+			return 2
+		}
+		res = lint.RunCached(cache, analyzers, pkgs)
+		if *verbose {
+			fmt.Fprintf(stderr, "etlvirtlint: cache: %d hit(s), %d miss(es) across %d package(s)\n",
+				cache.Hits, cache.Misses, len(pkgs))
+		}
+	} else {
+		res = (&lint.Runner{Analyzers: analyzers}).Run(pkgs)
+		if *verbose {
+			fmt.Fprintf(stderr, "etlvirtlint: cache disabled; analyzed %d package(s)\n", len(pkgs))
+		}
+	}
 
 	if *jsonOut {
 		return emitJSON(stdout, stderr, analyzers, res)
@@ -119,11 +151,22 @@ type jsonAnalyzer struct {
 }
 
 type jsonFinding struct {
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Column   int    `json:"column"`
-	Analyzer string `json:"analyzer"`
-	Message  string `json:"message"`
+	File      string        `json:"file"`
+	Line      int           `json:"line"`
+	Column    int           `json:"column"`
+	EndLine   int           `json:"endLine,omitempty"`
+	EndColumn int           `json:"endColumn,omitempty"`
+	Analyzer  string        `json:"analyzer"`
+	Message   string        `json:"message"`
+	Witness   []jsonWitness `json:"witness,omitempty"`
+}
+
+// jsonWitness is one step of a dataflow finding's CFG path witness: the
+// statement sequence from function entry that reaches the violation.
+type jsonWitness struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Text string `json:"text"`
 }
 
 func emitJSON(stdout, stderr io.Writer, analyzers []*lint.Analyzer, res lint.Result) int {
@@ -132,10 +175,17 @@ func emitJSON(stdout, stderr io.Writer, analyzers []*lint.Analyzer, res lint.Res
 		rep.Analyzers = append(rep.Analyzers, jsonAnalyzer{Name: a.Name, Doc: a.Doc})
 	}
 	for _, d := range res.Diagnostics {
-		rep.Findings = append(rep.Findings, jsonFinding{
+		f := jsonFinding{
 			File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
 			Analyzer: d.Analyzer, Message: d.Message,
-		})
+		}
+		if d.End.IsValid() {
+			f.EndLine, f.EndColumn = d.End.Line, d.End.Column
+		}
+		for _, w := range d.Witness {
+			f.Witness = append(f.Witness, jsonWitness{File: w.Pos.Filename, Line: w.Pos.Line, Text: w.Text})
+		}
+		rep.Findings = append(rep.Findings, f)
 	}
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
@@ -194,6 +244,29 @@ func selectAnalyzers(all []*lint.Analyzer, enable, disable string) ([]*lint.Anal
 		return nil, fmt.Errorf("no analyzers selected")
 	}
 	return out, nil
+}
+
+// selectTier filters analyzers by cost tier: the syntactic tier is the
+// single-pass AST walkers, the dataflow tier the CFG/worklist analyzers.
+func selectTier(all []*lint.Analyzer, tier string) ([]*lint.Analyzer, error) {
+	switch tier {
+	case "all", "":
+		return all, nil
+	case "syntactic", "dataflow":
+		wantDataflow := tier == "dataflow"
+		var out []*lint.Analyzer
+		for _, a := range all {
+			if a.Dataflow == wantDataflow {
+				out = append(out, a)
+			}
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("no analyzers in tier %q after -enable/-disable filtering", tier)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unknown tier %q (want all, syntactic, or dataflow)", tier)
+	}
 }
 
 func totalSuppressed(res lint.Result) int {

@@ -117,11 +117,15 @@ func (c *Converter) Convert(payload []byte, firstRow int64) (*Result, error) {
 
 // ConvertInto is Convert with caller-managed memory: converted CSV is
 // appended to dst and returned as Result.CSV, so a recycled buffer in means
-// no per-chunk CSV allocation. Ownership of dst transfers to the Result
-// (the append may have moved it); on error dst is lost. The payload buffer
-// is the caller's again as soon as ConvertInto returns — the decode works
-// on a private copy, so nothing in the Result aliases payload and it may be
+// no per-chunk CSV allocation. Ownership of dst transfers to the call (the
+// append may have moved it) and comes back as Result.CSV — on error too, so
+// a pooled buffer is never lost: the Result always carries the latest
+// buffer for the caller to recycle or reuse. The payload buffer is the
+// caller's again as soon as ConvertInto returns — the decode works on a
+// private copy, so nothing in the Result aliases payload and it may be
 // recycled immediately.
+//
+//etlvirt:transfers dst
 func (c *Converter) ConvertInto(dst []byte, payload []byte, firstRow int64) (*Result, error) {
 	if c.opts.SimulatedByteCost > 0 {
 		time.Sleep(time.Duration(len(payload)) * c.opts.SimulatedByteCost)
@@ -135,7 +139,7 @@ func (c *Converter) ConvertInto(dst []byte, payload []byte, firstRow int64) (*Re
 	case wire.FormatIndicator:
 		return c.convertIndicator(dst, chunk, firstRow)
 	default:
-		return nil, errUnknownFormat(c.format)
+		return &Result{CSV: dst}, errUnknownFormat(c.format)
 	}
 }
 
@@ -178,8 +182,10 @@ func (c *Converter) convertIndicator(dst []byte, payload string, firstRow int64)
 	for pos := 0; pos < len(payload); {
 		n, err := ltype.DecodeRecordInto(sc.rec, payload[pos:], c.layout)
 		if err != nil {
-			// Broken framing poisons the rest of the chunk: fail it.
-			return nil, errFraming(row, err)
+			// Broken framing poisons the rest of the chunk: fail it, but
+			// hand the (possibly regrown) buffer back for recycling.
+			res.CSV = dst
+			return res, errFraming(row, err)
 		}
 		pos += n
 		if derr := c.validateRecord(sc.rec, row); derr != nil {

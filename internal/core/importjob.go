@@ -23,16 +23,20 @@ import (
 )
 
 // convTask is one data chunk travelling from a session to a DataConverter.
+// The owns directive on payload is the machine-checked form of the pipeline
+// hand-off contract: a goroutine receiving a convTask owns the pooled
+// payload buffer and must release or forward it on every path (bufown).
 type convTask struct {
-	payload  []byte
+	payload  []byte //etlvirt:owns
 	firstRow int64
 	credit   *credit.Credit
 	done     chan struct{} // non-nil in synchronous-acquisition mode
 }
 
-// writeTask is one converted chunk travelling to a FileWriter.
+// writeTask is one converted chunk travelling to a FileWriter, which owns
+// the pooled CSV buffer from receipt until its putBuf.
 type writeTask struct {
-	csv    []byte
+	csv    []byte //etlvirt:owns
 	rows   int
 	credit *credit.Credit
 	done   chan struct{} // closed once the chunk is on disk
@@ -143,6 +147,9 @@ func (n *Node) newImportJob(m *wire.BeginLoad, tc obs.TraceContext) (*importJob,
 	// create staging and error tables
 	ddl, err := sqlxlate.StagingDDL(j.stage, m.Layout)
 	if err != nil {
+		// The job trace is already open; settle it or the span leaks and
+		// the SLO report under-counts failed setups forever.
+		n.tracer.Finish(id)
 		return nil, err
 	}
 	stmts := []string{
@@ -154,6 +161,7 @@ func (n *Node) newImportJob(m *wire.BeginLoad, tc obs.TraceContext) (*importJob,
 		}
 		etDDL, err := sqlxlate.ErrorTableDDL(et)
 		if err != nil {
+			n.tracer.Finish(id)
 			return nil, err
 		}
 		stmts = append(stmts, dropIfExists(et), etDDL)
@@ -249,7 +257,11 @@ func (j *importJob) traceID() string {
 
 // handleChunk is called by a session goroutine: the chunk has already been
 // acknowledged; acquire a credit (the back-pressure point, §5) and hand the
-// payload to the conversion stage.
+// payload to the conversion stage. The owns directive seeds bufown: the
+// pooled payload buffer arrives owned and must leave through putBuf or a
+// hand-off on every path.
+//
+//etlvirt:owns m.Payload
 func (j *importJob) handleChunk(m *wire.DataChunk, done chan struct{}) error {
 	j.chunks.Add(1)
 	j.bytesIn.Add(int64(len(m.Payload)))
@@ -309,6 +321,10 @@ func (j *importJob) runConverter(idx int) {
 		putBuf(task.payload)
 		nm.convertLat.ObserveDuration(time.Since(convStart))
 		if err != nil {
+			// ConvertInto hands the buffer back in the Result even on
+			// error; recycle it or the pool shrinks by one chunk per
+			// failure.
+			putBuf(res.CSV)
 			j.trace.Span("convert", lane, convStart, 0, int64(payloadLen), err)
 			j.releaseCredit(task.credit)
 			j.fail(err)
@@ -368,11 +384,14 @@ func (j *importJob) runFileWriter(idx int, ch chan writeTask) {
 		// disk (§5, Figure 4).
 		j.releaseCredit(task.credit)
 		writeStart := time.Now()
+		csvBytes := int64(len(task.csv))
 		err := w.Write(task.csv, task.rows)
 		// Write copies the bytes into the spool file, so the CSV buffer's
-		// trip through the pipeline ends here.
+		// trip through the pipeline ends here. The span reads the length
+		// captured above: after putBuf the pool may recycle the buffer into
+		// another chunk, so task.csv must not be touched again.
 		putBuf(task.csv)
-		j.trace.Span("write", lane, writeStart, int64(task.rows), int64(len(task.csv)), err)
+		j.trace.Span("write", lane, writeStart, int64(task.rows), csvBytes, err)
 		if task.done != nil {
 			close(task.done)
 		}

@@ -1,0 +1,51 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"etlvirt/internal/core"
+	"etlvirt/internal/etlclient"
+	"etlvirt/internal/faultinject"
+)
+
+// TestImportSetupFailureSettlesTrace pins the newImportJob error paths found
+// by the spanbalance analyzer: when preparing the job tables fails, the
+// already-opened job trace must be finished, not leaked in the tracer's live
+// set. A leaked live trace here made the SLO report under-count failed
+// setups for the life of the node.
+func TestImportSetupFailureSettlesTrace(t *testing.T) {
+	inj := faultinject.New(1)
+	// The import's first CDW statement is the staging-table DDL; failing it
+	// fatally (not retryable) drives newImportJob down its ExecT error
+	// return.
+	inj.SetRule("cdw.query", faultinject.Rule{Nth: []int64{1}, Class: faultinject.ClassFatal})
+	st := startStack(t, core.Config{
+		FaultInjector:  inj,
+		RetryBaseDelay: time.Millisecond,
+	})
+	mustEng(t, st.eng, customerDDL)
+
+	script := parseScript(t, example21Script(""))
+	opts := etlclient.Options{
+		Addr:         st.addr,
+		ReadFile:     func(string) ([]byte, error) { return []byte(figure5Data), nil },
+		ChunkRecords: 2,
+	}
+	if _, err := etlclient.Run(script, opts); err == nil {
+		t.Fatal("import succeeded despite a fatal DDL fault; the fault schedule is dead")
+	}
+
+	tr := st.node.Tracer()
+	if got := tr.Started(); got != 1 {
+		t.Fatalf("traces started = %d, want 1 (the failed import's)", got)
+	}
+	if live := tr.Live(); len(live) != 0 {
+		var labels []string
+		for _, jt := range live {
+			labels = append(labels, jt.Label)
+		}
+		t.Errorf("failed import leaked %d live trace(s): %s", len(live), strings.Join(labels, ", "))
+	}
+}

@@ -72,9 +72,12 @@ type streamJob struct {
 	watermark int64
 
 	// Current micro-batch accumulation. Only the session goroutine touches
-	// these; a stream has exactly one connection.
+	// these; a stream has exactly one connection. The CSV spools are pooled
+	// buffers owned by the job from their getBuf in bufferDelta until
+	// finish's putBuf — field-held, so bufown sees the stores through
+	// bufferDelta's pointer as hand-offs to the job.
 	credits          credit.Batch
-	upsCSV, delCSV   []byte
+	upsCSV, delCSV   []byte //etlvirt:owns
 	upsRows, delRows int
 	upsFiles         int // spool objects rotated out for this batch
 	delFiles         int
@@ -407,6 +410,10 @@ func (j *streamJob) bufferDelta(op stream.Op, rec []byte, seq int64, spoolBytes 
 	res, err := j.conv.ConvertInto(*dst, rec, seq)
 	j.stageAcc.Spool += time.Since(spoolStart)
 	if err != nil {
+		// The conversion may have grown (and therefore moved) the spool
+		// buffer before failing; keep the Result's buffer or the field
+		// would hold a stale header and the grown one would leak.
+		*dst = res.CSV
 		return err
 	}
 	*dst = res.CSV

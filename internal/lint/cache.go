@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file is the driver's incremental mode: per-package result caching for
+// the Cacheable analyzers. A package's cache key is an FNV-64a hash over the
+// cache format version, the participating analyzer names, and the raw bytes
+// of every lintable source file of the package and of its transitive
+// module-internal dependencies — exactly the inputs a Cacheable analyzer is
+// allowed to read (directives resolve through dependency sources, so those
+// bytes are part of the key). Analyzers with cross-package accumulation
+// (metricname, lockorder, wirekind) never enter the cache and always run.
+//
+// Entries store post-nolint diagnostics plus the suppression counts, so a
+// cache hit reproduces the exact driver output of a fresh run.
+
+// cacheFormat versions the entry encoding; bump it when Diagnostic's JSON
+// shape or the key recipe changes.
+const cacheFormat = "etlvirtlint-cache-v1"
+
+// Cache is a directory-backed result store for one driver invocation.
+type Cache struct {
+	dir    string
+	loader *Loader
+
+	// Hits and Misses count per-package lookups for -v reporting.
+	Hits   int
+	Misses int
+}
+
+// NewCache opens (creating if needed) a cache directory.
+func NewCache(dir string, loader *Loader) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lint: cache dir: %w", err)
+	}
+	return &Cache{dir: dir, loader: loader}, nil
+}
+
+// cacheEntry is the stored per-package result of the cacheable analyzers.
+type cacheEntry struct {
+	Diagnostics []Diagnostic   `json:"diagnostics"`
+	Suppressed  map[string]int `json:"suppressed,omitempty"`
+}
+
+// RunCached runs analyzers over pkgs with per-package caching for the
+// cacheable subset. Non-cacheable analyzers run unconditionally over the
+// whole set (their End hooks need every package's state). The merged result
+// is indistinguishable from an uncached Runner.Run.
+func RunCached(cache *Cache, analyzers []*Analyzer, pkgs []*Package) Result {
+	var cacheable, always []*Analyzer
+	for _, a := range analyzers {
+		if cache != nil && a.Cacheable {
+			cacheable = append(cacheable, a)
+		} else {
+			always = append(always, a)
+		}
+	}
+	res := Result{Suppressed: make(map[string]int)}
+	if len(always) > 0 {
+		merge(&res, (&Runner{Analyzers: always, Loader: loaderOf(cache)}).Run(pkgs))
+	}
+	for _, pkg := range pkgs {
+		if len(cacheable) == 0 {
+			break
+		}
+		key, err := cache.key(cacheable, pkg)
+		if err == nil {
+			if ent, ok := cache.load(pkg.Path, key); ok {
+				cache.Hits++
+				merge(&res, Result{Diagnostics: ent.Diagnostics, Suppressed: ent.Suppressed})
+				continue
+			}
+		}
+		cache.Misses++
+		fresh := (&Runner{Analyzers: cacheable, Loader: loaderOf(cache)}).Run([]*Package{pkg})
+		if err == nil {
+			cache.store(pkg.Path, key, cacheEntry{Diagnostics: fresh.Diagnostics, Suppressed: fresh.Suppressed})
+		}
+		merge(&res, fresh)
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return res
+}
+
+func loaderOf(c *Cache) *Loader {
+	if c == nil {
+		return nil
+	}
+	return c.loader
+}
+
+func merge(dst *Result, src Result) {
+	dst.Diagnostics = append(dst.Diagnostics, src.Diagnostics...)
+	for k, v := range src.Suppressed {
+		dst.Suppressed[k] += v
+	}
+}
+
+// key computes the package's cache key for the given analyzer set.
+func (c *Cache) key(analyzers []*Analyzer, pkg *Package) (string, error) {
+	h := fnv.New64a()
+	fmt.Fprintln(h, cacheFormat)
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(h, strings.Join(names, ","))
+	for _, dir := range c.inputDirs(pkg) {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return "", err
+		}
+		for _, e := range ents {
+			if e.IsDir() || !isLintableGoFile(e.Name()) {
+				continue
+			}
+			src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(h, "%s %d\n", e.Name(), len(src))
+			h.Write(src)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// inputDirs lists the package's own directory plus the directories of its
+// transitive module-internal dependencies, sorted for key stability.
+func (c *Cache) inputDirs(pkg *Package) []string {
+	dirs := map[string]bool{pkg.Dir: true}
+	seen := map[string]bool{pkg.Path: true}
+	var visit func(path string)
+	visit = func(path string) {
+		if seen[path] {
+			return
+		}
+		seen[path] = true
+		dep := c.loader.Cached(path)
+		if dep == nil {
+			return
+		}
+		dirs[dep.Dir] = true
+		if dep.Types == nil {
+			return
+		}
+		for _, imp := range dep.Types.Imports() {
+			if moduleInternal(c.loader, imp.Path()) {
+				visit(imp.Path())
+			}
+		}
+	}
+	if pkg.Types != nil {
+		for _, imp := range pkg.Types.Imports() {
+			if moduleInternal(c.loader, imp.Path()) {
+				visit(imp.Path())
+			}
+		}
+	}
+	out := make([]string, 0, len(dirs))
+	for d := range dirs {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func moduleInternal(l *Loader, path string) bool {
+	return l != nil && (path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/"))
+}
+
+// entryPath names the cache file for one package: a flattened package path
+// plus the key, so stale keys for the same package are overwritten in place.
+func (c *Cache) entryPath(pkgPath string) string {
+	return filepath.Join(c.dir, strings.ReplaceAll(pkgPath, "/", "_")+".json")
+}
+
+func (c *Cache) load(pkgPath, key string) (cacheEntry, bool) {
+	data, err := os.ReadFile(c.entryPath(pkgPath))
+	if err != nil {
+		return cacheEntry{}, false
+	}
+	var stored struct {
+		Key   string     `json:"key"`
+		Entry cacheEntry `json:"entry"`
+	}
+	if err := json.Unmarshal(data, &stored); err != nil || stored.Key != key {
+		return cacheEntry{}, false
+	}
+	return stored.Entry, true
+}
+
+func (c *Cache) store(pkgPath, key string, ent cacheEntry) {
+	data, err := json.Marshal(struct {
+		Key   string     `json:"key"`
+		Entry cacheEntry `json:"entry"`
+	}{Key: key, Entry: ent})
+	if err != nil {
+		return
+	}
+	// Best-effort: a failed write just means a miss next run.
+	_ = os.WriteFile(c.entryPath(pkgPath), data, 0o644)
+}

@@ -1,0 +1,498 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// This file builds intraprocedural control-flow graphs over go/ast function
+// bodies. The CFG is the substrate of the dataflow tier (see dataflow.go):
+// blocks hold the "simple" statements and condition expressions in execution
+// order, while structured control flow (if/for/range/switch/select/goto,
+// labeled break/continue, short-circuit && and ||) is decomposed into edges.
+// Every graph has exactly one synthetic entry block and one synthetic exit
+// block; all returns, panics, and fallthrough-off-the-end paths converge on
+// the exit, which is where analyzers run their "on every path" checks.
+//
+// Defer statements are collected separately in CFG.Defers: deferred calls
+// run at function exit on every path (including panic unwinding), so
+// analyzers treat them as a suffix applied to the exit state rather than as
+// ordinary nodes. This is an over-approximation for conditionally-registered
+// defers, which errs toward accepting cleanup — the useful direction for
+// balance checks.
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+
+	// Defers lists every defer statement in the body, in source order. The
+	// deferred calls execute at exit on all paths that registered them.
+	Defers []*ast.DeferStmt
+}
+
+// Block is one straight-line run of nodes with no internal control flow.
+type Block struct {
+	Index int
+	Kind  string // diagnostic label: "entry", "exit", "if.then", "for.body", ...
+
+	// Nodes holds the block's statements and condition expressions in
+	// execution order. A *ast.RangeStmt appearing here marks the
+	// per-iteration key/value assignment (it sits at the top of the loop
+	// body, not in the head, so states derived from it never leak onto the
+	// loop-exit edge).
+	Nodes []ast.Node
+
+	Succs []*Block
+	Preds []*Block
+}
+
+// builder carries the construction state for one function body.
+type builder struct {
+	cfg    *CFG
+	cur    *Block // nil when the current path is terminated (return/goto/...)
+	breaks []target
+	conts  []target
+	labels map[string]*Block // goto targets, created lazily
+	gotos  []pendingGoto
+}
+
+// target is an enclosing break/continue destination, optionally labeled.
+type target struct {
+	label string
+	block *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// BuildCFG constructs the CFG of one function body. It never fails: any
+// statement it does not model structurally is kept as an opaque node in the
+// current block.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &builder{cfg: &CFG{}, labels: make(map[string]*Block)}
+	b.cfg.Entry = b.newBlock("entry")
+	b.cfg.Exit = b.newBlock("exit")
+	b.cur = b.newBlock("body")
+	b.edge(b.cfg.Entry, b.cur)
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, b.cfg.Exit)
+	}
+	for _, g := range b.gotos {
+		if dst := b.labels[g.label]; dst != nil {
+			b.edge(g.from, dst)
+		} else {
+			// A goto to a label the builder never saw (malformed source):
+			// route to exit so the graph keeps its single-exit shape.
+			b.edge(g.from, b.cfg.Exit)
+		}
+	}
+	return b.cfg
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends a node to the current block, opening an unreachable block if
+// the path was terminated (dead code still gets analyzed, harmlessly).
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt lowers one statement. label is the statement's label when it came
+// through a *ast.LabeledStmt wrapper.
+func (b *builder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.LabeledStmt:
+		// A label is both a goto target and (for loops/switches) a named
+		// break/continue target. Materialize the goto target block here so
+		// backward gotos resolve.
+		lb := b.newBlock("label." + s.Label.Name)
+		if b.cur != nil {
+			b.edge(b.cur, lb)
+		}
+		b.cur = lb
+		b.labels[s.Label.Name] = lb
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		then := b.newBlock("if.then")
+		done := b.newBlock("if.done")
+		els := done
+		if s.Else != nil {
+			els = b.newBlock("if.else")
+		}
+		b.cond(s.Cond, then, els)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, done)
+		}
+		if s.Else != nil {
+			b.cur = els
+			b.stmt(s.Else, "")
+			if b.cur != nil {
+				b.edge(b.cur, done)
+			}
+		}
+		b.cur = done
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock("for.head")
+		body := b.newBlock("for.body")
+		done := b.newBlock("for.done")
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		b.cur = head
+		if s.Cond != nil {
+			b.cond(s.Cond, body, done)
+		} else {
+			b.edge(mustCur(b), body)
+			b.cur = nil
+		}
+		// The post statement gets its own block so continue (the loop's
+		// continuation target) runs it too; routing continue at the head
+		// would skip the post's kills and gens on every continue path.
+		cont := head
+		if s.Post != nil {
+			post := b.newBlock("for.post")
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, head)
+			cont = post
+		}
+		b.pushLoop(label, done, cont)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, cont)
+		}
+		b.popLoop()
+		b.cur = done
+
+	case *ast.RangeStmt:
+		head := b.newBlock("range.head")
+		body := b.newBlock("range.body")
+		done := b.newBlock("range.done")
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		// The ranged expression is evaluated once in the head; the
+		// per-iteration assignment is modeled by the RangeStmt node itself at
+		// the top of the body, so facts it generates are confined to
+		// iterations and never reach the loop-exit edge.
+		head.Nodes = append(head.Nodes, s.X)
+		b.edge(head, body)
+		b.edge(head, done)
+		body.Nodes = append(body.Nodes, s)
+		b.pushLoop(label, done, head)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		b.popLoop()
+		b.cur = done
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, label, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body, label, nil)
+
+	case *ast.SelectStmt:
+		b.switchBody(s.Body, label, func(c ast.Stmt) ast.Stmt {
+			return c.(*ast.CommClause).Comm
+		})
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		if b.cur != nil {
+			b.edge(b.cur, b.cfg.Exit)
+		}
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if dst := b.findTarget(b.breaks, s.Label); dst != nil && b.cur != nil {
+				b.edge(b.cur, dst)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if dst := b.findTarget(b.conts, s.Label); dst != nil && b.cur != nil {
+				b.edge(b.cur, dst)
+			}
+			b.cur = nil
+		case token.GOTO:
+			if b.cur != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// handled by switchBody's clause chaining; nothing to do here
+		}
+
+	case *ast.DeferStmt:
+		b.cfg.Defers = append(b.cfg.Defers, s)
+		b.add(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			if b.cur != nil {
+				b.edge(b.cur, b.cfg.Exit)
+			}
+			b.cur = nil
+		}
+
+	default:
+		// assign, incdec, send, go, decl, empty, ...: straight-line
+		b.add(s)
+	}
+}
+
+// switchBody lowers the clause list shared by switch/type-switch/select.
+// comm extracts the per-clause communication statement for selects (nil for
+// switches). Fallthrough chains a clause's end into the next clause's body.
+func (b *builder) switchBody(body *ast.BlockStmt, label string, comm func(ast.Stmt) ast.Stmt) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("switch.head")
+		b.cur = head
+	}
+	done := b.newBlock("switch.done")
+	b.pushBreakOnly(label, done)
+
+	hasDefault := false
+	var clauseBlocks []*Block
+	var clauses []ast.Stmt
+	for _, c := range body.List {
+		cb := b.newBlock("case")
+		b.edge(head, cb)
+		clauseBlocks = append(clauseBlocks, cb)
+		clauses = append(clauses, c)
+	}
+	for i, c := range clauses {
+		cb := clauseBlocks[i]
+		b.cur = cb
+		var list []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				cb.Nodes = append(cb.Nodes, e)
+			}
+			list = c.Body
+		case *ast.CommClause:
+			if comm != nil {
+				if cs := comm(c); cs != nil {
+					b.stmt(cs, "")
+				} else {
+					hasDefault = true
+				}
+			}
+			list = c.Body
+		}
+		fallsThrough := false
+		for _, s := range list {
+			if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+			}
+			b.stmt(s, "")
+		}
+		if fallsThrough && i+1 < len(clauseBlocks) && b.cur != nil {
+			b.edge(b.cur, clauseBlocks[i+1])
+			b.cur = nil
+		}
+		if b.cur != nil {
+			b.edge(b.cur, done)
+		}
+	}
+	// A switch/select without a default can execute no clause at all (or
+	// block forever for select; modeling the skip edge keeps the analysis
+	// conservative either way).
+	if !hasDefault {
+		b.edge(head, done)
+	}
+	b.popLoop()
+	b.cur = done
+}
+
+// cond lowers a branch condition, splitting short-circuit operators so each
+// operand lands in its own block: in `a && b`, b is only evaluated (and its
+// facts only generated) on a's true edge.
+func (b *builder) cond(e ast.Expr, then, els *Block) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		b.cond(e.X, then, els)
+		return
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			mid := b.newBlock("cond.and")
+			b.cond(e.X, mid, els)
+			b.cur = mid
+			b.cond(e.Y, then, els)
+			return
+		case token.LOR:
+			mid := b.newBlock("cond.or")
+			b.cond(e.X, then, mid)
+			b.cur = mid
+			b.cond(e.Y, then, els)
+			return
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			b.cond(e.X, els, then)
+			return
+		}
+	}
+	b.add(e)
+	cur := mustCur(b)
+	b.edge(cur, then)
+	b.edge(cur, els)
+	b.cur = nil
+}
+
+// mustCur returns the current block, materializing one for dead code.
+func mustCur(b *builder) *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	return b.cur
+}
+
+// pushLoop registers break/continue targets for a loop. An unlabeled break
+// or continue binds to the innermost loop; a labeled one to the matching
+// entry.
+func (b *builder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, target{label: label, block: brk})
+	b.conts = append(b.conts, target{label: label, block: cont})
+}
+
+// pushBreakOnly registers a break target (switch/select) with a matching
+// placeholder continue entry so push/pop stay paired; continue skips
+// non-loop entries when resolving.
+func (b *builder) pushBreakOnly(label string, brk *Block) {
+	b.breaks = append(b.breaks, target{label: label, block: brk})
+	b.conts = append(b.conts, target{label: label, block: nil})
+}
+
+func (b *builder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.conts = b.conts[:len(b.conts)-1]
+}
+
+// findTarget resolves a break/continue to its destination block.
+func (b *builder) findTarget(stack []target, label *ast.Ident) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		t := stack[i]
+		if t.block == nil {
+			continue // switch entry on the continue stack
+		}
+		if label == nil || t.label == label.Name {
+			return t.block
+		}
+	}
+	return nil
+}
+
+// isPanicCall reports whether e is a direct call to the predeclared panic.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// Dump renders the CFG as stable text for golden tests: one line per block
+// with its kind, node summaries (source line + compact text), and successor
+// indices.
+func (c *CFG) Dump(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, blk := range c.Blocks {
+		fmt.Fprintf(&sb, "b%d %s:", blk.Index, blk.Kind)
+		if len(blk.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		sb.WriteString("\n")
+		for _, n := range blk.Nodes {
+			fmt.Fprintf(&sb, "\tL%d %s\n", fset.Position(n.Pos()).Line, nodeText(fset, n))
+		}
+	}
+	if len(c.Defers) > 0 {
+		sb.WriteString("defers:")
+		for _, d := range c.Defers {
+			fmt.Fprintf(&sb, " L%d", fset.Position(d.Pos()).Line)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// nodeText renders a node as one compact line, truncated for readability.
+func nodeText(fset *token.FileSet, n ast.Node) string {
+	if _, ok := n.(*ast.RangeStmt); ok {
+		return "<range assign>"
+	}
+	var sb strings.Builder
+	cfgPrinter.Fprint(&sb, fset, n)
+	s := strings.Join(strings.Fields(sb.String()), " ")
+	if len(s) > 60 {
+		s = s[:57] + "..."
+	}
+	return s
+}
+
+var cfgPrinter = printer.Config{Mode: printer.RawFormat}

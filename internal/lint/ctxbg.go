@@ -17,9 +17,10 @@ import (
 // context is minted) is the single allowed exception.
 func newCtxbg() *Analyzer {
 	return &Analyzer{
-		Name: "ctxbg",
-		Doc:  "forbid context.Background/TODO in internal packages outside the node-lifecycle root",
-		Run:  runCtxbg,
+		Name:      "ctxbg",
+		Doc:       "forbid context.Background/TODO in internal packages outside the node-lifecycle root",
+		Run:       runCtxbg,
+		Cacheable: true,
 	}
 }
 

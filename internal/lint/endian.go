@@ -15,9 +15,10 @@ import (
 // and desynchronizes the stream.
 func newEndian() *Analyzer {
 	return &Analyzer{
-		Name: "endian",
-		Doc:  "wire-format packages (wire, tdf, ltype) may only reference binary.BigEndian",
-		Run:  runEndian,
+		Name:      "endian",
+		Doc:       "wire-format packages (wire, tdf, ltype) may only reference binary.BigEndian",
+		Run:       runEndian,
+		Cacheable: true,
 	}
 }
 

@@ -19,9 +19,10 @@ import (
 // //nolint:goroleak.
 func newGoroleak() *Analyzer {
 	return &Analyzer{
-		Name: "goroleak",
-		Doc:  "go func literals in internal packages must reference a context or channel so they can be stopped",
-		Run:  runGoroleak,
+		Name:      "goroleak",
+		Doc:       "go func literals in internal packages must reference a context or channel so they can be stopped",
+		Run:       runGoroleak,
+		Cacheable: true,
 	}
 }
 

@@ -19,9 +19,10 @@ const hotpathDirective = "//etlvirt:hotpath"
 // function calls only on failure paths.
 func newHotalloc() *Analyzer {
 	return &Analyzer{
-		Name: "hotalloc",
-		Doc:  "forbid fmt calls inside functions annotated //etlvirt:hotpath (the per-row conversion path must not allocate)",
-		Run:  runHotalloc,
+		Name:      "hotalloc",
+		Doc:       "forbid fmt calls inside functions annotated //etlvirt:hotpath (the per-row conversion path must not allocate)",
+		Run:       runHotalloc,
+		Cacheable: true,
 	}
 }
 

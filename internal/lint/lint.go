@@ -22,6 +22,7 @@ import (
 // Diagnostic is one finding reported by an analyzer.
 type Diagnostic struct {
 	Pos      token.Position // resolved position of the offending node
+	End      token.Position // resolved end of the offending node (zero if unknown)
 	Analyzer string         // analyzer name, e.g. "ctxbg"
 	Message  string
 
@@ -30,6 +31,11 @@ type Diagnostic struct {
 	// directive on any related line suppresses the finding too, so the
 	// justification can sit where the intent lives.
 	Related []token.Position
+
+	// Witness is the CFG path witness of a dataflow finding: the statement
+	// sequence from function entry that reaches the violation, so -json
+	// consumers can act on the finding without rerunning the solver.
+	Witness []Witness
 }
 
 func (d Diagnostic) String() string {
@@ -46,6 +52,7 @@ type Pass struct {
 	Info     *types.Info
 
 	report func(Diagnostic)
+	dirs   *directiveResolver
 }
 
 // Report files a diagnostic at node n.
@@ -56,15 +63,33 @@ func (p *Pass) Report(n ast.Node, format string, args ...any) {
 // ReportRelated files a diagnostic at node n with extra positions whose
 // nolint directives also suppress it.
 func (p *Pass) ReportRelated(n ast.Node, related []ast.Node, format string, args ...any) {
+	p.ReportWitness(n, nil, related, format, args...)
+}
+
+// ReportWitness files a dataflow diagnostic carrying the CFG path witness
+// that reaches the violation.
+func (p *Pass) ReportWitness(n ast.Node, witness []Witness, related []ast.Node, format string, args ...any) {
 	d := Diagnostic{
 		Pos:      p.Fset.Position(n.Pos()),
+		End:      p.Fset.Position(n.End()),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+		Witness:  witness,
 	}
 	for _, r := range related {
 		d.Related = append(d.Related, p.Fset.Position(r.Pos()))
 	}
 	p.report(d)
+}
+
+// FuncDirectives resolves the //etlvirt: directives on the declaration of
+// fn, looking across package boundaries (the declaring package's AST comes
+// from the run set or the loader's dependency cache).
+func (p *Pass) FuncDirectives(fn *types.Func) []directive {
+	if p.dirs == nil {
+		return nil
+	}
+	return p.dirs.funcDirectives(fn)
 }
 
 // Filename returns the file name a node lives in.
@@ -95,11 +120,28 @@ type Analyzer struct {
 	Name string
 	Doc  string // one-line description shown by -help and the JSON header
 	Run  func(*Pass)
+
+	// End, when set, runs once after every package's Run pass. It is where
+	// cross-package analyzers (lockorder's acquisition graph, wirekind's
+	// surface coverage) report findings that need the whole run's state.
+	End func(report func(Diagnostic))
+
+	// Dataflow marks the analyzer as belonging to the flow-sensitive tier
+	// (CFG + worklist solver) rather than the per-node syntactic tier. The
+	// driver's -tier flag and the CI stage split select on it.
+	Dataflow bool
+
+	// Cacheable marks an analyzer whose findings for a package depend only
+	// on that package's sources and the sources of its module-internal
+	// dependencies — no cross-package accumulation. Only cacheable
+	// analyzers participate in the driver's -cache incremental mode.
+	Cacheable bool
 }
 
 // Analyzers returns a fresh instance of every etlvirtlint analyzer.
 // Instances carry per-run state (metricname's cross-package duplicate
-// table), so each driver invocation must use its own set.
+// table, lockorder's acquisition graph), so each driver invocation must use
+// its own set.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		newCtxbg(),
@@ -109,6 +151,11 @@ func Analyzers() []*Analyzer {
 		newMetricname(),
 		newGoroleak(),
 		newHotalloc(),
+		newBufown(),
+		newSpanbalance(),
+		newLockorder(),
+		newSqlident(),
+		newWirekind(),
 	}
 }
 
@@ -124,14 +171,23 @@ type Result struct {
 // filtering.
 type Runner struct {
 	Analyzers []*Analyzer
+
+	// Loader, when set, lets analyzers resolve //etlvirt: directives on
+	// functions in module-internal dependency packages outside the run set.
+	Loader *Loader
 }
 
-// Run executes every analyzer over every package and returns the filtered,
-// position-sorted findings.
+// Run executes every analyzer over every package, fires the End hooks, and
+// returns the filtered, position-sorted findings.
 func (r *Runner) Run(pkgs []*Package) Result {
 	res := Result{Suppressed: make(map[string]int)}
+	dirs := newDirectiveResolver(pkgs, r.Loader)
+	merged := make(nolintIndex)
 	for _, pkg := range pkgs {
 		nolint := collectNolint(pkg)
+		for file, lines := range nolint {
+			merged[file] = lines
+		}
 		for _, a := range r.Analyzers {
 			pass := &Pass{
 				Analyzer: a,
@@ -140,6 +196,7 @@ func (r *Runner) Run(pkgs []*Package) Result {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				dirs:     dirs,
 			}
 			pass.report = func(d Diagnostic) {
 				if nolint.suppresses(d) {
@@ -150,6 +207,19 @@ func (r *Runner) Run(pkgs []*Package) Result {
 			}
 			a.Run(pass)
 		}
+	}
+	for _, a := range r.Analyzers {
+		if a.End == nil {
+			continue
+		}
+		name := a.Name
+		a.End(func(d Diagnostic) {
+			if merged.suppresses(d) {
+				res.Suppressed[name]++
+				return
+			}
+			res.Diagnostics = append(res.Diagnostics, d)
+		})
 	}
 	sort.Slice(res.Diagnostics, func(i, j int) bool {
 		a, b := res.Diagnostics[i], res.Diagnostics[j]

@@ -80,7 +80,17 @@ func expectations(t *testing.T, pkg *Package) map[string][]*regexp.Regexp {
 // every expectation must fire.
 func runFixture(t *testing.T, analyzerName, fixture string) Result {
 	t.Helper()
-	pkg := loadFixture(t, fixture)
+	return runFixturePkgs(t, analyzerName, fixture)
+}
+
+// runFixturePkgs is runFixture over several fixture packages in one run, for
+// analyzers whose invariant spans packages (wirekind's dispatch surfaces).
+func runFixturePkgs(t *testing.T, analyzerName string, fixtures ...string) Result {
+	t.Helper()
+	var pkgs []*Package
+	for _, fx := range fixtures {
+		pkgs = append(pkgs, loadFixture(t, fx))
+	}
 	var analyzer *Analyzer
 	for _, a := range Analyzers() {
 		if a.Name == analyzerName {
@@ -90,9 +100,14 @@ func runFixture(t *testing.T, analyzerName, fixture string) Result {
 	if analyzer == nil {
 		t.Fatalf("no analyzer %q", analyzerName)
 	}
-	res := (&Runner{Analyzers: []*Analyzer{analyzer}}).Run([]*Package{pkg})
+	res := (&Runner{Analyzers: []*Analyzer{analyzer}}).Run(pkgs)
 
-	wants := expectations(t, pkg)
+	wants := make(map[string][]*regexp.Regexp)
+	for _, pkg := range pkgs {
+		for key, res := range expectations(t, pkg) {
+			wants[key] = append(wants[key], res...)
+		}
+	}
 	for _, d := range res.Diagnostics {
 		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
 		matched := false
@@ -113,6 +128,43 @@ func runFixture(t *testing.T, analyzerName, fixture string) Result {
 		}
 	}
 	return res
+}
+
+// The dataflow-tier fixtures assert the suppression count too: each analyzer
+// keeps one deliberate, justified escape-hatch case.
+func TestBufownFixture(t *testing.T) {
+	res := runFixture(t, "bufown", "bufown")
+	if got := res.Suppressed["bufown"]; got != 1 {
+		t.Errorf("suppressed[bufown] = %d, want 1", got)
+	}
+}
+
+func TestSpanbalanceFixture(t *testing.T) {
+	res := runFixture(t, "spanbalance", "spanbalance")
+	if got := res.Suppressed["spanbalance"]; got != 1 {
+		t.Errorf("suppressed[spanbalance] = %d, want 1", got)
+	}
+}
+
+func TestLockorderFixture(t *testing.T) {
+	res := runFixture(t, "lockorder", "lockorder")
+	if got := res.Suppressed["lockorder"]; got != 1 {
+		t.Errorf("suppressed[lockorder] = %d, want 1", got)
+	}
+}
+
+func TestSqlidentFixture(t *testing.T) {
+	res := runFixture(t, "sqlident", "sqlident")
+	if got := res.Suppressed["sqlident"]; got != 1 {
+		t.Errorf("suppressed[sqlident] = %d, want 1", got)
+	}
+}
+
+func TestWirekindFixture(t *testing.T) {
+	res := runFixturePkgs(t, "wirekind", "wirekind", "wirekindclient")
+	if got := res.Suppressed["wirekind"]; got != 1 {
+		t.Errorf("suppressed[wirekind] = %d, want 1", got)
+	}
 }
 
 func TestCtxbgFixture(t *testing.T)      { runFixture(t, "ctxbg", "ctxbg") }
@@ -183,6 +235,67 @@ func TestSelfClean(t *testing.T) {
 	}
 	if n := len(res.Suppressed); n != 0 {
 		t.Errorf("self-lint uses %d //nolint suppressions; the linter's own sources must not need the escape hatch", n)
+	}
+}
+
+// fixtureDirs maps each analyzer to the testdata packages that exercise it.
+// A new analyzer must be added here: TestFixtureCoverage fails otherwise.
+var fixtureDirs = map[string][]string{
+	"ctxbg":       {"ctxbg", "nolint"},
+	"errwrapw":    {"errwrapw"},
+	"endian":      {"wire"},
+	"retrysafe":   {"retrysafe"},
+	"metricname":  {"metricname"},
+	"goroleak":    {"goroleak"},
+	"hotalloc":    {"hotalloc"},
+	"bufown":      {"bufown"},
+	"spanbalance": {"spanbalance"},
+	"lockorder":   {"lockorder"},
+	"sqlident":    {"sqlident"},
+	"wirekind":    {"wirekind", "wirekindclient"},
+}
+
+// TestFixtureCoverage is the fixture-hygiene gate the CI lint-fixtures step
+// runs: every registered analyzer must have at least one fixture with a
+// positive want expectation and at least one fixture exercising its //nolint
+// escape hatch, so both the detection and the suppression paths stay pinned.
+func TestFixtureCoverage(t *testing.T) {
+	l := testLoader(t)
+	for _, a := range Analyzers() {
+		dirs, ok := fixtureDirs[a.Name]
+		if !ok {
+			t.Errorf("analyzer %s has no fixture mapping; add its testdata package(s) to fixtureDirs", a.Name)
+			continue
+		}
+		wants, nolints := 0, 0
+		for _, dir := range dirs {
+			pkg, err := l.LoadDir(filepath.Join(l.ModDir, "internal/lint/testdata/src", dir))
+			if err != nil {
+				t.Fatalf("loading fixture %s: %v", dir, err)
+			}
+			wants += len(expectations(t, pkg))
+			for _, f := range pkg.Files {
+				for _, cg := range f.Comments {
+					for _, c := range cg.List {
+						names, ok := parseNolint(c.Text)
+						if !ok {
+							continue
+						}
+						for _, name := range names {
+							if name == a.Name {
+								nolints++
+							}
+						}
+					}
+				}
+			}
+		}
+		if wants == 0 {
+			t.Errorf("analyzer %s: no want-comment fixture in %v", a.Name, dirs)
+		}
+		if nolints == 0 {
+			t.Errorf("analyzer %s: no //nolint:%s fixture case in %v; the escape hatch is untested", a.Name, a.Name, dirs)
+		}
 	}
 }
 

@@ -74,6 +74,12 @@ func NewLoader(modDir string) (*Loader, error) {
 	}, nil
 }
 
+// Cached returns an already-loaded package by import path (including
+// module-internal dependencies pulled in during type-checking), or nil.
+func (l *Loader) Cached(path string) *Package {
+	return l.cache[path]
+}
+
 // readModulePath extracts the module path from a go.mod file.
 func readModulePath(gomod string) (string, error) {
 	data, err := os.ReadFile(gomod)

@@ -20,9 +20,10 @@ import (
 // Do call.
 func newRetrysafe() *Analyzer {
 	return &Analyzer{
-		Name: "retrysafe",
-		Doc:  "forbid Pool.Exec/Client.Exec lexically inside a retrier.Do closure (non-idempotent DML must not be retried)",
-		Run:  runRetrysafe,
+		Name:      "retrysafe",
+		Doc:       "forbid Pool.Exec/Client.Exec lexically inside a retrier.Do closure (non-idempotent DML must not be retried)",
+		Run:       runRetrysafe,
+		Cacheable: true,
 	}
 }
 

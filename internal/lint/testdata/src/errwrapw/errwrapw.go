@@ -37,3 +37,9 @@ func stringified(err error) error {
 func computed(format string, err error) error {
 	return fmt.Errorf("prefix: "+format, err)
 }
+
+// suppressed: the legacy report format is byte-for-byte frozen; wrapping
+// would leak Go error-chain syntax into fixed-width report fields.
+func frozenReport(err error) error {
+	return fmt.Errorf("RC=12 MSG=%v", err) //nolint:errwrapw
+}

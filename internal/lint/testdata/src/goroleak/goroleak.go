@@ -59,3 +59,13 @@ func namedLaunch() {
 }
 
 func helper() {}
+
+// suppressed: a process-lifetime sampler that must outlive every node;
+// leak-on-exit is the documented intent.
+func processLifetimeSampler() {
+	go func() { //nolint:goroleak
+		for {
+			time.Sleep(time.Minute)
+		}
+	}()
+}

@@ -1,0 +1,100 @@
+// Package lockorder is the fixture for the lockorder analyzer: mutexes must
+// be released on every path, and the global acquisition order must stay
+// acyclic (directly and transitively through calls).
+package lockorder
+
+import (
+	"errors"
+	"sync"
+)
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+	muC sync.Mutex
+	muD sync.Mutex
+	muE sync.Mutex
+	muG sync.Mutex
+	muH sync.RWMutex
+)
+
+// abOrder and baOrder acquire the same two mutexes in opposite orders: a
+// deadlock waiting for the right interleaving. The cycle is reported at the
+// edge site of its lexicographically first node.
+func abOrder() {
+	muA.Lock()
+	muB.Lock() // want "lock acquisition cycle"
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func baOrder() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// cThenD closes a cycle transitively: it holds muC across a call whose
+// callee locks muD, while dThenC takes them in the other order.
+func lockD() {
+	muD.Lock()
+	muD.Unlock()
+}
+
+func cThenD() {
+	muC.Lock()
+	lockD() // want "lock acquisition cycle"
+	muC.Unlock()
+}
+
+func dThenC() {
+	muD.Lock()
+	muC.Lock()
+	muC.Unlock()
+	muD.Unlock()
+}
+
+// holdOnError forgets the unlock on the early-return path.
+func holdOnError(fail bool) error {
+	muG.Lock() // want "lockorder.muG may still be held when holdOnError returns"
+	if fail {
+		return errors.New("boom")
+	}
+	muG.Unlock()
+	return nil
+}
+
+// deferUnlock releases on every path, including panic unwinds.
+func deferUnlock() {
+	muG.Lock()
+	defer muG.Unlock()
+}
+
+// readLeak loses a read lock on one path; RWMutex read state is tracked
+// independently of the write side.
+func readLeak(fail bool) int {
+	muH.RLock() // want "lockorder.muH/r may still be held when readLeak returns"
+	if fail {
+		return 0
+	}
+	muH.RUnlock()
+	return 1
+}
+
+// readBalanced pairs the read lock on both paths.
+func readBalanced(fail bool) int {
+	muH.RLock()
+	if fail {
+		muH.RUnlock()
+		return 0
+	}
+	muH.RUnlock()
+	return 1
+}
+
+// lockAndReturn hands muE to its caller locked by contract; the escape hatch
+// records the deliberate exception.
+func lockAndReturn() {
+	muE.Lock() //nolint:lockorder
+}

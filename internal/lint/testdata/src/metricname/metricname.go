@@ -34,3 +34,9 @@ func register(r *obs.Registry, dynamic string) {
 	// violating: second registration of an existing name panics at runtime.
 	r.Gauge("etlvirt_fixture_depth", "Depth again.") // want "duplicate metric name"
 }
+
+// suppressed: one legacy dashboard series predates the namespace rule and
+// is pinned until the dashboards migrate.
+func registerLegacy(r *obs.Registry) {
+	r.Counter("legacy_rows_total", "Rows, legacy series.") //nolint:metricname
+}

@@ -39,3 +39,12 @@ func plainExec(p *cdwnet.Pool) error {
 	_, err := p.Exec("INSERT INTO t VALUES (1)")
 	return err
 }
+
+// suppressed: the statement is a DDL drop that is idempotent by
+// construction, so the blanket rule is deliberately waived here.
+func retryIdempotentDrop(ctx context.Context, r *retrier.Retrier, p *cdwnet.Pool) error {
+	return r.Do(ctx, "drop", func() error {
+		_, err := p.Exec("DROP TABLE IF EXISTS t_stage") //nolint:retrysafe
+		return err
+	})
+}

@@ -1,0 +1,116 @@
+// Package spanbalance is the fixture for the spanbalance analyzer: every
+// Tracer.Start/StartCtx must reach Finish or a hand-off on all paths. The
+// Tracer double below matches the analyzer's type-driven detection (methods
+// on a named type called Tracer).
+package spanbalance
+
+import "errors"
+
+// Tracer is a stand-in for the obs tracer.
+type Tracer struct{}
+
+// Span is a started-span handle.
+type Span struct{ id int }
+
+func (t *Tracer) Start(name string) *Span            { return &Span{} }
+func (t *Tracer) StartCtx(name string, id int) *Span { return &Span{} }
+func (t *Tracer) Finish(id int)                      {}
+
+func (s *Span) note() {}
+
+type job struct {
+	trace *Span
+}
+
+var registry = map[int]*job{}
+
+// leakOnErrorPath loses the span when the early return fires.
+func leakOnErrorPath(t *Tracer, fail bool) error {
+	h := t.Start("job") // want "trace h may reach a return without Finish"
+	if fail {
+		return errors.New("boom")
+	}
+	h.note()
+	t.Finish(0)
+	return nil
+}
+
+// startCtxLeak leaks through the loop's break path.
+func startCtxLeak(t *Tracer, n int) {
+	h := t.StartCtx("chunk", n) // want "trace h may reach a return without Finish"
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			break
+		}
+	}
+	h.note()
+}
+
+// finishBothPaths settles the span on every branch.
+func finishBothPaths(t *Tracer, fail bool) error {
+	h := t.Start("job")
+	h.note()
+	if fail {
+		t.Finish(0)
+		return errors.New("boom")
+	}
+	t.Finish(0)
+	return nil
+}
+
+// deferredFinish counts on every path, including the early return.
+func deferredFinish(t *Tracer, fail bool) error {
+	h := t.Start("job")
+	defer t.Finish(0)
+	h.note()
+	if fail {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+// handOffReturn transfers the span's lifecycle to the caller.
+func handOffReturn(t *Tracer) *Span {
+	h := t.Start("job")
+	return h
+}
+
+// rekeyAndPublish moves tracking into the composite literal's field and then
+// hands the holder to the registry, which owns the lifecycle from there.
+func rekeyAndPublish(t *Tracer, id int) {
+	h := t.Start("job")
+	j := &job{trace: h}
+	registry[id] = j
+}
+
+// rekeyAndDrop re-keys into the literal but then loses the holder on the
+// error path: the diagnostic points at the Start that originated the span.
+func rekeyAndDrop(t *Tracer, fail bool) error {
+	h := t.Start("job") // want "trace j.trace may reach a return without Finish"
+	j := &job{trace: h}
+	if fail {
+		return errors.New("boom")
+	}
+	registry[0] = j
+	return nil
+}
+
+// passToHelper is a hand-off: the callee owns the span now.
+func passToHelper(t *Tracer) {
+	h := t.Start("job")
+	settle(h)
+}
+
+func settle(s *Span) {}
+
+// suppressed pins the escape hatch: a fire-and-forget span, deliberately
+// unfinished, silenced with a justified directive.
+func suppressed(t *Tracer, fail bool) error {
+	h := t.Start("probe") //nolint:spanbalance
+	if fail {
+		return errors.New("boom")
+	}
+	h.note()
+	t.Finish(0)
+	return nil
+}

@@ -1,0 +1,71 @@
+// Package sqlident is the fixture for the sqlident analyzer: SQL text in the
+// translation layers must not interpolate unquoted dynamic identifiers. The
+// package path ends in "sqlident", which puts it in the analyzer's scope.
+package sqlident
+
+import (
+	"fmt"
+	"strings"
+)
+
+// quoteName is clean by naming convention (quote* prefix).
+func quoteName(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// renderTable is a sanitizer by declaration: its results are trusted.
+//
+//etlvirt:sqlclean
+func renderTable(s string) string {
+	return quoteName(s)
+}
+
+// concatRaw splices a raw parameter into a statement.
+func concatRaw(table string) string {
+	return "SELECT * FROM " + table // want "SQL text interpolates table"
+}
+
+// sprintfRaw does the same through a format call.
+func sprintfRaw(table string) string {
+	return fmt.Sprintf("SELECT COUNT(1) FROM %s", table) // want "SQL text interpolates table"
+}
+
+// quoted interpolates only sanitized values.
+func quoted(table string) string {
+	return "SELECT * FROM " + quoteName(table)
+}
+
+// rendered trusts the directive-marked producer.
+func rendered(table string) string {
+	return fmt.Sprintf("DELETE FROM %s", renderTable(table))
+}
+
+// taintFlows tracks dirt through assignments and branches: name is clean on
+// one path, a raw parameter derivative on the other, so the build site is a
+// may-dirty interpolation.
+func taintFlows(table string, quote bool) string {
+	name := table
+	if quote {
+		name = quoteName(table)
+	}
+	return "DROP TABLE " + name // want "SQL text interpolates name"
+}
+
+// rebound is clean on every path: the dirty binding is overwritten before
+// any SQL is built.
+func rebound(table string) string {
+	name := table
+	name = quoteName(name)
+	return "DROP TABLE " + name
+}
+
+// messageNotSQL interpolates into non-SQL text; the analyzer only polices
+// statement-shaped strings.
+func messageNotSQL(table string) string {
+	return "scrub skipped table " + table
+}
+
+// suppressed pins the escape hatch: text built for parsing only, never sent.
+func suppressed(pred string) string {
+	return "SELECT 1 FROM t WHERE " + pred //nolint:sqlident
+}

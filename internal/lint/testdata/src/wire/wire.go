@@ -18,3 +18,9 @@ func readLenNative(src []byte) uint16 {
 func putLenBE(dst []byte, n uint16) {
 	binary.BigEndian.PutUint16(dst, n)
 }
+
+// suppressed: the legacy TDF header's one little-endian field, inherited
+// from the mainframe tool byte-for-byte.
+func legacyHeaderField(src []byte) uint16 {
+	return binary.LittleEndian.Uint16(src) //nolint:endian
+}

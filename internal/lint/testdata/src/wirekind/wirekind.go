@@ -1,0 +1,95 @@
+// Package wirekind is the fixture for the wirekind analyzer: every kind
+// constant must be wired through the codec, server, client, and label
+// surfaces. The companion package wirekindclient carries the client surface.
+package wirekind
+
+// Kind tags a frame.
+type Kind uint8
+
+// Message is one decoded frame.
+type Message interface{ Kind() Kind }
+
+// The direction comments double as the analyzer's input; the want
+// expectations ride in the same trailing comment.
+const (
+	KindInvalid Kind = 0
+	KindPing    Kind = 1 // client -> server: fully wired
+	KindPong    Kind = 2 // server -> client: fully wired
+	KindStats   Kind = 3 // server -> client: want "KindStats is server->client but Stats is never referenced in the client package"
+	KindDrop    Kind = 4 // client -> server: want "KindDrop is client->server but \*Drop has no case in the server dispatch switch"
+	KindGone    Kind = 5 // client -> server: want "KindGone has no arm in the codec dispatch switch"
+	KindAck     Kind = 6 // server -> client: consumed by kind constant in the client
+	KindMute    Kind = 7 // server -> client: want "KindMute has no entry in Kind.String's name table"
+	// The label gap below is deliberate (diagnostic-only kind); the escape
+	// hatch records it.
+	//nolint:wirekind
+	KindHush Kind = 8 // server -> client: deliberately unlabeled
+)
+
+// String names a kind for traces; the table deliberately stops at KindAck.
+func (k Kind) String() string {
+	names := [...]string{"invalid", "ping", "pong", "stats", "drop", "gone", "ack"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return "?"
+}
+
+type (
+	// Ping checks liveness.
+	Ping struct{}
+	// Pong answers a Ping.
+	Pong struct{}
+	// Stats reports counters.
+	Stats struct{}
+	// Drop abandons a stream.
+	Drop struct{}
+	// Gone announces a closed stream.
+	Gone struct{}
+	// Ack is a bare acknowledgement.
+	Ack struct{}
+	// Mute silences reporting.
+	Mute struct{}
+	// Hush is Mute's diagnostic-only twin.
+	Hush struct{}
+)
+
+func (*Ping) Kind() Kind  { return KindPing }
+func (*Pong) Kind() Kind  { return KindPong }
+func (*Stats) Kind() Kind { return KindStats }
+func (*Drop) Kind() Kind  { return KindDrop }
+func (*Gone) Kind() Kind  { return KindGone }
+func (*Ack) Kind() Kind   { return KindAck }
+func (*Mute) Kind() Kind  { return KindMute }
+func (*Hush) Kind() Kind  { return KindHush }
+
+// NewMessage is the codec surface: it misses KindGone.
+func NewMessage(k Kind) Message {
+	//etlvirt:dispatch codec
+	switch k {
+	case KindPing:
+		return &Ping{}
+	case KindPong:
+		return &Pong{}
+	case KindStats:
+		return &Stats{}
+	case KindDrop:
+		return &Drop{}
+	case KindAck:
+		return &Ack{}
+	case KindMute:
+		return &Mute{}
+	case KindHush:
+		return &Hush{}
+	}
+	return nil
+}
+
+// Serve is the server surface: it misses *Drop, and exempts KindGone, which
+// is consumed by a pre-loop handshake in the real protocol's shape.
+func Serve(m Message) {
+	//etlvirt:dispatch server -KindGone
+	switch m.(type) {
+	case *Ping:
+	}
+}

@@ -1,0 +1,29 @@
+// Package wirekindclient is the client surface of the wirekind fixture: the
+// dispatch directive below makes the analyzer require every server->client
+// message type (or its kind constant) to be referenced somewhere here.
+// Stats is deliberately absent.
+//
+//etlvirt:dispatch client
+package wirekindclient
+
+import wk "etlvirt/internal/lint/testdata/src/wirekind"
+
+// Consume handles the frames the fixture client understands.
+func Consume(m wk.Message) int {
+	switch m := m.(type) {
+	case *wk.Pong:
+		_ = m
+		return 1
+	case *wk.Mute:
+		return 2
+	case *wk.Hush:
+		return 3
+	}
+	return 0
+}
+
+// Expect consumes an ack-only frame by kind constant, the Expect(KindX)
+// idiom: coverage without naming the message type.
+func Expect(k wk.Kind) bool {
+	return k == wk.KindAck
+}

@@ -855,6 +855,7 @@ func Decode(f Frame) (Message, error) {
 }
 
 func newMessage(k Kind) Message {
+	//etlvirt:dispatch codec
 	switch k {
 	case KindLogon:
 		return &Logon{}
