@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"etlvirt/internal/sqlparse"
+)
+
+// JSONReport is the machine-readable benchmark artifact benchfig writes for
+// CI (BENCH_10.json): throughput and phase split per run, the per-stage
+// latency quantiles behind them, and allocation probes on the staging lane's
+// hot paths.
+type JSONReport struct {
+	Scale       int              `json:"scale"`
+	Fig7        []JSONRun        `json:"fig7"`
+	StagingLane []JSONRun        `json:"staging_lane"`
+	Allocs      []JSONAllocProbe `json:"allocs"`
+}
+
+// JSONRun is one benchmark run's outcome.
+type JSONRun struct {
+	Name          string      `json:"name"`
+	Rows          int64       `json:"rows"`
+	Bytes         int64       `json:"bytes"`
+	RowsPerSec    float64     `json:"rows_per_sec"`
+	BytesPerSec   float64     `json:"bytes_per_sec"`
+	AcquisitionMS float64     `json:"acquisition_ms"`
+	ApplicationMS float64     `json:"application_ms"`
+	TotalMS       float64     `json:"total_ms"`
+	Files         int64       `json:"files"`
+	CopyBatches   int64       `json:"copy_batches,omitempty"`
+	Stages        []JSONStage `json:"stages,omitempty"`
+}
+
+// JSONStage is one per-stage latency summary in a JSONRun.
+type JSONStage struct {
+	Name  string  `json:"name"`
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+}
+
+// JSONAllocProbe is one allocs/op measurement of a hot path.
+type JSONAllocProbe struct {
+	Name        string  `json:"name"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// jsonRun converts measured phase times into the report row shape.
+func jsonRun(name string, p PhaseTimes, stages bool) JSONRun {
+	r := JSONRun{
+		Name:          name,
+		Rows:          p.Rows,
+		Bytes:         p.Bytes,
+		AcquisitionMS: float64(p.Acquisition.Microseconds()) / 1e3,
+		ApplicationMS: float64(p.Application.Microseconds()) / 1e3,
+		TotalMS:       float64(p.Total.Microseconds()) / 1e3,
+		Files:         p.Files,
+		CopyBatches:   p.CopyBatches,
+	}
+	if secs := p.Total.Seconds(); secs > 0 {
+		r.RowsPerSec = float64(p.Rows) / secs
+		r.BytesPerSec = float64(p.Bytes) / secs
+	}
+	if stages {
+		for _, s := range p.Stages {
+			r.Stages = append(r.Stages, JSONStage{
+				Name: s.Name, Count: s.Count, Mean: s.Mean, P50: s.P50, P95: s.P95,
+			})
+		}
+	}
+	return r
+}
+
+// allocProbes measures allocs/op on the staging lane's client-visible hot
+// paths. The copy-scheduler internals have their own white-box alloc gates in
+// internal/core; this probe tracks the manifest COPY statement build — the
+// per-batch cost the scheduler pays on every issue.
+func allocProbes() []JSONAllocProbe {
+	files := make([]string, 16)
+	for i := range files {
+		files[i] = fmt.Sprintf("job42/part-%05d.csv.gz", i)
+	}
+	manifest := testing.AllocsPerRun(200, func() {
+		st := &sqlparse.CopyStmt{
+			Table:   sqlparse.TableName{Schema: "bench", Name: "stage"},
+			From:    "store://job42/",
+			Files:   files,
+			Options: map[string]string{"format": "csv", "order": "__seq"},
+		}
+		if _, err := sqlparse.Print(st, sqlparse.DialectCDW); err != nil {
+			panic(err)
+		}
+	})
+	return []JSONAllocProbe{
+		{Name: "copy_manifest_sql_16_files", AllocsPerOp: manifest},
+	}
+}
+
+// BuildJSONReport runs the Figure 7 sweep and the staging-lane comparison
+// and assembles the machine-readable benchmark report.
+func BuildJSONReport(scale int) ([]byte, error) {
+	if scale <= 0 {
+		scale = RowsPerPaperMillion
+	}
+	rep := JSONReport{Scale: scale, Allocs: allocProbes()}
+	fig7, err := Fig7(scale)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range fig7 {
+		rep.Fig7 = append(rep.Fig7,
+			jsonRun(fmt.Sprintf("fig7_%dM", r.PaperMRows), r.Times, i == len(fig7)-1))
+	}
+	lane, err := StagingLane(scale)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range lane {
+		rep.StagingLane = append(rep.StagingLane, jsonRun(r.Name, r.Times, false))
+	}
+	return json.MarshalIndent(rep, "", "  ")
+}

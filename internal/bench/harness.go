@@ -39,13 +39,14 @@ type PhaseTimes struct {
 	Other       time.Duration
 	Total       time.Duration
 
-	Rows       int64
-	Bytes      int64
-	Inserted   int64
-	ErrorsET   int64
-	ErrorsUV   int64
-	ApplyStmts int64
-	Files      int64
+	Rows        int64
+	Bytes       int64
+	Inserted    int64
+	ErrorsET    int64
+	ErrorsUV    int64
+	ApplyStmts  int64
+	Files       int64
+	CopyBatches int64 // incremental COPY manifests landed during acquisition
 
 	// Stages summarizes the node registry's per-stage latency histograms
 	// accumulated over the run — the stage-level attribution behind the
@@ -176,6 +177,7 @@ func RunImport(cfg RunConfig) (PhaseTimes, error) {
 		ErrorsUV:    r.ErrorsUV,
 		ApplyStmts:  r.ApplyStmts,
 		Files:       r.FilesWritten,
+		CopyBatches: r.CopyBatches,
 		Stages:      stageSummaries(node),
 		ChromeTrace: chromeTrace,
 	}, nil

@@ -28,9 +28,22 @@ func (e *Engine) execCopy(s *sqlparse.CopyStmt) (*Result, error) {
 		return nil, err
 	}
 	prefix := strings.TrimPrefix(s.From, "store://")
-	keys, err := e.Store.List(prefix)
-	if err != nil {
-		return nil, errf(CodeCopyFailed, "listing %q: %v", prefix, err)
+	var keys []string
+	if len(s.Files) > 0 {
+		// Manifest COPY: ingest exactly the named objects, in manifest order,
+		// resolved relative to the prefix. Used by the virtualizer's copy
+		// scheduler to land already-uploaded files while acquisition is still
+		// producing more under the same prefix.
+		keys = make([]string, len(s.Files))
+		for i, name := range s.Files {
+			keys[i] = prefix + name
+		}
+	} else {
+		var err error
+		keys, err = e.Store.List(prefix)
+		if err != nil {
+			return nil, errf(CodeCopyFailed, "listing %q: %v", prefix, err)
+		}
 	}
 	if format := s.Options["format"]; format != "" && format != "csv" {
 		return nil, errf(CodeCopyFailed, "unsupported COPY format %q", format)
@@ -67,19 +80,23 @@ func (e *Engine) execCopy(s *sqlparse.CopyStmt) (*Result, error) {
 		newRows = append(newRows, rows...)
 	}
 
-	// Optional clustering: sort the incoming batch by a column before it
-	// lands, e.g. OPTIONS (order '__seq'). The virtualizer uses this so the
+	// Optional clustering: keep the table ordered by a column as batches
+	// land, e.g. OPTIONS (order '__seq'). The virtualizer uses this so the
 	// staging table's physical order matches the input row order even though
 	// parallel FileWriters interleave the uploaded files — which keeps
-	// order-sensitive legacy DML semantics (last update wins) intact.
+	// order-sensitive legacy DML semantics (last update wins) intact. The
+	// incoming batch is sorted, then merged into the already-clustered rows,
+	// so a sequence of incremental manifest COPYs lands the exact physical
+	// order one monolithic COPY of the same objects would.
+	orderIdx := -1
 	if orderCol := s.Options["order"]; orderCol != "" {
-		idx := t.ColIndex(orderCol)
-		if idx < 0 {
+		orderIdx = t.ColIndex(orderCol)
+		if orderIdx < 0 {
 			return nil, errf(CodeNoSuchColumn, "COPY order column %q does not exist", orderCol)
 		}
 		var sortErr error
 		sort.SliceStable(newRows, func(i, k int) bool {
-			c, err := compareForSort(newRows[i][idx], newRows[k][idx])
+			c, err := compareForSort(newRows[i][orderIdx], newRows[k][orderIdx])
 			if err != nil && sortErr == nil {
 				sortErr = err
 			}
@@ -97,8 +114,49 @@ func (e *Engine) execCopy(s *sqlparse.CopyStmt) (*Result, error) {
 			return nil, err
 		}
 	}
-	t.rows = append(t.rows, newRows...)
+	if orderIdx >= 0 && len(t.rows) > 0 && len(newRows) > 0 {
+		merged, err := mergeClustered(t.rows, newRows, orderIdx)
+		if err != nil {
+			return nil, err
+		}
+		t.rows = merged
+	} else {
+		t.rows = append(t.rows, newRows...)
+	}
 	return &Result{Activity: int64(len(newRows))}, nil
+}
+
+// mergeClustered merges a sorted incoming COPY batch into rows already
+// clustered by the same column (earlier ordered COPYs keep that invariant).
+// Existing rows win ties so repeated equal keys stay in arrival order.
+func mergeClustered(existing, batch [][]Datum, idx int) ([][]Datum, error) {
+	// Fast path: the batch strictly follows the existing tail (common when
+	// uploads finish roughly in sequence order).
+	c, err := compareForSort(existing[len(existing)-1][idx], batch[0][idx])
+	if err != nil {
+		return nil, err
+	}
+	if c <= 0 {
+		return append(existing, batch...), nil
+	}
+	out := make([][]Datum, 0, len(existing)+len(batch))
+	i, k := 0, 0
+	for i < len(existing) && k < len(batch) {
+		c, err := compareForSort(existing[i][idx], batch[k][idx])
+		if err != nil {
+			return nil, err
+		}
+		if c <= 0 {
+			out = append(out, existing[i])
+			i++
+		} else {
+			out = append(out, batch[k])
+			k++
+		}
+	}
+	out = append(out, existing[i:]...)
+	out = append(out, batch[k:]...)
+	return out, nil
 }
 
 func (e *Engine) parseCSVRows(t *Table, r io.Reader, delim rune, rowSeq *int64) ([][]Datum, error) {

@@ -229,6 +229,71 @@ func TestCopyRecoveryOnEngineFault(t *testing.T) {
 	}
 }
 
+// TestPartialCopyRecoveryReplaysLandedBatches faults the engine's object
+// store between incremental COPY batches: the first manifest batch lands,
+// then the next batch's first file read fails, forcing the staging-recreate
+// recovery path. The recreated staging table must replay every landed batch
+// exactly once before re-running the failing batch, and the final target
+// must hold every row — the exactly-once guarantee of the copy scheduler.
+func TestPartialCopyRecoveryReplaysLandedBatches(t *testing.T) {
+	mem := cloudstore.NewMemStore()
+	engInj := faultinject.New(chaosSeed(t))
+	// Gets 1-2 are the first two-file batch landing; Get 3 is the next
+	// batch's first file and fails, after state has already been staged.
+	engInj.SetRule(faultinject.OpStoreGet, faultinject.Rule{Nth: []int64{3}})
+	eng := cdw.NewEngine(faultinject.NewStore(engInj, mem), cdw.Options{})
+	srv := cdwnet.NewServer(eng)
+	cdwAddr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	node := core.NewNode(core.Config{
+		CDWAddr:           cdwAddr,
+		RetryBaseDelay:    time.Millisecond,
+		FileSizeThreshold: 256, // many small spool files
+		FileWriters:       1,   // deterministic file sequence
+		UploadParallelism: 1,   // deterministic upload (and COPY-feed) order
+		CopyBatchFiles:    2,
+	}, mem)
+	addr, err := node.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+	mustEng(t, eng, customerDDL)
+
+	const rows = 120
+	var input strings.Builder
+	for i := 1; i <= rows; i++ {
+		fmt.Fprintf(&input, "%d|Name %d|2021-%02d-%02d\n", i, i, 1+i%12, 1+i%28)
+	}
+	res := runScript(t, addr, example21Script(""), map[string]string{"input.txt": input.String()},
+		etlclient.Options{ChunkRecords: 10})
+	if got := res.Imports[0].Inserted; got != rows {
+		t.Errorf("inserted = %d, want %d", got, rows)
+	}
+	if n := mustEng(t, eng, "SELECT count(*) FROM PROD.CUSTOMER").Rows[0][0].I; n != rows {
+		t.Errorf("target count = %d, want %d", n, rows)
+	}
+
+	dump := metricsDump(t, node)
+	if v := metricValue(t, dump, "etlvirt_copy_recoveries_total"); v != 1 {
+		t.Errorf("copy recoveries = %v, want exactly 1", v)
+	}
+	// Exactly one batch had landed when the fault hit, and recovery replays
+	// it exactly once — more would double rows, fewer would drop them.
+	if v := metricValue(t, dump, "etlvirt_copy_batch_replays_total"); v != 1 {
+		t.Errorf("landed-batch replays = %v, want exactly 1", v)
+	}
+	if v := metricValue(t, dump, "etlvirt_copy_batches_total"); v < 2 {
+		t.Errorf("incremental batches = %v, want >= 2", v)
+	}
+	if got := engInj.Injected(); got != 1 {
+		t.Errorf("engine-side faults = %d, want 1", got)
+	}
+}
+
 // TestRetryExhaustionPoisonsJob removes any hope of recovery (every put
 // faults forever) and checks the job fails cleanly instead of hanging, with
 // the exhaustion recorded.

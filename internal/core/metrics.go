@@ -26,6 +26,11 @@ type nodeMetrics struct {
 	creditWait, convertLat, rotateLat *obs.Histogram
 	uploadLat, linkLat                *obs.Histogram
 
+	// pipelined staging lane (incremental COPY scheduler + adaptive tuner)
+	copyBatches, copyReplays             *obs.Counter
+	tunerGrows, tunerShrinks, tunerHolds *obs.Counter
+	copyBatchFiles                       *obs.Histogram
+
 	// application (Beta DML with adaptive splitting)
 	rowsInserted, rowsUpdated, rowsDeleted *obs.Counter
 	errorsET, errorsUV, blockErrors        *obs.Counter
@@ -104,6 +109,18 @@ func newNodeMetrics(n *Node) *nodeMetrics {
 		"FileWriter rotation latency (gzip finalize + close).", nil)
 	m.uploadLat = r.Histogram("etlvirt_upload_seconds",
 		"Per-file bulk-loader upload latency.", nil)
+	m.copyBatches = r.Counter("etlvirt_copy_batches_total",
+		"Incremental manifest COPY batches landed while acquisition was still running.")
+	m.copyReplays = r.Counter("etlvirt_copy_batch_replays_total",
+		"Landed manifest batches re-COPYed while recovering a failed staging COPY.")
+	m.copyBatchFiles = r.Histogram("etlvirt_copy_batch_files",
+		"Files folded into one manifest COPY statement.", obs.SizeBuckets)
+	m.tunerGrows = r.Counter("etlvirt_import_tuner_grow_total",
+		"Staging-lane tuner decisions growing the uploader pool.")
+	m.tunerShrinks = r.Counter("etlvirt_import_tuner_shrink_total",
+		"Staging-lane tuner decisions shrinking the uploader pool.")
+	m.tunerHolds = r.Counter("etlvirt_import_tuner_hold_total",
+		"Staging-lane tuner decisions holding the uploader pool size.")
 	m.linkLat = r.Histogram("etlvirt_link_transfer_seconds",
 		"Simulated cloud-link transfer time per object.", nil)
 

@@ -27,6 +27,7 @@ type JobReport struct {
 	DataErrors   int64 // records rejected during acquisition
 	FilesWritten int64
 	BytesUpload  int64 // bytes handed to the bulk loader
+	CopyBatches  int64 // incremental COPY manifests issued by the scheduler
 
 	// application counters
 	Inserted      int64

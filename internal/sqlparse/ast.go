@@ -240,10 +240,16 @@ func (*TruncateStmt) stmt() {}
 
 // CopyStmt is the CDW bulk-ingest statement:
 //
-//	COPY INTO t FROM 'store://prefix/' OPTIONS (format 'csv', gzip 'true')
+//	COPY INTO t FROM 'store://prefix/' FILES ('a.csv', 'b.csv.gz') OPTIONS (format 'csv', gzip 'true')
+//
+// Without a FILES manifest the engine ingests every object under the From
+// prefix; with one it ingests exactly the named objects (resolved relative
+// to the prefix), in manifest order — the incremental multi-file COPY the
+// virtualizer's copy scheduler issues while acquisition is still running.
 type CopyStmt struct {
 	Table   TableName
 	From    string
+	Files   []string
 	Options map[string]string
 }
 

@@ -865,6 +865,28 @@ func (p *Parser) parseCopy() (Stmt, error) {
 	}
 	p.next()
 	c := &CopyStmt{Table: tn, From: t.Text, Options: map[string]string{}}
+	// FILES is a soft keyword: it only has meaning in this clause position,
+	// so it is matched as an identifier instead of widening the keyword set.
+	if ft := p.cur(); ft.Kind == TokIdent && strings.EqualFold(ft.Text, "FILES") {
+		p.next()
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		for {
+			nt := p.cur()
+			if nt.Kind != TokString {
+				return nil, fmt.Errorf("sqlparse: COPY FILES requires string names at line %d", nt.Line)
+			}
+			p.next()
+			c.Files = append(c.Files, nt.Text)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
 	if p.acceptKw("OPTIONS") {
 		if err := p.expectOp("("); err != nil {
 			return nil, err

@@ -231,6 +231,29 @@ func TestParseCopy(t *testing.T) {
 	if c.From != "store://job1/" || c.Options["format"] != "csv" || c.Options["gzip"] != "true" {
 		t.Errorf("copy: %+v", c)
 	}
+	if len(c.Files) != 0 {
+		t.Errorf("prefix copy grew a manifest: %+v", c.Files)
+	}
+}
+
+func TestParseCopyFilesManifest(t *testing.T) {
+	c := mustParse(t, "COPY INTO stage FROM 'store://job1/' FILES ('a.csv', 'b.csv.gz') OPTIONS (format 'csv')",
+		DialectCDW).(*CopyStmt)
+	if len(c.Files) != 2 || c.Files[0] != "a.csv" || c.Files[1] != "b.csv.gz" {
+		t.Errorf("manifest: %+v", c.Files)
+	}
+	if c.Options["format"] != "csv" {
+		t.Errorf("options after manifest: %+v", c.Options)
+	}
+	// manifest without options
+	c = mustParse(t, "COPY INTO stage FROM 'store://job1/' FILES ('only.csv')", DialectCDW).(*CopyStmt)
+	if len(c.Files) != 1 || c.Files[0] != "only.csv" {
+		t.Errorf("manifest: %+v", c.Files)
+	}
+	// non-string manifest entries are rejected
+	if _, err := Parse("COPY INTO stage FROM 'store://job1/' FILES (a)", DialectCDW); err == nil {
+		t.Error("bare identifier in FILES accepted")
+	}
 }
 
 func TestParseExpressionPrecedence(t *testing.T) {

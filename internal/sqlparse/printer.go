@@ -241,6 +241,16 @@ func (p *printer) stmt(s Stmt) {
 		p.table(st.Table)
 		p.w(" FROM ")
 		p.strLit(st.From)
+		if len(st.Files) > 0 {
+			p.w(" FILES (")
+			for i, f := range st.Files {
+				if i > 0 {
+					p.w(", ")
+				}
+				p.strLit(f)
+			}
+			p.w(")")
+		}
 		if len(st.Options) > 0 {
 			p.w(" OPTIONS (")
 			first := true

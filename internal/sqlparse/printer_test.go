@@ -57,6 +57,7 @@ func TestPrintRoundTrips(t *testing.T) {
 		"UPDATE tgt SET v = s.v FROM stage s WHERE tgt.k = s.k AND s.n BETWEEN 1 AND 5",
 		"DELETE FROM tgt t USING stage s WHERE t.k = s.k",
 		"COPY INTO stage FROM 'store://x/' OPTIONS (format 'csv', gzip 'true')",
+		"COPY INTO stage FROM 'store://x/' FILES ('part-00001.csv', 'part-00002.csv.gz') OPTIONS (format 'csv')",
 		"SELECT * FROM (SELECT a FROM t WHERE a IN (1, 2)) d WHERE EXISTS (SELECT 1 FROM u)",
 		"SELECT x - (y - z), x - y - z, -x + 4, a / (b / c) FROM t",
 		"SELECT \"weird name\", \"select\" FROM \"my table\"",

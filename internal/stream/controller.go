@@ -1,6 +1,10 @@
 package stream
 
-import "time"
+import (
+	"time"
+
+	"etlvirt/internal/tune"
+)
 
 // Config tunes the adaptive controller. Zero values select defaults.
 type Config struct {
@@ -74,27 +78,17 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Action classifies a controller decision.
-type Action uint8
+// Action classifies a controller decision. It is the shared tune.Action so
+// decisions from the streaming controller and the import-lane tuner read the
+// same everywhere they are counted or labeled.
+type Action = tune.Action
 
 // Controller decisions: hold the current batch size, grow it, or shrink it.
 const (
-	ActionHold Action = iota
-	ActionGrow
-	ActionShrink
+	ActionHold   = tune.ActionHold
+	ActionGrow   = tune.ActionGrow
+	ActionShrink = tune.ActionShrink
 )
-
-// String returns the metric-label spelling of the action.
-func (a Action) String() string {
-	switch a {
-	case ActionGrow:
-		return "grow"
-	case ActionShrink:
-		return "shrink"
-	default:
-		return "hold"
-	}
-}
 
 // Decision is the controller's current preferred micro-batch geometry.
 type Decision struct {
@@ -141,23 +135,22 @@ type Stats struct {
 // feeds it to Observe, which returns the geometry for the next batch. It is
 // not safe for concurrent use; the streaming job serializes batch commits.
 //
-// The control law is a damped multiplicative-adjust loop: smoothed latency
-// outside the deadband moves the batch size by the ratio target/latency,
-// clamped to [1/2, 3/2] per step so a single outlier cannot collapse or
-// explode the batch, then clamped to [MinBatch, MaxBatch]. Commit latency
-// grows monotonically with batch size (fixed per-batch overhead plus
-// per-row cost), so the ratio step contracts toward the fixed point where
-// latency sits inside the band, and the deadband stops it from oscillating
-// around the target on noisy measurements.
+// The control law is tune.StepToTarget — a damped multiplicative-adjust
+// loop: smoothed latency outside the deadband moves the batch size by the
+// ratio target/latency, clamped to [1/2, 3/2] per step so a single outlier
+// cannot collapse or explode the batch, then clamped to [MinBatch,
+// MaxBatch]. Commit latency grows monotonically with batch size (fixed
+// per-batch overhead plus per-row cost), so the ratio step contracts toward
+// the fixed point where latency sits inside the band, and the deadband
+// stops it from oscillating around the target on noisy measurements.
 type Controller struct {
 	cfg Config
 
 	batch       int
-	ewmaSec     float64 // smoothed commit latency, seconds
-	bytesPerRow float64 // smoothed record width
-	seeded      bool
+	lat         tune.EWMA // smoothed commit latency, seconds
+	bytesPerRow tune.EWMA // smoothed record width
 
-	stageSec    [len(stageNames)]float64 // smoothed per-stage latency, seconds
+	stageSec    [len(stageNames)]tune.EWMA // smoothed per-stage latency, seconds
 	stageSeeded bool
 
 	stats Stats
@@ -200,7 +193,7 @@ func (c *Controller) StageEWMA() map[string]time.Duration {
 	}
 	out := make(map[string]time.Duration, len(stageNames))
 	for i, name := range stageNames {
-		out[name] = time.Duration(c.stageSec[i] * float64(time.Second))
+		out[name] = time.Duration(c.stageSec[i].Value() * float64(time.Second))
 	}
 	return out
 }
@@ -212,8 +205,8 @@ func (c *Controller) dominant() string {
 	}
 	best, bestSec := "", 0.0
 	for i, name := range stageNames {
-		if c.stageSec[i] > bestSec {
-			best, bestSec = name, c.stageSec[i]
+		if c.stageSec[i].Value() > bestSec {
+			best, bestSec = name, c.stageSec[i].Value()
 		}
 	}
 	return best
@@ -225,14 +218,10 @@ func (c *Controller) dominant() string {
 func (c *Controller) ObserveStages(rows, bytes int, latency time.Duration, st Stages) Decision {
 	if st != (Stages{}) {
 		sec := st.seconds()
-		if !c.stageSeeded {
-			c.stageSec = sec
-			c.stageSeeded = true
-		} else {
-			for i := range sec {
-				c.stageSec[i] += c.cfg.Alpha * (sec[i] - c.stageSec[i])
-			}
+		for i := range sec {
+			c.stageSec[i].Observe(c.cfg.Alpha, sec[i])
 		}
+		c.stageSeeded = true
 	}
 	if rows <= 0 || latency <= 0 {
 		d := c.Hint()
@@ -240,55 +229,14 @@ func (c *Controller) ObserveStages(rows, bytes int, latency time.Duration, st St
 		c.stats.Holds++
 		return d
 	}
-	obs := latency.Seconds()
-	width := float64(bytes) / float64(rows)
-	if !c.seeded {
-		c.ewmaSec = obs
-		c.bytesPerRow = width
-		c.seeded = true
-	} else {
-		c.ewmaSec += c.cfg.Alpha * (obs - c.ewmaSec)
-		if bytes > 0 {
-			c.bytesPerRow += c.cfg.Alpha * (width - c.bytesPerRow)
-		}
+	smoothed := c.lat.Observe(c.cfg.Alpha, latency.Seconds())
+	if width := float64(bytes) / float64(rows); !c.bytesPerRow.Seeded() || bytes > 0 {
+		c.bytesPerRow.Observe(c.cfg.Alpha, width)
 	}
 
-	target := c.cfg.Target.Seconds()
-	action := ActionHold
-	switch {
-	case c.ewmaSec > target*(1+c.cfg.Deadband):
-		action = ActionShrink
-	case c.ewmaSec < target*(1-c.cfg.Deadband):
-		action = ActionGrow
-	}
-	if action != ActionHold {
-		ratio := target / c.ewmaSec
-		if ratio < 0.5 {
-			ratio = 0.5
-		}
-		if ratio > 1.5 {
-			ratio = 1.5
-		}
-		next := int(float64(c.batch) * ratio)
-		// Guarantee progress: a ratio step on a tiny batch can truncate to
-		// the same value and stall short of the target.
-		if action == ActionGrow && next <= c.batch {
-			next = c.batch + 1
-		}
-		if action == ActionShrink && next >= c.batch {
-			next = c.batch - 1
-		}
-		if next < c.cfg.MinBatch {
-			next = c.cfg.MinBatch
-		}
-		if next > c.cfg.MaxBatch {
-			next = c.cfg.MaxBatch
-		}
-		if next == c.batch {
-			action = ActionHold // pinned at a clamp
-		}
-		c.batch = next
-	}
+	var action Action
+	c.batch, action = tune.StepToTarget(c.batch, smoothed, c.cfg.Target.Seconds(), c.cfg.Deadband,
+		c.cfg.MinBatch, c.cfg.MaxBatch)
 	switch action {
 	case ActionGrow:
 		c.stats.Grows++
@@ -310,7 +258,7 @@ func (c *Controller) ObserveStages(rows, bytes int, latency time.Duration, st St
 // micro-batch in a single file when records are narrow, clamped so wide
 // records still rotate before unbounded buffering.
 func (c *Controller) spoolBytes() int {
-	width := c.bytesPerRow
+	width := c.bytesPerRow.Value()
 	if width <= 0 {
 		width = 128 // prior before any observation
 	}

@@ -1,0 +1,349 @@
+package tune
+
+import "time"
+
+// ImportConfig tunes the batch-import staging-lane tuner. Zero values select
+// defaults.
+type ImportConfig struct {
+	// Alpha is the EWMA smoothing factor in (0, 1]. Zero defaults to 0.3.
+	Alpha float64
+	// Deadband is the fractional hysteresis band inside which knobs hold
+	// instead of chasing noise. Zero defaults to 0.15.
+	Deadband float64
+
+	// MinWorkers/MaxWorkers clamp the uploader pool size. Zeros default to
+	// 1 and 16. InitialWorkers seeds the pool (clamped in).
+	MinWorkers     int
+	MaxWorkers     int
+	InitialWorkers int
+	// TargetUtilization is the uploader busy fraction the worker law steers
+	// toward: above it the pool grows, below it the pool shrinks. Zero
+	// defaults to 0.7.
+	TargetUtilization float64
+
+	// MinSpoolBytes/MaxSpoolBytes clamp the spool rotation threshold. Zeros
+	// default to 64 KiB and 8 MiB. InitialSpoolBytes seeds it (clamped in).
+	MinSpoolBytes     int
+	MaxSpoolBytes     int
+	InitialSpoolBytes int
+	// FileLatencyTarget is the per-file rotate-to-uploaded latency the spool
+	// threshold steers toward: slow files shrink the threshold (smaller
+	// files clear the lane faster), fast files grow it (amortize per-file
+	// overhead). Zero defaults to 250ms.
+	FileLatencyTarget time.Duration
+
+	// MinCopyFiles/MaxCopyFiles clamp the files-per-COPY manifest size.
+	// Zeros default to 1 and 16. InitialCopyFiles seeds it (clamped in).
+	MinCopyFiles     int
+	MaxCopyFiles     int
+	InitialCopyFiles int
+
+	// GzipLevels is the compression ladder, ordered from cheapest to most
+	// aggressive; level 0 means uncompressed files. Nil defaults to
+	// {0, 1, 6, 9}. InitialGzipLevel picks the starting rung (the nearest
+	// ladder entry).
+	GzipLevels       []int
+	InitialGzipLevel int
+	// GzipHysteresis is how many consecutive same-direction votes the
+	// compression law needs before moving one rung — level changes re-open
+	// spool files, so they are deliberately sluggish. Zero defaults to 3.
+	GzipHysteresis int
+}
+
+func (c ImportConfig) withDefaults() ImportConfig {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.3
+	}
+	if c.Deadband <= 0 {
+		c.Deadband = 0.15
+	}
+	if c.MinWorkers <= 0 {
+		c.MinWorkers = 1
+	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = 16
+	}
+	if c.MaxWorkers < c.MinWorkers {
+		c.MaxWorkers = c.MinWorkers
+	}
+	if c.InitialWorkers <= 0 {
+		c.InitialWorkers = c.MinWorkers
+	}
+	c.InitialWorkers = clampInt(c.InitialWorkers, c.MinWorkers, c.MaxWorkers)
+	if c.TargetUtilization <= 0 || c.TargetUtilization > 1 {
+		c.TargetUtilization = 0.7
+	}
+	if c.MinSpoolBytes <= 0 {
+		c.MinSpoolBytes = 64 << 10
+	}
+	if c.MaxSpoolBytes <= 0 {
+		c.MaxSpoolBytes = 8 << 20
+	}
+	if c.MaxSpoolBytes < c.MinSpoolBytes {
+		c.MaxSpoolBytes = c.MinSpoolBytes
+	}
+	if c.InitialSpoolBytes <= 0 {
+		c.InitialSpoolBytes = c.MaxSpoolBytes / 2
+	}
+	c.InitialSpoolBytes = clampInt(c.InitialSpoolBytes, c.MinSpoolBytes, c.MaxSpoolBytes)
+	if c.FileLatencyTarget <= 0 {
+		c.FileLatencyTarget = 250 * time.Millisecond
+	}
+	if c.MinCopyFiles <= 0 {
+		c.MinCopyFiles = 1
+	}
+	if c.MaxCopyFiles <= 0 {
+		c.MaxCopyFiles = 16
+	}
+	if c.MaxCopyFiles < c.MinCopyFiles {
+		c.MaxCopyFiles = c.MinCopyFiles
+	}
+	if c.InitialCopyFiles <= 0 {
+		c.InitialCopyFiles = c.MinCopyFiles
+	}
+	c.InitialCopyFiles = clampInt(c.InitialCopyFiles, c.MinCopyFiles, c.MaxCopyFiles)
+	if len(c.GzipLevels) == 0 {
+		c.GzipLevels = []int{0, 1, 6, 9}
+	}
+	if c.GzipHysteresis <= 0 {
+		c.GzipHysteresis = 3
+	}
+	return c
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ImportObservation is one tuner tick's worth of staging-lane measurements,
+// as deltas over the tick. The caller (the import job's tuner loop) samples
+// its pipeline counters; the tuner never reads the clock itself.
+type ImportObservation struct {
+	// Elapsed is the tick length.
+	Elapsed time.Duration
+	// Workers is the number of live uploader workers during the tick.
+	Workers int
+	// SpoolBusy is the FileWriter stage's busy time over the tick (chunk
+	// append + rotation, i.e. where compression CPU is spent), summed across
+	// writers.
+	SpoolBusy time.Duration
+	// UploadBusy is the uploader stage's busy time over the tick, summed
+	// across workers.
+	UploadBusy time.Duration
+	// FileLatency is the mean per-file upload latency over the tick; zero
+	// when no file finished.
+	FileLatency time.Duration
+	// QueuedCopyFiles is the current uploaded-but-not-yet-COPYed backlog.
+	QueuedCopyFiles int
+}
+
+// ImportDecision is the tuner's preferred staging-lane geometry after one
+// observation.
+type ImportDecision struct {
+	Workers    int // uploader pool size
+	SpoolBytes int // spool rotation threshold
+	GzipLevel  int // compression ladder rung; 0 = uncompressed
+	CopyFiles  int // files folded into one manifest COPY
+	// Action is the worker law's decision this tick — the headline knob the
+	// lane scales with. Per-knob actions are visible in the Snapshot.
+	Action Action
+	// Dominant names the stage with the larger smoothed busy share ("spool"
+	// or "upload"); empty until both have been observed.
+	Dominant string
+}
+
+// ImportStats counts worker-law decisions since construction.
+type ImportStats struct {
+	Grows   uint64
+	Shrinks uint64
+	Holds   uint64
+}
+
+// ImportSnapshot is the tuner's observable state for the debug server.
+type ImportSnapshot struct {
+	Workers     int
+	SpoolBytes  int
+	GzipLevel   int
+	CopyFiles   int
+	Utilization float64       // smoothed uploader busy fraction
+	FileLatency time.Duration // smoothed per-file upload latency
+	QueueDepth  float64       // smoothed COPY backlog in files
+	Dominant    string
+	Stats       ImportStats
+}
+
+// ImportTuner closes the loop for the batch-import staging lane: from live
+// per-stage observations it picks uploader parallelism, the spool rotation
+// threshold, the gzip level, and the files-per-COPY manifest size. It is a
+// pure unit (no clock reads) and is not safe for concurrent use; the import
+// job serializes ticks through one tuner goroutine.
+type ImportTuner struct {
+	cfg ImportConfig
+
+	workers    int
+	spoolBytes int
+	gzipRung   int // index into cfg.GzipLevels
+	copyFiles  int
+
+	util    EWMA // uploader busy fraction
+	fileLat EWMA // per-file upload latency, seconds
+	queue   EWMA // COPY backlog, files
+	spoolB  EWMA // spool busy share of the tick
+	uploadB EWMA // upload busy share of the tick
+
+	gzipVotes int // signed run of compression votes (+ = more compression)
+
+	stats ImportStats
+}
+
+// NewImportTuner builds a staging-lane tuner.
+func NewImportTuner(cfg ImportConfig) *ImportTuner {
+	cfg = cfg.withDefaults()
+	t := &ImportTuner{
+		cfg:        cfg,
+		workers:    cfg.InitialWorkers,
+		spoolBytes: cfg.InitialSpoolBytes,
+		copyFiles:  cfg.InitialCopyFiles,
+	}
+	// Start on the ladder rung nearest the configured initial level.
+	best, bestDist := 0, 1<<30
+	for i, lvl := range cfg.GzipLevels {
+		d := lvl - cfg.InitialGzipLevel
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	t.gzipRung = best
+	return t
+}
+
+// Hint returns the current geometry without recording an observation.
+func (t *ImportTuner) Hint() ImportDecision {
+	return ImportDecision{
+		Workers:    t.workers,
+		SpoolBytes: t.spoolBytes,
+		GzipLevel:  t.cfg.GzipLevels[t.gzipRung],
+		CopyFiles:  t.copyFiles,
+		Dominant:   t.dominant(),
+	}
+}
+
+// Stats returns worker-law decision counts since construction.
+func (t *ImportTuner) Stats() ImportStats { return t.stats }
+
+// Snapshot returns the tuner's observable state for the debug server.
+func (t *ImportTuner) Snapshot() ImportSnapshot {
+	return ImportSnapshot{
+		Workers:     t.workers,
+		SpoolBytes:  t.spoolBytes,
+		GzipLevel:   t.cfg.GzipLevels[t.gzipRung],
+		CopyFiles:   t.copyFiles,
+		Utilization: t.util.Value(),
+		FileLatency: time.Duration(t.fileLat.Value() * float64(time.Second)),
+		QueueDepth:  t.queue.Value(),
+		Dominant:    t.dominant(),
+		Stats:       t.stats,
+	}
+}
+
+func (t *ImportTuner) dominant() string {
+	if !t.spoolB.Seeded() || !t.uploadB.Seeded() {
+		return ""
+	}
+	if t.spoolB.Value() > t.uploadB.Value() {
+		return "spool"
+	}
+	return "upload"
+}
+
+// Observe folds one tick in and returns the geometry for the next tick.
+func (t *ImportTuner) Observe(o ImportObservation) ImportDecision {
+	if o.Elapsed <= 0 {
+		d := t.Hint()
+		t.stats.Holds++
+		return d
+	}
+	alpha, db := t.cfg.Alpha, t.cfg.Deadband
+	tick := o.Elapsed.Seconds()
+	t.spoolB.Observe(alpha, o.SpoolBusy.Seconds()/tick)
+	t.uploadB.Observe(alpha, o.UploadBusy.Seconds()/tick)
+
+	// Uploader pool: steer smoothed busy fraction toward the utilization
+	// target — saturated workers grow the pool, idle workers shrink it.
+	action := ActionHold
+	if o.Workers > 0 {
+		util := o.UploadBusy.Seconds() / (float64(o.Workers) * tick)
+		smoothed := t.util.Observe(alpha, util)
+		t.workers, action = StepWithLoad(t.workers, smoothed, t.cfg.TargetUtilization, db,
+			t.cfg.MinWorkers, t.cfg.MaxWorkers)
+	}
+	switch action {
+	case ActionGrow:
+		t.stats.Grows++
+	case ActionShrink:
+		t.stats.Shrinks++
+	default:
+		t.stats.Holds++
+	}
+
+	// Spool threshold: steer per-file upload latency toward its target.
+	// Files too slow to clear the lane shrink the threshold; files cheap
+	// enough grow it to amortize per-file rotate/upload/COPY overhead.
+	if o.FileLatency > 0 {
+		smoothed := t.fileLat.Observe(alpha, o.FileLatency.Seconds())
+		t.spoolBytes, _ = StepToTarget(t.spoolBytes, smoothed, t.cfg.FileLatencyTarget.Seconds(), db,
+			t.cfg.MinSpoolBytes, t.cfg.MaxSpoolBytes)
+	}
+
+	// Files-per-COPY: track the smoothed uploaded-but-uncopied backlog. The
+	// fixed point is manifest size ≈ queue depth: a deep backlog folds more
+	// files into each COPY, a drained lane issues small prompt batches.
+	queued := t.queue.Observe(alpha, float64(o.QueuedCopyFiles))
+	t.copyFiles, _ = StepWithLoad(t.copyFiles, queued, float64(t.copyFiles), db,
+		t.cfg.MinCopyFiles, t.cfg.MaxCopyFiles)
+
+	// Compression ladder: when upload dominates the lane the bytes are the
+	// bottleneck — vote for more compression; when spool (CPU) dominates,
+	// vote for less. Rung moves need GzipHysteresis consecutive votes, and
+	// the votes read the tick's raw busy shares (not the EWMAs): the vote
+	// run is itself the smoothing, and a lagging average would keep
+	// accumulating stale votes after the lane flips.
+	{
+		spool, upload := o.SpoolBusy.Seconds(), o.UploadBusy.Seconds()
+		switch {
+		case upload > spool*(1+db):
+			if t.gzipVotes < 0 {
+				t.gzipVotes = 0
+			}
+			t.gzipVotes++
+		case spool > upload*(1+db):
+			if t.gzipVotes > 0 {
+				t.gzipVotes = 0
+			}
+			t.gzipVotes--
+		default:
+			t.gzipVotes = 0
+		}
+		if t.gzipVotes >= t.cfg.GzipHysteresis && t.gzipRung < len(t.cfg.GzipLevels)-1 {
+			t.gzipRung++
+			t.gzipVotes = 0
+		}
+		if t.gzipVotes <= -t.cfg.GzipHysteresis && t.gzipRung > 0 {
+			t.gzipRung--
+			t.gzipVotes = 0
+		}
+	}
+
+	d := t.Hint()
+	d.Action = action
+	return d
+}

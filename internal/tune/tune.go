@@ -1,0 +1,115 @@
+// Package tune holds the adaptive-control machinery shared by the CDC
+// micro-batch controller (internal/stream) and the batch-import staging-lane
+// tuner: exponentially weighted averages, a hysteresis deadband, and a
+// clamped multiplicative step law. Everything here is pure — no clock reads,
+// no goroutines — so control decisions are deterministic functions of the
+// observations the caller feeds in, and unit tests can drive the loops
+// without sleeping.
+package tune
+
+// Action classifies one control decision.
+type Action uint8
+
+// Control decisions: hold the current knob value, grow it, or shrink it.
+const (
+	ActionHold Action = iota
+	ActionGrow
+	ActionShrink
+)
+
+// String returns the metric-label spelling of the action.
+func (a Action) String() string {
+	switch a {
+	case ActionGrow:
+		return "grow"
+	case ActionShrink:
+		return "shrink"
+	default:
+		return "hold"
+	}
+}
+
+// EWMA is an exponentially weighted moving average. The zero value is
+// unseeded: the first observation becomes the average outright, so start-up
+// transients are not dragged toward zero.
+type EWMA struct {
+	v      float64
+	seeded bool
+}
+
+// Observe folds one sample in with smoothing factor alpha in (0, 1] and
+// returns the updated average.
+func (e *EWMA) Observe(alpha, x float64) float64 {
+	if !e.seeded {
+		e.v = x
+		e.seeded = true
+		return e.v
+	}
+	e.v += alpha * (x - e.v)
+	return e.v
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.v }
+
+// Seeded reports whether any observation has been folded in.
+func (e *EWMA) Seeded() bool { return e.seeded }
+
+// StepToTarget is the damped multiplicative-adjust law: when the smoothed
+// observation sits outside the fractional deadband around target, cur is
+// scaled by target/smoothed — clamped to [1/2, 3/2] per step so one outlier
+// cannot collapse or explode the knob — then clamped to [min, max]. A step
+// is guaranteed to make progress (integer truncation cannot stall it), and
+// a step pinned at a clamp reports ActionHold. Grow means the observation is
+// below target (the knob can afford to increase); shrink means above.
+//
+// The law contracts toward the fixed point where the observation sits inside
+// the band whenever the observed quantity grows monotonically with the knob
+// (fixed overhead plus per-unit cost), and the deadband stops it from
+// oscillating around the target on noisy measurements.
+func StepToTarget(cur int, smoothed, target, deadband float64, min, max int) (int, Action) {
+	action := ActionHold
+	switch {
+	case smoothed > target*(1+deadband):
+		action = ActionShrink
+	case smoothed < target*(1-deadband):
+		action = ActionGrow
+	}
+	if action == ActionHold {
+		return cur, ActionHold
+	}
+	ratio := target / smoothed
+	if ratio < 0.5 {
+		ratio = 0.5
+	}
+	if ratio > 1.5 {
+		ratio = 1.5
+	}
+	next := int(float64(cur) * ratio)
+	// Guarantee progress: a ratio step on a tiny knob can truncate to the
+	// same value and stall short of the target.
+	if action == ActionGrow && next <= cur {
+		next = cur + 1
+	}
+	if action == ActionShrink && next >= cur {
+		next = cur - 1
+	}
+	if next < min {
+		next = min
+	}
+	if next > max {
+		next = max
+	}
+	if next == cur {
+		action = ActionHold // pinned at a clamp
+	}
+	return next, action
+}
+
+// StepWithLoad is StepToTarget with the orientation flipped for capacity
+// knobs: the knob should GROW when the observed load exceeds the capacity
+// target (more workers when utilization is high), so cur is scaled by
+// load/capacity instead of target/observation.
+func StepWithLoad(cur int, load, capacity, deadband float64, min, max int) (int, Action) {
+	return StepToTarget(cur, capacity, load, deadband, min, max)
+}

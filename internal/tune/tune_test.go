@@ -1,0 +1,265 @@
+package tune
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEWMASeedsOnFirstObservation(t *testing.T) {
+	var e EWMA
+	if e.Seeded() || e.Value() != 0 {
+		t.Fatalf("zero EWMA: seeded=%v value=%v", e.Seeded(), e.Value())
+	}
+	if got := e.Observe(0.3, 10); got != 10 {
+		t.Errorf("first observation not adopted outright: %v", got)
+	}
+	got := e.Observe(0.5, 20)
+	if got != 15 {
+		t.Errorf("smoothed value %v, want 15", got)
+	}
+	if e.Value() != 15 {
+		t.Errorf("Value %v", e.Value())
+	}
+}
+
+func TestStepToTargetHoldsInsideDeadband(t *testing.T) {
+	for _, obs := range []float64{0.9, 1.0, 1.1} {
+		next, a := StepToTarget(100, obs, 1.0, 0.15, 1, 1000)
+		if next != 100 || a != ActionHold {
+			t.Errorf("obs %v: next=%d action=%v, want hold at 100", obs, next, a)
+		}
+	}
+}
+
+func TestStepToTargetDirections(t *testing.T) {
+	// Observation far above target shrinks, clamped to half per step.
+	next, a := StepToTarget(100, 10.0, 1.0, 0.15, 1, 1000)
+	if a != ActionShrink || next != 50 {
+		t.Errorf("shrink: next=%d action=%v, want 50/shrink", next, a)
+	}
+	// Observation far below target grows, clamped to 1.5x per step.
+	next, a = StepToTarget(100, 0.1, 1.0, 0.15, 1, 1000)
+	if a != ActionGrow || next != 150 {
+		t.Errorf("grow: next=%d action=%v, want 150/grow", next, a)
+	}
+}
+
+func TestStepToTargetProgressGuarantee(t *testing.T) {
+	// A ratio step on a tiny knob truncates to the same value; the law must
+	// still move by one.
+	next, a := StepToTarget(1, 0.5, 1.0, 0.15, 1, 1000)
+	if next != 2 || a != ActionGrow {
+		t.Errorf("grow from 1: next=%d action=%v", next, a)
+	}
+	next, a = StepToTarget(2, 1.3, 1.0, 0.15, 1, 1000)
+	if next != 1 || a != ActionShrink {
+		t.Errorf("shrink from 2: next=%d action=%v", next, a)
+	}
+}
+
+func TestStepToTargetPinnedAtClampReportsHold(t *testing.T) {
+	next, a := StepToTarget(1000, 0.1, 1.0, 0.15, 1, 1000)
+	if next != 1000 || a != ActionHold {
+		t.Errorf("pinned at max: next=%d action=%v", next, a)
+	}
+	next, a = StepToTarget(1, 10.0, 1.0, 0.15, 1, 1000)
+	if next != 1 || a != ActionHold {
+		t.Errorf("pinned at min: next=%d action=%v", next, a)
+	}
+}
+
+func TestStepWithLoadGrowsUnderLoad(t *testing.T) {
+	// Capacity knob orientation: load above target grows the knob.
+	next, a := StepWithLoad(4, 0.99, 0.7, 0.15, 1, 16)
+	if a != ActionGrow || next <= 4 {
+		t.Errorf("saturated: next=%d action=%v", next, a)
+	}
+	next, a = StepWithLoad(4, 0.1, 0.7, 0.15, 1, 16)
+	if a != ActionShrink || next >= 4 {
+		t.Errorf("idle: next=%d action=%v", next, a)
+	}
+	next, a = StepWithLoad(4, 0.7, 0.7, 0.15, 1, 16)
+	if a != ActionHold || next != 4 {
+		t.Errorf("on target: next=%d action=%v", next, a)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if ActionHold.String() != "hold" || ActionGrow.String() != "grow" || ActionShrink.String() != "shrink" {
+		t.Error("action labels changed")
+	}
+}
+
+func tick(workers int, busyPerWorker time.Duration) ImportObservation {
+	return ImportObservation{
+		Elapsed:    100 * time.Millisecond,
+		Workers:    workers,
+		UploadBusy: time.Duration(workers) * busyPerWorker,
+	}
+}
+
+func TestImportTunerGrowsWorkersWhenSaturated(t *testing.T) {
+	tu := NewImportTuner(ImportConfig{InitialWorkers: 2, MaxWorkers: 8})
+	var d ImportDecision
+	for i := 0; i < 20; i++ {
+		d = tu.Observe(tick(d.Workers+2, 99*time.Millisecond)) // ~99% busy
+	}
+	if d.Workers != 8 {
+		t.Errorf("saturated lane settled at %d workers, want max 8", d.Workers)
+	}
+	if tu.Stats().Grows == 0 {
+		t.Error("no grow decisions counted")
+	}
+}
+
+func TestImportTunerShrinksIdleWorkers(t *testing.T) {
+	tu := NewImportTuner(ImportConfig{InitialWorkers: 8, MaxWorkers: 8})
+	var d ImportDecision
+	d.Workers = 8
+	for i := 0; i < 20; i++ {
+		d = tu.Observe(tick(d.Workers, 2*time.Millisecond)) // ~2% busy
+	}
+	if d.Workers != 1 {
+		t.Errorf("idle lane settled at %d workers, want min 1", d.Workers)
+	}
+}
+
+func TestImportTunerSpoolTracksFileLatency(t *testing.T) {
+	cfg := ImportConfig{
+		InitialSpoolBytes: 1 << 20,
+		FileLatencyTarget: 100 * time.Millisecond,
+	}
+	slow := NewImportTuner(cfg)
+	for i := 0; i < 20; i++ {
+		o := tick(1, 50*time.Millisecond)
+		o.FileLatency = 800 * time.Millisecond
+		slow.Observe(o)
+	}
+	if got := slow.Snapshot().SpoolBytes; got >= 1<<20 {
+		t.Errorf("slow files did not shrink spool threshold: %d", got)
+	}
+	fast := NewImportTuner(cfg)
+	for i := 0; i < 20; i++ {
+		o := tick(1, 50*time.Millisecond)
+		o.FileLatency = 10 * time.Millisecond
+		fast.Observe(o)
+	}
+	if got := fast.Snapshot().SpoolBytes; got <= 1<<20 {
+		t.Errorf("fast files did not grow spool threshold: %d", got)
+	}
+}
+
+func TestImportTunerCopyFilesFollowBacklog(t *testing.T) {
+	tu := NewImportTuner(ImportConfig{InitialCopyFiles: 2, MaxCopyFiles: 16})
+	var d ImportDecision
+	for i := 0; i < 30; i++ {
+		o := tick(1, 50*time.Millisecond)
+		o.QueuedCopyFiles = 12
+		d = tu.Observe(o)
+	}
+	if d.CopyFiles <= 2 {
+		t.Errorf("deep backlog did not grow manifest size: %d", d.CopyFiles)
+	}
+	for i := 0; i < 30; i++ {
+		o := tick(1, 50*time.Millisecond)
+		o.QueuedCopyFiles = 0
+		d = tu.Observe(o)
+	}
+	if d.CopyFiles != 1 {
+		t.Errorf("drained lane did not shrink manifest size to 1: %d", d.CopyFiles)
+	}
+}
+
+func TestImportTunerGzipLadder(t *testing.T) {
+	cfg := ImportConfig{GzipLevels: []int{0, 1, 6, 9}, GzipHysteresis: 3}
+	tu := NewImportTuner(cfg)
+	if got := tu.Hint().GzipLevel; got != 0 {
+		t.Fatalf("initial rung %d, want 0", got)
+	}
+	// Upload-bound ticks vote for more compression; three consecutive votes
+	// move one rung.
+	uploadBound := ImportObservation{
+		Elapsed: 100 * time.Millisecond, Workers: 1,
+		SpoolBusy: 5 * time.Millisecond, UploadBusy: 90 * time.Millisecond,
+	}
+	for i := 0; i < 3; i++ {
+		tu.Observe(uploadBound)
+	}
+	if got := tu.Hint().GzipLevel; got != 1 {
+		t.Errorf("after 3 upload-bound ticks: level %d, want 1", got)
+	}
+	for i := 0; i < 6; i++ {
+		tu.Observe(uploadBound)
+	}
+	if got := tu.Hint().GzipLevel; got != 9 {
+		t.Errorf("sustained upload-bound lane: level %d, want 9", got)
+	}
+	// CPU-bound ticks walk back down.
+	cpuBound := ImportObservation{
+		Elapsed: 100 * time.Millisecond, Workers: 1,
+		SpoolBusy: 90 * time.Millisecond, UploadBusy: 5 * time.Millisecond,
+	}
+	for i := 0; i < 3; i++ {
+		tu.Observe(cpuBound)
+	}
+	if got := tu.Hint().GzipLevel; got != 6 {
+		t.Errorf("after 3 cpu-bound ticks: level %d, want 6", got)
+	}
+}
+
+func TestImportTunerGzipHysteresisResetsOnFlip(t *testing.T) {
+	tu := NewImportTuner(ImportConfig{GzipLevels: []int{0, 9}, GzipHysteresis: 3})
+	uploadBound := ImportObservation{
+		Elapsed: 100 * time.Millisecond, Workers: 1,
+		SpoolBusy: 5 * time.Millisecond, UploadBusy: 90 * time.Millisecond,
+	}
+	cpuBound := ImportObservation{
+		Elapsed: 100 * time.Millisecond, Workers: 1,
+		SpoolBusy: 90 * time.Millisecond, UploadBusy: 5 * time.Millisecond,
+	}
+	// Alternating ticks flip the vote direction every time, so the run
+	// never reaches the hysteresis threshold and the ladder stays put.
+	for i := 0; i < 12; i++ {
+		if i%2 == 0 {
+			tu.Observe(uploadBound)
+		} else {
+			tu.Observe(cpuBound)
+		}
+	}
+	if got := tu.Hint().GzipLevel; got != 0 {
+		t.Errorf("oscillating lane moved the ladder: level %d", got)
+	}
+}
+
+func TestImportTunerSnapshotAndInitialRung(t *testing.T) {
+	tu := NewImportTuner(ImportConfig{GzipLevels: []int{0, 1, 6, 9}, InitialGzipLevel: 6})
+	if got := tu.Hint().GzipLevel; got != 6 {
+		t.Errorf("initial rung for level 6: %d", got)
+	}
+	o := tick(2, 50*time.Millisecond)
+	o.FileLatency = 100 * time.Millisecond
+	o.QueuedCopyFiles = 3
+	tu.Observe(o)
+	s := tu.Snapshot()
+	if s.Workers <= 0 || s.SpoolBytes <= 0 || s.CopyFiles <= 0 {
+		t.Errorf("snapshot geometry: %+v", s)
+	}
+	if s.Utilization <= 0 || s.FileLatency <= 0 || s.QueueDepth <= 0 {
+		t.Errorf("snapshot EWMAs unobserved: %+v", s)
+	}
+	if s.Dominant != "upload" {
+		t.Errorf("dominant %q", s.Dominant)
+	}
+}
+
+func TestImportTunerZeroElapsedHolds(t *testing.T) {
+	tu := NewImportTuner(ImportConfig{})
+	before := tu.Hint()
+	d := tu.Observe(ImportObservation{})
+	if d.Workers != before.Workers || d.SpoolBytes != before.SpoolBytes || d.Action != ActionHold {
+		t.Errorf("zero tick changed geometry: %+v", d)
+	}
+	if tu.Stats().Holds != 1 {
+		t.Errorf("holds %d", tu.Stats().Holds)
+	}
+}
